@@ -1,0 +1,287 @@
+// Command crashtest is the paper's reliability validation (§6.2): "we
+// wrote a crash stress program, which uses transactions to perform random
+// updates to memory using a known seed. We verified that after a crash,
+// memory contains the correct random values." It also injects torn-bit
+// flips into the RAWL and crashes a directory server mid-workload.
+//
+// Crashes are simulated in-process: the SCM emulator reverts a seeded
+// pseudo-random subset of every unflushed cache line and unfenced
+// streaming word, then the whole Mnemosyne stack is reopened over the
+// surviving bytes and must recover.
+//
+// Usage:
+//
+//	crashtest [-rounds N] [-ops N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/ldapdir"
+	"repro/internal/mtm"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+var (
+	rounds = flag.Int("rounds", 20, "crash/recover rounds per test")
+	nops   = flag.Int("ops", 200, "transactions per round")
+	seed   = flag.Int64("seed", 1, "base PRNG seed")
+)
+
+func main() {
+	flag.Parse()
+	fail := 0
+	for name, test := range map[string]func() error{
+		"random-updates": randomUpdates,
+		"tornbit-flips":  tornbitFlips,
+		"ldap-midload":   ldapMidload,
+	} {
+		fmt.Printf("%-16s ", name)
+		if err := test(); err != nil {
+			fmt.Printf("FAIL: %v\n", err)
+			fail++
+		} else {
+			fmt.Printf("ok (%d rounds)\n", *rounds)
+		}
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+type stack struct {
+	dev  *scm.Device
+	rt   *region.Runtime
+	heap *pheap.Heap
+	tm   *mtm.TM
+	dir  string
+}
+
+func openStack(dev *scm.Device, dir string) (*stack, error) {
+	rt, err := region.Open(dev, region.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	heapPtr, _, err := rt.Static("crash.heap", 8)
+	if err != nil {
+		return nil, err
+	}
+	mem := rt.NewMemory()
+	var heap *pheap.Heap
+	if base := pmem.Addr(mem.LoadU64(heapPtr)); base == pmem.Nil {
+		base, err := rt.PMapAt(heapPtr, 64<<20, 0)
+		if err != nil {
+			return nil, err
+		}
+		if heap, err = pheap.Format(rt, base, 64<<20, pheap.Config{Lanes: 8}); err != nil {
+			return nil, err
+		}
+	} else if heap, err = pheap.Open(rt, base); err != nil {
+		return nil, err
+	}
+	tm, err := mtm.Open(rt, "crash", mtm.Config{Heap: heap})
+	if err != nil {
+		return nil, err
+	}
+	return &stack{dev: dev, rt: rt, heap: heap, tm: tm, dir: dir}, nil
+}
+
+func (s *stack) reopen() (*stack, error) {
+	s.tm.Close()
+	if err := s.rt.Close(); err != nil {
+		return nil, err
+	}
+	return openStack(s.dev, s.dir)
+}
+
+// randomUpdates is the paper's crash stress program.
+func randomUpdates() error {
+	dev, err := scm.Open(scm.Config{Size: 128 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "crashtest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := openStack(dev, dir)
+	if err != nil {
+		return err
+	}
+	dataPtr, _, err := st.rt.Static("crash.data", 8)
+	if err != nil {
+		return err
+	}
+	data, err := st.rt.PMapAt(dataPtr, 1<<20, 0)
+	if err != nil {
+		return err
+	}
+
+	expect := make(map[int64]uint64)
+	rng := rand.New(rand.NewSource(*seed))
+	for round := 0; round < *rounds; round++ {
+		th, err := st.tm.NewThread()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *nops; i++ {
+			n := 1 + rng.Intn(10)
+			writes := make(map[int64]uint64, n)
+			for j := 0; j < n; j++ {
+				writes[int64(rng.Intn(8192))*8] = rng.Uint64()
+			}
+			if err := th.Atomic(func(tx *mtm.Tx) error {
+				for off, v := range writes {
+					tx.StoreU64(data.Add(off), v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			for off, v := range writes {
+				expect[off] = v
+			}
+		}
+		dev.Crash(scm.NewRandomPolicy(*seed + int64(round)))
+		if st, err = st.reopen(); err != nil {
+			return fmt.Errorf("round %d: reopen: %w", round, err)
+		}
+		mem := st.rt.NewMemory()
+		for off, v := range expect {
+			if got := mem.LoadU64(data.Add(off)); got != v {
+				return fmt.Errorf("round %d: word %d = %#x, want %#x", round, off, got, v)
+			}
+		}
+	}
+	return nil
+}
+
+// tornbitFlips injects bit flips into a flushed log and checks that
+// recovery discards the damaged suffix but never returns corrupt records.
+func tornbitFlips() error {
+	for round := 0; round < *rounds; round++ {
+		dev, err := scm.Open(scm.Config{Size: 16 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "crashtest-*")
+		if err != nil {
+			return err
+		}
+		rt, err := region.Open(dev, region.Config{Dir: dir})
+		if err != nil {
+			return err
+		}
+		base, err := rt.PMap(rawl.Size(1024), 0)
+		if err != nil {
+			return err
+		}
+		mem := rt.NewMemory()
+		log, err := rawl.Create(mem, base, 1024)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*seed + int64(round)))
+		var want [][]uint64
+		for i := 0; i < 20; i++ {
+			rec := make([]uint64, 1+rng.Intn(8))
+			for j := range rec {
+				rec[j] = rng.Uint64()
+			}
+			if _, err := log.Append(rec); err != nil {
+				return err
+			}
+			want = append(want, rec)
+		}
+		log.Flush()
+
+		// Flip one torn bit somewhere in the written area.
+		flipAt := base.Add(64 + int64(rng.Intn(100))*8)
+		mem.WTStoreU64(flipAt, mem.LoadU64(flipAt)^(1<<63))
+		mem.Fence()
+		dev.Crash(scm.DropAll{})
+
+		_, recs, err := rawl.Open(mem, base)
+		if err != nil {
+			return err
+		}
+		if len(recs) > len(want) {
+			return fmt.Errorf("round %d: recovered %d > appended %d", round, len(recs), len(want))
+		}
+		for i, rec := range recs {
+			if len(rec) != len(want[i]) {
+				return fmt.Errorf("round %d: record %d torn", round, i)
+			}
+			for j := range rec {
+				if rec[j] != want[i][j] {
+					return fmt.Errorf("round %d: record %d corrupt", round, i)
+				}
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	return nil
+}
+
+// ldapMidload crashes the directory server "in the middle of a
+// transaction" stream and verifies entries added before the crash are
+// still available (§6.2: "we verified that after every restart, the data
+// affected by the transaction were still available").
+func ldapMidload() error {
+	dev, err := scm.Open(scm.Config{Size: 256 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "crashtest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := openStack(dev, dir)
+	if err != nil {
+		return err
+	}
+	added := 0
+	for round := 0; round < *rounds; round++ {
+		backend, err := ldapdir.OpenMnemosyneBackend(st.rt, st.tm, uint64(round+1))
+		if err != nil {
+			return err
+		}
+		sess, err := backend.Session()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			if err := sess.Add(ldapdir.TemplateEntry(added)); err != nil {
+				return err
+			}
+			added++
+		}
+		dev.Crash(scm.NewRandomPolicy(*seed + int64(round)))
+		if st, err = st.reopen(); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		backend, err = ldapdir.OpenMnemosyneBackend(st.rt, st.tm, uint64(round+100))
+		if err != nil {
+			return err
+		}
+		sess, err = backend.Session()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < added; i++ {
+			if _, err := sess.Search(ldapdir.TemplateEntry(i).DN); err != nil {
+				return fmt.Errorf("round %d: entry %d lost: %w", round, i, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command pmctl inspects persistent-memory state: the region manager's
+// mapping table, the process region table, static variables and heap
+// occupancy of an SCM image file.
+//
+// Usage:
+//
+//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap>
+//
+// The image and backing directory are opened read-mostly; pmctl performs
+// the same boot reconstruction a restarting process would, so it also
+// doubles as a recovery smoke test for an image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+var (
+	imagePath = flag.String("image", "scm.img", "SCM device image file")
+	dirPath   = flag.String("dir", ".", "region backing directory")
+	devSize   = flag.Int64("size", 256<<20, "device size in bytes (must match the image)")
+	heapAt    = flag.Uint64("heap", 0, "persistent address of a heap to inspect (for `heap`)")
+)
+
+func main() {
+	flag.Parse()
+	cmd := "info"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintf(os.Stderr, "pmctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string) error {
+	dev, err := scm.Open(scm.Config{Size: *devSize, Mode: scm.DelayOff, Path: *imagePath})
+	if err != nil {
+		return err
+	}
+	rt, err := region.Open(dev, region.Config{Dir: *dirPath})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	switch cmd {
+	case "info":
+		mgr := rt.Manager()
+		fmt.Printf("device:   %s (%d bytes, %d frames)\n", *imagePath, dev.Size(), mgr.Frames())
+		fmt.Printf("free:     %d frames (%.1f%%)\n", mgr.FreeFrames(),
+			100*float64(mgr.FreeFrames())/float64(mgr.Frames()))
+		fmt.Printf("boot:     %v reconstruction, %v remap, %d regions\n",
+			rt.Stats().ManagerBoot, rt.Stats().Remap, rt.Stats().RegionsMapped)
+	case "regions":
+		fmt.Printf("%-18s %12s %10s\n", "Address", "Length", "Flags")
+		for _, r := range rt.Regions() {
+			flags := "pinned"
+			if r.Flags&region.FlagSwappable != 0 {
+				flags = "swappable"
+			}
+			kind := ""
+			if r.Addr == pmem.Base {
+				kind = " (static)"
+			}
+			fmt.Printf("%-18v %12d %10s%s\n", r.Addr, r.Len, flags, kind)
+		}
+	case "statics":
+		fmt.Printf("%-40s %-18s %10s\n", "Name", "Address", "Size")
+		for _, s := range rt.Statics() {
+			fmt.Printf("%-40s %-18v %10d\n", s.Name, s.Addr, s.Size)
+		}
+	case "heap":
+		if *heapAt == 0 {
+			return fmt.Errorf("heap: pass -heap <addr> (see `regions`)")
+		}
+		h, err := pheap.Open(rt, pmem.Addr(*heapAt))
+		if err != nil {
+			return err
+		}
+		s := h.Stats()
+		fmt.Printf("superblocks: %d (%d fully free)\n", s.Superblocks, s.FreeSuperblocks)
+		fmt.Printf("large area:  %d bytes, %d free\n", s.LargeBytes, s.LargeFreeBytes)
+		fmt.Printf("scavenge:    %v\n", h.ScavengeTime())
+	default:
+		return fmt.Errorf("unknown command %q (want info, regions, statics or heap)", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// crashrecovery: demonstrates Mnemosyne's consistency guarantees under
+// power failure. A workload of durable transactions runs against a B+
+// tree; at a random point the emulated SCM suffers a crash that loses an
+// arbitrary subset of in-flight writes; the stack reattaches, recovery
+// replays the transaction logs, and every committed update is verified
+// intact — with zero torn or partial states.
+//
+//	go run ./examples/crashrecovery [-rounds 5] [-txs 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	mnemosyne "repro"
+)
+
+var (
+	rounds = flag.Int("rounds", 5, "crash/recover rounds")
+	txs    = flag.Int("txs", 300, "transactions per round")
+	seed   = flag.Int64("seed", 42, "crash PRNG seed")
+)
+
+func main() {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "mnemosyne-crash-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := mnemosyne.Config{Dir: dir, DeviceSize: 128 << 20, AsyncTruncation: true}
+	pm, err := mnemosyne.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := pm.Device()
+
+	root, _, err := pm.Static("crash.tree", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := mnemosyne.NewBPTree(root)
+	expect := map[uint64]byte{}
+	rng := rand.New(rand.NewSource(*seed))
+
+	for round := 0; round < *rounds; round++ {
+		th, err := pm.NewThread()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *txs; i++ {
+			key := uint64(rng.Intn(2000))
+			tag := byte(rng.Intn(256))
+			err := th.Atomic(func(tx *mnemosyne.Tx) error {
+				return tree.Put(tx, key, []byte{tag, byte(round)})
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			expect[key] = tag
+		}
+
+		// Power failure: async truncation means many committed
+		// transactions still live only in the redo logs.
+		pm.TM().StopTruncation()
+		dev.Crash(mnemosyne.RandomCrash(*seed + int64(round)))
+		fmt.Printf("round %d: crashed with %d committed keys... ", round, len(expect))
+
+		// Reincarnate over the surviving bytes.
+		if err := pm.Runtime().Close(); err != nil {
+			log.Fatal(err)
+		}
+		pm, err = mnemosyne.Attach(dev, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := pm.TM().Recovery()
+
+		// Verify every committed update, byte for byte.
+		verify, err := pm.NewThread()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree = mnemosyne.NewBPTree(root)
+		bad := 0
+		if err := verify.Atomic(func(tx *mnemosyne.Tx) error {
+			for key, tag := range expect {
+				v, err := tree.Get(tx, key)
+				if err != nil || len(v) != 2 || v[0] != tag {
+					bad++
+				}
+			}
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if bad > 0 {
+			log.Fatalf("round %d: %d committed updates lost or torn", round, bad)
+		}
+		fmt.Printf("recovered (replayed %d txs in %v), all %d keys intact\n",
+			rec.Replayed, rec.Duration, len(expect))
+	}
+	fmt.Println("every committed transaction survived every crash")
+}

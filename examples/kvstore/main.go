@@ -1,0 +1,149 @@
+// kvstore: a durable key-value store on persistent memory. Values live in
+// a persistent hash table updated with durable transactions, so every
+// acknowledged set/del survives crashes and restarts — no serialization,
+// no write-ahead files in the application.
+//
+//	go run ./examples/kvstore set lang go
+//	go run ./examples/kvstore get lang
+//	go run ./examples/kvstore del lang
+//	go run ./examples/kvstore list
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	mnemosyne "repro"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kvstore set <key> <value> | get <key> | del <key> | list")
+	os.Exit(2)
+}
+
+// keys are hashed into the table's uint64 key space; the full key string
+// is stored alongside the value to resolve it on list/get.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func encode(key, val string) []byte {
+	out := make([]byte, 2+len(key)+len(val))
+	out[0] = byte(len(key))
+	out[1] = byte(len(key) >> 8)
+	copy(out[2:], key)
+	copy(out[2+len(key):], val)
+	return out
+}
+
+func decode(b []byte) (key, val string) {
+	n := int(b[0]) | int(b[1])<<8
+	return string(b[2 : 2+n]), string(b[2+n:])
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	dir := filepath.Join(os.TempDir(), "mnemosyne-kvstore")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	pm, err := mnemosyne.Open(mnemosyne.Config{
+		DevicePath: filepath.Join(dir, "scm.img"),
+		Dir:        dir,
+		DeviceSize: 64 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pm.Close()
+
+	root, created, err := pm.Static("kv.root", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := pm.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var table *mnemosyne.HashTable
+	if created {
+		table, err = mnemosyne.CreateHashTable(th, root, 1024)
+	} else {
+		err = th.Atomic(func(tx *mnemosyne.Tx) error {
+			table, err = mnemosyne.OpenHashTable(tx, root)
+			return err
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch os.Args[1] {
+	case "set":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		key, val := os.Args[2], os.Args[3]
+		err = th.Atomic(func(tx *mnemosyne.Tx) error {
+			return table.Put(tx, hashKey(key), encode(key, val))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("set %q (durable)\n", key)
+	case "get":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		err = th.Atomic(func(tx *mnemosyne.Tx) error {
+			raw, err := table.Get(tx, hashKey(os.Args[2]))
+			if err != nil {
+				return err
+			}
+			_, val := decode(raw)
+			fmt.Println(val)
+			return nil
+		})
+		if err == mnemosyne.ErrNotFound {
+			fmt.Fprintln(os.Stderr, "not found")
+			os.Exit(1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "del":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		err = th.Atomic(func(tx *mnemosyne.Tx) error {
+			return table.Delete(tx, hashKey(os.Args[2]))
+		})
+		if err == mnemosyne.ErrNotFound {
+			fmt.Fprintln(os.Stderr, "not found")
+			os.Exit(1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("deleted")
+	case "list":
+		err = th.Atomic(func(tx *mnemosyne.Tx) error {
+			fmt.Printf("%d keys\n", table.Len(tx))
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		usage()
+	}
+}

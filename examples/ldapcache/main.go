@@ -1,0 +1,116 @@
+// ldapcache: the paper's OpenLDAP conversion in miniature (§6.2). A
+// directory's read-mostly entry cache — an AVL tree — is made persistent
+// with durable transactions, removing the Berkeley DB backing store
+// entirely: "the backing store can be removed, leaving only a persistent
+// cache." The example loads directory entries, simulates a crash, and
+// shows the cache reincarnating with all entries intact.
+//
+//	go run ./examples/ldapcache [-entries 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	mnemosyne "repro"
+)
+
+var entries = flag.Int("entries", 500, "directory entries to load")
+
+// A miniature directory entry: DN plus a few attributes, serialized with
+// length-prefixed strings.
+func encodeEntry(uid string, i int) []byte {
+	attrs := []string{
+		"uid: " + uid,
+		fmt.Sprintf("cn: User Number %d", i),
+		fmt.Sprintf("mail: %s@example.com", uid),
+		"objectClass: inetOrgPerson",
+	}
+	var out []byte
+	for _, a := range attrs {
+		out = append(out, byte(len(a)))
+		out = append(out, a...)
+	}
+	return out
+}
+
+func main() {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "mnemosyne-ldap-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := mnemosyne.Config{Dir: dir, DeviceSize: 128 << 20}
+	pm, err := mnemosyne.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	root, _, err := pm.Static("ldap.cache", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := mnemosyne.NewAVL(root)
+
+	th, err := pm.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < *entries; i++ {
+		uid := fmt.Sprintf("user.%d", i)
+		dn := fmt.Sprintf("uid=%s,ou=People,dc=example,dc=com", uid)
+		// The paper places atomic blocks around the cache updates;
+		// here the whole insert is one durable transaction.
+		if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+			return cache.Put(tx, []byte(dn), encodeEntry(uid, i))
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d entries into the persistent cache in %v\n",
+		*entries, time.Since(start))
+
+	// Power failure mid-flight.
+	dev := pm.Device()
+	dev.Crash(mnemosyne.RandomCrash(7))
+	if err := pm.Runtime().Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// slapd restarts: the cache reincarnates; no index rebuild, no
+	// database recovery pass, no data loss.
+	t0 := time.Now()
+	pm, err = mnemosyne.Attach(dev, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reincarnated after crash in %v\n", time.Since(t0))
+
+	th2, err := pm.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache = mnemosyne.NewAVL(root)
+	if err := th2.Atomic(func(tx *mnemosyne.Tx) error {
+		if got := cache.Len(tx); got != *entries {
+			return fmt.Errorf("cache has %d entries, want %d", got, *entries)
+		}
+		dn := "uid=user.42,ou=People,dc=example,dc=com"
+		v, err := cache.Get(tx, []byte(dn))
+		if err != nil {
+			return fmt.Errorf("lookup %s: %w", dn, err)
+		}
+		fmt.Printf("sample lookup after crash: %s -> %d attribute bytes\n", dn, len(v))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all directory entries survived the crash")
+	_ = pm.Close()
+}

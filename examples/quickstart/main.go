@@ -1,0 +1,73 @@
+// Quickstart: persistent static variables, pmalloc, and durable memory
+// transactions. Run it several times — the counter and the linked list
+// survive process restarts because the emulated SCM is backed by a file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	mnemosyne "repro"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "mnemosyne-quickstart")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	pm, err := mnemosyne.Open(mnemosyne.Config{
+		DevicePath: filepath.Join(dir, "scm.img"),
+		Dir:        dir,
+		DeviceSize: 64 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pm.Close()
+
+	// A pstatic variable: allocated once, durable forever.
+	counter, created, err := pm.Static("runs", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := pm.Memory()
+	if created {
+		mnemosyne.StoreDurable(mem, counter, 0)
+		fmt.Println("first run: initialized persistent state")
+	}
+
+	// Persistent linked list of run records, head in another static.
+	// Each node: [next addr][run number], pmalloc'd inside the same
+	// durable transaction that bumps the counter — all or nothing.
+	head, _, err := pm.Static("run-log", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = pm.Atomic(func(tx *mnemosyne.Tx) error {
+		run := tx.LoadU64(counter) + 1
+		tx.StoreU64(counter, run)
+
+		node, err := tx.Alloc(16)
+		if err != nil {
+			return err
+		}
+		tx.StoreU64(node, tx.LoadU64(head)) // next = old head
+		tx.StoreU64(node.Add(8), run)
+		tx.StoreU64(head, uint64(node))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("this is run #%d; previous runs:", mem.LoadU64(counter))
+	for node := mnemosyne.Addr(mem.LoadU64(head)); node != mnemosyne.Nil; {
+		fmt.Printf(" %d", mem.LoadU64(node.Add(8)))
+		node = mnemosyne.Addr(mem.LoadU64(node))
+	}
+	fmt.Println()
+}

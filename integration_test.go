@@ -1,0 +1,239 @@
+package mnemosyne_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	mnemosyne "repro"
+	"repro/internal/mtm"
+)
+
+// TestFullStackSoak drives the whole stack the way a long-lived
+// application would: several goroutines mutate independent persistent
+// structures through durable transactions, the "machine" crashes with a
+// random policy between rounds, everything reincarnates, invariants are
+// checked, and a garbage collection closes each round. Any lost committed
+// update, torn structure or allocator inconsistency fails the test.
+func TestFullStackSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+	cfg := mnemosyne.Config{Dir: dir, DeviceSize: 256 << 20, HeapSize: 128 << 20}
+	pm, err := mnemosyne.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pm.Device()
+
+	treeRoot, _, err := pm.Static("soak.tree", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avlRoot, _, err := pm.Static("soak.avl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htRoot, _, err := pm.Static("soak.ht", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := pm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mnemosyne.CreateHashTable(setup, htRoot, 256); err != nil {
+		t.Fatal(err)
+	}
+
+	// Models of what must be durable.
+	treeModel := map[uint64]byte{}
+	avlModel := map[string]byte{}
+	htModel := map[uint64]byte{}
+	var modelMu sync.Mutex
+
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, 3)
+
+		wg.Add(3)
+		go func() { // B+ tree worker
+			defer wg.Done()
+			th, err := pm.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			tree := mnemosyne.NewBPTree(treeRoot)
+			rng := rand.New(rand.NewSource(int64(round)*10 + 1))
+			for i := 0; i < 300; i++ {
+				k := uint64(rng.Intn(500))
+				v := byte(rng.Intn(256))
+				if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+					return tree.Put(tx, k, []byte{v})
+				}); err != nil {
+					errs <- err
+					return
+				}
+				modelMu.Lock()
+				treeModel[k] = v
+				modelMu.Unlock()
+			}
+		}()
+		go func() { // AVL worker
+			defer wg.Done()
+			th, err := pm.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			avl := mnemosyne.NewAVL(avlRoot)
+			rng := rand.New(rand.NewSource(int64(round)*10 + 2))
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("key-%03d", rng.Intn(400))
+				v := byte(rng.Intn(256))
+				if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+					return avl.Put(tx, []byte(k), []byte{v})
+				}); err != nil {
+					errs <- err
+					return
+				}
+				modelMu.Lock()
+				avlModel[k] = v
+				modelMu.Unlock()
+			}
+		}()
+		go func() { // hash table worker, with deletes
+			defer wg.Done()
+			th, err := pm.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(round)*10 + 3))
+			for i := 0; i < 300; i++ {
+				k := uint64(rng.Intn(300))
+				err := th.Atomic(func(tx *mnemosyne.Tx) error {
+					ht, err := mnemosyne.OpenHashTable(tx, htRoot)
+					if err != nil {
+						return err
+					}
+					if rng.Intn(4) == 0 {
+						err := ht.Delete(tx, k)
+						if err == mnemosyne.ErrNotFound {
+							return nil
+						}
+						return err
+					}
+					return ht.Put(tx, k, []byte{byte(i)})
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		// Snapshot the hash table's actual contents as its model (its
+		// worker's delete/put interleaving is easier to read back than
+		// to mirror).
+		snapshotHT(t, pm, htRoot, &htModel)
+
+		// Power failure and reincarnation.
+		dev.Crash(mnemosyne.RandomCrash(int64(round) * 977))
+		if err := pm.Runtime().Close(); err != nil {
+			t.Fatal(err)
+		}
+		pm, err = mnemosyne.Attach(dev, cfg)
+		if err != nil {
+			t.Fatalf("round %d: attach: %v", round, err)
+		}
+
+		// Verify every committed update and every invariant.
+		verify, err := pm.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := mnemosyne.NewBPTree(treeRoot)
+		avl := mnemosyne.NewAVL(avlRoot)
+		if err := verify.Atomic(func(tx *mnemosyne.Tx) error {
+			if err := tree.CheckInvariants(tx); err != nil {
+				return err
+			}
+			if !avl.CheckInvariants(tx) {
+				return fmt.Errorf("AVL invariants violated")
+			}
+			modelMu.Lock()
+			defer modelMu.Unlock()
+			for k, v := range treeModel {
+				got, err := tree.Get(tx, k)
+				if err != nil || got[0] != v {
+					return fmt.Errorf("tree key %d: %v %v", k, got, err)
+				}
+			}
+			for k, v := range avlModel {
+				got, err := avl.Get(tx, []byte(k))
+				if err != nil || got[0] != v {
+					return fmt.Errorf("avl key %q: %v %v", k, got, err)
+				}
+			}
+			htab, err := mnemosyne.OpenHashTable(tx, htRoot)
+			if err != nil {
+				return err
+			}
+			for k, v := range htModel {
+				got, err := htab.Get(tx, k)
+				if err != nil || got[0] != v {
+					return fmt.Errorf("ht key %d: %v %v", k, got, err)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+
+		// Garbage collection must find nothing to free (every block is
+		// reachable) and must not disturb anything.
+		rep, err := pm.Collect()
+		if err != nil {
+			t.Fatalf("round %d: collect: %v", round, err)
+		}
+		if rep.Freed != 0 {
+			t.Fatalf("round %d: GC freed %d reachable blocks", round, rep.Freed)
+		}
+	}
+}
+
+// snapshotHT reads the hash table's full contents into model.
+func snapshotHT(t *testing.T, pm *mnemosyne.PM, root mnemosyne.Addr, model *map[uint64]byte) {
+	t.Helper()
+	th, err := pm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	*model = map[uint64]byte{}
+	if err := th.Atomic(func(tx *mtm.Tx) error {
+		ht, err := mnemosyne.OpenHashTable(tx, root)
+		if err != nil {
+			return err
+		}
+		for k := uint64(0); k < 300; k++ {
+			if v, err := ht.Get(tx, k); err == nil {
+				(*model)[k] = v[0]
+			} else if err != mnemosyne.ErrNotFound {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

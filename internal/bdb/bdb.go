@@ -1,0 +1,561 @@
+// Package bdb implements a Berkeley-DB-like transactional storage manager
+// over a PCM-disk: the baseline the paper's microbenchmarks compare
+// Mnemosyne against (Figures 4, 5, 7 and the OpenLDAP rows of Table 4).
+//
+// The implementation reproduces the architectural properties that shape
+// the paper's results, rather than BDB's code:
+//
+//   - A page-based hash table (8 KB pages, overflow chaining) cached in a
+//     volatile buffer pool; dirty pages reach the disk only at
+//     checkpoints, amortizing large sequential writes.
+//
+//   - A centralized write-ahead log buffer with group commit. Every
+//     committing thread funnels through the log mutex and the single
+//     flusher, which is why "Berkeley DB does not scale beyond 2 threads
+//     ... due to contention on the centralized log buffer, which becomes
+//     the serialization bottleneck as I/O latency becomes shorter", and
+//     why 2-thread throughput gains come "at the cost of increasing write
+//     latency, possibly due to group commit."
+//
+//   - fsync-per-commit durability in transactional mode (back-bdb), or
+//     no per-operation durability with explicit periodic flushes
+//     (back-ldbm style, Config.SyncCommit=false).
+//
+// Recovery scans the log from the last checkpoint and reapplies logical
+// records; records are checksummed, so torn block writes at a crash
+// truncate the log cleanly.
+package bdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/pcmdisk"
+)
+
+// PageSize is the storage page size (BDB's default).
+const PageSize = 8192
+
+const (
+	opPut    = 1
+	opDelete = 2
+
+	logHdrSize  = pcmdisk.BlockSize // checkpoint header block
+	recHdrSize  = 4 + 4 + 1 + 8 + 4 // len, cksum, op, key, vlen
+	pageHdrSize = 8                 // next(4) nent(4)
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("bdb: key not found")
+
+// Config tunes the store.
+type Config struct {
+	// Buckets is the hash directory size (default 1024).
+	Buckets int
+	// LogLimit triggers a checkpoint when the log grows past it
+	// (default 4 MB).
+	LogLimit int64
+	// SyncCommit selects transactional durability: every update
+	// flushes the log before returning (back-bdb). False gives
+	// back-ldbm behaviour: updates are volatile until Flush.
+	SyncCommit bool
+	// DataCapacity / LogCapacity size the on-disk files.
+	DataCapacity int64
+	LogCapacity  int64
+}
+
+func (c *Config) fill() {
+	if c.Buckets == 0 {
+		c.Buckets = 1024
+	}
+	if c.LogLimit == 0 {
+		c.LogLimit = 4 << 20
+	}
+	if c.DataCapacity == 0 {
+		c.DataCapacity = 64 << 20
+	}
+	if c.LogCapacity == 0 {
+		c.LogCapacity = c.LogLimit + (8 << 20)
+	}
+}
+
+type entry struct {
+	key uint64
+	val []byte
+}
+
+type page struct {
+	next uint32 // overflow page number, 0 = none
+	ents []entry
+}
+
+func (p *page) bytesUsed() int {
+	n := pageHdrSize
+	for _, e := range p.ents {
+		n += 12 + len(e.val)
+	}
+	return n
+}
+
+// DB is the storage manager.
+type DB struct {
+	cfg  Config
+	disk *pcmdisk.Disk
+	data *pcmdisk.File
+	wlog *pcmdisk.File
+
+	// stw stops operations during checkpoints.
+	stw      sync.RWMutex
+	bucketMu [64]sync.Mutex
+
+	cacheMu  sync.Mutex
+	pages    map[uint32]*page
+	dirty    map[uint32]bool
+	nextPage uint32
+
+	wal walState
+
+	ckptGen uint64
+}
+
+type walState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte // unflushed records
+	nextLSN  int64  // bytes appended since checkpoint
+	flushed  int64  // bytes flushed since checkpoint
+	flushing bool
+	groupers int64 // commits served by others' flushes (stats)
+}
+
+// Stats reports internals for tests and benchmarks.
+type Stats struct {
+	Checkpoints  uint64
+	LogBytes     int64
+	GroupCommits int64
+}
+
+// Open creates or recovers a database on the disk.
+func Open(disk *pcmdisk.Disk, cfg Config) (*DB, error) {
+	cfg.fill()
+	db := &DB{
+		cfg:   cfg,
+		disk:  disk,
+		pages: make(map[uint32]*page),
+		dirty: make(map[uint32]bool),
+	}
+	db.wal.cond = sync.NewCond(&db.wal.mu)
+	var err error
+	db.data, err = disk.CreateFile("bdb.data", cfg.DataCapacity)
+	if err != nil {
+		return nil, err
+	}
+	db.wlog, err = disk.CreateFile("bdb.log", cfg.LogCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// recover reads the checkpoint header and replays the log's logical
+// records through the normal (unlogged) update path.
+func (db *DB) recover() error {
+	hdr := make([]byte, 24)
+	if err := db.wlog.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	magic := binary.LittleEndian.Uint64(hdr)
+	if magic != 0x4d4e424442303031 { // "MNBDB001": fresh database
+		db.nextPage = uint32(db.cfg.Buckets) + 1
+		return db.checkpoint()
+	}
+	db.ckptGen = binary.LittleEndian.Uint64(hdr[8:])
+	db.nextPage = uint32(binary.LittleEndian.Uint64(hdr[16:]))
+
+	// Scan log records after the header until a bad checksum.
+	off := int64(logHdrSize)
+	recHdr := make([]byte, 8)
+	replayed := 0
+	for off+8 <= db.cfg.LogCapacity {
+		if err := db.wlog.ReadAt(recHdr, off); err != nil {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(recHdr))
+		want := binary.LittleEndian.Uint32(recHdr[4:])
+		if n < recHdrSize || off+n > db.cfg.LogCapacity {
+			break
+		}
+		body := make([]byte, n-8)
+		if err := db.wlog.ReadAt(body, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			break
+		}
+		op := body[0]
+		key := binary.LittleEndian.Uint64(body[1:])
+		vlen := binary.LittleEndian.Uint32(body[9:])
+		switch op {
+		case opPut:
+			if int(vlen) != len(body)-13 {
+				return fmt.Errorf("bdb: corrupt put record at %d", off)
+			}
+			val := make([]byte, vlen)
+			copy(val, body[13:])
+			db.applyPut(key, val)
+		case opDelete:
+			db.applyDelete(key)
+		default:
+			return fmt.Errorf("bdb: unknown op %d at %d", op, off)
+		}
+		replayed++
+		off += n
+	}
+	// Reset to a clean checkpoint so the log restarts.
+	return db.checkpoint()
+}
+
+// headPage maps a key's bucket to its head page. Page 0 is reserved
+// (page number 0 doubles as the nil overflow link), so bucket b lives at
+// page b+1.
+func (db *DB) headPage(key uint64) uint32 { return db.bucketFor(key) + 1 }
+
+func (db *DB) bucketFor(key uint64) uint32 {
+	h := key
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return uint32(h % uint64(db.cfg.Buckets))
+}
+
+// getPage loads a page into the buffer pool.
+func (db *DB) getPage(no uint32) (*page, error) {
+	db.cacheMu.Lock()
+	if p, ok := db.pages[no]; ok {
+		db.cacheMu.Unlock()
+		return p, nil
+	}
+	db.cacheMu.Unlock()
+
+	buf := make([]byte, PageSize)
+	if err := db.data.ReadAt(buf, int64(no)*PageSize); err != nil {
+		return nil, err
+	}
+	p := &page{next: binary.LittleEndian.Uint32(buf)}
+	nent := binary.LittleEndian.Uint32(buf[4:])
+	off := pageHdrSize
+	for i := uint32(0); i < nent && off+12 <= PageSize; i++ {
+		key := binary.LittleEndian.Uint64(buf[off:])
+		vlen := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		if off+12+vlen > PageSize {
+			return nil, fmt.Errorf("bdb: corrupt page %d", no)
+		}
+		val := make([]byte, vlen)
+		copy(val, buf[off+12:])
+		p.ents = append(p.ents, entry{key: key, val: val})
+		off += 12 + vlen
+	}
+	db.cacheMu.Lock()
+	if q, ok := db.pages[no]; ok {
+		db.cacheMu.Unlock()
+		return q, nil
+	}
+	db.pages[no] = p
+	db.cacheMu.Unlock()
+	return p, nil
+}
+
+func (db *DB) markDirty(no uint32) {
+	db.cacheMu.Lock()
+	db.dirty[no] = true
+	db.cacheMu.Unlock()
+}
+
+// applyPut updates the page chain for key's bucket (no logging; caller
+// holds the bucket latch or is single-threaded recovery).
+func (db *DB) applyPut(key uint64, val []byte) {
+	if pageHdrSize+12+len(val) > PageSize {
+		panic(fmt.Sprintf("bdb: value of %d bytes exceeds page capacity", len(val)))
+	}
+	no := db.headPage(key)
+	for {
+		p, err := db.getPage(no)
+		if err != nil {
+			panic(err)
+		}
+		for i := range p.ents {
+			if p.ents[i].key == key {
+				if p.bytesUsed()-len(p.ents[i].val)+len(val) <= PageSize {
+					p.ents[i].val = val
+					db.markDirty(no)
+					return
+				}
+				// The replacement does not fit this page: remove
+				// and reinsert down the chain.
+				p.ents = append(p.ents[:i], p.ents[i+1:]...)
+				db.markDirty(no)
+				db.applyPut(key, val)
+				return
+			}
+		}
+		if p.next != 0 {
+			no = p.next
+			continue
+		}
+		// Tail page: insert here or grow an overflow page.
+		if p.bytesUsed()+12+len(val) <= PageSize {
+			p.ents = append(p.ents, entry{key: key, val: val})
+			db.markDirty(no)
+			return
+		}
+		db.cacheMu.Lock()
+		newNo := db.nextPage
+		db.nextPage++
+		db.pages[newNo] = &page{}
+		db.dirty[newNo] = true
+		db.cacheMu.Unlock()
+		p.next = newNo
+		db.markDirty(no)
+		no = newNo
+	}
+}
+
+// applyDelete removes key from its bucket chain; reports whether found.
+func (db *DB) applyDelete(key uint64) bool {
+	no := db.headPage(key)
+	for no != 0 {
+		p, err := db.getPage(no)
+		if err != nil {
+			panic(err)
+		}
+		for i := range p.ents {
+			if p.ents[i].key == key {
+				p.ents = append(p.ents[:i], p.ents[i+1:]...)
+				db.markDirty(no)
+				return true
+			}
+		}
+		no = p.next
+	}
+	return false
+}
+
+// record builds a WAL record for an operation.
+func record(op byte, key uint64, val []byte) []byte {
+	body := make([]byte, 13+len(val))
+	body[0] = op
+	binary.LittleEndian.PutUint64(body[1:], key)
+	binary.LittleEndian.PutUint32(body[9:], uint32(len(val)))
+	copy(body[13:], val)
+	rec := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(rec, uint32(len(rec)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(body))
+	copy(rec[8:], body)
+	return rec
+}
+
+// logAppend adds a record to the central log buffer and returns its end
+// LSN.
+func (db *DB) logAppend(rec []byte) int64 {
+	db.wal.mu.Lock()
+	db.wal.buf = append(db.wal.buf, rec...)
+	db.wal.nextLSN += int64(len(rec))
+	lsn := db.wal.nextLSN
+	db.wal.mu.Unlock()
+	return lsn
+}
+
+// logWait implements group commit: block until lsn is durable, flushing
+// (as leader) when nobody else is.
+func (db *DB) logWait(lsn int64) {
+	db.wal.mu.Lock()
+	for db.wal.flushed < lsn {
+		if db.wal.flushing {
+			db.wal.groupers++
+			db.wal.cond.Wait()
+			continue
+		}
+		db.wal.flushing = true
+		buf := db.wal.buf
+		db.wal.buf = nil
+		target := db.wal.nextLSN
+		start := db.wal.flushed
+		db.wal.mu.Unlock()
+
+		if err := db.wlog.WriteAt(buf, logHdrSize+start); err != nil {
+			panic(err)
+		}
+		db.wlog.Sync()
+
+		db.wal.mu.Lock()
+		db.wal.flushed = target
+		db.wal.flushing = false
+		db.wal.cond.Broadcast()
+	}
+	db.wal.mu.Unlock()
+}
+
+// Put stores val under key, durably when SyncCommit is set.
+func (db *DB) Put(key uint64, val []byte) error {
+	db.maybeCheckpoint()
+	db.stw.RLock()
+	mu := &db.bucketMu[db.bucketFor(key)%64]
+	mu.Lock()
+	v := make([]byte, len(val))
+	copy(v, val)
+	db.applyPut(key, v)
+	var lsn int64
+	if db.cfg.SyncCommit {
+		lsn = db.logAppend(record(opPut, key, val))
+	}
+	mu.Unlock()
+	if db.cfg.SyncCommit {
+		db.logWait(lsn)
+	}
+	db.stw.RUnlock()
+	return nil
+}
+
+// Delete removes key, durably when SyncCommit is set.
+func (db *DB) Delete(key uint64) error {
+	db.maybeCheckpoint()
+	db.stw.RLock()
+	mu := &db.bucketMu[db.bucketFor(key)%64]
+	mu.Lock()
+	found := db.applyDelete(key)
+	var lsn int64
+	if found && db.cfg.SyncCommit {
+		lsn = db.logAppend(record(opDelete, key, nil))
+	}
+	mu.Unlock()
+	if found && db.cfg.SyncCommit {
+		db.logWait(lsn)
+	}
+	db.stw.RUnlock()
+	if !found {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Get returns a copy of key's value.
+func (db *DB) Get(key uint64) ([]byte, error) {
+	db.stw.RLock()
+	defer db.stw.RUnlock()
+	mu := &db.bucketMu[db.bucketFor(key)%64]
+	mu.Lock()
+	defer mu.Unlock()
+	no := db.headPage(key)
+	for no != 0 {
+		p, err := db.getPage(no)
+		if err != nil {
+			return nil, err
+		}
+		for i := range p.ents {
+			if p.ents[i].key == key {
+				out := make([]byte, len(p.ents[i].val))
+				copy(out, p.ents[i].val)
+				return out, nil
+			}
+		}
+		no = p.next
+	}
+	return nil, ErrNotFound
+}
+
+// maybeCheckpoint checkpoints when the log has grown past the limit.
+func (db *DB) maybeCheckpoint() {
+	db.wal.mu.Lock()
+	full := db.wal.nextLSN > db.cfg.LogLimit
+	db.wal.mu.Unlock()
+	if !full {
+		return
+	}
+	db.stw.Lock()
+	defer db.stw.Unlock()
+	db.wal.mu.Lock()
+	full = db.wal.nextLSN > db.cfg.LogLimit
+	db.wal.mu.Unlock()
+	if full {
+		if err := db.checkpoint(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// checkpoint writes all dirty pages, then resets the log. Callers must
+// exclude concurrent operations (stw or single-threaded).
+func (db *DB) checkpoint() error {
+	db.cacheMu.Lock()
+	dirty := make([]uint32, 0, len(db.dirty))
+	for no := range db.dirty {
+		dirty = append(dirty, no)
+	}
+	db.dirty = make(map[uint32]bool)
+	nextPage := db.nextPage
+	db.cacheMu.Unlock()
+
+	buf := make([]byte, PageSize)
+	for _, no := range dirty {
+		p := db.pages[no]
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint32(buf, p.next)
+		binary.LittleEndian.PutUint32(buf[4:], uint32(len(p.ents)))
+		off := pageHdrSize
+		for _, e := range p.ents {
+			binary.LittleEndian.PutUint64(buf[off:], e.key)
+			binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(e.val)))
+			copy(buf[off+12:], e.val)
+			off += 12 + len(e.val)
+		}
+		if err := db.data.WriteAt(buf, int64(no)*PageSize); err != nil {
+			return err
+		}
+	}
+	db.data.Sync()
+
+	db.ckptGen++
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint64(hdr, 0x4d4e424442303031)
+	binary.LittleEndian.PutUint64(hdr[8:], db.ckptGen)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(nextPage))
+	if err := db.wlog.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	// Poison the first stale record header so old records cannot replay.
+	var zero [8]byte
+	if err := db.wlog.WriteAt(zero[:], logHdrSize); err != nil {
+		return err
+	}
+	db.wlog.Sync()
+
+	db.wal.mu.Lock()
+	db.wal.buf = nil
+	db.wal.nextLSN = 0
+	db.wal.flushed = 0
+	db.wal.mu.Unlock()
+	return nil
+}
+
+// Flush makes all buffered updates durable (back-ldbm's periodic flush).
+func (db *DB) Flush() error {
+	db.stw.Lock()
+	defer db.stw.Unlock()
+	return db.checkpoint()
+}
+
+// Snapshot reports internals.
+func (db *DB) Snapshot() Stats {
+	db.wal.mu.Lock()
+	defer db.wal.mu.Unlock()
+	return Stats{Checkpoints: db.ckptGen, LogBytes: db.wal.nextLSN, GroupCommits: db.wal.groupers}
+}

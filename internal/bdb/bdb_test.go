@@ -1,0 +1,210 @@
+package bdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pcmdisk"
+)
+
+func newDB(t *testing.T, cfg Config) (*pcmdisk.Disk, *DB) {
+	t.Helper()
+	disk := pcmdisk.Open(pcmdisk.Config{Size: 128 << 20})
+	db, err := Open(disk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk, db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, db := newDB(t, Config{SyncCommit: true})
+	if err := db.Put(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get(1)
+	if err != nil || string(v) != "one" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if err := db.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(1); err != ErrNotFound {
+		t.Fatalf("get deleted = %v", err)
+	}
+	if err := db.Delete(1); err != ErrNotFound {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestReplaceValueSizes(t *testing.T) {
+	_, db := newDB(t, Config{SyncCommit: true})
+	if err := db.Put(5, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("B"), 4000)
+	if err := db.Put(5, big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get(5)
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatalf("replaced value wrong (%d bytes, %v)", len(v), err)
+	}
+}
+
+func TestOverflowPages(t *testing.T) {
+	// Few buckets + many large values forces overflow chains.
+	_, db := newDB(t, Config{Buckets: 2, SyncCommit: false})
+	val := bytes.Repeat([]byte("x"), 2000)
+	for i := uint64(0); i < 100; i++ {
+		if err := db.Put(i, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, err := db.Get(i)
+		if err != nil || len(v) != 2000 {
+			t.Fatalf("key %d: %d bytes, %v", i, len(v), err)
+		}
+	}
+}
+
+func TestSyncCommitSurvivesCrash(t *testing.T) {
+	disk, db := newDB(t, Config{SyncCommit: true})
+	for i := uint64(0); i < 200; i++ {
+		if err := db.Put(i, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk.Crash(-1) // drop every unsynced block
+
+	db2, err := Open(disk, Config{SyncCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, err := db2.Get(i)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d after crash: %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestNoSyncLosesUnflushed(t *testing.T) {
+	disk, db := newDB(t, Config{SyncCommit: false})
+	if err := db.Put(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(2, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	disk.Crash(-1)
+	db2, err := Open(disk, Config{SyncCommit: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db2.Get(1); err != nil || string(v) != "durable" {
+		t.Fatalf("flushed key lost: %q, %v", v, err)
+	}
+	if _, err := db2.Get(2); err != ErrNotFound {
+		t.Fatalf("unflushed key survived: %v", err)
+	}
+}
+
+func TestCheckpointTriggersAndRecovers(t *testing.T) {
+	disk, db := newDB(t, Config{SyncCommit: true, LogLimit: 64 << 10})
+	val := bytes.Repeat([]byte("c"), 1000)
+	for i := uint64(0); i < 300; i++ { // ~300 KB of log: several checkpoints
+		if err := db.Put(i%50, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Snapshot().Checkpoints < 2 {
+		t.Fatalf("checkpoints = %d", db.Snapshot().Checkpoints)
+	}
+	disk.Crash(7)
+	db2, err := Open(disk, Config{SyncCommit: true, LogLimit: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		v, err := db2.Get(i)
+		if err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("key %d after checkpointed crash: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentPutsScaleAndStayCorrect(t *testing.T) {
+	_, db := newDB(t, Config{SyncCommit: true})
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				v := make([]byte, 16+rng.Intn(100))
+				if err := db.Put(k, v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 300; i++ {
+			if _, err := db.Get(uint64(w)<<32 | uint64(i)); err != nil {
+				t.Fatalf("worker %d key %d: %v", w, i, err)
+			}
+		}
+	}
+	if db.Snapshot().GroupCommits == 0 {
+		t.Log("note: no group commits observed (low contention)")
+	}
+}
+
+func TestModelCheck(t *testing.T) {
+	_, db := newDB(t, Config{Buckets: 8, SyncCommit: true, LogLimit: 32 << 10})
+	model := map[uint64][]byte{}
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 2000; step++ {
+		k := uint64(rng.Intn(64))
+		if rng.Intn(3) == 0 {
+			err := db.Delete(k)
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				delete(model, k)
+			} else if err != ErrNotFound {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		} else {
+			v := make([]byte, rng.Intn(500))
+			rng.Read(v)
+			if err := db.Put(k, v); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			model[k] = v
+		}
+	}
+	for k, v := range model {
+		got, err := db.Get(k)
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("key %d mismatch: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Ablations over the transaction system's design choices (DESIGN.md §5):
+// redo vs undo logging, store+flush vs write-through write-back, and
+// synchronous vs asynchronous truncation, all on the same hashtable
+// workload.
+
+// AblationRow is one variant's result.
+type AblationRow struct {
+	Variant       string
+	ValueSize     int
+	WriteLatency  time.Duration
+	UpdatesPerSec float64
+}
+
+func (r AblationRow) String() string {
+	return fmt.Sprintf("%-14s %5dB: write latency %s, %.0f updates/s",
+		r.Variant, r.ValueSize, fmtDur(r.WriteLatency), r.UpdatesPerSec)
+}
+
+// AblationVariants lists the supported variants.
+var AblationVariants = []string{"redo", "undo", "wt-writeback", "async"}
+
+// RunAblation measures one variant at one value size.
+func RunAblation(variant string, valueSize int, base Options) (AblationRow, error) {
+	o := HashOpts{Options: base, ValueSize: valueSize, Threads: 1}
+	switch variant {
+	case "redo":
+		// The default configuration.
+	case "undo":
+		o.Options.UndoLogging = true
+	case "wt-writeback":
+		o.Options.WriteThroughWriteback = true
+	case "async":
+		o.Options.AsyncTruncation = true
+	default:
+		return AblationRow{}, fmt.Errorf("bench: unknown ablation %q", variant)
+	}
+	row, err := RunHashtableMTM(o)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("ablation %s: %w", variant, err)
+	}
+	return AblationRow{
+		Variant:       variant,
+		ValueSize:     valueSize,
+		WriteLatency:  row.WriteLatency,
+		UpdatesPerSec: row.UpdatesPerSec,
+	}, nil
+}

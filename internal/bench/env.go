@@ -1,0 +1,135 @@
+// Package bench contains the experiment kernels that regenerate every
+// table and figure of the paper's evaluation (§6). cmd/mnbench prints them
+// as paper-style tables; the repository's benchmark files wrap them as
+// testing.B benchmarks.
+//
+// Each kernel builds a fresh Mnemosyne stack (SCM device, region runtime,
+// persistent heap, transaction system) and/or a PCM-disk baseline with the
+// emulation parameters of §6.1: 150 ns extra write latency and 4 GB/s
+// write bandwidth, spin-realized for real measurements.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// Options control an experiment environment.
+type Options struct {
+	// WriteLatency is the SCM extra write latency (default 150ns).
+	WriteLatency time.Duration
+	// Spin selects real delays; false runs without delays (unit tests).
+	Spin bool
+	// DeviceSize is the emulated SCM capacity (default 512 MB).
+	DeviceSize int64
+	// HeapSize is the persistent heap (default 256 MB).
+	HeapSize int64
+	// AsyncTruncation configures the TM.
+	AsyncTruncation bool
+	// UndoLogging selects the undo ablation.
+	UndoLogging bool
+	// WriteThroughWriteback selects the WT-writeback ablation.
+	WriteThroughWriteback bool
+	// Slots bounds TM threads (default 32).
+	Slots int
+}
+
+func (o *Options) fill() {
+	if o.WriteLatency == 0 {
+		o.WriteLatency = scm.DefaultWriteLatency
+	}
+	if o.DeviceSize == 0 {
+		o.DeviceSize = 512 << 20
+	}
+	if o.HeapSize == 0 {
+		o.HeapSize = 256 << 20
+	}
+	if o.Slots == 0 {
+		o.Slots = 32
+	}
+}
+
+func (o *Options) mode() scm.DelayMode {
+	if o.Spin {
+		return scm.DelaySpin
+	}
+	return scm.DelayOff
+}
+
+// Env is a complete Mnemosyne stack for one experiment run.
+type Env struct {
+	Dev  *scm.Device
+	RT   *region.Runtime
+	Heap *pheap.Heap
+	TM   *mtm.TM
+	dir  string
+}
+
+// NewEnv builds a fresh stack in a temporary backing directory.
+func NewEnv(o Options) (*Env, error) {
+	o.fill()
+	dir, err := os.MkdirTemp("", "mnbench-*")
+	if err != nil {
+		return nil, err
+	}
+	dev, err := scm.Open(scm.Config{
+		Size:         o.DeviceSize,
+		WriteLatency: o.WriteLatency,
+		Mode:         o.mode(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := region.Open(dev, region.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	heapPtr, _, err := rt.Static("bench.heap", 8)
+	if err != nil {
+		return nil, err
+	}
+	base, err := rt.PMapAt(heapPtr, o.HeapSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := pheap.Format(rt, base, o.HeapSize, pheap.Config{Lanes: 16})
+	if err != nil {
+		return nil, err
+	}
+	tm, err := mtm.Open(rt, "bench", mtm.Config{
+		Heap:                  heap,
+		Slots:                 o.Slots,
+		AsyncTruncation:       o.AsyncTruncation,
+		UndoLogging:           o.UndoLogging,
+		WriteThroughWriteback: o.WriteThroughWriteback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dev: dev, RT: rt, Heap: heap, TM: tm, dir: dir}, nil
+}
+
+// Root returns a named persistent root pointer.
+func (e *Env) Root(name string) (pmem.Addr, error) {
+	a, _, err := e.RT.Static(name, 8)
+	return a, err
+}
+
+// Close tears the stack down and removes the backing directory.
+func (e *Env) Close() {
+	e.TM.Close()
+	_ = e.RT.Close()
+	_ = os.RemoveAll(e.dir)
+}
+
+// fmtDur prints a duration in microseconds with two decimals.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f us", float64(d.Nanoseconds())/1000)
+}

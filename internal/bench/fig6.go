@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Figure 6: write-latency change from asynchronous log truncation,
+// relative to synchronous truncation, as a function of thread idle time.
+// With 50–90% idle time the truncation thread keeps up and commit latency
+// drops; at 10% idle the program thread stalls on a full log and latency
+// can rise.
+
+// Figure6Row is one (idle, value size) cell.
+type Figure6Row struct {
+	IdlePct   int
+	ValueSize int
+	SyncLat   time.Duration
+	AsyncLat  time.Duration
+	// DecreasePct is the y-axis of Figure 6: positive means async is
+	// faster.
+	DecreasePct float64
+}
+
+func (r Figure6Row) String() string {
+	return fmt.Sprintf("%3d%% idle %5dB: sync %s, async %s (%+.0f%% latency decrease)",
+		r.IdlePct, r.ValueSize, fmtDur(r.SyncLat), fmtDur(r.AsyncLat), r.DecreasePct)
+}
+
+// RunFigure6Cell measures one cell: the same hashtable workload with
+// synchronous and asynchronous truncation at the given duty cycle.
+func RunFigure6Cell(idlePct, valueSize int, base Options) (Figure6Row, error) {
+	idleFrac := float64(idlePct) / 100
+
+	syncOpts := HashOpts{Options: base, ValueSize: valueSize, Threads: 1, IdleFraction: idleFrac}
+	syncOpts.Options.AsyncTruncation = false
+	s, err := RunHashtableMTM(syncOpts)
+	if err != nil {
+		return Figure6Row{}, err
+	}
+
+	asyncOpts := syncOpts
+	asyncOpts.Options.AsyncTruncation = true
+	a, err := RunHashtableMTM(asyncOpts)
+	if err != nil {
+		return Figure6Row{}, err
+	}
+
+	return Figure6Row{
+		IdlePct:     idlePct,
+		ValueSize:   valueSize,
+		SyncLat:     s.WriteLatency,
+		AsyncLat:    a.WriteLatency,
+		DecreasePct: (1 - float64(a.WriteLatency)/float64(s.WriteLatency)) * 100,
+	}, nil
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bdb"
+	"repro/internal/mtm"
+	"repro/internal/pcmdisk"
+	"repro/internal/pds"
+)
+
+// The Figure 4/5/7 microbenchmark: a hash table updated with durable
+// transactions, against Berkeley DB's hash table on a PCM-disk. "Deletes
+// are introduced at the same rate as writes to ensure steady progress.
+// Update throughput is aggregate throughput of writes and deletes."
+// (§6.3.)
+
+// HashRow is one cell of Figures 4/5/7.
+type HashRow struct {
+	System    string // "MTM" or "BDB"
+	ValueSize int
+	Threads   int
+	// WriteLatency is the mean latency of an insert (Figure 4).
+	WriteLatency time.Duration
+	// UpdatesPerSec aggregates inserts and deletes (Figure 5).
+	UpdatesPerSec float64
+}
+
+func (r HashRow) String() string {
+	return fmt.Sprintf("%s-%dT %5dB: write latency %s, %.0f updates/s",
+		r.System, r.Threads, r.ValueSize, fmtDur(r.WriteLatency), r.UpdatesPerSec)
+}
+
+// HashOpts parameterizes the microbenchmark.
+type HashOpts struct {
+	Options
+	ValueSize int
+	Threads   int
+	// OpsPerThread is the number of insert+delete pairs each thread
+	// performs (default 2000).
+	OpsPerThread int
+	// IdleFraction, when non-zero, idles each thread between updates so
+	// the duty cycle matches (Figure 6's 90/50/10% idle runs).
+	IdleFraction float64
+}
+
+func (o *HashOpts) fill() {
+	o.Options.fill()
+	if o.ValueSize == 0 {
+		o.ValueSize = 64
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.OpsPerThread == 0 {
+		o.OpsPerThread = 2000
+	}
+}
+
+// RunHashtableMTM measures the Mnemosyne side of Figures 4/5/7.
+func RunHashtableMTM(o HashOpts) (HashRow, error) {
+	o.fill()
+	env, err := NewEnv(o.Options)
+	if err != nil {
+		return HashRow{}, err
+	}
+	defer env.Close()
+
+	root, err := env.Root("bench.ht")
+	if err != nil {
+		return HashRow{}, err
+	}
+	setup, err := env.TM.NewThread()
+	if err != nil {
+		return HashRow{}, err
+	}
+	table, err := pds.CreateHashTable(setup, root, 10007)
+	if err != nil {
+		return HashRow{}, err
+	}
+
+	val := make([]byte, o.ValueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+
+	var wg sync.WaitGroup
+	writeNs := make([]int64, o.Threads)
+	errs := make([]error, o.Threads)
+	start := time.Now()
+	for w := 0; w < o.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th, err := env.TM.NewThread()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			keyBase := uint64(w) << 32
+			var spent int64
+			for i := 0; i < o.OpsPerThread; i++ {
+				key := keyBase | uint64(i)
+				t0 := time.Now()
+				err := th.Atomic(func(tx *mtm.Tx) error {
+					return table.Put(tx, key, val)
+				})
+				spent += time.Since(t0).Nanoseconds()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				idle(t0, o.IdleFraction)
+				// Delete at the same rate, trailing by a window.
+				if i >= 16 {
+					t1 := time.Now()
+					if err := th.Atomic(func(tx *mtm.Tx) error {
+						return table.Delete(tx, keyBase|uint64(i-16))
+					}); err != nil {
+						errs[w] = err
+						return
+					}
+					idle(t1, o.IdleFraction)
+				}
+			}
+			writeNs[w] = spent
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return HashRow{}, err
+		}
+	}
+	env.TM.Drain()
+
+	var total int64
+	for _, ns := range writeNs {
+		total += ns
+	}
+	ops := o.Threads * (2*o.OpsPerThread - 16)
+	return HashRow{
+		System:        "MTM",
+		ValueSize:     o.ValueSize,
+		Threads:       o.Threads,
+		WriteLatency:  time.Duration(total / int64(o.Threads*o.OpsPerThread)),
+		UpdatesPerSec: float64(ops) / dur.Seconds(),
+	}, nil
+}
+
+// idle spins between updates so the thread's duty cycle matches Figure
+// 6's idle percentages.
+func idle(opStart time.Time, idleFraction float64) {
+	if idleFraction <= 0 {
+		return
+	}
+	opTime := time.Since(opStart)
+	wait := time.Duration(float64(opTime) * idleFraction / (1 - idleFraction))
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// RunHashtableBDB measures the Berkeley DB side: the same workload
+// against the transactional store on a PCM-disk with matching latency.
+func RunHashtableBDB(o HashOpts) (HashRow, error) {
+	o.fill()
+	disk := pcmdisk.Open(pcmdisk.Config{
+		Size:         512 << 20,
+		WriteLatency: o.WriteLatency,
+		Spin:         o.Spin,
+	})
+	db, err := bdb.Open(disk, bdb.Config{SyncCommit: true})
+	if err != nil {
+		return HashRow{}, err
+	}
+
+	val := make([]byte, o.ValueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+
+	var wg sync.WaitGroup
+	writeNs := make([]int64, o.Threads)
+	errs := make([]error, o.Threads)
+	start := time.Now()
+	for w := 0; w < o.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keyBase := uint64(w) << 32
+			var spent int64
+			for i := 0; i < o.OpsPerThread; i++ {
+				key := keyBase | uint64(i)
+				t0 := time.Now()
+				err := db.Put(key, val)
+				spent += time.Since(t0).Nanoseconds()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if i >= 16 {
+					if err := db.Delete(keyBase | uint64(i-16)); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+			writeNs[w] = spent
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return HashRow{}, err
+		}
+	}
+
+	ops := o.Threads * (2*o.OpsPerThread - 16)
+	return HashRow{
+		System:        "BDB",
+		ValueSize:     o.ValueSize,
+		Threads:       o.Threads,
+		WriteLatency:  time.Duration(total64(writeNs) / int64(o.Threads*o.OpsPerThread)),
+		UpdatesPerSec: float64(ops) / dur.Seconds(),
+	}, nil
+}
+
+func total64(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Figure7Row compares the systems at one SCM latency.
+type Figure7Row struct {
+	Latency   time.Duration
+	ValueSize int
+	// BetterPct is Mnemosyne's write-latency advantage over BDB in
+	// percent ((bdb/mtm − 1) × 100), the y-axis of Figure 7.
+	BetterPct float64
+	MTM, BDB  time.Duration
+}
+
+// RunFigure7Cell measures one (latency, value size) point of Figure 7.
+func RunFigure7Cell(lat time.Duration, valueSize int, base Options) (Figure7Row, error) {
+	o := HashOpts{Options: base, ValueSize: valueSize, Threads: 1}
+	o.Options.WriteLatency = lat
+	m, err := RunHashtableMTM(o)
+	if err != nil {
+		return Figure7Row{}, err
+	}
+	b, err := RunHashtableBDB(o)
+	if err != nil {
+		return Figure7Row{}, err
+	}
+	return Figure7Row{
+		Latency:   lat,
+		ValueSize: valueSize,
+		BetterPct: (float64(b.WriteLatency)/float64(m.WriteLatency) - 1) * 100,
+		MTM:       m.WriteLatency,
+		BDB:       b.WriteLatency,
+	}, nil
+}

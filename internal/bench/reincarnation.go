@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// §6.3.2 reincarnation costs: (i) reconstructing persistent regions when
+// the OS boots (the paper measures ~734 ms per GB of SCM, worst case of
+// one region per frame); (ii) per-process costs — remapping regions
+// (~1.1 ms), scavenging the persistent heap (~89 ms), and replaying
+// committed-but-unflushed transactions (3–76 µs each).
+
+// ReincarnationResult reports every component.
+type ReincarnationResult struct {
+	DeviceBytes  int64
+	MappedFrames int
+	ManagerBoot  time.Duration
+	BootPerGB    time.Duration
+
+	Remap         time.Duration
+	RegionsMapped int
+
+	LiveAllocs   int
+	HeapScavenge time.Duration
+
+	TxReplayed  int
+	ReplayTotal time.Duration
+	ReplayPerTx time.Duration
+}
+
+func (r ReincarnationResult) String() string {
+	return fmt.Sprintf(
+		"boot: %v for %d frames (%v/GB); remap: %v (%d regions); "+
+			"heap scavenge: %v (%d live allocs); replay: %d tx in %v (%v/tx)",
+		r.ManagerBoot, r.MappedFrames, r.BootPerGB,
+		r.Remap, r.RegionsMapped,
+		r.HeapScavenge, r.LiveAllocs,
+		r.TxReplayed, r.ReplayTotal, r.ReplayPerTx)
+}
+
+// ReincarnationOpts parameterizes the measurement.
+type ReincarnationOpts struct {
+	Options
+	// LiveAllocs is the number of live heap allocations to scavenge
+	// (default 5000).
+	LiveAllocs int
+	// PendingTx is the number of committed-but-unflushed transactions
+	// to replay (default 64).
+	PendingTx int
+}
+
+// RunReincarnation builds a populated stack, crashes it, and measures
+// every reincarnation cost on the way back up.
+func RunReincarnation(o ReincarnationOpts) (ReincarnationResult, error) {
+	o.Options.fill()
+	if o.LiveAllocs == 0 {
+		o.LiveAllocs = 5000
+	}
+	if o.PendingTx == 0 {
+		o.PendingTx = 64
+	}
+	o.Options.AsyncTruncation = true
+
+	env, err := NewEnv(o.Options)
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	dir := env.RT.Manager().Dir()
+
+	// Populate the heap.
+	ptrRegion, err := env.RT.PMap(int64(o.LiveAllocs+1)*8, 0)
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	alloc := env.Heap.NewAllocator()
+	for i := 0; i < o.LiveAllocs; i++ {
+		size := int64(16 + (i%16)*64)
+		if _, err := alloc.PMalloc(size, ptrRegion.Add(int64(i)*8)); err != nil {
+			return ReincarnationResult{}, err
+		}
+	}
+
+	// Commit transactions whose writeback never gets flushed.
+	dataRegion, err := env.RT.PMap(1<<20, 0)
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	th, err := env.TM.NewThread()
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	for i := 0; i < o.PendingTx; i++ {
+		i := i
+		if err := th.Atomic(func(tx *mtm.Tx) error {
+			for w := int64(0); w < 8; w++ {
+				tx.StoreU64(dataRegion.Add(int64(i)*64+w*8), uint64(i*100)+uint64(w))
+			}
+			return nil
+		}); err != nil {
+			return ReincarnationResult{}, err
+		}
+	}
+	env.TM.StopTruncation()
+
+	heapBase := env.Heap.Base()
+	dev := env.Dev
+	// Crash: unflushed write-backs are lost; the logs hold the redo
+	// records.
+	dev.Crash(scm.DropAll{})
+	if err := env.RT.Close(); err != nil {
+		return ReincarnationResult{}, err
+	}
+
+	// Reincarnate, timing each layer.
+	rt2, err := region.Open(dev, region.Config{Dir: dir})
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	res := ReincarnationResult{
+		DeviceBytes:   dev.Size(),
+		MappedFrames:  rt2.Manager().Frames() - rt2.Manager().FreeFrames(),
+		ManagerBoot:   rt2.Stats().ManagerBoot,
+		Remap:         rt2.Stats().Remap,
+		RegionsMapped: rt2.Stats().RegionsMapped,
+		LiveAllocs:    o.LiveAllocs,
+	}
+	res.BootPerGB = time.Duration(float64(res.ManagerBoot) * float64(1<<30) / float64(dev.Size()))
+
+	heap2, err := pheap.Open(rt2, heapBase)
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	res.HeapScavenge = heap2.ScavengeTime()
+
+	tm2, err := mtm.Open(rt2, "bench", mtm.Config{
+		Heap:            heap2,
+		Slots:           o.Slots,
+		AsyncTruncation: true,
+	})
+	if err != nil {
+		return ReincarnationResult{}, err
+	}
+	rec := tm2.Recovery()
+	res.TxReplayed = rec.Replayed
+	res.ReplayTotal = rec.Duration
+	if rec.Replayed > 0 {
+		res.ReplayPerTx = rec.Duration / time.Duration(rec.Replayed)
+	}
+
+	// Verify the replay actually restored the data.
+	mem := rt2.NewMemory()
+	for i := 0; i < o.PendingTx; i++ {
+		if got := mem.LoadU64(pmem.Addr(dataRegion).Add(int64(i) * 64)); got != uint64(i*100) {
+			return res, fmt.Errorf("bench: replay verification failed at tx %d (got %d)", i, got)
+		}
+	}
+	tm2.Close()
+	_ = rt2.Close()
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ldapdir"
+	"repro/internal/pcmdisk"
+	"repro/internal/tcabinet"
+)
+
+// Table 4: update throughput for OpenLDAP (three backends, SLAMD-like add
+// workload, 16 threads) and Tokyo Cabinet (msync vs Mnemosyne, 64 B and
+// 1024 B insert/delete queries, single thread).
+
+// LDAPRow is one OpenLDAP row of Table 4.
+type LDAPRow struct {
+	Backend   string
+	Threads   int
+	Entries   int
+	UpdatesPS float64
+}
+
+func (r LDAPRow) String() string {
+	return fmt.Sprintf("OpenLDAP %-16s SLAMD x%d: %8.0f updates/s",
+		r.Backend, r.Threads, r.UpdatesPS)
+}
+
+// LDAPOpts parameterizes the LDAP workload.
+type LDAPOpts struct {
+	Options
+	// Backend is "bdb", "ldbm" or "mnemosyne".
+	Backend string
+	Threads int
+	Entries int
+}
+
+func (o *LDAPOpts) fill() {
+	o.Options.fill()
+	if o.Threads == 0 {
+		o.Threads = 16 // "16 threads (4 threads per core) as advised"
+	}
+	if o.Entries == 0 {
+		o.Entries = 10000
+	}
+}
+
+// RunLDAP measures one OpenLDAP backend row of Table 4.
+func RunLDAP(o LDAPOpts) (LDAPRow, error) {
+	o.fill()
+	var backend ldapdir.Backend
+	switch o.Backend {
+	case "bdb":
+		disk := pcmdisk.Open(pcmdisk.Config{
+			Size: 1 << 30, WriteLatency: o.WriteLatency, Spin: o.Spin,
+		})
+		b, err := ldapdir.OpenBDBBackend(disk)
+		if err != nil {
+			return LDAPRow{}, err
+		}
+		backend = b
+	case "ldbm":
+		disk := pcmdisk.Open(pcmdisk.Config{
+			Size: 1 << 30, WriteLatency: o.WriteLatency, Spin: o.Spin,
+		})
+		b, err := ldapdir.OpenLDBMBackend(disk, 1024)
+		if err != nil {
+			return LDAPRow{}, err
+		}
+		backend = b
+	case "mnemosyne":
+		env, err := NewEnv(o.Options)
+		if err != nil {
+			return LDAPRow{}, err
+		}
+		defer env.Close()
+		b, err := ldapdir.OpenMnemosyneBackend(env.RT, env.TM, 1)
+		if err != nil {
+			return LDAPRow{}, err
+		}
+		backend = b
+	default:
+		return LDAPRow{}, fmt.Errorf("bench: unknown LDAP backend %q", o.Backend)
+	}
+
+	srv := ldapdir.NewServer(backend)
+	if o.Spin {
+		// Model slapd's frontend request processing (see
+		// Server.RequestOverhead); storage is a fraction of each
+		// operation, as the paper observes.
+		srv.RequestOverhead = 150 * time.Microsecond
+	}
+	res, err := srv.RunAddWorkload(o.Threads, 0, o.Entries)
+	if err != nil {
+		return LDAPRow{}, err
+	}
+	if res.Errors > 0 {
+		return LDAPRow{}, fmt.Errorf("bench: %d workload errors", res.Errors)
+	}
+	if err := backend.Close(); err != nil {
+		return LDAPRow{}, err
+	}
+	return LDAPRow{
+		Backend:   backend.Name(),
+		Threads:   o.Threads,
+		Entries:   o.Entries,
+		UpdatesPS: res.UpdatesPS,
+	}, nil
+}
+
+// TCRow is one Tokyo Cabinet row of Table 4.
+type TCRow struct {
+	Mode      string
+	ValueSize int
+	Threads   int
+	UpdatesPS float64
+}
+
+func (r TCRow) String() string {
+	return fmt.Sprintf("TokyoCabinet %-24s %4dB x%d: %8.0f updates/s",
+		r.Mode, r.ValueSize, r.Threads, r.UpdatesPS)
+}
+
+// TCOpts parameterizes the Tokyo Cabinet workload.
+type TCOpts struct {
+	Options
+	// Mode is "msync" or "mnemosyne".
+	Mode      string
+	ValueSize int
+	Threads   int
+	// Ops is insert+delete pairs (default 3000).
+	Ops int
+}
+
+func (o *TCOpts) fill() {
+	o.Options.fill()
+	if o.ValueSize == 0 {
+		o.ValueSize = 64
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Ops == 0 {
+		o.Ops = 3000
+	}
+}
+
+// RunTC measures one Tokyo Cabinet row of Table 4: insert/delete queries
+// at the given value size.
+func RunTC(o TCOpts) (TCRow, error) {
+	o.fill()
+	var store tcabinet.Store
+	var env *Env
+	switch o.Mode {
+	case "msync":
+		disk := pcmdisk.Open(pcmdisk.Config{
+			Size: 1 << 30, WriteLatency: o.WriteLatency, Spin: o.Spin,
+		})
+		s, err := tcabinet.OpenMsync(disk, tcabinet.MsyncConfig{
+			NodePages:       1 << 15,
+			HeapBytes:       512 << 20,
+			SyncEveryUpdate: true,
+		})
+		if err != nil {
+			return TCRow{}, err
+		}
+		store = s
+	case "mnemosyne":
+		var err error
+		env, err = NewEnv(o.Options)
+		if err != nil {
+			return TCRow{}, err
+		}
+		defer env.Close()
+		s, err := tcabinet.OpenMnemosyne(env.RT, env.TM)
+		if err != nil {
+			return TCRow{}, err
+		}
+		store = s
+	default:
+		return TCRow{}, fmt.Errorf("bench: unknown TC mode %q", o.Mode)
+	}
+
+	val := make([]byte, o.ValueSize)
+	for i := range val {
+		val[i] = byte(i * 7)
+	}
+
+	type result struct {
+		ops int
+		err error
+	}
+	results := make(chan result, o.Threads)
+	start := time.Now()
+	for w := 0; w < o.Threads; w++ {
+		go func(w int) {
+			sess, err := store.Session()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			base := uint64(w) << 40
+			ops := 0
+			for i := 0; i < o.Ops; i++ {
+				if err := sess.Put(base|uint64(i), val); err != nil {
+					results <- result{err: err}
+					return
+				}
+				ops++
+				if i >= 64 {
+					if err := sess.Delete(base | uint64(i-64)); err != nil {
+						results <- result{err: err}
+						return
+					}
+					ops++
+				}
+			}
+			results <- result{ops: ops}
+		}(w)
+	}
+	total := 0
+	for w := 0; w < o.Threads; w++ {
+		r := <-results
+		if r.err != nil {
+			return TCRow{}, r.err
+		}
+		total += r.ops
+	}
+	dur := time.Since(start)
+	return TCRow{
+		Mode:      store.Name(),
+		ValueSize: o.ValueSize,
+		Threads:   o.Threads,
+		UpdatesPS: float64(total) / dur.Seconds(),
+	}, nil
+}

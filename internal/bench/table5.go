@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pcmdisk"
+	"repro/internal/pds"
+	"repro/internal/serial"
+)
+
+// Table 5: the cost of keeping a red-black tree with 128-byte nodes in
+// persistent memory (per-update durable transactions) against keeping it
+// in DRAM and periodically serializing it to a file (Boost-style).
+
+// Table5Row is one tree-size row.
+type Table5Row struct {
+	TreeSize int
+	// InsertLatency is the mean durable-transaction insert cost.
+	InsertLatency time.Duration
+	// SerializeLatency is the cost of one whole-tree serialize + save.
+	SerializeLatency time.Duration
+	// InsertsPerSerialization = SerializeLatency / InsertLatency: how
+	// many Mnemosyne updates fit in one Boost snapshot.
+	InsertsPerSerialization float64
+}
+
+func (r Table5Row) String() string {
+	return fmt.Sprintf("%7d nodes: insert %s, serialize %s, %.0f inserts/serialization",
+		r.TreeSize, fmtDur(r.InsertLatency), fmtDur(r.SerializeLatency), r.InsertsPerSerialization)
+}
+
+// Table5Opts parameterizes the comparison.
+type Table5Opts struct {
+	Options
+	TreeSize int
+	// MeasuredInserts is how many extra inserts are timed once the tree
+	// is at size (default 500).
+	MeasuredInserts int
+}
+
+// RunTable5 builds a persistent RB tree of the given size, measures
+// further insert latency, then measures serializing the same tree to the
+// PCM-disk.
+func RunTable5(o Table5Opts) (Table5Row, error) {
+	o.Options.fill()
+	if o.TreeSize == 0 {
+		o.TreeSize = 1024
+	}
+	if o.MeasuredInserts == 0 {
+		o.MeasuredInserts = 500
+	}
+	// Size the environment to the tree: 128-byte nodes plus heap
+	// overheads.
+	need := int64(o.TreeSize+o.MeasuredInserts) * 256
+	if need < 64<<20 {
+		need = 64 << 20
+	}
+	env, err := NewEnv(Options{
+		WriteLatency: o.WriteLatency,
+		Spin:         o.Spin,
+		DeviceSize:   need * 2,
+		HeapSize:     need,
+	})
+	if err != nil {
+		return Table5Row{}, err
+	}
+	defer env.Close()
+
+	root, err := env.Root("bench.rb")
+	if err != nil {
+		return Table5Row{}, err
+	}
+	th, err := env.TM.NewThread()
+	if err != nil {
+		return Table5Row{}, err
+	}
+	tree := pds.NewRBTree(root)
+	payload := make([]byte, pds.RBPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Keys spread with a Weyl sequence so the build is balanced work.
+	key := func(i int) uint64 { return uint64(i) * 0x9E3779B97F4A7C15 }
+
+	for i := 0; i < o.TreeSize; i++ {
+		if err := th.Atomic(func(tx *mtm.Tx) error {
+			return tree.Insert(tx, key(i), payload)
+		}); err != nil {
+			return Table5Row{}, err
+		}
+	}
+
+	// Measure steady-state insert latency.
+	t0 := time.Now()
+	for i := 0; i < o.MeasuredInserts; i++ {
+		if err := th.Atomic(func(tx *mtm.Tx) error {
+			return tree.Insert(tx, key(o.TreeSize+i), payload)
+		}); err != nil {
+			return Table5Row{}, err
+		}
+	}
+	insertLat := time.Since(t0) / time.Duration(o.MeasuredInserts)
+
+	// Measure serialize + save of the whole tree.
+	disk := pcmdisk.Open(pcmdisk.Config{
+		Size:         2 * need * 2,
+		WriteLatency: o.WriteLatency,
+		Spin:         o.Spin,
+	})
+	snap, err := serial.NewSnapshotter(disk, "tree.snap", need)
+	if err != nil {
+		return Table5Row{}, err
+	}
+	var serLat time.Duration
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		t1 := time.Now()
+		var buf []byte
+		if err := th.Atomic(func(tx *mtm.Tx) error {
+			buf = serial.SerializeRBTree(tx, tree)
+			return nil
+		}); err != nil {
+			return Table5Row{}, err
+		}
+		if err := snap.Save(buf); err != nil {
+			return Table5Row{}, err
+		}
+		serLat += time.Since(t1)
+	}
+	serLat /= rounds
+
+	return Table5Row{
+		TreeSize:                o.TreeSize + o.MeasuredInserts,
+		InsertLatency:           insertLat,
+		SerializeLatency:        serLat,
+		InsertsPerSerialization: float64(serLat) / float64(insertLat),
+	}, nil
+}

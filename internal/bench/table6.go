@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rawl"
+)
+
+// Table 6: throughput of the base (commit-record, two fences) RAWL
+// against the tornbit (one fence) RAWL across record sizes. "For log
+// records smaller than 2048 bytes, the torn-bit log performs up to 100
+// percent better. Above 2048 bytes, the torn bit log performs worse than
+// a separate commit record": the fence cost is fixed while the bit
+// manipulation scales with the data.
+
+// Table6Row is one record-size column.
+type Table6Row struct {
+	RecordBytes   int
+	BaseMBps      float64
+	TornbitMBps   float64
+	TornbitGainPc float64
+}
+
+func (r Table6Row) String() string {
+	return fmt.Sprintf("%5dB records: base %7.1f MB/s, tornbit %7.1f MB/s (%+.0f%%)",
+		r.RecordBytes, r.BaseMBps, r.TornbitMBps, r.TornbitGainPc)
+}
+
+// Table6Opts parameterizes the log benchmark.
+type Table6Opts struct {
+	Options
+	RecordBytes int
+	// Appends is the number of timed appends (default 2000).
+	Appends int
+}
+
+// RunTable6 measures both log variants at one record size.
+func RunTable6(o Table6Opts) (Table6Row, error) {
+	o.Options.fill()
+	if o.RecordBytes == 0 {
+		o.RecordBytes = 64
+	}
+	if o.Appends == 0 {
+		o.Appends = 2000
+	}
+	env, err := NewEnv(o.Options)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	defer env.Close()
+
+	words := int64(1 << 16) // 512 KB buffers
+	mem := env.RT.NewMemory()
+	tornbitAt, err := env.RT.PMap(rawl.Size(words), 0)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	baseAt, err := env.RT.PMap(rawl.Size(words), 0)
+	if err != nil {
+		return Table6Row{}, err
+	}
+
+	rec := make([]uint64, o.RecordBytes/8)
+	for i := range rec {
+		rec[i] = uint64(i) * 0x123456789
+	}
+	bytesMoved := float64(o.Appends * o.RecordBytes)
+
+	// Tornbit: append + single-fence flush, truncating when full.
+	tlog, err := rawl.Create(mem, tornbitAt, words)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	t0 := time.Now()
+	for i := 0; i < o.Appends; i++ {
+		if _, err := tlog.Append(rec); err == rawl.ErrLogFull {
+			tlog.TruncateAll()
+			if _, err := tlog.Append(rec); err != nil {
+				return Table6Row{}, err
+			}
+		} else if err != nil {
+			return Table6Row{}, err
+		}
+		tlog.Flush()
+	}
+	tornbit := time.Since(t0)
+
+	// Base: commit-record protocol, two fences inside Append.
+	blog, err := rawl.CreateBase(mem, baseAt, words)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	t1 := time.Now()
+	for i := 0; i < o.Appends; i++ {
+		if err := blog.Append(rec); err == rawl.ErrLogFull {
+			blog.TruncateAll()
+			if err := blog.Append(rec); err != nil {
+				return Table6Row{}, err
+			}
+		} else if err != nil {
+			return Table6Row{}, err
+		}
+	}
+	base := time.Since(t1)
+
+	row := Table6Row{
+		RecordBytes: o.RecordBytes,
+		BaseMBps:    bytesMoved / base.Seconds() / (1 << 20),
+		TornbitMBps: bytesMoved / tornbit.Seconds() / (1 << 20),
+	}
+	row.TornbitGainPc = (row.TornbitMBps/row.BaseMBps - 1) * 100
+	return row, nil
+}

@@ -1,0 +1,260 @@
+// Package core assembles the Mnemosyne stack — SCM device, region
+// runtime, persistent heap and durable transaction system — into one
+// coherent persistent-memory instance, mirroring the paper's layered
+// architecture (Figure 1):
+//
+//	Application
+//	  Durable Transactions          (internal/mtm)
+//	  Persistence Primitives        (internal/pmem, rawl, pheap)
+//	  Persistent Regions            (internal/region)
+//	OS Kernel: Region Manager       (internal/region.Manager)
+//	Hardware: SCM                   (internal/scm)
+//
+// The root package re-exports this as the library's public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pgc"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// Config assembles a persistent-memory instance.
+type Config struct {
+	// DevicePath optionally backs the emulated SCM with a file so data
+	// survives process exit. Empty keeps the device in memory (data
+	// then survives simulated crashes, but not process exit).
+	DevicePath string
+	// DeviceSize is the SCM capacity (default 256 MB).
+	DeviceSize int64
+	// Dir is the backing directory for region files; empty follows
+	// MNEMOSYNE_REGION_PATH and then the current directory.
+	Dir string
+	// WriteLatency is the emulated extra PCM write latency; zero uses
+	// the paper's 150 ns.
+	WriteLatency time.Duration
+	// EmulateLatency spins for write delays, like the paper's
+	// evaluation platform. Off, persistence semantics are identical but
+	// time is not modeled.
+	EmulateLatency bool
+	// HeapSize reserves the persistent heap on first open (default
+	// 64 MB, rounded up to pages). The heap is created lazily at first
+	// use either way.
+	HeapSize int64
+	// AsyncTruncation moves transaction-log truncation off the commit
+	// path (Figure 6's optimization).
+	AsyncTruncation bool
+	// Threads bounds concurrent transaction threads (default 32).
+	Threads int
+}
+
+func (c *Config) fill() {
+	if c.DeviceSize == 0 {
+		c.DeviceSize = 256 << 20
+	}
+	if c.HeapSize == 0 {
+		// A quarter of the device, capped at 64 MB, leaving room for
+		// the static region, transaction logs and user regions.
+		c.HeapSize = c.DeviceSize / 4
+		if c.HeapSize > 64<<20 {
+			c.HeapSize = 64 << 20
+		}
+	}
+	if c.Threads == 0 {
+		c.Threads = 32
+	}
+}
+
+// PM is an open persistent-memory instance.
+type PM struct {
+	cfg  Config
+	dev  *scm.Device
+	rt   *region.Runtime
+	heap *pheap.Heap
+	tm   *mtm.TM
+}
+
+// Open creates or reincarnates a persistent-memory instance: it boots the
+// region manager, remaps persistent regions, scavenges the heap and
+// replays any committed-but-unflushed transactions.
+func Open(cfg Config) (*PM, error) {
+	cfg.fill()
+	mode := scm.DelayOff
+	if cfg.EmulateLatency {
+		mode = scm.DelaySpin
+	}
+	dev, err := scm.Open(scm.Config{
+		Size:         cfg.DeviceSize,
+		Path:         cfg.DevicePath,
+		WriteLatency: cfg.WriteLatency,
+		Mode:         mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Attach(dev, cfg)
+}
+
+// Attach builds the software stack over an already-open device (used
+// after a simulated crash, where the device survives and everything above
+// it reincarnates).
+func Attach(dev *scm.Device, cfg Config) (*PM, error) {
+	cfg.fill()
+	rt, err := region.Open(dev, region.Config{Dir: cfg.Dir})
+	if err != nil {
+		return nil, err
+	}
+	pm := &PM{cfg: cfg, dev: dev, rt: rt}
+
+	heapPtr, _, err := rt.Static("core.heap", 8)
+	if err != nil {
+		return nil, err
+	}
+	mem := rt.NewMemory()
+	if base := pmem.Addr(mem.LoadU64(heapPtr)); base == pmem.Nil {
+		base, err := rt.PMapAt(heapPtr, cfg.HeapSize, 0)
+		if err != nil {
+			return nil, err
+		}
+		pm.heap, err = pheap.Format(rt, base, cfg.HeapSize, pheap.Config{Lanes: 16})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pm.heap, err = pheap.Open(rt, base)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pm.tm, err = mtm.Open(rt, "core", mtm.Config{
+		Heap:            pm.heap,
+		Slots:           cfg.Threads,
+		AsyncTruncation: cfg.AsyncTruncation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+// Close shuts the instance down cleanly: asynchronous truncation drains,
+// caches flush, and (with a DevicePath) the device image is saved.
+func (pm *PM) Close() error {
+	pm.tm.Close()
+	if err := pm.rt.Close(); err != nil {
+		return err
+	}
+	return pm.dev.Close()
+}
+
+// Device exposes the emulated SCM (for crash injection in tests).
+func (pm *PM) Device() *scm.Device { return pm.dev }
+
+// Runtime exposes the region runtime.
+func (pm *PM) Runtime() *region.Runtime { return pm.rt }
+
+// Heap exposes the persistent heap.
+func (pm *PM) Heap() *pheap.Heap { return pm.heap }
+
+// TM exposes the transaction system.
+func (pm *PM) TM() *mtm.TM { return pm.tm }
+
+// Static returns the address of a named persistent static variable,
+// allocating it on first use — the library analogue of the paper's
+// pstatic keyword.
+func (pm *PM) Static(name string, size int64) (addr pmem.Addr, created bool, err error) {
+	return pm.rt.Static(name, size)
+}
+
+// PMap creates a dynamic persistent region of at least length bytes.
+func (pm *PM) PMap(length int64) (pmem.Addr, error) {
+	return pm.rt.PMap(length, 0)
+}
+
+// PMapAt creates a region and durably stores its address through the
+// persistent pointer at ptr (the paper's leak-avoiding pmap signature).
+func (pm *PM) PMapAt(ptr pmem.Addr, length int64) (pmem.Addr, error) {
+	return pm.rt.PMapAt(ptr, length, 0)
+}
+
+// PUnmap deletes the dynamic region starting at addr.
+func (pm *PM) PUnmap(addr pmem.Addr) error { return pm.rt.PUnmap(addr) }
+
+// Memory returns a per-goroutine persistence-primitive view
+// (store/wtstore/flush/fence at persistent addresses).
+func (pm *PM) Memory() *region.Mem { return pm.rt.NewMemory() }
+
+// NewThread returns a transaction thread for the calling goroutine.
+func (pm *PM) NewThread() (*mtm.Thread, error) { return pm.tm.NewThread() }
+
+// Atomic runs fn as a durable memory transaction on a fresh thread — a
+// convenience for programs with casual transaction needs; hot paths
+// should keep a Thread per goroutine.
+func (pm *PM) Atomic(fn func(tx *mtm.Tx) error) error {
+	th, err := pm.tm.NewThread()
+	if err != nil {
+		return err
+	}
+	return th.Atomic(fn)
+}
+
+// Allocator returns a persistent-heap allocator handle (pmalloc/pfree)
+// for non-transactional allocation.
+func (pm *PM) Allocator() *pheap.Allocator { return pm.heap.NewAllocator() }
+
+// CreateLog formats a tornbit raw word log of capacity words inside a
+// fresh persistent region, rooted at the named static pointer.
+func (pm *PM) CreateLog(name string, words int64) (*rawl.Log, error) {
+	ptr, _, err := pm.rt.Static(name, 8)
+	if err != nil {
+		return nil, err
+	}
+	mem := pm.rt.NewMemory()
+	if base := pmem.Addr(mem.LoadU64(ptr)); base != pmem.Nil {
+		return nil, fmt.Errorf("core: log %q already exists; use OpenLog", name)
+	}
+	base, err := pm.rt.PMapAt(ptr, rawl.Size(words), 0)
+	if err != nil {
+		return nil, err
+	}
+	return rawl.Create(mem, base, words)
+}
+
+// Collect runs a conservative mark-sweep garbage collection over the
+// persistent heap (internal/pgc), reclaiming allocations unreachable from
+// any persistent word. The instance must be quiesced: no concurrent
+// transactions or allocations. extraRoots pins blocks referenced only
+// from volatile memory.
+func (pm *PM) Collect(extraRoots ...pmem.Addr) (pgc.Report, error) {
+	gc, err := pgc.New(pm.rt, pm.heap)
+	if err != nil {
+		return pgc.Report{}, err
+	}
+	gc.SkipRegions = []pmem.Addr{pm.tm.RegionBase()}
+	gc.ExtraRoots = extraRoots
+	return gc.Collect()
+}
+
+// OpenLog reopens a named log, returning the records that survived (in
+// append order) for the caller to replay.
+func (pm *PM) OpenLog(name string) (*rawl.Log, [][]uint64, error) {
+	ptr, created, err := pm.rt.Static(name, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := pm.rt.NewMemory()
+	base := pmem.Addr(mem.LoadU64(ptr))
+	if created || base == pmem.Nil {
+		return nil, nil, errors.New("core: no such log; use CreateLog")
+	}
+	return rawl.Open(mem, base)
+}

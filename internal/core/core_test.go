@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mtm"
+	"repro/internal/pmem"
+	"repro/internal/scm"
+)
+
+func testPM(t *testing.T) *PM {
+	t.Helper()
+	pm, err := Open(Config{Dir: t.TempDir(), DeviceSize: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func TestOpenBuildsWholeStack(t *testing.T) {
+	pm := testPM(t)
+	if pm.Device() == nil || pm.Runtime() == nil || pm.Heap() == nil || pm.TM() == nil {
+		t.Fatal("incomplete stack")
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapSizeDefaultsScaleWithDevice(t *testing.T) {
+	// A small device must still open: the default heap shrinks to fit.
+	pm, err := Open(Config{Dir: t.TempDir(), DeviceSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, _, err := pm.Static("t.p", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Allocator().PMalloc(4096, ptr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachAfterCrashRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, DeviceSize: 128 << 20, AsyncTruncation: true}
+	pm, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, err := pm.Static("t.words", 8*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := pm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		i := i
+		if err := th.Atomic(func(tx *mtm.Tx) error {
+			tx.StoreU64(addr.Add(i*8), uint64(i)+1000)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm.TM().StopTruncation()
+	dev := pm.Device()
+	dev.Crash(scm.DropAll{})
+	if err := pm.Runtime().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pm2, err := Attach(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pm2.Memory()
+	for i := int64(0); i < 64; i++ {
+		if got := mem.LoadU64(addr.Add(i * 8)); got != uint64(i)+1000 {
+			t.Fatalf("word %d = %d after recovery", i, got)
+		}
+	}
+}
+
+func TestLogLifecycle(t *testing.T) {
+	pm := testPM(t)
+	if _, _, err := pm.OpenLog("t.nolog"); err == nil {
+		t.Fatal("opening a missing log must fail")
+	}
+	log, err := pm.CreateLog("t.log", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.CreateLog("t.log", 512); err == nil {
+		t.Fatal("double create must fail")
+	}
+	for i := uint64(0); i < 10; i++ {
+		if _, err := log.Append([]uint64{i, i * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Flush()
+	pm.Device().Crash(scm.DropAll{})
+	_, recs, err := pm.OpenLog("t.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || recs[9][1] != 18 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+}
+
+func TestAtomicConvenienceConsumesSlots(t *testing.T) {
+	pm, err := Open(Config{Dir: t.TempDir(), DeviceSize: 64 << 20, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := pm.Static("t.a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := pm.Atomic(func(tx *mtm.Tx) error {
+			tx.StoreU64(a, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each Atomic burns a slot; the 4th must fail with the slot error,
+	// documenting why hot paths keep their own Thread.
+	if err := pm.Atomic(func(tx *mtm.Tx) error { return nil }); err == nil {
+		t.Fatal("expected slot exhaustion")
+	}
+}
+
+func TestPMapAndPUnmap(t *testing.T) {
+	pm := testPM(t)
+	ptr, _, err := pm.Static("t.region", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := pm.PMapAt(ptr, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pm.Memory()
+	if got := pmem.Addr(mem.LoadU64(ptr)); got != addr {
+		t.Fatalf("root = %v", got)
+	}
+	if err := pm.PUnmap(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.PUnmap(addr); err == nil {
+		t.Fatal("double unmap must fail")
+	}
+}

@@ -1,0 +1,241 @@
+// Package kvserve is a network key-value server over Mnemosyne's durable
+// transactions — the kind of small service the paper's introduction
+// motivates (low-latency storage of moderate amounts of data, logs,
+// configuration) built directly on persistent memory with no database
+// underneath.
+//
+// The wire protocol is line-oriented:
+//
+//	SET <key> <value>   -> OK
+//	GET <key>           -> VALUE <value> | MISSING
+//	DEL <key>           -> OK | MISSING
+//	COUNT               -> COUNT <n>
+//	PING                -> PONG
+//	QUIT                -> BYE (closes the connection)
+//
+// Every acknowledged SET/DEL is durable before the reply is written:
+// the B+ tree update commits in a durable memory transaction.
+package kvserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mtm"
+	"repro/internal/pds"
+)
+
+// Server serves the protocol over a listener.
+type Server struct {
+	pm   *core.PM
+	tree *pds.BPTree
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a server over an open persistent-memory instance; state
+// lives under the "kvserve.root" static, so a restarted server finds its
+// data again.
+func New(pm *core.PM) (*Server, error) {
+	root, _, err := pm.Static("kvserve.root", 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{pm: pm, tree: pds.NewBPTree(root), conns: make(map[net.Conn]bool)}, nil
+}
+
+// hashKey maps a string key into the tree's key space (FNV-1a). The full
+// key is stored with the value to detect collisions.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func encodeKV(key, value string) []byte {
+	out := make([]byte, 2+len(key)+len(value))
+	out[0] = byte(len(key))
+	out[1] = byte(len(key) >> 8)
+	copy(out[2:], key)
+	copy(out[2+len(key):], value)
+	return out
+}
+
+func decodeKV(b []byte) (key, value string, err error) {
+	if len(b) < 2 {
+		return "", "", errors.New("kvserve: short record")
+	}
+	n := int(b[0]) | int(b[1])<<8
+	if len(b) < 2+n {
+		return "", "", errors.New("kvserve: truncated record")
+	}
+	return string(b[2 : 2+n]), string(b[2+n:]), nil
+}
+
+// Serve accepts connections until Close. Each connection gets its own
+// transaction thread, so connections are bounded by the instance's
+// Threads configuration.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		th, err := s.pm.NewThread()
+		if err != nil {
+			fmt.Fprintf(conn, "ERROR %v\n", err)
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.session(conn, th)
+		}()
+	}
+}
+
+// Close stops accepting, disconnects active sessions, and waits for them
+// to finish their in-flight command (every acknowledged update is durable
+// before its reply, so a shutdown never loses acknowledged data).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) session(conn net.Conn, th *mtm.Thread) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		reply := s.dispatch(th, line)
+		fmt.Fprintln(w, reply)
+		w.Flush()
+		if reply == "BYE" {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(th *mtm.Thread, line string) string {
+	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	switch strings.ToUpper(fields[0]) {
+	case "PING":
+		return "PONG"
+	case "QUIT":
+		return "BYE"
+	case "SET":
+		if len(fields) != 3 {
+			return "ERROR usage: SET <key> <value>"
+		}
+		key, value := fields[1], fields[2]
+		err := th.Atomic(func(tx *mtm.Tx) error {
+			return s.tree.Put(tx, hashKey(key), encodeKV(key, value))
+		})
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERROR usage: GET <key>"
+		}
+		var value string
+		err := th.Atomic(func(tx *mtm.Tx) error {
+			raw, err := s.tree.Get(tx, hashKey(fields[1]))
+			if err != nil {
+				return err
+			}
+			k, v, err := decodeKV(raw)
+			if err != nil {
+				return err
+			}
+			if k != fields[1] {
+				return pds.ErrNotFound // hash collision with another key
+			}
+			value = v
+			return nil
+		})
+		if err == pds.ErrNotFound {
+			return "MISSING"
+		}
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "VALUE " + value
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERROR usage: DEL <key>"
+		}
+		err := th.Atomic(func(tx *mtm.Tx) error {
+			return s.tree.Delete(tx, hashKey(fields[1]))
+		})
+		if err == pds.ErrNotFound {
+			return "MISSING"
+		}
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "OK"
+	case "COUNT":
+		n := 0
+		err := th.Atomic(func(tx *mtm.Tx) error {
+			n = s.tree.Len(tx)
+			return nil
+		})
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return fmt.Sprintf("COUNT %d", n)
+	default:
+		return "ERROR unknown command"
+	}
+}

@@ -1,0 +1,168 @@
+package kvserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply[:len(reply)-1]
+}
+
+func startServer(t *testing.T, cfg core.Config) (*Server, *core.PM, string) {
+	t.Helper()
+	pm, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, pm, l.Addr().String()
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	c := dial(t, addr)
+	if got := c.cmd(t, "PING"); got != "PONG" {
+		t.Fatalf("PING -> %q", got)
+	}
+	if got := c.cmd(t, "SET lang go"); got != "OK" {
+		t.Fatalf("SET -> %q", got)
+	}
+	if got := c.cmd(t, "GET lang"); got != "VALUE go" {
+		t.Fatalf("GET -> %q", got)
+	}
+	if got := c.cmd(t, "SET lang golang 1.22"); got != "OK" {
+		t.Fatalf("SET spaces -> %q", got)
+	}
+	if got := c.cmd(t, "GET lang"); got != "VALUE golang 1.22" {
+		t.Fatalf("GET replaced -> %q", got)
+	}
+	if got := c.cmd(t, "COUNT"); got != "COUNT 1" {
+		t.Fatalf("COUNT -> %q", got)
+	}
+	if got := c.cmd(t, "DEL lang"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "GET lang"); got != "MISSING" {
+		t.Fatalf("GET deleted -> %q", got)
+	}
+	if got := c.cmd(t, "DEL lang"); got != "MISSING" {
+		t.Fatalf("double DEL -> %q", got)
+	}
+	if got := c.cmd(t, "NONSENSE"); got != "ERROR unknown command" {
+		t.Fatalf("garbage -> %q", got)
+	}
+	if got := c.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 128 << 20})
+	const clients = 4
+	done := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		go func(w int) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(conn, "SET c%d-k%d v%d\n", w, i, i)
+				if reply, _ := r.ReadString('\n'); reply != "OK\n" {
+					done <- fmt.Errorf("client %d: %q", w, reply)
+					return
+				}
+			}
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(conn, "GET c%d-k%d\n", w, i)
+				want := fmt.Sprintf("VALUE v%d\n", i)
+				if reply, _ := r.ReadString('\n'); reply != want {
+					done <- fmt.Errorf("client %d get %d: %q", w, i, reply)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < clients; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDataSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.Config{
+		DevicePath: filepath.Join(dir, "scm.img"),
+		Dir:        dir,
+		DeviceSize: 64 << 20,
+	}
+	srv, pm, addr := startServer(t, cfg)
+	c := dial(t, addr)
+	for i := 0; i < 50; i++ {
+		if got := c.cmd(t, fmt.Sprintf("SET key%d value%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d -> %q", i, got)
+		}
+	}
+	c.conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full process-style restart over the device image.
+	_, _, addr2 := startServer(t, cfg)
+	c2 := dial(t, addr2)
+	if got := c2.cmd(t, "COUNT"); got != "COUNT 50" {
+		t.Fatalf("COUNT after restart -> %q", got)
+	}
+	for i := 0; i < 50; i++ {
+		want := fmt.Sprintf("VALUE value%d", i)
+		if got := c2.cmd(t, fmt.Sprintf("GET key%d", i)); got != want {
+			t.Fatalf("GET key%d -> %q", i, got)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package ldapdir
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bdb"
+	"repro/internal/pcmdisk"
+)
+
+// ErrNoSuchEntry reports a search for an absent DN.
+var ErrNoSuchEntry = errors.New("ldapdir: no such entry")
+
+// Backend is a directory storage backend. Session returns a per-worker
+// handle; sessions of the same backend may be used concurrently.
+type Backend interface {
+	Name() string
+	Session() (Session, error)
+	Close() error
+}
+
+// Session is a per-worker view of a backend.
+type Session interface {
+	Add(e *Entry) error
+	Search(dn string) (*Entry, error)
+	Delete(dn string) error
+}
+
+// dnKey hashes a DN to the 64-bit key space of the stores.
+func dnKey(dn string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(dn); i++ {
+		h ^= uint64(dn[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// entryCache is the volatile read-mostly cache each OpenLDAP backend
+// maintains outside Berkeley DB ("To improve query performance, each
+// backend maintains its own cache of data outside Berkeley DB", §6.2).
+type entryCache struct {
+	mu sync.RWMutex
+	m  map[string]*Entry
+}
+
+func newEntryCache() *entryCache { return &entryCache{m: make(map[string]*Entry)} }
+
+func (c *entryCache) put(e *Entry) {
+	c.mu.Lock()
+	c.m[e.DN] = e
+	c.mu.Unlock()
+}
+
+func (c *entryCache) get(dn string) (*Entry, bool) {
+	c.mu.RLock()
+	e, ok := c.m[dn]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+func (c *entryCache) del(dn string) {
+	c.mu.Lock()
+	delete(c.m, dn)
+	c.mu.Unlock()
+}
+
+// BDBBackend is back-bdb: transactional Berkeley-DB-like storage on a
+// PCM-disk plus the volatile cache.
+type BDBBackend struct {
+	db    *bdb.DB
+	cache *entryCache
+}
+
+// OpenBDBBackend opens back-bdb on the disk.
+func OpenBDBBackend(disk *pcmdisk.Disk) (*BDBBackend, error) {
+	db, err := bdb.Open(disk, bdb.Config{SyncCommit: true})
+	if err != nil {
+		return nil, err
+	}
+	return &BDBBackend{db: db, cache: newEntryCache()}, nil
+}
+
+// Name implements Backend.
+func (b *BDBBackend) Name() string { return "back-bdb" }
+
+// Session implements Backend.
+func (b *BDBBackend) Session() (Session, error) { return (*bdbSession)(b), nil }
+
+// Close implements Backend.
+func (b *BDBBackend) Close() error { return nil }
+
+type bdbSession BDBBackend
+
+func (s *bdbSession) Add(e *Entry) error {
+	if err := s.db.Put(dnKey(e.DN), e.Encode()); err != nil {
+		return err
+	}
+	s.cache.put(e)
+	return nil
+}
+
+func (s *bdbSession) Search(dn string) (*Entry, error) {
+	if e, ok := s.cache.get(dn); ok {
+		return e, nil
+	}
+	buf, err := s.db.Get(dnKey(dn))
+	if err == bdb.ErrNotFound {
+		return nil, ErrNoSuchEntry
+	}
+	if err != nil {
+		return nil, err
+	}
+	e, err := DecodeEntry(buf)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(e)
+	return e, nil
+}
+
+func (s *bdbSession) Delete(dn string) error {
+	err := s.db.Delete(dnKey(dn))
+	if err == bdb.ErrNotFound {
+		return ErrNoSuchEntry
+	}
+	if err != nil {
+		return err
+	}
+	s.cache.del(dn)
+	return nil
+}
+
+// LDBMBackend is back-ldbm: the same store without per-operation
+// durability; it "periodically asks Berkeley DB to flush dirty data to
+// disk to minimize the window of vulnerability" (§6.2).
+type LDBMBackend struct {
+	db         *bdb.DB
+	cache      *entryCache
+	flushEvery uint64
+	ops        atomic.Uint64
+	flushMu    sync.Mutex
+}
+
+// OpenLDBMBackend opens back-ldbm; flushEvery is the periodic-flush
+// interval in update operations (0 selects 1024).
+func OpenLDBMBackend(disk *pcmdisk.Disk, flushEvery uint64) (*LDBMBackend, error) {
+	db, err := bdb.Open(disk, bdb.Config{SyncCommit: false})
+	if err != nil {
+		return nil, err
+	}
+	if flushEvery == 0 {
+		flushEvery = 1024
+	}
+	return &LDBMBackend{db: db, cache: newEntryCache(), flushEvery: flushEvery}, nil
+}
+
+// Name implements Backend.
+func (b *LDBMBackend) Name() string { return "back-ldbm" }
+
+// Session implements Backend.
+func (b *LDBMBackend) Session() (Session, error) { return (*ldbmSession)(b), nil }
+
+// Close flushes outstanding updates.
+func (b *LDBMBackend) Close() error { return b.db.Flush() }
+
+// Flush forces dirty data to the PCM-disk.
+func (b *LDBMBackend) Flush() error {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	return b.db.Flush()
+}
+
+type ldbmSession LDBMBackend
+
+func (s *ldbmSession) bump() error {
+	if s.ops.Add(1)%s.flushEvery == 0 {
+		return (*LDBMBackend)(s).Flush()
+	}
+	return nil
+}
+
+func (s *ldbmSession) Add(e *Entry) error {
+	if err := s.db.Put(dnKey(e.DN), e.Encode()); err != nil {
+		return err
+	}
+	s.cache.put(e)
+	return s.bump()
+}
+
+func (s *ldbmSession) Search(dn string) (*Entry, error) {
+	return (*bdbSession)((*BDBBackend)(nil)).searchVia(s.db, s.cache, dn)
+}
+
+func (s *ldbmSession) Delete(dn string) error {
+	err := s.db.Delete(dnKey(dn))
+	if err == bdb.ErrNotFound {
+		return ErrNoSuchEntry
+	}
+	if err != nil {
+		return err
+	}
+	s.cache.del(dn)
+	return s.bump()
+}
+
+// searchVia shares the cache-then-store lookup between the two BDB-based
+// backends.
+func (*bdbSession) searchVia(db *bdb.DB, cache *entryCache, dn string) (*Entry, error) {
+	if e, ok := cache.get(dn); ok {
+		return e, nil
+	}
+	buf, err := db.Get(dnKey(dn))
+	if err == bdb.ErrNotFound {
+		return nil, ErrNoSuchEntry
+	}
+	if err != nil {
+		return nil, err
+	}
+	e, err := DecodeEntry(buf)
+	if err != nil {
+		return nil, err
+	}
+	cache.put(e)
+	return e, nil
+}

@@ -1,0 +1,153 @@
+// Package ldapdir is an OpenLDAP-like directory server core with the
+// three storage backends compared in Table 4 of the paper:
+//
+//   - back-bdb: the default transactional backend, storing entries in a
+//     Berkeley-DB-like store on a PCM-disk with a volatile entry cache.
+//   - back-ldbm: the same store without transactions; dirty data is
+//     flushed periodically, trading reliability for speed.
+//   - back-mnemosyne: the paper's conversion — the backing store is
+//     removed entirely, leaving only a persistent AVL-tree cache updated
+//     with durable memory transactions.
+//
+// A SLAMD-like load generator produces inetOrgPerson add operations from a
+// deterministic template, and the server runs them over a configurable
+// number of worker threads.
+package ldapdir
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Attr is one named attribute with its values, in LDIF order.
+type Attr struct {
+	Name   string
+	Values []string
+}
+
+// Entry is a directory entry.
+type Entry struct {
+	DN string
+	// Gen tags the entry with the attribute-description table
+	// generation it was encoded under; see DescTable.
+	Gen   uint64
+	Attrs []Attr
+}
+
+// Encode serializes the entry.
+func (e *Entry) Encode() []byte {
+	buf := make([]byte, 0, 256)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Gen)
+	buf = appendString(buf, e.DN)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		buf = appendString(buf, a.Name)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a.Values)))
+		for _, v := range a.Values {
+			buf = appendString(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeEntry parses a serialized entry.
+func DecodeEntry(buf []byte) (*Entry, error) {
+	e := &Entry{}
+	if len(buf) < 8 {
+		return nil, errors.New("ldapdir: short entry")
+	}
+	e.Gen = binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	var err error
+	if e.DN, buf, err = readString(buf); err != nil {
+		return nil, err
+	}
+	if len(buf) < 2 {
+		return nil, errors.New("ldapdir: truncated attr count")
+	}
+	n := binary.LittleEndian.Uint16(buf)
+	buf = buf[2:]
+	for i := 0; i < int(n); i++ {
+		var a Attr
+		if a.Name, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 2 {
+			return nil, errors.New("ldapdir: truncated value count")
+		}
+		nv := binary.LittleEndian.Uint16(buf)
+		buf = buf[2:]
+		for j := 0; j < int(nv); j++ {
+			var v string
+			if v, buf, err = readString(buf); err != nil {
+				return nil, err
+			}
+			a.Values = append(a.Values, v)
+		}
+		e.Attrs = append(e.Attrs, a)
+	}
+	return e, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, errors.New("ldapdir: truncated string")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", nil, errors.New("ldapdir: truncated string body")
+	}
+	return string(buf[2 : 2+n]), buf[2+n:], nil
+}
+
+// Get returns the attribute's values.
+func (e *Entry) Get(name string) []string {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Values
+		}
+	}
+	return nil
+}
+
+// TemplateEntry generates the i-th entry of the SLAMD-like inetOrgPerson
+// workload template (§6.2 uses "a LDIF template to generate a workload of
+// 100,000 directory entries").
+func TemplateEntry(i int) *Entry {
+	uid := fmt.Sprintf("user.%d", i)
+	first := firstNames[i%len(firstNames)]
+	last := lastNames[(i/len(firstNames))%len(lastNames)]
+	return &Entry{
+		DN: fmt.Sprintf("uid=%s,ou=People,dc=example,dc=com", uid),
+		Attrs: []Attr{
+			{Name: "objectClass", Values: []string{"top", "person", "organizationalPerson", "inetOrgPerson"}},
+			{Name: "uid", Values: []string{uid}},
+			{Name: "givenName", Values: []string{first}},
+			{Name: "sn", Values: []string{last}},
+			{Name: "cn", Values: []string{first + " " + last}},
+			{Name: "initials", Values: []string{first[:1] + last[:1]}},
+			{Name: "mail", Values: []string{uid + "@example.com"}},
+			{Name: "userPassword", Values: []string{fmt.Sprintf("password-%d", i)}},
+			{Name: "telephoneNumber", Values: []string{fmt.Sprintf("+1 303 555 %04d", i%10000)}},
+			{Name: "employeeNumber", Values: []string{fmt.Sprintf("%d", i)}},
+			{Name: "description", Values: []string{"This is the description for " + uid + "."}},
+		},
+	}
+}
+
+var firstNames = []string{
+	"Aaron", "Beth", "Carlos", "Dana", "Elena", "Felix", "Grace", "Hiro",
+	"Ingrid", "Jamal", "Keiko", "Liam", "Mona", "Nadia", "Omar", "Priya",
+}
+
+var lastNames = []string{
+	"Anderson", "Bauer", "Chen", "Diaz", "Eriksson", "Fischer", "Garcia",
+	"Haddad", "Ivanov", "Johnson", "Kim", "Lopez", "Muller", "Nakamura",
+	"Okafor", "Patel",
+}

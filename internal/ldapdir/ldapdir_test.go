@@ -1,0 +1,299 @@
+package ldapdir
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mtm"
+	"repro/internal/pcmdisk"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+func TestEntryEncodeDecode(t *testing.T) {
+	e := TemplateEntry(42)
+	e.Gen = 7
+	buf := e.Encode()
+	got, err := DecodeEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DN != e.DN || got.Gen != 7 {
+		t.Fatalf("dn=%q gen=%d", got.DN, got.Gen)
+	}
+	if len(got.Attrs) != len(e.Attrs) {
+		t.Fatalf("attrs = %d", len(got.Attrs))
+	}
+	if got.Get("uid")[0] != "user.42" {
+		t.Fatalf("uid = %v", got.Get("uid"))
+	}
+	if got.Get("nonexistent") != nil {
+		t.Fatal("ghost attribute")
+	}
+}
+
+func TestDecodeGarbageRejected(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2}, make([]byte, 12)} {
+		if _, err := DecodeEntry(b); err == nil && b != nil && len(b) < 10 {
+			t.Fatalf("garbage %v accepted", b)
+		}
+	}
+}
+
+func TestTemplateEntriesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		dn := TemplateEntry(i).DN
+		if seen[dn] {
+			t.Fatalf("duplicate DN %q", dn)
+		}
+		seen[dn] = true
+	}
+}
+
+func newMnemosyneBackend(t *testing.T, gen uint64) (*scm.Device, *region.Runtime, *MnemosyneBackend) {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: 256 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bootMnemosyne(rt, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, rt, b
+}
+
+// bootMnemosyne builds heap+TM+backend over an open runtime, creating the
+// heap region on first boot and reopening it afterwards.
+func bootMnemosyne(rt *region.Runtime, gen uint64) (*MnemosyneBackend, error) {
+	heapPtr, _, err := rt.Static("ldap.heap", 8)
+	if err != nil {
+		return nil, err
+	}
+	mem := rt.NewMemory()
+	var heap *pheap.Heap
+	if base := pmem.Addr(mem.LoadU64(heapPtr)); base == pmem.Nil {
+		base, err := rt.PMapAt(heapPtr, 128<<20, 0)
+		if err != nil {
+			return nil, err
+		}
+		heap, err = pheap.Format(rt, base, 128<<20, pheap.Config{Lanes: 8})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		heap, err = pheap.Open(rt, base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tm, err := mtm.Open(rt, "ldap", mtm.Config{Heap: heap})
+	if err != nil {
+		return nil, err
+	}
+	return OpenMnemosyneBackend(rt, tm, gen)
+}
+
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	out := map[string]Backend{}
+	bdbBack, err := OpenBDBBackend(pcmdisk.Open(pcmdisk.Config{Size: 256 << 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["back-bdb"] = bdbBack
+	ldbmBack, err := OpenLDBMBackend(pcmdisk.Open(pcmdisk.Config{Size: 256 << 20}), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["back-ldbm"] = ldbmBack
+	_, _, mn := newMnemosyneBackend(t, 1)
+	out["back-mnemosyne"] = mn
+	return out
+}
+
+func TestAllBackendsAddSearchDelete(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			sess, err := b.Session()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if err := sess.Add(TemplateEntry(i)); err != nil {
+					t.Fatalf("add %d: %v", i, err)
+				}
+			}
+			e, err := sess.Search(TemplateEntry(7).DN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Get("uid")[0] != "user.7" {
+				t.Fatalf("uid = %v", e.Get("uid"))
+			}
+			if _, err := sess.Search("uid=ghost,dc=example,dc=com"); err != ErrNoSuchEntry {
+				t.Fatalf("ghost search: %v", err)
+			}
+			if err := sess.Delete(TemplateEntry(7).DN); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Search(TemplateEntry(7).DN); err != ErrNoSuchEntry {
+				t.Fatalf("search deleted: %v", err)
+			}
+			if err := sess.Delete(TemplateEntry(7).DN); err != ErrNoSuchEntry {
+				t.Fatalf("double delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestAddWorkloadAllBackends(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			srv := NewServer(b)
+			res, err := srv.RunAddWorkload(4, 0, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d errors", res.Errors)
+			}
+			if res.UpdatesPS <= 0 {
+				t.Fatal("no throughput")
+			}
+			// Verify all entries landed.
+			sess, _ := b.Session()
+			for i := 0; i < 400; i++ {
+				if _, err := sess.Search(TemplateEntry(i).DN); err != nil {
+					t.Fatalf("entry %d missing: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMnemosyneBackendSurvivesCrash(t *testing.T) {
+	dev, rt, b := newMnemosyneBackend(t, 1)
+	sess, err := b.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := sess.Add(TemplateEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash and reincarnate with a new boot generation.
+	dev.Crash(scm.NewRandomPolicy(5))
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := region.Open(dev, region.Config{Dir: rt.Manager().Dir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := bootMnemosyne(rt2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := b2.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e, err := sess2.Search(TemplateEntry(i).DN)
+		if err != nil {
+			t.Fatalf("entry %d lost in crash: %v", i, err)
+		}
+		if e.Get("uid")[0] != fmt.Sprintf("user.%d", i) {
+			t.Fatalf("entry %d corrupted", i)
+		}
+	}
+	// Old-generation entries forced description re-resolution.
+	if b2.Descs().Resolves == 0 {
+		t.Fatal("no stale-description resolutions after restart")
+	}
+}
+
+func TestLDBMLosesUnflushedOnCrash(t *testing.T) {
+	disk := pcmdisk.Open(pcmdisk.Config{Size: 256 << 20})
+	b, err := OpenLDBMBackend(disk, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := b.Session()
+	for i := 0; i < 75; i++ { // one flush at 50 ops, 25 ops exposed
+		if err := sess.Add(TemplateEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk.Crash(-1)
+	b2, err := OpenLDBMBackend(disk, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, _ := b2.Session()
+	// Flushed prefix present.
+	for i := 0; i < 50; i++ {
+		if _, err := sess2.Search(TemplateEntry(i).DN); err != nil {
+			t.Fatalf("flushed entry %d lost: %v", i, err)
+		}
+	}
+	// Some unflushed suffix lost (the window of vulnerability).
+	lost := 0
+	for i := 50; i < 75; i++ {
+		if _, err := sess2.Search(TemplateEntry(i).DN); err == ErrNoSuchEntry {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("expected unflushed entries to be lost")
+	}
+}
+
+func TestBDBBackendSurvivesCrash(t *testing.T) {
+	disk := pcmdisk.Open(pcmdisk.Config{Size: 256 << 20})
+	b, err := OpenBDBBackend(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := b.Session()
+	for i := 0; i < 60; i++ {
+		if err := sess.Add(TemplateEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk.Crash(-1)
+	b2, err := OpenBDBBackend(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, _ := b2.Session()
+	for i := 0; i < 60; i++ {
+		if _, err := sess2.Search(TemplateEntry(i).DN); err != nil {
+			t.Fatalf("transactional entry %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	_, _, b := newMnemosyneBackend(t, 1)
+	srv := NewServer(b)
+	res, err := srv.RunMixedWorkload(2, 0, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}

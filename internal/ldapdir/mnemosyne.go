@@ -1,0 +1,169 @@
+package ldapdir
+
+import (
+	"sync"
+
+	"repro/internal/mtm"
+	"repro/internal/pds"
+	"repro/internal/region"
+)
+
+// MnemosyneBackend is back-mnemosyne, the paper's conversion of back-ldbm:
+// "we modified the back-ldbm backend to remove Berkeley DB and to make the
+// cache persistent with durable transactions. The cache is organized using
+// an AVL tree, which we make persistent by allocating nodes with pmalloc
+// and placing atomic blocks around updates" (§6.2). There is no backing
+// store at all — the persistent cache is the database.
+//
+// The paper also keeps pointers from persistent cache entries to volatile
+// attribute descriptions, guarded by a version number: "Because the
+// volatile descriptions become stale after a restart, we augmented each
+// cache entry with a version number that is used to determine whether the
+// persistent pointer is up-to-date." DescTable reproduces that: each
+// process boot gets a new generation; entries encoded under an old
+// generation re-resolve their attribute descriptions by name on first use.
+type MnemosyneBackend struct {
+	tm    *mtm.TM
+	tree  *pds.AVL
+	descs *DescTable
+}
+
+// DescTable is the volatile attribute-description table kept by the front
+// end. Gen changes on every process start.
+type DescTable struct {
+	Gen uint64
+
+	mu    sync.Mutex
+	byIdx []string
+	index map[string]uint32
+	// Resolves counts slow-path re-resolutions after a restart.
+	Resolves uint64
+}
+
+// NewDescTable builds the table for this process generation.
+func NewDescTable(gen uint64) *DescTable {
+	return &DescTable{Gen: gen, index: make(map[string]uint32)}
+}
+
+// Resolve interns an attribute name, returning its volatile description
+// index for this generation.
+func (d *DescTable) Resolve(name string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i, ok := d.index[name]; ok {
+		return i
+	}
+	i := uint32(len(d.byIdx))
+	d.byIdx = append(d.byIdx, name)
+	d.index[name] = i
+	return i
+}
+
+// Lookup validates a (gen, idx) persistent reference; a stale generation
+// forces a by-name re-resolution, the slow path the paper describes.
+func (d *DescTable) Lookup(gen uint64, idx uint32, name string) string {
+	if gen == d.Gen {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if int(idx) < len(d.byIdx) {
+			return d.byIdx[idx]
+		}
+		return name
+	}
+	d.mu.Lock()
+	d.Resolves++
+	d.mu.Unlock()
+	d.Resolve(name)
+	return name
+}
+
+// OpenMnemosyneBackend opens back-mnemosyne over a region runtime. The TM
+// must have a heap attached. bootGen should differ on every process start
+// (e.g. a timestamp or boot counter).
+func OpenMnemosyneBackend(rt *region.Runtime, tm *mtm.TM, bootGen uint64) (*MnemosyneBackend, error) {
+	root, _, err := rt.Static("ldap.cache", 8)
+	if err != nil {
+		return nil, err
+	}
+	return &MnemosyneBackend{
+		tm:    tm,
+		tree:  pds.NewAVL(root),
+		descs: NewDescTable(bootGen),
+	}, nil
+}
+
+// Name implements Backend.
+func (b *MnemosyneBackend) Name() string { return "back-mnemosyne" }
+
+// Descs exposes the description table (tests).
+func (b *MnemosyneBackend) Descs() *DescTable { return b.descs }
+
+// Session implements Backend: each worker gets its own transaction
+// thread.
+func (b *MnemosyneBackend) Session() (Session, error) {
+	th, err := b.tm.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	return &mnemosyneSession{b: b, th: th}, nil
+}
+
+// Close implements Backend.
+func (b *MnemosyneBackend) Close() error { return nil }
+
+type mnemosyneSession struct {
+	b  *MnemosyneBackend
+	th *mtm.Thread
+}
+
+// Add updates the persistent AVL cache in one durable transaction — the
+// paper's four atomic blocks collapse to one here because Go's API wraps
+// the whole update.
+func (s *mnemosyneSession) Add(e *Entry) error {
+	e.Gen = s.b.descs.Gen
+	for _, a := range e.Attrs {
+		s.b.descs.Resolve(a.Name)
+	}
+	enc := e.Encode()
+	return s.th.Atomic(func(tx *mtm.Tx) error {
+		return s.b.tree.Put(tx, []byte(e.DN), enc)
+	})
+}
+
+func (s *mnemosyneSession) Search(dn string) (*Entry, error) {
+	var buf []byte
+	err := s.th.Atomic(func(tx *mtm.Tx) error {
+		v, err := s.b.tree.Get(tx, []byte(dn))
+		if err != nil {
+			return err
+		}
+		buf = v
+		return nil
+	})
+	if err == pds.ErrNotFound {
+		return nil, ErrNoSuchEntry
+	}
+	if err != nil {
+		return nil, err
+	}
+	e, err := DecodeEntry(buf)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the volatile description pointers: a stale generation
+	// (pre-restart entry) re-resolves by name.
+	for i, a := range e.Attrs {
+		e.Attrs[i].Name = s.b.descs.Lookup(e.Gen, uint32(i), a.Name)
+	}
+	return e, nil
+}
+
+func (s *mnemosyneSession) Delete(dn string) error {
+	err := s.th.Atomic(func(tx *mtm.Tx) error {
+		return s.b.tree.Delete(tx, []byte(dn))
+	})
+	if err == pds.ErrNotFound {
+		return ErrNoSuchEntry
+	}
+	return err
+}

@@ -1,0 +1,96 @@
+package mtm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+)
+
+// truncJob asks the log manager to make one committed transaction's
+// in-place data durable and then truncate its log through pos.
+type truncJob struct {
+	t     *Thread
+	pos   rawl.Pos
+	lines []pmem.Addr
+}
+
+// logManager is the separate thread of §5: "A separate log manager thread
+// consumes the log and forces values out to memory before truncating the
+// log." Moving the flushes and the truncation fence off the commit path is
+// the asynchronous-truncation optimization measured in Figure 6.
+type logManager struct {
+	tm      *TM
+	jobs    chan truncJob
+	quit    chan struct{}
+	halted  bool
+	pending atomic.Int64
+	wg      sync.WaitGroup
+}
+
+func newLogManager(tm *TM) *logManager {
+	m := &logManager{tm: tm, jobs: make(chan truncJob, 4096), quit: make(chan struct{})}
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+func (m *logManager) run() {
+	defer m.wg.Done()
+	mem := m.tm.rt.NewMemory()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case job, ok := <-m.jobs:
+			if !ok {
+				return
+			}
+			for _, line := range job.lines {
+				mem.Flush(line)
+			}
+			mem.Fence()
+			// The data is durable; the redo records up to pos are
+			// no longer needed.
+			job.t.log.TruncateTo(mem, job.pos)
+			m.pending.Add(-1)
+		}
+	}
+}
+
+// halt stops the manager goroutine without draining queued jobs, leaving
+// committed-but-unflushed transactions in the logs.
+func (m *logManager) halt() {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	close(m.quit)
+	m.wg.Wait()
+}
+
+// submit enqueues a job; it blocks when the manager is far behind, which
+// is the backpressure the paper notes: "program threads may stall until
+// there is free log space."
+func (m *logManager) submit(job truncJob) {
+	m.pending.Add(1)
+	m.jobs <- job
+}
+
+// drain waits until every submitted job has completed.
+func (m *logManager) drain() {
+	for !m.halted && m.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+func (m *logManager) stop() {
+	if m.halted {
+		return
+	}
+	m.drain()
+	close(m.jobs)
+	m.wg.Wait()
+}

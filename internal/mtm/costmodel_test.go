@@ -1,0 +1,192 @@
+package mtm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// The accounting delay mode makes the emulator's cost model deterministic,
+// so the per-commit SCM costs of §5/§6.3 can be asserted exactly:
+//
+//	redo commit = 1 fence for the log flush (latency + logged bytes/bw)
+//	            + 1 flush per distinct modified cache line (latency each)
+//	            + 1 fence before truncation
+//	            + 1 fence for the head update (truncate)
+//
+// These tests pin the transaction system to that model; any regression
+// that adds fences or flushes to the commit path fails them.
+
+func costEnv(t *testing.T) (*TM, *Thread, pmem.Addr, *scm.Device) {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{
+		Size:           64 << 20,
+		Mode:           scm.DelayAccount,
+		WriteLatency:   100 * time.Nanosecond,
+		WriteBandwidth: 8 << 30, // 8 GiB/s: 1 byte costs exactly 2^-33 s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapBase, err := rt.PMap(16<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := pheap.Format(rt, heapBase, 16<<20, pheap.Config{Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Open(rt, "cost", Config{Heap: heap, Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := tm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.PMap(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm, th, data, dev
+}
+
+func TestCommitCostModel(t *testing.T) {
+	const lat = 100 * time.Nanosecond
+	cases := []struct {
+		name  string
+		words int
+		lines int64 // distinct cache lines written
+	}{
+		{"1word", 1, 1},
+		{"8words-1line", 8, 1},
+		{"64words-8lines", 64, 8},
+		{"512words-64lines", 512, 64},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, th, data, _ := costEnv(t)
+			// Warm up allocator/table state outside the measured tx.
+			if err := th.Atomic(func(tx *Tx) error {
+				tx.StoreU64(data.Add(1<<19), 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := th.Memory().Context()
+			ctx.ResetAccounting()
+			if err := th.Atomic(func(tx *Tx) error {
+				for w := 0; w < c.words; w++ {
+					tx.StoreU64(data.Add(int64(w)*8), uint64(w))
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got := ctx.AccountedTime()
+
+			// Model: log flush fence (latency + bytes/bw) + per-line
+			// flushes + post-writeback fence + truncate fence.
+			logBytes := logStreamBytes(3 + 2*c.words)
+			bwNs := float64(logBytes) / float64(8<<30) * 1e9
+			truncNs := 8.0 / float64(8<<30) * 1e9
+			want := lat + time.Duration(bwNs) + // log flush fence
+				time.Duration(c.lines)*lat + // per-line flushes
+				lat + // fence after write-back
+				lat + time.Duration(truncNs) // truncate: 8-byte head + fence
+			if got < want-10*time.Nanosecond || got > want+10*time.Nanosecond {
+				t.Fatalf("accounted %v, model %v (words=%d lines=%d)", got, want, c.words, c.lines)
+			}
+		})
+	}
+}
+
+// logStreamBytes returns the bytes streamed into the tornbit log for a
+// record of k payload words: header + payload packed 63 bits per word,
+// padded to whole log words.
+func logStreamBytes(k int) int64 {
+	bits := int64(1+k) * 64
+	return (bits + 62) / 63 * 8
+}
+
+func TestReadOnlyTxCostsNothing(t *testing.T) {
+	_, th, data, _ := costEnv(t)
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(data, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := th.Memory().Context()
+	ctx.ResetAccounting()
+	if err := th.Atomic(func(tx *Tx) error {
+		for i := int64(0); i < 64; i++ {
+			_ = tx.LoadU64(data.Add(i * 8))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.AccountedTime(); got != 0 {
+		t.Fatalf("read-only transaction accounted %v SCM time", got)
+	}
+}
+
+func TestUndoCostsOneFencePerWrite(t *testing.T) {
+	// The §5 argument quantified: undo logging pays a log-flush fence
+	// before every in-place update, so an n-word transaction costs at
+	// least n fences more than redo.
+	const lat = 100 * time.Nanosecond
+	dev, err := scm.Open(scm.Config{
+		Size:           64 << 20,
+		Mode:           scm.DelayAccount,
+		WriteLatency:   lat,
+		WriteBandwidth: 8 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Open(rt, "undocost", Config{Slots: 2, UndoLogging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := tm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.PMap(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const words = 32
+	ctx := th.Memory().Context()
+	ctx.ResetAccounting()
+	if err := th.Atomic(func(tx *Tx) error {
+		for w := int64(0); w < words; w++ {
+			tx.StoreU64(data.Add(w*8), uint64(w))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.AccountedTime()
+	// At minimum: one fence per undo-logged write plus the commit-side
+	// flushes and two fences.
+	min := time.Duration(words) * lat
+	if got < min {
+		t.Fatalf("undo tx accounted %v, expected at least %v (one fence per write)", got, min)
+	}
+}

@@ -1,0 +1,81 @@
+package mtm
+
+// intTable is a small open-addressed hash table mapping uint64 keys to
+// int32 values, reused across transactions. It replaces Go maps on the
+// per-word transactional fast path: map lookups and per-transaction map
+// churn dominated write instrumentation cost (the paper's equivalent
+// figure is ~190 ns per logged word; see §6.3).
+type intTable struct {
+	keys []uint64
+	vals []int32
+	mask uint64
+	n    int
+}
+
+const intTableMinSize = 64
+
+func (t *intTable) init(size int) {
+	t.keys = make([]uint64, size)
+	t.vals = make([]int32, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+}
+
+// reset clears the table, keeping capacity. Key 0 is reserved/absent, so
+// clearing is a memclr of the key array.
+func (t *intTable) reset() {
+	if t.keys == nil {
+		t.init(intTableMinSize)
+		return
+	}
+	clear(t.keys)
+	t.n = 0
+}
+
+func mixKey(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+
+// get returns the value for k and whether it is present. k must be
+// non-zero.
+func (t *intTable) get(k uint64) (int32, bool) {
+	i := mixKey(k) & t.mask
+	for {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i], true
+		case 0:
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or updates k. k must be non-zero.
+func (t *intTable) put(k uint64, v int32) {
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	i := mixKey(k) & t.mask
+	for {
+		switch t.keys[i] {
+		case k:
+			t.vals[i] = v
+			return
+		case 0:
+			t.keys[i] = k
+			t.vals[i] = v
+			t.n++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *intTable) grow() {
+	oldK, oldV := t.keys, t.vals
+	t.init(len(oldK) * 2)
+	for i, k := range oldK {
+		if k != 0 {
+			t.put(k, oldV[i])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mtm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntTableBasic(t *testing.T) {
+	var tab intTable
+	tab.reset()
+	if _, ok := tab.get(42); ok {
+		t.Fatal("ghost entry")
+	}
+	tab.put(42, 7)
+	if v, ok := tab.get(42); !ok || v != 7 {
+		t.Fatalf("get = %d,%v", v, ok)
+	}
+	tab.put(42, 8)
+	if v, _ := tab.get(42); v != 8 {
+		t.Fatalf("update = %d", v)
+	}
+	tab.reset()
+	if _, ok := tab.get(42); ok {
+		t.Fatal("entry survived reset")
+	}
+}
+
+func TestIntTableGrowth(t *testing.T) {
+	var tab intTable
+	tab.reset()
+	for i := uint64(1); i <= 10000; i++ {
+		tab.put(i, int32(i%1000))
+	}
+	for i := uint64(1); i <= 10000; i++ {
+		if v, ok := tab.get(i); !ok || v != int32(i%1000) {
+			t.Fatalf("key %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tab.get(10001); ok {
+		t.Fatal("ghost after growth")
+	}
+}
+
+func TestQuickIntTableMatchesMap(t *testing.T) {
+	// Property: an arbitrary sequence of puts/gets/resets behaves like a
+	// Go map.
+	f := func(seed int64, ops []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tab intTable
+		tab.reset()
+		model := map[uint64]int32{}
+		for _, op := range ops {
+			k := uint64(op%512) + 1 // non-zero keys
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := int32(rng.Intn(1 << 20))
+				tab.put(k, v)
+				model[k] = v
+			case 2:
+				got, ok := tab.get(k)
+				want, wok := model[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 3:
+				if rng.Intn(16) == 0 {
+					tab.reset()
+					model = map[uint64]int32{}
+				}
+			}
+		}
+		for k, want := range model {
+			if got, ok := tab.get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

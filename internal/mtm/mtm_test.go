@@ -1,0 +1,646 @@
+package mtm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+type env struct {
+	dev  *scm.Device
+	rt   *region.Runtime
+	dir  string
+	tm   *TM
+	mem  *region.Mem
+	data pmem.Addr // a 1 MB data region for test payloads
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: 64 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rt, err := region.Open(dev, region.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPtr, _, err := rt.Static("mtmtest.data", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.PMapAt(dataPtr, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Open(rt, "test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{dev: dev, rt: rt, dir: dir, tm: tm, mem: rt.NewMemory(), data: data}
+}
+
+// reopen simulates a restart after a crash: the runtime and TM are rebuilt
+// over the crashed device, running recovery.
+func (e *env) reopen(t *testing.T, policy scm.CrashPolicy, cfg Config) {
+	t.Helper()
+	e.tm.Close()
+	e.dev.Crash(policy)
+	if err := e.rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(e.dev, region.Config{Dir: e.dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.rt = rt
+	e.mem = rt.NewMemory()
+	dataPtr, _, err := rt.Static("mtmtest.data", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.data = pmem.Addr(e.mem.LoadU64(dataPtr))
+	tm, err := Open(rt, "test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.tm = tm
+}
+
+func TestAtomicCommitDurable(t *testing.T) {
+	e := newEnv(t, Config{})
+	th, err := e.tm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 42)
+		tx.StoreU64(e.data.Add(8), 43)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed data survives the worst crash: sync truncation flushed
+	// it before commit returned.
+	e.dev.Crash(scm.DropAll{})
+	if got := e.mem.LoadU64(e.data); got != 42 {
+		t.Fatalf("word0 = %d", got)
+	}
+	if got := e.mem.LoadU64(e.data.Add(8)); got != 43 {
+		t.Fatalf("word1 = %d", got)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	e := newEnv(t, Config{})
+	th, _ := e.tm.NewThread()
+	boom := errors.New("boom")
+	err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 99)
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if got := e.mem.LoadU64(e.data); got != 0 {
+		t.Fatalf("aborted write visible: %d", got)
+	}
+	// Locks must be released: a following transaction succeeds.
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(e.data); got != 7 {
+		t.Fatalf("post-abort commit = %d", got)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	e := newEnv(t, Config{})
+	th, _ := e.tm.NewThread()
+	err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 5)
+		if got := tx.LoadU64(e.data); got != 5 {
+			return fmt.Errorf("read own write = %d", got)
+		}
+		tx.StoreU64(e.data, 6)
+		if got := tx.LoadU64(e.data); got != 6 {
+			return fmt.Errorf("read second write = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteGranularAccess(t *testing.T) {
+	e := newEnv(t, Config{})
+	th, _ := e.tm.NewThread()
+	msg := []byte("durable transactional byte payload!")
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.Store(e.data.Add(3), msg)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.dev.Crash(scm.DropAll{})
+	got := make([]byte, len(msg))
+	e.mem.Load(got, e.data.Add(3))
+	if string(got) != string(msg) {
+		t.Fatalf("payload = %q", got)
+	}
+	// Transactional read sees it too.
+	if err := th.Atomic(func(tx *Tx) error {
+		buf := make([]byte, len(msg))
+		tx.Load(buf, e.data.Add(3))
+		if string(buf) != string(msg) {
+			return fmt.Errorf("tx read %q", buf)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncommittedInvisibleAfterCrash(t *testing.T) {
+	// Drive a transaction manually (white box) and crash before commit:
+	// nothing may survive, even with a KeepAll policy, because the redo
+	// log was never flushed and memory never written.
+	e := newEnv(t, Config{})
+	th, _ := e.tm.NewThread()
+	tx := &th.tx
+	tx.begin()
+	tx.write(e.data, 1234)
+	e.dev.Crash(scm.KeepAll{})
+	e.reopen(t, scm.KeepAll{}, Config{})
+	if got := e.mem.LoadU64(e.data); got != 0 {
+		t.Fatalf("uncommitted write visible after crash: %d", got)
+	}
+}
+
+func TestAsyncRecoveryReplaysCommitted(t *testing.T) {
+	// Async truncation: commit returns before data lines are flushed.
+	// Crash with DropAll before the manager drains: the data writes are
+	// lost, but the flushed redo log replays them at recovery.
+	e := newEnv(t, Config{AsyncTruncation: true})
+	// Stall the manager so jobs stay pending.
+	e.tm.mgr.stop()
+	e.tm.mgr = newBlockedManager(e.tm)
+
+	th, _ := e.tm.NewThread()
+	for i := int64(0); i < 10; i++ {
+		if err := th.Atomic(func(tx *Tx) error {
+			tx.StoreU64(e.data.Add(i*8), uint64(i)+100)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.tm.mgr = nil // prevent Close from draining the blocked manager
+	e.reopen(t, scm.DropAll{}, Config{AsyncTruncation: true})
+	if e.tm.Recovery().Replayed != 10 {
+		t.Fatalf("replayed %d transactions, want 10", e.tm.Recovery().Replayed)
+	}
+	for i := int64(0); i < 10; i++ {
+		if got := e.mem.LoadU64(e.data.Add(i * 8)); got != uint64(i)+100 {
+			t.Fatalf("word %d = %d after replay", i, got)
+		}
+	}
+}
+
+// newBlockedManager returns a manager whose goroutine never processes
+// jobs, keeping logs full of committed records.
+func newBlockedManager(tm *TM) *logManager {
+	m := &logManager{tm: tm, jobs: make(chan truncJob, 4096)}
+	// no goroutine: jobs pile up
+	return m
+}
+
+func TestAsyncDrainTruncates(t *testing.T) {
+	e := newEnv(t, Config{AsyncTruncation: true})
+	th, _ := e.tm.NewThread()
+	for i := int64(0); i < 50; i++ {
+		if err := th.Atomic(func(tx *Tx) error {
+			tx.StoreU64(e.data.Add(i*8), uint64(i)^0xbeef)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.tm.Drain()
+	e.reopen(t, scm.DropAll{}, Config{AsyncTruncation: true})
+	if e.tm.Recovery().Replayed != 0 {
+		t.Fatalf("replayed %d after drain, want 0", e.tm.Recovery().Replayed)
+	}
+	for i := int64(0); i < 50; i++ {
+		if got := e.mem.LoadU64(e.data.Add(i * 8)); got != uint64(i)^0xbeef {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	e := newEnv(t, Config{})
+	const workers = 4
+	const perWorker = 500
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := e.tm.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if err := th.Atomic(func(tx *Tx) error {
+					tx.StoreU64(e.data, tx.LoadU64(e.data)+1)
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(e.data); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := e.tm.Snapshot()
+	if s.Commits != workers*perWorker {
+		t.Fatalf("commits = %d", s.Commits)
+	}
+}
+
+func TestIsolationPreservesInvariant(t *testing.T) {
+	// Bank transfer: concurrent random transfers between 8 accounts
+	// must preserve the total.
+	e := newEnv(t, Config{})
+	const accounts = 8
+	const total = 8000
+	mem := e.rt.NewMemory()
+	for i := int64(0); i < accounts; i++ {
+		pmem.StoreDurable(mem, e.data.Add(i*8), total/accounts)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th, err := e.tm.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				from := int64(rng.Intn(accounts))
+				to := int64(rng.Intn(accounts))
+				amt := uint64(rng.Intn(10))
+				err := th.Atomic(func(tx *Tx) error {
+					f := tx.LoadU64(e.data.Add(from * 8))
+					if f < amt {
+						return nil // commit read-only
+					}
+					tx.StoreU64(e.data.Add(from*8), f-amt)
+					tx.StoreU64(e.data.Add(to*8), tx.LoadU64(e.data.Add(to*8))+amt)
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i := int64(0); i < accounts; i++ {
+		sum += e.mem.LoadU64(e.data.Add(i * 8))
+	}
+	if sum != total {
+		t.Fatalf("sum = %d, want %d", sum, total)
+	}
+}
+
+func TestCrashStressRandomUpdates(t *testing.T) {
+	// §6.2: "we wrote a crash stress program, which uses transactions to
+	// perform random updates to memory using a known seed. We verified
+	// that after a crash, memory contains the correct random values."
+	for seed := int64(1); seed <= 10; seed++ {
+		e := newEnv(t, Config{})
+		th, _ := e.tm.NewThread()
+		rng := rand.New(rand.NewSource(seed))
+		expect := map[int64]uint64{}
+		for i := 0; i < 100; i++ {
+			n := 1 + rng.Intn(8)
+			writes := make(map[int64]uint64, n)
+			for j := 0; j < n; j++ {
+				off := int64(rng.Intn(1024)) * 8
+				writes[off] = rng.Uint64()
+			}
+			if err := th.Atomic(func(tx *Tx) error {
+				for off, v := range writes {
+					tx.StoreU64(e.data.Add(off), v)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for off, v := range writes {
+				expect[off] = v
+			}
+		}
+		e.reopen(t, scm.NewRandomPolicy(seed), Config{})
+		for off, v := range expect {
+			if got := e.mem.LoadU64(e.data.Add(off)); got != v {
+				t.Fatalf("seed %d: word at %d = %#x, want %#x", seed, off, got, v)
+			}
+		}
+	}
+}
+
+func TestLargeTransactionSpansLogWraps(t *testing.T) {
+	// A transaction larger than remaining log space triggers the
+	// full-log handling; repeated large transactions wrap the log.
+	e := newEnv(t, Config{LogWords: 1024})
+	th, _ := e.tm.NewThread()
+	for round := 0; round < 20; round++ {
+		if err := th.Atomic(func(tx *Tx) error {
+			for i := int64(0); i < 100; i++ {
+				tx.StoreU64(e.data.Add(i*8), uint64(round*1000)+uint64(i))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		if got := e.mem.LoadU64(e.data.Add(i * 8)); got != uint64(19*1000)+uint64(i) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}
+
+func TestTooManyThreads(t *testing.T) {
+	e := newEnv(t, Config{Slots: 2})
+	if _, err := e.tm.NewThread(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.tm.NewThread(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.tm.NewThread(); err != ErrTooManyThreads {
+		t.Fatalf("third thread: %v", err)
+	}
+}
+
+func TestPMallocCommitAndAbort(t *testing.T) {
+	e := newEnv(t, Config{})
+	heapBase, err := e.rt.PMap(8<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := pheap.Format(e.rt, heapBase, 8<<20, pheap.Config{Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.tm.cfg.Heap = heap
+
+	th, err := e.tm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := e.data // use a data word as the persistent pointer
+
+	// Abort: allocation must be freed and pointer unset.
+	boom := errors.New("boom")
+	if err := th.Atomic(func(tx *Tx) error {
+		if _, err := tx.PMalloc(64, ptr); err != nil {
+			return err
+		}
+		return boom
+	}); err != boom {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(ptr); got != 0 {
+		t.Fatalf("aborted alloc pointer = %#x", got)
+	}
+	free0 := heap.Stats().FreeSuperblocks
+
+	// Commit: block usable and durable.
+	var block pmem.Addr
+	if err := th.Atomic(func(tx *Tx) error {
+		b, err := tx.PMalloc(64, ptr)
+		if err != nil {
+			return err
+		}
+		block = b
+		tx.StoreU64(b, 777)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pmem.Addr(e.mem.LoadU64(ptr)); got != block {
+		t.Fatalf("ptr = %v, want %v", got, block)
+	}
+	if got := e.mem.LoadU64(block); got != 777 {
+		t.Fatalf("block payload = %d", got)
+	}
+
+	// Transactional free: pointer nullified, block released.
+	if err := th.Atomic(func(tx *Tx) error { return tx.PFree(ptr) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(ptr); got != 0 {
+		t.Fatalf("freed pointer = %#x", got)
+	}
+	_ = free0
+	// Aborted PFree leaves the block allocated.
+	if err := th.Atomic(func(tx *Tx) error {
+		if _, err := tx.PMalloc(64, ptr); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Atomic(func(tx *Tx) error {
+		if err := tx.PFree(ptr); err != nil {
+			return err
+		}
+		return boom
+	}); err != boom {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(ptr); got == 0 {
+		t.Fatal("aborted pfree nullified the pointer")
+	}
+}
+
+func TestUndoLoggingBasic(t *testing.T) {
+	e := newEnv(t, Config{UndoLogging: true})
+	th, _ := e.tm.NewThread()
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 11)
+		if got := tx.LoadU64(e.data); got != 11 {
+			return fmt.Errorf("read own undo write = %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.dev.Crash(scm.DropAll{})
+	if got := e.mem.LoadU64(e.data); got != 11 {
+		t.Fatalf("committed undo tx lost: %d", got)
+	}
+}
+
+func TestUndoLoggingAbortRestores(t *testing.T) {
+	e := newEnv(t, Config{UndoLogging: true})
+	th, _ := e.tm.NewThread()
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 50)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 60)
+		return boom
+	}); err != boom {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(e.data); got != 50 {
+		t.Fatalf("abort did not restore: %d", got)
+	}
+}
+
+func TestUndoLoggingCrashRollsBack(t *testing.T) {
+	// Drive an undo transaction half-way, then crash with KeepAll: the
+	// in-place (uncommitted) writes are persistent, and recovery must
+	// roll them back from the undo log.
+	e := newEnv(t, Config{UndoLogging: true})
+	th, _ := e.tm.NewThread()
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 50)
+		tx.StoreU64(e.data.Add(8), 51)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := &th.tx
+	tx.begin()
+	tx.write(e.data, 99)
+	tx.write(e.data.Add(8), 98)
+	// Flush the in-place writes so they are durable, then crash.
+	e.mem.Flush(e.data)
+	e.mem.Fence()
+	e.reopen(t, scm.KeepAll{}, Config{UndoLogging: true})
+	if e.tm.Recovery().Undone != 1 {
+		t.Fatalf("undone = %d, want 1", e.tm.Recovery().Undone)
+	}
+	if got := e.mem.LoadU64(e.data); got != 50 {
+		t.Fatalf("word0 = %d after undo, want 50", got)
+	}
+	if got := e.mem.LoadU64(e.data.Add(8)); got != 51 {
+		t.Fatalf("word1 = %d after undo, want 51", got)
+	}
+}
+
+func TestWriteThroughWritebackMode(t *testing.T) {
+	e := newEnv(t, Config{WriteThroughWriteback: true})
+	th, _ := e.tm.NewThread()
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.StoreU64(e.data, 314)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.dev.Crash(scm.DropAll{})
+	if got := e.mem.LoadU64(e.data); got != 314 {
+		t.Fatalf("WT writeback lost: %d", got)
+	}
+}
+
+func TestRecoveryReplayOrderAcrossThreads(t *testing.T) {
+	// Two threads write the same word in locked (conflict) order; with a
+	// blocked manager nothing truncates, so both records survive the
+	// crash and replay must apply them in timestamp order.
+	e := newEnv(t, Config{AsyncTruncation: true})
+	e.tm.mgr.stop()
+	e.tm.mgr = newBlockedManager(e.tm)
+	t1, _ := e.tm.NewThread()
+	t2, _ := e.tm.NewThread()
+	if err := t1.Atomic(func(tx *Tx) error { tx.StoreU64(e.data, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Atomic(func(tx *Tx) error { tx.StoreU64(e.data, 2); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	e.tm.mgr = nil
+	e.reopen(t, scm.DropAll{}, Config{AsyncTruncation: true})
+	if e.tm.Recovery().Replayed != 2 {
+		t.Fatalf("replayed = %d", e.tm.Recovery().Replayed)
+	}
+	if got := e.mem.LoadU64(e.data); got != 2 {
+		t.Fatalf("final value = %d, want 2 (last committed)", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := newEnv(t, Config{})
+	_ = e
+	dev, _ := scm.Open(scm.Config{Size: 16 << 20, Mode: scm.DelayOff})
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(rt, "bad", Config{UndoLogging: true, AsyncTruncation: true}); err == nil {
+		t.Fatal("undo+async should be rejected")
+	}
+	if _, err := Open(rt, "bad2", Config{Slots: 100000}); err == nil {
+		t.Fatal("huge slots should be rejected")
+	}
+}
+
+func TestReopenRejectsMismatchedGeometry(t *testing.T) {
+	e := newEnv(t, Config{Slots: 4, LogWords: 1024})
+	e.tm.Close()
+	if err := e.rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(e.dev, region.Config{Dir: e.dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(rt, "test", Config{Slots: 8, LogWords: 1024}); err == nil {
+		t.Fatal("expected geometry mismatch error")
+	}
+}

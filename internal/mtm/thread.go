@@ -1,0 +1,674 @@
+package mtm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// ErrTooManyThreads reports that every per-thread log slot is taken.
+var ErrTooManyThreads = errors.New("mtm: out of log slots")
+
+// conflict is the panic value used to unwind a transaction on a conflict
+// abort; Atomic recovers it and retries.
+type conflict struct{}
+
+// txFailure carries a non-conflict fatal error out of transactional code.
+type txFailure struct{ err error }
+
+// Thread is a per-goroutine transaction context bound to one persistent
+// log slot. Threads must not be shared between goroutines.
+type Thread struct {
+	tm     *TM
+	id     uint64 // 1-based; stored in lock words while held
+	mem    *region.Mem
+	log    *rawl.Log
+	logPos rawl.Pos
+	alloc  *pheap.Allocator
+
+	scratch    pmem.Addr // per-thread persistent pointer slots
+	scratchIdx int64
+
+	tx  Tx
+	rng *rand.Rand
+}
+
+// NewThread binds a new transaction thread to a free log slot.
+func (tm *TM) NewThread() (*Thread, error) {
+	id := tm.nextID.Add(1)
+	if id > uint64(tm.cfg.Slots) {
+		return nil, ErrTooManyThreads
+	}
+	mem := tm.rt.NewMemory()
+	log, recs, err := rawl.Open(mem, tm.slotAddr(int(id-1)))
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != 0 {
+		// Open truncated all logs after recovery, so live records can
+		// only mean a bug.
+		return nil, fmt.Errorf("mtm: slot %d has live records", id-1)
+	}
+	t := &Thread{
+		tm:      tm,
+		id:      id,
+		mem:     mem,
+		log:     log,
+		scratch: tm.scratchAddr(int(id - 1)),
+		rng:     rand.New(rand.NewSource(int64(id))),
+	}
+	if tm.cfg.Heap != nil {
+		t.alloc = tm.cfg.Heap.NewAllocator()
+	}
+	t.tx.t = t
+	tm.threadMu.Lock()
+	tm.threads = append(tm.threads, t)
+	tm.threadMu.Unlock()
+	return t, nil
+}
+
+// Memory returns the thread's memory view, for non-transactional
+// persistence-primitive work between transactions.
+func (t *Thread) Memory() *region.Mem { return t.mem }
+
+// nextScratch rotates through the thread's persistent scratch pointer
+// slots, used as pmalloc/pfree destinations for transaction-internal
+// allocation bookkeeping.
+func (t *Thread) nextScratch() pmem.Addr {
+	slot := t.scratch.Add((t.scratchIdx % scratchSlots) * 8)
+	t.scratchIdx++
+	return slot
+}
+
+// scratchAlloc allocates via the heap with a scratch slot as the
+// leak-avoidance destination pointer.
+func (t *Thread) scratchAlloc(size int64) (pmem.Addr, error) {
+	return t.alloc.PMalloc(size, t.nextScratch())
+}
+
+// scratchFor durably stores block into a scratch slot and returns the
+// slot, so the heap's pointer-based PFree can be applied to it.
+func (t *Thread) scratchFor(block pmem.Addr) pmem.Addr {
+	slot := t.nextScratch()
+	pmem.StoreDurable(t.mem, slot, uint64(block))
+	return slot
+}
+
+func (t *Thread) freeBlock(block pmem.Addr) {
+	if err := t.alloc.PFree(t.scratchFor(block)); err != nil {
+		panic(fmt.Sprintf("mtm: rollback free: %v", err))
+	}
+}
+
+// writeEntry is one buffered transactional write.
+type writeEntry struct {
+	addr pmem.Addr
+	val  uint64
+}
+
+// lockEntry remembers an acquired lock and its pre-acquisition version so
+// aborts can restore it.
+type lockEntry struct {
+	idx  uint32
+	prev uint64
+}
+
+// readEntry remembers a lock word observed at read time for commit-time
+// validation.
+type readEntry struct {
+	idx  uint32
+	seen uint64
+}
+
+// Tx is an executing transaction. A Tx is only valid inside the function
+// passed to Atomic.
+type Tx struct {
+	t  *Thread
+	rv uint64 // read snapshot timestamp
+
+	writes  []writeEntry
+	windex  intTable // addr -> writes position
+	reads   []readEntry
+	locks   []lockEntry
+	owned   intTable    // lock index+1 -> locks position
+	lines   intTable    // scratch: distinct cache lines at commit
+	lineBuf []pmem.Addr // scratch: distinct-line output
+	recBuf  []uint64    // scratch: redo record assembly
+
+	undoWrites []writeEntry // undo mode: old values, in write order
+	allocs     []pmem.Addr  // blocks allocated this tx, freed on abort
+	frees      []pmem.Addr  // scratch slots to free at commit
+
+	scratchStart int64 // thread scratch cursor at begin, for clearing
+}
+
+// Atomic runs fn as a durable memory transaction — the library equivalent
+// of the paper's `atomic { ... }` block. The transaction commits when fn
+// returns nil: all its writes become durable atomically. Returning an
+// error aborts and rolls back. Conflicts with concurrent transactions
+// retry automatically with randomized backoff.
+func (t *Thread) Atomic(fn func(tx *Tx) error) error {
+	backoff := time.Microsecond
+	for {
+		err := t.attempt(fn)
+		if err == nil {
+			return nil
+		}
+		if _, isConflict := err.(conflictErr); !isConflict {
+			return err
+		}
+		t.tm.stats.Aborts.Add(1)
+		// Randomized exponential backoff to break livelock.
+		spinFor(time.Duration(t.rng.Int63n(int64(backoff) + 1)))
+		if backoff < 128*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+type conflictErr struct{}
+
+func (conflictErr) Error() string { return "mtm: transaction conflict" }
+
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// attempt runs fn once, translating conflict panics into conflictErr and
+// txFailure panics into returned errors.
+func (t *Thread) attempt(fn func(tx *Tx) error) (err error) {
+	tx := &t.tx
+	tx.begin()
+	defer func() {
+		if r := recover(); r != nil {
+			tx.rollback()
+			switch v := r.(type) {
+			case conflict:
+				err = conflictErr{}
+			case txFailure:
+				err = v.err
+			default:
+				panic(r)
+			}
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.rollback()
+		return err
+	}
+	return tx.commit()
+}
+
+func (tx *Tx) begin() {
+	tx.rv = tx.t.tm.clock.Load()
+	tx.writes = tx.writes[:0]
+	tx.reads = tx.reads[:0]
+	tx.locks = tx.locks[:0]
+	tx.undoWrites = tx.undoWrites[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.windex.reset()
+	tx.owned.reset()
+	tx.scratchStart = tx.t.scratchIdx
+}
+
+func (tx *Tx) abort() {
+	panic(conflict{})
+}
+
+// rollback undoes the attempt: in undo mode the in-place writes are
+// reverted (before locks release, so no other transaction can observe
+// them), allocations made inside the transaction are freed, and locks are
+// restored to their pre-acquisition versions.
+func (tx *Tx) rollback() {
+	t := tx.t
+	if t.tm.cfg.UndoLogging && len(tx.undoWrites) > 0 {
+		for i := len(tx.undoWrites) - 1; i >= 0; i-- {
+			u := tx.undoWrites[i]
+			t.mem.StoreU64(u.addr, u.val)
+			t.mem.Flush(u.addr)
+		}
+		t.mem.Fence()
+		t.log.TruncateAll()
+	}
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		t.tm.lockAt(tx.locks[i].idx).Store(tx.locks[i].prev)
+	}
+	for _, block := range tx.allocs {
+		t.freeBlock(block)
+	}
+	tx.clearScratch()
+}
+
+// clearScratch zeroes the scratch pointer slots this transaction used, so
+// stale block addresses do not conservatively retain garbage during a GC
+// scan. The stores are unfenced: losing them in a crash merely makes a
+// later collection conservative, never unsafe.
+func (tx *Tx) clearScratch() {
+	t := tx.t
+	used := t.scratchIdx - tx.scratchStart
+	if used > scratchSlots {
+		used = scratchSlots
+	}
+	for i := int64(0); i < used; i++ {
+		slot := t.scratch.Add(((tx.scratchStart + i) % scratchSlots) * 8)
+		t.mem.WTStoreU64(slot, 0)
+	}
+}
+
+// read implements transactional load of one word.
+func (tx *Tx) read(a pmem.Addr) uint64 {
+	if i, ok := tx.windex.get(uint64(a)); ok {
+		return tx.writes[i].val
+	}
+	li := tx.t.tm.lockIdx(a)
+	l := tx.t.tm.lockAt(li)
+	w := l.Load()
+	if w&lockedBit != 0 {
+		if _, mine := tx.owned.get(uint64(li) + 1); mine {
+			return tx.t.mem.LoadU64(a)
+		}
+		tx.abort()
+	}
+	v := tx.t.mem.LoadU64(a)
+	if l.Load() != w {
+		tx.abort()
+	}
+	if w > tx.rv {
+		tx.extend()
+	}
+	tx.reads = append(tx.reads, readEntry{idx: li, seen: w})
+	return v
+}
+
+// extend revalidates the read set against the current clock, raising the
+// snapshot (TinySTM timestamp extension); aborts when a read is stale.
+func (tx *Tx) extend() {
+	now := tx.t.tm.clock.Load()
+	if !tx.validate() {
+		tx.abort()
+	}
+	tx.rv = now
+}
+
+func (tx *Tx) validate() bool {
+	for _, r := range tx.reads {
+		cur := tx.t.tm.lockAt(r.idx).Load()
+		if cur == r.seen {
+			continue
+		}
+		if cur&lockedBit != 0 {
+			// Locked by us after we read it: valid iff the version
+			// we saw is the one we locked over.
+			if pos, mine := tx.owned.get(uint64(r.idx) + 1); mine && tx.locks[pos].prev == r.seen {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// write implements transactional store of one word: encounter-time lock
+// acquisition plus redo buffering (or an immediate undo-logged in-place
+// update in the ablation mode).
+func (tx *Tx) write(a pmem.Addr, v uint64) {
+	if !a.IsPersistent() {
+		panic(txFailure{fmt.Errorf("mtm: transactional write to non-persistent address %v", a)})
+	}
+	li := tx.t.tm.lockIdx(a)
+	if _, mine := tx.owned.get(uint64(li) + 1); !mine {
+		l := tx.t.tm.lockAt(li)
+		w := l.Load()
+		if w&lockedBit != 0 {
+			tx.abort() // encounter-time conflict
+		}
+		if w > tx.rv {
+			tx.extend()
+		}
+		if !l.CompareAndSwap(w, lockedBit|tx.t.id) {
+			tx.abort()
+		}
+		tx.owned.put(uint64(li)+1, int32(len(tx.locks)))
+		tx.locks = append(tx.locks, lockEntry{idx: li, prev: w})
+	}
+
+	if tx.t.tm.cfg.UndoLogging {
+		tx.undoStore(a, v)
+		return
+	}
+	if i, ok := tx.windex.get(uint64(a)); ok {
+		tx.writes[i].val = v
+		return
+	}
+	tx.windex.put(uint64(a), int32(len(tx.writes)))
+	tx.writes = append(tx.writes, writeEntry{addr: a, val: v})
+}
+
+// undoStore logs the old value and fences before updating memory in
+// place — the per-write ordering constraint that makes undo logging
+// slower than redo (§5 Discussion).
+func (tx *Tx) undoStore(a pmem.Addr, v uint64) {
+	t := tx.t
+	old := t.mem.LoadU64(a)
+	if err := t.appendRecord([]uint64{tagUndoWrite, uint64(a), old}); err != nil {
+		panic(txFailure{err})
+	}
+	t.log.Flush() // the extra fence, per write
+	t.mem.StoreU64(a, v)
+	tx.undoWrites = append(tx.undoWrites, writeEntry{addr: a, val: old})
+}
+
+// commit makes the transaction durable. Redo mode: validate, take a commit
+// timestamp, stream the write set and timestamp into the thread log with
+// one flush (a single fence), then write the data back and release locks.
+func (tx *Tx) commit() error {
+	t := tx.t
+	tm := t.tm
+	if tm.cfg.UndoLogging {
+		return tx.commitUndo()
+	}
+	if len(tx.writes) == 0 {
+		tm.stats.ReadOnly.Add(1)
+		tx.releaseLocksNoCommit()
+		return nil
+	}
+	if !tx.validate() {
+		tx.rollback()
+		return conflictErr{}
+	}
+
+	// The global timestamp counter, "incremented at every transaction
+	// completion", captures the total order replayed at recovery.
+	ts := tm.clock.Add(1)
+
+	// Write-ahead redo log: [tag, ts, n, (addr,val)...], one record,
+	// one flush. This fence is where durability happens.
+	rec := tx.recBuf[:0]
+	rec = append(rec, tagRedo, ts, uint64(len(tx.writes)))
+	for _, w := range tx.writes {
+		rec = append(rec, uint64(w.addr), w.val)
+	}
+	tx.recBuf = rec
+	if err := t.appendRecord(rec); err != nil {
+		tx.rollback()
+		return err
+	}
+	pos := t.logPos
+	t.log.Flush()
+
+	// Write the new values back in place.
+	if tm.cfg.WriteThroughWriteback {
+		for _, w := range tx.writes {
+			t.mem.WTStoreU64(w.addr, w.val)
+		}
+	} else {
+		// Write back with one dirty-line registration per line: writes
+		// are in program order, so runs over one cache line are common
+		// (bulk value bytes).
+		var lastLine pmem.Addr = ^pmem.Addr(0)
+		for _, w := range tx.writes {
+			if line := w.addr &^ (scm.LineSize - 1); line == lastLine {
+				t.mem.StoreU64InDirtyLine(w.addr, w.val)
+			} else {
+				t.mem.StoreU64(w.addr, w.val)
+				lastLine = line
+			}
+		}
+	}
+
+	if tm.mgr != nil {
+		// Asynchronous truncation: the log manager flushes the
+		// modified lines and truncates later; commit latency excludes
+		// that work. The line list escapes to the manager, so it is
+		// built fresh rather than from the scratch buffer.
+		lines := append([]pmem.Addr(nil), tx.distinctLines(tx.writes)...)
+		tm.mgr.submit(truncJob{t: t, pos: pos, lines: lines})
+	} else {
+		// Synchronous truncation: flush every distinct cache line
+		// written, fence, truncate the whole log.
+		if !tm.cfg.WriteThroughWriteback {
+			for _, line := range tx.distinctLines(tx.writes) {
+				t.mem.Flush(line)
+			}
+		}
+		t.mem.Fence()
+		t.log.TruncateAll()
+	}
+
+	// Release locks with the commit timestamp as the new version.
+	for _, le := range tx.locks {
+		t.tm.lockAt(le.idx).Store(ts)
+	}
+
+	// Deferred frees execute once the transaction is durable.
+	for _, slot := range tx.frees {
+		if err := t.alloc.PFree(slot); err != nil {
+			return fmt.Errorf("mtm: deferred pfree: %w", err)
+		}
+	}
+	tx.clearScratch()
+	tm.stats.Commits.Add(1)
+	return nil
+}
+
+// commitUndo completes an undo-logged transaction: flush the in-place
+// data, fence, then a commit record and a second fence.
+func (tx *Tx) commitUndo() error {
+	t := tx.t
+	tm := t.tm
+	if len(tx.undoWrites) == 0 {
+		tm.stats.ReadOnly.Add(1)
+		tx.releaseLocksNoCommit()
+		return nil
+	}
+	if !tx.validate() {
+		tx.rollback()
+		return conflictErr{}
+	}
+	for _, line := range tx.distinctLines(tx.undoWrites) {
+		t.mem.Flush(line)
+	}
+	t.mem.Fence()
+	ts := tm.clock.Add(1)
+	if err := t.appendRecord([]uint64{tagUndoCommit, ts}); err != nil {
+		tx.rollback()
+		return err
+	}
+	t.log.Flush()
+	t.log.TruncateAll()
+	for _, le := range tx.locks {
+		t.tm.lockAt(le.idx).Store(ts)
+	}
+	for _, slot := range tx.frees {
+		if err := t.alloc.PFree(slot); err != nil {
+			return fmt.Errorf("mtm: deferred pfree: %w", err)
+		}
+	}
+	tx.clearScratch()
+	tm.stats.Commits.Add(1)
+	return nil
+}
+
+// releaseLocksNoCommit releases locks acquired by a transaction that ends
+// up writing nothing (restoring the old versions).
+func (tx *Tx) releaseLocksNoCommit() {
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		tx.t.tm.lockAt(tx.locks[i].idx).Store(tx.locks[i].prev)
+	}
+}
+
+// appendRecord appends to the thread log, handling a full log: in sync
+// mode everything logged is already applied, so truncate and retry; in
+// async mode wait for the log manager — the stall the paper describes
+// when "the log manager thread is unable to execute".
+func (t *Thread) appendRecord(rec []uint64) error {
+	for {
+		pos, err := t.log.Append(rec)
+		if err == nil {
+			t.logPos = pos
+			return nil
+		}
+		if err != rawl.ErrLogFull {
+			return fmt.Errorf("mtm: log append: %w", err)
+		}
+		if t.tm.cfg.UndoLogging {
+			// Mid-transaction undo records cannot be dropped; the
+			// transaction is too large for the log.
+			return fmt.Errorf("mtm: transaction overflows undo log (%d words free)", t.log.FreeWords())
+		}
+		if t.tm.mgr == nil {
+			t.log.Flush()
+			t.log.TruncateAll()
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// distinctLines deduplicates the cache lines touched by the write set
+// into the transaction's scratch buffer (valid until the next call).
+func (tx *Tx) distinctLines(writes []writeEntry) []pmem.Addr {
+	tx.lines.reset()
+	lines := tx.lineBuf[:0]
+	for _, w := range writes {
+		line := w.addr &^ (scm.LineSize - 1)
+		if _, ok := tx.lines.get(uint64(line)); !ok {
+			tx.lines.put(uint64(line), 0)
+			lines = append(lines, line)
+		}
+	}
+	tx.lineBuf = lines
+	return lines
+}
+
+// Public transactional accessors.
+
+// LoadU64 transactionally reads the word at a.
+func (tx *Tx) LoadU64(a pmem.Addr) uint64 { return tx.read(a) }
+
+// StoreU64 transactionally writes the word at a.
+func (tx *Tx) StoreU64(a pmem.Addr, v uint64) { tx.write(a, v) }
+
+// Load transactionally reads len(buf) bytes at a.
+func (tx *Tx) Load(buf []byte, a pmem.Addr) {
+	n := int64(len(buf))
+	i := int64(0)
+	for i < n {
+		w := tx.read((a.Add(i)) &^ 7)
+		shift := uint(uint64(a.Add(i)) & 7)
+		for ; shift < 8 && i < n; shift++ {
+			buf[i] = byte(w >> (shift * 8))
+			i++
+		}
+	}
+}
+
+// Store transactionally writes buf at a.
+func (tx *Tx) Store(a pmem.Addr, buf []byte) {
+	n := int64(len(buf))
+	i := int64(0)
+	for i < n {
+		wordAddr := (a.Add(i)) &^ 7
+		shift := uint(uint64(a.Add(i)) & 7)
+		if shift == 0 && n-i >= 8 {
+			v := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
+				uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
+				uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+			tx.write(wordAddr, v)
+			i += 8
+			continue
+		}
+		w := tx.read(wordAddr)
+		for ; shift < 8 && i < n; shift++ {
+			w &^= 0xff << (shift * 8)
+			w |= uint64(buf[i]) << (shift * 8)
+			i++
+		}
+		tx.write(wordAddr, w)
+	}
+}
+
+// PMalloc allocates persistent memory inside the transaction (Figure 3 of
+// the paper shows pmalloc inside an atomic block). The write of the block
+// address through ptr is transactional; the allocation itself is undone if
+// the transaction aborts.
+func (tx *Tx) PMalloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
+	t := tx.t
+	if t.alloc == nil {
+		return pmem.Nil, errors.New("mtm: no heap attached")
+	}
+	block, err := t.scratchAlloc(size)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	tx.allocs = append(tx.allocs, block)
+	tx.write(ptr, uint64(block))
+	return block, nil
+}
+
+// Alloc allocates persistent memory inside the transaction without
+// writing any user pointer; the caller links the block into its data
+// structure with transactional stores. Leak avoidance is preserved
+// internally: the heap's destination pointer is a per-thread persistent
+// scratch slot. The allocation is undone if the transaction aborts.
+func (tx *Tx) Alloc(size int64) (pmem.Addr, error) {
+	t := tx.t
+	if t.alloc == nil {
+		return pmem.Nil, errors.New("mtm: no heap attached")
+	}
+	block, err := t.scratchAlloc(size)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	tx.allocs = append(tx.allocs, block)
+	return block, nil
+}
+
+// FreeBlock frees the block at addr when the transaction commits; an
+// abort leaves the block intact. The caller is responsible for
+// transactionally unlinking every pointer to it.
+func (tx *Tx) FreeBlock(addr pmem.Addr) error {
+	t := tx.t
+	if t.alloc == nil {
+		return errors.New("mtm: no heap attached")
+	}
+	if addr == pmem.Nil {
+		return errors.New("mtm: free of nil block")
+	}
+	tx.frees = append(tx.frees, t.scratchFor(addr))
+	return nil
+}
+
+// PFree transactionally frees the block pointed to by the persistent
+// pointer at ptr. The pointer is nullified transactionally; the block
+// itself is released only after the transaction commits, so an abort
+// leaves it intact.
+func (tx *Tx) PFree(ptr pmem.Addr) error {
+	t := tx.t
+	if t.alloc == nil {
+		return errors.New("mtm: no heap attached")
+	}
+	block := pmem.Addr(tx.read(ptr))
+	if block == pmem.Nil {
+		return errors.New("mtm: pfree of nil pointer")
+	}
+	tx.write(ptr, 0)
+	tx.frees = append(tx.frees, t.scratchFor(block))
+	return nil
+}

@@ -1,0 +1,299 @@
+// Package pcmdisk emulates the paper's PCM-disk (§6.1): a block device
+// backed by phase-change memory, modeled after Linux's brd RAM disk with
+// write delays. "We model block writes using sequential write-through
+// operations": a flush of n dirty blocks costs one write latency per
+// discontiguous extent plus the transferred bytes at the configured write
+// bandwidth. Reads are free, like the SCM emulator's loads.
+//
+// The disk has page-cache semantics: WriteAt is buffered and fast; Sync
+// pays the PCM write cost for all dirty blocks and makes them durable.
+// Crash drops a policy-chosen subset of unsynced block writes, modeling
+// the torn-write exposure the paper notes for msync-based persistence.
+//
+// A minimal file layer (fixed-size extents carved sequentially) stands in
+// for the paper's ext2 mount; each file sync also writes one metadata
+// block, approximating inode updates.
+package pcmdisk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BlockSize is the device block size.
+const BlockSize = 4096
+
+// Config describes a PCM disk.
+type Config struct {
+	// Size is the device capacity in bytes (rounded up to a block).
+	Size int64
+	// WriteLatency is the per-extent PCM write latency (default 150ns).
+	WriteLatency time.Duration
+	// WriteBandwidth limits transfer, bytes/second (default 4 GB/s).
+	WriteBandwidth float64
+	// Spin selects real busy-wait delays (benchmarks); false disables
+	// delays (tests).
+	Spin bool
+}
+
+func (c *Config) fill() {
+	if c.WriteLatency == 0 {
+		c.WriteLatency = 150 * time.Nanosecond
+	}
+	if c.WriteBandwidth == 0 {
+		c.WriteBandwidth = 4 << 30
+	}
+	if c.Size <= 0 {
+		c.Size = 64 << 20
+	}
+	c.Size = (c.Size + BlockSize - 1) &^ (BlockSize - 1)
+}
+
+// Disk is an emulated PCM block device with a volatile page cache.
+type Disk struct {
+	cfg Config
+
+	mu    sync.Mutex
+	data  []byte           // durable contents
+	dirty map[int64][]byte // block -> pre-image (volatile until Sync)
+	files map[string]*File
+	next  int64 // next free offset for file allocation
+
+	stats Stats
+}
+
+// Stats counts disk activity.
+type Stats struct {
+	Writes, Syncs, BlocksFlushed, BytesWritten int64
+}
+
+// Open creates a PCM disk.
+func Open(cfg Config) *Disk {
+	cfg.fill()
+	return &Disk{
+		cfg:   cfg,
+		data:  make([]byte, cfg.Size),
+		dirty: make(map[int64][]byte),
+		files: make(map[string]*File),
+	}
+}
+
+// Size returns the capacity in bytes.
+func (d *Disk) Size() int64 { return d.cfg.Size }
+
+// Stats returns activity counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ReadAt copies into p from the device. Reads are free and see buffered
+// writes.
+func (d *Disk) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.cfg.Size {
+		return fmt.Errorf("pcmdisk: read [%d,+%d) out of range", off, len(p))
+	}
+	d.mu.Lock()
+	copy(p, d.data[off:])
+	d.mu.Unlock()
+	return nil
+}
+
+// WriteAt buffers p at off (page-cache write: fast, volatile until Sync).
+func (d *Disk) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.cfg.Size {
+		return fmt.Errorf("pcmdisk: write [%d,+%d) out of range", off, len(p))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Save pre-images of the touched blocks the first time they're
+	// dirtied, for crash semantics.
+	first := off &^ (BlockSize - 1)
+	last := (off + int64(len(p)) - 1) &^ (BlockSize - 1)
+	for b := first; b <= last; b += BlockSize {
+		if _, ok := d.dirty[b]; !ok {
+			old := make([]byte, BlockSize)
+			copy(old, d.data[b:])
+			d.dirty[b] = old
+		}
+	}
+	copy(d.data[off:], p)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	return nil
+}
+
+// Sync makes every buffered write durable, paying the PCM cost: one write
+// latency per contiguous dirty extent plus bytes/bandwidth.
+func (d *Disk) Sync() {
+	d.mu.Lock()
+	blocks := make([]int64, 0, len(d.dirty))
+	for b := range d.dirty {
+		blocks = append(blocks, b)
+	}
+	d.dirty = make(map[int64][]byte)
+	d.stats.Syncs++
+	d.stats.BlocksFlushed += int64(len(blocks))
+	d.mu.Unlock()
+
+	if len(blocks) == 0 {
+		d.delay(d.cfg.WriteLatency) // fsync barrier still waits
+		return
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	extents := 1
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i] != blocks[i-1]+BlockSize {
+			extents++
+		}
+	}
+	bytes := int64(len(blocks)) * BlockSize
+	total := time.Duration(extents)*d.cfg.WriteLatency +
+		time.Duration(float64(bytes)/d.cfg.WriteBandwidth*1e9)
+	d.delay(total)
+}
+
+// SyncRange is like Sync but only flushes dirty blocks overlapping
+// [off, off+n) — the msync path used by the Tokyo Cabinet conversion.
+func (d *Disk) SyncRange(off, n int64) {
+	d.mu.Lock()
+	first := off &^ (BlockSize - 1)
+	last := (off + n - 1) &^ (BlockSize - 1)
+	var blocks []int64
+	for b := first; b <= last; b += BlockSize {
+		if _, ok := d.dirty[b]; ok {
+			blocks = append(blocks, b)
+			delete(d.dirty, b)
+		}
+	}
+	d.stats.Syncs++
+	d.stats.BlocksFlushed += int64(len(blocks))
+	d.mu.Unlock()
+
+	extents := 0
+	for i := range blocks {
+		if i == 0 || blocks[i] != blocks[i-1]+BlockSize {
+			extents++
+		}
+	}
+	total := time.Duration(extents)*d.cfg.WriteLatency +
+		time.Duration(float64(int64(len(blocks))*BlockSize)/d.cfg.WriteBandwidth*1e9)
+	if extents == 0 {
+		total = d.cfg.WriteLatency
+	}
+	d.delay(total)
+}
+
+// Crash drops unsynced writes: each dirty block independently keeps its
+// new contents with probability 1/2 under the seeded policy, or loses all
+// of them with seed < 0 (drop-all).
+func (d *Disk) Crash(seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rng *rand.Rand
+	if seed >= 0 {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	for b, old := range d.dirty {
+		if rng == nil || rng.Intn(2) == 0 {
+			copy(d.data[b:b+BlockSize], old)
+		}
+	}
+	d.dirty = make(map[int64][]byte)
+}
+
+// DirtyBlocks reports how many blocks are buffered but not durable.
+func (d *Disk) DirtyBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dirty)
+}
+
+func (d *Disk) delay(t time.Duration) {
+	if !d.cfg.Spin || t <= 0 {
+		return
+	}
+	deadline := time.Now().Add(t)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// File is a fixed-capacity extent on the disk, standing in for an ext2
+// file. Syncing a file also writes one metadata block (its "inode").
+type File struct {
+	d        *Disk
+	name     string
+	meta     int64 // metadata block offset
+	base     int64
+	capacity int64
+
+	mu   sync.Mutex
+	size int64
+}
+
+// CreateFile carves a file of the given capacity (plus one metadata
+// block). Returns the existing file when the name is taken.
+func (d *Disk) CreateFile(name string, capacity int64) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return f, nil
+	}
+	capacity = (capacity + BlockSize - 1) &^ (BlockSize - 1)
+	need := capacity + BlockSize
+	if d.next+need > d.cfg.Size {
+		return nil, errors.New("pcmdisk: disk full")
+	}
+	f := &File{d: d, name: name, meta: d.next, base: d.next + BlockSize, capacity: capacity}
+	d.next += need
+	d.files[name] = f
+	return f, nil
+}
+
+// WriteAt writes into the file (buffered).
+func (f *File) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.capacity {
+		return fmt.Errorf("pcmdisk: file %s write [%d,+%d) out of capacity %d",
+			f.name, off, len(p), f.capacity)
+	}
+	if err := f.d.WriteAt(p, f.base+off); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if off+int64(len(p)) > f.size {
+		f.size = off + int64(len(p))
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// ReadAt reads from the file.
+func (f *File) ReadAt(p []byte, off int64) error {
+	return f.d.ReadAt(p, f.base+off)
+}
+
+// Size returns the written extent of the file.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Sync makes the file's writes durable: its data blocks plus one metadata
+// block write.
+func (f *File) Sync() {
+	var meta [8]byte
+	f.mu.Lock()
+	sz := f.size
+	f.mu.Unlock()
+	for i := 0; i < 8; i++ {
+		meta[i] = byte(sz >> (8 * i))
+	}
+	_ = f.d.WriteAt(meta[:], f.meta)
+	f.d.Sync()
+}

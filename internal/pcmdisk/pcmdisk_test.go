@@ -1,0 +1,160 @@
+package pcmdisk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	msg := []byte("block device payload")
+	if err := d.WriteAt(msg, 777); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := d.ReadAt(got, 777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	if err := d.WriteAt(make([]byte, 10), d.Size()-5); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := d.ReadAt(make([]byte, 10), -1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestCrashDropsUnsyncedWrites(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	if err := d.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	if err := d.WriteAt([]byte{9, 9, 9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(-1) // drop all
+	got := make([]byte, 3)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("after crash = %v", got)
+	}
+	if d.DirtyBlocks() != 0 {
+		t.Fatal("dirty blocks survive crash")
+	}
+}
+
+func TestCrashBlockGranularity(t *testing.T) {
+	// Writes to distinct blocks live or die independently under a
+	// random crash; within one block they live or die together.
+	d := Open(Config{Size: 1 << 20})
+	for b := int64(0); b < 64; b++ {
+		if err := d.WriteAt([]byte{byte(b + 1)}, b*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash(12345)
+	kept, lost := 0, 0
+	got := make([]byte, 1)
+	for b := int64(0); b < 64; b++ {
+		if err := d.ReadAt(got, b*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] == byte(b+1) {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	if kept == 0 || lost == 0 {
+		t.Fatalf("crash not block-granular: kept=%d lost=%d", kept, lost)
+	}
+}
+
+func TestSyncRangeFlushesOnlyRange(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	if err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{2}, 16*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	d.SyncRange(0, 1)
+	if d.DirtyBlocks() != 1 {
+		t.Fatalf("dirty = %d, want 1", d.DirtyBlocks())
+	}
+	d.Crash(-1)
+	got := make([]byte, 1)
+	_ = d.ReadAt(got, 0)
+	if got[0] != 1 {
+		t.Fatal("synced block lost")
+	}
+	_ = d.ReadAt(got, 16*BlockSize)
+	if got[0] != 0 {
+		t.Fatal("unsynced block survived")
+	}
+}
+
+func TestFileCarvingAndSync(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	f1, err := d.CreateFile("a", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := d.CreateFile("b", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WriteAt([]byte("file-a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WriteAt([]byte("file-b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f1.Sync()
+	f2.Sync()
+	got := make([]byte, 6)
+	if err := f1.ReadAt(got, 0); err != nil || string(got) != "file-a" {
+		t.Fatalf("f1 = %q %v", got, err)
+	}
+	if err := f2.ReadAt(got, 0); err != nil || string(got) != "file-b" {
+		t.Fatalf("f2 = %q %v", got, err)
+	}
+	if f1.Size() != 6 {
+		t.Fatalf("f1 size = %d", f1.Size())
+	}
+	// Same name returns the same file.
+	f1b, err := d.CreateFile("a", 1)
+	if err != nil || f1b != f1 {
+		t.Fatal("CreateFile not idempotent by name")
+	}
+	// Capacity enforced.
+	if err := f1.WriteAt(make([]byte, 1), 8192); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	d := Open(Config{Size: 64 << 10})
+	if _, err := d.CreateFile("big", 1<<20); err == nil {
+		t.Fatal("expected disk full")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := Open(Config{Size: 1 << 20})
+	_ = d.WriteAt(make([]byte, 100), 0)
+	d.Sync()
+	s := d.Stats()
+	if s.Writes != 1 || s.Syncs != 1 || s.BlocksFlushed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

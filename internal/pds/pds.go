@@ -1,0 +1,54 @@
+// Package pds provides persistent data structures built on Mnemosyne's
+// durable memory transactions: the chained hash table of the paper's
+// microbenchmarks (§6.3), the AVL tree used by the OpenLDAP conversion
+// (§6.2), the B+ tree used by the Tokyo Cabinet conversion (§6.2), and the
+// red-black tree of the serialization comparison (Table 5).
+//
+// Every structure stores plain persistent addresses (pmem.Addr) in its
+// nodes and performs all reads and writes through a transaction, so any
+// mutation is atomic, durable and isolated. Structures are addressed by a
+// persistent root pointer owned by the caller (typically a pstatic
+// variable or a pmalloc'd block), exactly like the paper's converted
+// applications.
+package pds
+
+import (
+	"repro/internal/mtm"
+	"repro/internal/pmem"
+)
+
+// Value blocks hold variable-length values out-of-line:
+// [0] length, [8...] bytes.
+const valueHdr = 8
+
+// writeValue allocates a value block and fills it transactionally.
+func writeValue(tx *mtm.Tx, val []byte) (pmem.Addr, error) {
+	blk, err := tx.Alloc(valueHdr + int64(len(val)))
+	if err != nil {
+		return pmem.Nil, err
+	}
+	tx.StoreU64(blk, uint64(len(val)))
+	if len(val) > 0 {
+		tx.Store(blk.Add(valueHdr), val)
+	}
+	return blk, nil
+}
+
+// readValue copies a value block's contents.
+func readValue(tx *mtm.Tx, blk pmem.Addr) []byte {
+	n := int64(tx.LoadU64(blk))
+	out := make([]byte, n)
+	if n > 0 {
+		tx.Load(out, blk.Add(valueHdr))
+	}
+	return out
+}
+
+// hash64 is the 64-bit finalizer of SplitMix64, used to spread integer
+// keys over hash buckets.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,359 @@
+package pheap
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+)
+
+// Redo record opcodes. Each record starts with the global sequence number,
+// then the opcode, then operands; replay applies records across all lane
+// logs in sequence order.
+const (
+	opSmallAlloc = 1 // sb, bit, ptrAddr, blockAddr
+	opSmallFree  = 2 // sb, bit, ptrAddr
+	opLargeAlloc = 3 // chunkOff, oldSize, takenSize, ptrAddr
+	opLargeFree  = 4 // chunkOff, ptrAddr
+)
+
+// ErrOutOfMemory reports that the heap cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("pheap: out of persistent memory")
+
+// ErrDoubleFree reports a pfree of memory that is not allocated.
+var ErrDoubleFree = errors.New("pheap: double free")
+
+var allocLaneCounter atomic.Uint64
+
+// Allocator is a per-goroutine handle to the heap. Each allocator is bound
+// to a lane (its redo log plus its active superblocks); allocators on
+// different lanes allocate mostly without contending.
+type Allocator struct {
+	h    *Heap
+	lane *lane
+	idx  int8
+}
+
+// NewAllocator returns an allocator handle bound to the next lane,
+// round-robin. Handles are cheap; create one per worker goroutine.
+func (h *Heap) NewAllocator() *Allocator {
+	i := int(allocLaneCounter.Add(1)-1) % h.numLanes
+	return &Allocator{h: h, lane: h.lanes[i], idx: int8(i)}
+}
+
+// PMalloc allocates size bytes of persistent memory and durably stores the
+// block's address through ptr, a persistent pointer — the paper's
+// leak-avoidance contract: "the pmalloc call takes a persistent pointer as
+// an argument to ensure that memory is not leaked if the system fails just
+// after an allocation." Returns the block address.
+func (a *Allocator) PMalloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
+	if size <= 0 {
+		return pmem.Nil, fmt.Errorf("pheap: pmalloc of %d bytes", size)
+	}
+	if !ptr.IsPersistent() {
+		return pmem.Nil, fmt.Errorf("pheap: pmalloc destination %v is not persistent", ptr)
+	}
+	if size > MaxSmall {
+		return a.largeAlloc(size, ptr)
+	}
+	return a.smallAlloc(size, ptr)
+}
+
+// PFree deallocates the block pointed to by the persistent pointer at ptr
+// and durably nullifies the pointer, "to ensure that the persistent
+// pointer does not continue to point to the deallocated chunk of memory if
+// the system fails just after a deallocation" (§4.3).
+func (a *Allocator) PFree(ptr pmem.Addr) error {
+	if !ptr.IsPersistent() {
+		return fmt.Errorf("pheap: pfree of non-persistent pointer %v", ptr)
+	}
+	a.lane.mu.Lock()
+	defer a.lane.mu.Unlock()
+	block := pmem.Addr(a.lane.mem.LoadU64(ptr))
+	if block == pmem.Nil {
+		return errors.New("pheap: pfree of nil pointer")
+	}
+	h := a.h
+	sbEnd := h.sbData.Add(h.sbCount * SuperblockSize)
+	switch {
+	case block >= h.sbData && block < sbEnd:
+		return a.smallFree(block, ptr)
+	case block >= h.largeAt.Add(chunkHdr) && block < h.largeAt.Add(h.largeSz):
+		return a.largeFree(block, ptr)
+	default:
+		return fmt.Errorf("pheap: pfree of foreign address %v", block)
+	}
+}
+
+// UsableSize reports the capacity of the block at addr (which must be a
+// live allocation).
+func (h *Heap) UsableSize(addr pmem.Addr) (int64, error) {
+	sbEnd := h.sbData.Add(h.sbCount * SuperblockSize)
+	if addr >= h.sbData && addr < sbEnd {
+		sb := int32(addr.Sub(h.sbData) / SuperblockSize)
+		st := &h.sbState[sb]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.class < 0 {
+			return 0, errors.New("pheap: address in unassigned superblock")
+		}
+		return classSize(int(st.class)), nil
+	}
+	if addr >= h.largeAt.Add(chunkHdr) && addr < h.largeAt.Add(h.largeSz) {
+		h.largeMu.Lock()
+		defer h.largeMu.Unlock()
+		hdr := h.largeMem.LoadU64(addr.Add(-chunkHdr))
+		size, inUse := unpackChunk(hdr)
+		if !inUse {
+			return 0, errors.New("pheap: address not allocated")
+		}
+		return size - chunkHdr, nil
+	}
+	return 0, fmt.Errorf("pheap: foreign address %v", addr)
+}
+
+func (a *Allocator) smallAlloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
+	h := a.h
+	c := classFor(size)
+	a.lane.mu.Lock()
+	defer a.lane.mu.Unlock()
+
+	// Find a superblock with a free block: the lane's active one, else
+	// adopt a partial or free superblock. Returns with st.mu held.
+	var sb int32
+	var st *sbState
+	for {
+		sb = a.lane.active[c]
+		if sb >= 0 {
+			st = &h.sbState[sb]
+			st.mu.Lock()
+			if st.free > 0 {
+				break
+			}
+			// Exhausted: drop ownership and find another.
+			st.owner = -1
+			st.mu.Unlock()
+			a.lane.active[c] = -1
+			continue
+		}
+		var ok bool
+		sb, ok = h.adoptSB(c, a.idx)
+		if !ok {
+			return pmem.Nil, ErrOutOfMemory
+		}
+		a.lane.active[c] = sb
+	}
+	defer st.mu.Unlock()
+
+	bs := classSize(c)
+	blocks := int(SuperblockSize / bs)
+	bit := -1
+	for w := 0; w*64 < blocks; w++ {
+		v := st.bitmap[w]
+		if v != ^uint64(0) {
+			b := bits.TrailingZeros64(^v)
+			if w*64+b < blocks {
+				bit = w*64 + b
+				break
+			}
+		}
+	}
+	if bit < 0 {
+		// free count said otherwise; corrupted volatile state.
+		panic("pheap: free count and bitmap disagree")
+	}
+	block := h.sbDataAddr(sb).Add(int64(bit) * bs)
+
+	// Log the redo record, make it durable, then apply: one SCM write to
+	// set the bitmap bit, one to store the destination pointer.
+	seq := h.seq.Add(1)
+	a.appendLog([]uint64{seq, opSmallAlloc, uint64(sb), uint64(bit), uint64(ptr), uint64(block)})
+	w, mask := bit/64, uint64(1)<<(bit%64)
+	a.lane.mem.WTStoreU64(h.sbMetaAddr(sb).Add(16+int64(w)*8), st.bitmap[w]|mask)
+	a.lane.mem.WTStoreU64(ptr, uint64(block))
+	a.lane.mem.Fence()
+
+	st.bitmap[w] |= mask
+	st.free--
+	return block, nil
+}
+
+func (a *Allocator) smallFree(block, ptr pmem.Addr) error {
+	h := a.h
+	sb := int32(block.Sub(h.sbData) / SuperblockSize)
+	st := &h.sbState[sb]
+	st.mu.Lock()
+	if st.class < 0 {
+		st.mu.Unlock()
+		return fmt.Errorf("pheap: pfree of %v in unassigned superblock", block)
+	}
+	bs := classSize(int(st.class))
+	off := block.Sub(h.sbDataAddr(sb))
+	if off%bs != 0 {
+		st.mu.Unlock()
+		return fmt.Errorf("pheap: pfree of misaligned address %v", block)
+	}
+	bit := int(off / bs)
+	w, mask := bit/64, uint64(1)<<(bit%64)
+	if st.bitmap[w]&mask == 0 {
+		st.mu.Unlock()
+		return ErrDoubleFree
+	}
+
+	seq := h.seq.Add(1)
+	a.appendLog([]uint64{seq, opSmallFree, uint64(sb), uint64(bit), uint64(ptr)})
+	a.lane.mem.WTStoreU64(h.sbMetaAddr(sb).Add(16+int64(w)*8), st.bitmap[w]&^mask)
+	a.lane.mem.WTStoreU64(ptr, 0)
+	a.lane.mem.Fence()
+
+	st.bitmap[w] &^= mask
+	st.free++
+	wasFull := st.free == 1
+	becameEmpty := int64(st.free) == SuperblockSize/bs && st.owner == -1
+	class := int(st.class)
+	st.mu.Unlock()
+
+	// Publish availability outside st.mu (lock order: sbMu before st.mu).
+	if becameEmpty || wasFull {
+		h.sbMu.Lock()
+		if becameEmpty {
+			h.freeSBs = append(h.freeSBs, sb)
+		} else {
+			h.partial[class] = append(h.partial[class], sb)
+		}
+		h.sbMu.Unlock()
+	}
+	return nil
+}
+
+// adoptSB finds a superblock for class c and lane: a partially-used one of
+// the same class, else a fully-free one (assigning its class durably).
+func (h *Heap) adoptSB(c int, laneIdx int8) (int32, bool) {
+	h.sbMu.Lock()
+	defer h.sbMu.Unlock()
+
+	lst := h.partial[c]
+	for len(lst) > 0 {
+		sb := lst[len(lst)-1]
+		lst = lst[:len(lst)-1]
+		st := &h.sbState[sb]
+		st.mu.Lock()
+		if st.owner == -1 && int(st.class) == c && st.free > 0 {
+			st.owner = laneIdx
+			st.mu.Unlock()
+			h.partial[c] = lst
+			return sb, true
+		}
+		st.mu.Unlock() // stale entry: skip
+	}
+	h.partial[c] = lst
+
+	for len(h.freeSBs) > 0 {
+		sb := h.freeSBs[len(h.freeSBs)-1]
+		h.freeSBs = h.freeSBs[:len(h.freeSBs)-1]
+		st := &h.sbState[sb]
+		st.mu.Lock()
+		empty := st.class < 0 || int64(st.free) == SuperblockSize/classSize(int(st.class))
+		if st.owner == -1 && empty {
+			bs := classSize(c)
+			// Durably assign the class. The bitmap is already
+			// all-zero (the superblock is empty).
+			h.mem.WTStoreU64(h.sbMetaAddr(sb), uint64(bs))
+			h.mem.Fence()
+			st.class = int8(c)
+			st.free = int32(SuperblockSize / bs)
+			st.owner = laneIdx
+			for i := range st.bitmap {
+				st.bitmap[i] = 0
+			}
+			st.mu.Unlock()
+			return sb, true
+		}
+		st.mu.Unlock()
+	}
+	return 0, false
+}
+
+// appendLog appends a redo record to the lane log, truncating first if the
+// log is full (every record already applied is safe to drop), and makes
+// it durable with the tornbit log's single fence.
+func (a *Allocator) appendLog(rec []uint64) {
+	if _, err := a.lane.log.Append(rec); err != nil {
+		if err != rawl.ErrLogFull {
+			panic(fmt.Sprintf("pheap: log append: %v", err))
+		}
+		a.lane.log.TruncateAll()
+		if _, err := a.lane.log.Append(rec); err != nil {
+			panic(fmt.Sprintf("pheap: log append after truncate: %v", err))
+		}
+	}
+	a.lane.log.Flush()
+}
+
+// replay applies one redo record during Open. Records are idempotent given
+// in-order replay of each lane's unconsumed suffix.
+func (h *Heap) replay(rec []uint64) error {
+	if len(rec) < 2 {
+		return errors.New("pheap: short redo record")
+	}
+	switch rec[1] {
+	case opSmallAlloc:
+		if len(rec) != 6 {
+			return errors.New("pheap: bad smallAlloc record")
+		}
+		sb, bit, ptr, block := int32(rec[2]), int(rec[3]), pmem.Addr(rec[4]), rec[5]
+		if sb < 0 || int64(sb) >= h.sbCount || bit < 0 || bit >= maxBlocksPer {
+			return errors.New("pheap: smallAlloc record out of range")
+		}
+		w, mask := bit/64, uint64(1)<<(bit%64)
+		addr := h.sbMetaAddr(sb).Add(16 + int64(w)*8)
+		h.mem.WTStoreU64(addr, h.mem.LoadU64(addr)|mask)
+		h.mem.WTStoreU64(ptr, block)
+		h.mem.Fence()
+	case opSmallFree:
+		if len(rec) != 5 {
+			return errors.New("pheap: bad smallFree record")
+		}
+		sb, bit, ptr := int32(rec[2]), int(rec[3]), pmem.Addr(rec[4])
+		if sb < 0 || int64(sb) >= h.sbCount || bit < 0 || bit >= maxBlocksPer {
+			return errors.New("pheap: smallFree record out of range")
+		}
+		w, mask := bit/64, uint64(1)<<(bit%64)
+		addr := h.sbMetaAddr(sb).Add(16 + int64(w)*8)
+		h.mem.WTStoreU64(addr, h.mem.LoadU64(addr)&^mask)
+		h.mem.WTStoreU64(ptr, 0)
+		h.mem.Fence()
+	case opLargeAlloc:
+		if len(rec) != 6 {
+			return errors.New("pheap: bad largeAlloc record")
+		}
+		off, oldSize, taken, ptr := int64(rec[2]), int64(rec[3]), int64(rec[4]), pmem.Addr(rec[5])
+		if off < 0 || off+oldSize > h.largeSz || taken > oldSize {
+			return errors.New("pheap: largeAlloc record out of range")
+		}
+		if taken < oldSize {
+			h.mem.WTStoreU64(h.largeAt.Add(off+taken), packChunk(oldSize-taken, false))
+		}
+		h.mem.WTStoreU64(h.largeAt.Add(off), packChunk(taken, true))
+		h.mem.WTStoreU64(ptr, uint64(h.largeAt.Add(off+chunkHdr)))
+		h.mem.Fence()
+	case opLargeFree:
+		if len(rec) != 4 {
+			return errors.New("pheap: bad largeFree record")
+		}
+		off, ptr := int64(rec[2]), pmem.Addr(rec[3])
+		if off < 0 || off >= h.largeSz {
+			return errors.New("pheap: largeFree record out of range")
+		}
+		size, _ := unpackChunk(h.mem.LoadU64(h.largeAt.Add(off)))
+		h.mem.WTStoreU64(h.largeAt.Add(off), packChunk(size, false))
+		h.mem.WTStoreU64(ptr, 0)
+		h.mem.Fence()
+	default:
+		return fmt.Errorf("pheap: unknown redo opcode %d", rec[1])
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package pheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+type env struct {
+	dev  *scm.Device
+	rt   *region.Runtime
+	mem  *region.Mem
+	heap *Heap
+	// ptrs is a small array of persistent pointer slots for tests.
+	ptrs pmem.Addr
+}
+
+func newEnv(t *testing.T, heapSize int64, cfg Config) *env {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: heapSize + 4<<20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := rt.PMap(heapSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Format(rt, base, heapSize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrs, _, err := rt.Static("testptrs", 8*256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{dev: dev, rt: rt, mem: rt.NewMemory(), heap: h, ptrs: ptrs}
+}
+
+func (e *env) ptr(i int) pmem.Addr { return e.ptrs.Add(int64(i) * 8) }
+
+// reopenHeap simulates a restart: crash the device, rebuild the runtime,
+// and Open the heap (replaying logs and scavenging).
+func (e *env) reopenHeap(t *testing.T, policy scm.CrashPolicy) {
+	t.Helper()
+	e.dev.Crash(policy)
+	h, err := Open(e.rt, e.heap.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.heap = h
+}
+
+func TestFormatTooSmallRejected(t *testing.T) {
+	dev, err := scm.Open(scm.Config{Size: 8 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := rt.PMap(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(rt, base, 1024, Config{}); err == nil {
+		t.Fatal("expected error for tiny heap")
+	}
+}
+
+func TestPMallocRequiresPersistentPtr(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	if _, err := a.PMalloc(64, pmem.Addr(12345)); err == nil {
+		t.Fatal("expected error for volatile destination")
+	}
+	if _, err := a.PMalloc(0, e.ptr(0)); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+}
+
+func TestPMallocStoresPointerDurably(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	block, err := a.PMalloc(64, e.ptr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block == pmem.Nil {
+		t.Fatal("nil block")
+	}
+	if got := pmem.Addr(e.mem.LoadU64(e.ptr(0))); got != block {
+		t.Fatalf("ptr = %v, want %v", got, block)
+	}
+	// The pointer write must survive an immediate crash.
+	e.dev.Crash(scm.DropAll{})
+	if got := pmem.Addr(e.mem.LoadU64(e.ptr(0))); got != block {
+		t.Fatalf("ptr after crash = %v, want %v", got, block)
+	}
+}
+
+func TestDistinctAllocationsDoNotOverlap(t *testing.T) {
+	e := newEnv(t, 4<<20, Config{Lanes: 2})
+	a := e.heap.NewAllocator()
+	type alloc struct {
+		addr pmem.Addr
+		size int64
+	}
+	var allocs []alloc
+	sizes := []int64{16, 24, 64, 100, 128, 500, 1024, 4096, 5000, 9000}
+	for i := 0; i < 100; i++ {
+		sz := sizes[i%len(sizes)]
+		addr, err := a.PMalloc(sz, e.ptr(i%256))
+		if err != nil {
+			t.Fatalf("alloc %d (%d bytes): %v", i, sz, err)
+		}
+		us, err := e.heap.UsableSize(addr)
+		if err != nil {
+			t.Fatalf("UsableSize: %v", err)
+		}
+		if us < sz {
+			t.Fatalf("usable %d < requested %d", us, sz)
+		}
+		allocs = append(allocs, alloc{addr, us})
+	}
+	for i := range allocs {
+		for j := i + 1; j < len(allocs); j++ {
+			a, b := allocs[i], allocs[j]
+			if a.addr < b.addr.Add(b.size) && b.addr < a.addr.Add(a.size) {
+				t.Fatalf("allocations %d and %d overlap: %v+%d vs %v+%d",
+					i, j, a.addr, a.size, b.addr, b.size)
+			}
+		}
+	}
+}
+
+func TestPFreeNullifiesPointer(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	if _, err := a.PMalloc(64, e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PFree(e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mem.LoadU64(e.ptr(0)); got != 0 {
+		t.Fatalf("ptr after pfree = %#x", got)
+	}
+	if err := a.PFree(e.ptr(0)); err == nil {
+		t.Fatal("pfree of nil pointer should fail")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	block, err := a.PMalloc(64, e.ptr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PFree(e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-point the slot at the freed block and free again.
+	pmem.StoreDurable(e.mem, e.ptr(0), uint64(block))
+	if err := a.PFree(e.ptr(0)); err != ErrDoubleFree {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestBlockReuseAfterFree(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	first, err := a.PMalloc(64, e.ptr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PFree(e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := a.PMalloc(64, e.ptr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatalf("freed block not reused: %v then %v", first, second)
+	}
+}
+
+func TestAllocationsPersistAcrossReopen(t *testing.T) {
+	e := newEnv(t, 4<<20, Config{Lanes: 2})
+	a := e.heap.NewAllocator()
+	want := map[int]pmem.Addr{}
+	for i := 0; i < 50; i++ {
+		addr, err := a.PMalloc(int64(16+i*8), e.ptr(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmem.StoreDurable(e.mem, addr, uint64(i)*31+7) // payload
+		want[i] = addr
+	}
+	e.reopenHeap(t, scm.DropAll{})
+	a2 := e.heap.NewAllocator()
+	for i, addr := range want {
+		if got := pmem.Addr(e.mem.LoadU64(e.ptr(i))); got != addr {
+			t.Fatalf("ptr %d = %v, want %v", i, got, addr)
+		}
+		if got := e.mem.LoadU64(addr); got != uint64(i)*31+7 {
+			t.Fatalf("payload %d = %d", i, got)
+		}
+	}
+	// The reopened heap must not hand out memory overlapping live
+	// allocations.
+	for i := 50; i < 80; i++ {
+		addr, err := a2.PMalloc(64, e.ptr(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, old := range want {
+			us, _ := e.heap.UsableSize(old)
+			if addr < old.Add(us) && old < addr.Add(64) {
+				t.Fatalf("new alloc %v overlaps surviving alloc %d at %v", addr, j, old)
+			}
+		}
+	}
+}
+
+func TestLargeAllocSplitAndCoalesce(t *testing.T) {
+	e := newEnv(t, 4<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	before := e.heap.Stats().LargeFreeBytes
+	if _, err := a.PMalloc(100<<10, e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PMalloc(50<<10, e.ptr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PFree(e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PFree(e.ptr(1)); err != nil {
+		t.Fatal(err)
+	}
+	after := e.heap.Stats().LargeFreeBytes
+	if after != before {
+		t.Fatalf("large free bytes %d -> %d: coalescing leaked", before, after)
+	}
+	// The whole area must be allocatable again as one block.
+	if _, err := a.PMalloc(before-chunkHdr, e.ptr(2)); err != nil {
+		t.Fatalf("cannot re-allocate coalesced area: %v", err)
+	}
+}
+
+func TestLargeOOMReported(t *testing.T) {
+	e := newEnv(t, 2<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	if _, err := a.PMalloc(1<<30, e.ptr(0)); err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestSmallOOMWhenHeapExhausted(t *testing.T) {
+	e := newEnv(t, MinSize(Config{Lanes: 1})+SuperblockSize, Config{Lanes: 1, LargeFraction: 0.01})
+	a := e.heap.NewAllocator()
+	var err error
+	for i := 0; i < 100000; i++ {
+		if _, err = a.PMalloc(4096, e.ptr(0)); err != nil {
+			break
+		}
+	}
+	if err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestCrashAfterLogBeforeApplyReplays(t *testing.T) {
+	// The redo discipline: once the log record is durable, the
+	// allocation happens even if the bitmap/pointer writes were lost in
+	// the crash. We simulate by crashing with KeepAll for the log (all
+	// writes fenced anyway) — instead, test the general random-crash
+	// invariant: after any crash, ptr and bitmap agree.
+	for seed := int64(0); seed < 30; seed++ {
+		e := newEnv(t, 2<<20, Config{Lanes: 1})
+		a := e.heap.NewAllocator()
+		// A few completed allocations.
+		for i := 0; i < 5; i++ {
+			if _, err := a.PMalloc(64, e.ptr(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.reopenHeap(t, scm.NewRandomPolicy(seed))
+		a2 := e.heap.NewAllocator()
+		// Invariant: every non-nil pointer refers to an allocated
+		// block (PFree succeeds exactly once).
+		for i := 0; i < 5; i++ {
+			if pmem.Addr(e.mem.LoadU64(e.ptr(i))) == pmem.Nil {
+				continue
+			}
+			if err := a2.PFree(e.ptr(i)); err != nil {
+				t.Fatalf("seed %d: pfree slot %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+func TestScavengeRebuildsCounts(t *testing.T) {
+	e := newEnv(t, 4<<20, Config{Lanes: 1})
+	a := e.heap.NewAllocator()
+	for i := 0; i < 200; i++ {
+		if _, err := a.PMalloc(32, e.ptr(i%256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := int64(0)
+	for i := range e.heap.sbState {
+		st := &e.heap.sbState[i]
+		if st.class == int8(classFor(32)) {
+			used += SuperblockSize/32 - int64(st.free)
+		}
+	}
+	if used != 200 {
+		t.Fatalf("used before reopen = %d", used)
+	}
+	e.reopenHeap(t, scm.DropAll{})
+	used = 0
+	for i := range e.heap.sbState {
+		st := &e.heap.sbState[i]
+		if st.class == int8(classFor(32)) {
+			used += SuperblockSize/32 - int64(st.free)
+		}
+	}
+	if used != 200 {
+		t.Fatalf("used after scavenge = %d, want 200", used)
+	}
+	if e.heap.ScavengeTime() <= 0 {
+		t.Fatal("scavenge time not recorded")
+	}
+}
+
+func TestConcurrentAllocatorsStress(t *testing.T) {
+	e := newEnv(t, 16<<20, Config{Lanes: 8})
+	const workers = 8
+	done := make(chan error, workers)
+	slots, _, err := e.rt.Static("stress", 8*workers*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			a := e.heap.NewAllocator()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mySlots := slots.Add(int64(w) * 64 * 8)
+			live := 0
+			for i := 0; i < 2000; i++ {
+				if live < 64 && (live == 0 || rng.Intn(2) == 0) {
+					sz := int64(16 + rng.Intn(6000))
+					if _, err := a.PMalloc(sz, mySlots.Add(int64(live)*8)); err != nil {
+						done <- err
+						return
+					}
+					live++
+				} else {
+					live--
+					if err := a.PFree(mySlots.Add(int64(live) * 8)); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	// Property: after an arbitrary interleaving of allocs and frees, the
+	// set of live blocks is exactly the set of non-nil pointers, and a
+	// reopen preserves it.
+	e := newEnv(t, 8<<20, Config{Lanes: 2})
+	a := e.heap.NewAllocator()
+	rng := rand.New(rand.NewSource(99))
+	live := map[int]pmem.Addr{}
+	for step := 0; step < 3000; step++ {
+		i := rng.Intn(128)
+		if _, ok := live[i]; ok {
+			if err := a.PFree(e.ptr(i)); err != nil {
+				t.Fatalf("step %d: pfree: %v", step, err)
+			}
+			delete(live, i)
+		} else {
+			sz := int64(16 + rng.Intn(8000))
+			addr, err := a.PMalloc(sz, e.ptr(i))
+			if err != nil {
+				t.Fatalf("step %d: pmalloc(%d): %v", step, sz, err)
+			}
+			live[i] = addr
+		}
+	}
+	e.reopenHeap(t, scm.DropAll{})
+	for i, addr := range live {
+		if got := pmem.Addr(e.mem.LoadU64(e.ptr(i))); got != addr {
+			t.Fatalf("slot %d = %v, want %v", i, got, addr)
+		}
+	}
+	// All live blocks freeable exactly once after reopen.
+	a2 := e.heap.NewAllocator()
+	for i := range live {
+		if err := a2.PFree(e.ptr(i)); err != nil {
+			t.Fatalf("pfree slot %d after reopen: %v", i, err)
+		}
+	}
+}

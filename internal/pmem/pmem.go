@@ -1,0 +1,114 @@
+// Package pmem defines the persistent-memory programming interface of
+// Mnemosyne: persistent addresses, the Memory access interface, and the
+// consistent-update helpers of Table 2 in the paper.
+//
+// Persistent data is addressed with Addr, not Go pointers. Go's garbage
+// collector cannot trace a persistent heap, and raw pointers into memory
+// that is remapped across process restarts would be unsafe; Addr is this
+// library's equivalent of the paper's `persistent` pointer annotation —
+// the type system rejects code that confuses a volatile Go pointer with a
+// persistent address.
+//
+// All of Mnemosyne's persistent regions live in a reserved range of the
+// (virtual) address space, one terabyte starting at Base. This allows a
+// quick determination of whether an address refers to persistent data
+// (§4.2 of the paper).
+package pmem
+
+import "fmt"
+
+// Addr is an address in the persistent virtual address space.
+type Addr uint64
+
+// Base is the start of the reserved persistent address range.
+const Base Addr = 1 << 40
+
+// Span is the size of the reserved persistent address range: 1 TB.
+const Span uint64 = 1 << 40
+
+// Nil is the persistent null address. Address zero is never mapped, so it
+// doubles as the "no data" sentinel in persistent data structures.
+const Nil Addr = 0
+
+// IsPersistent reports whether a falls inside the reserved persistent
+// range. The transaction system uses this quick range check to log only
+// writes to persistent memory (§5).
+func (a Addr) IsPersistent() bool {
+	return a >= Base && uint64(a-Base) < Span
+}
+
+// Add returns the address n bytes past a.
+func (a Addr) Add(n int64) Addr { return Addr(int64(a) + n) }
+
+// Sub returns the distance in bytes from b to a.
+func (a Addr) Sub(b Addr) int64 { return int64(a) - int64(b) }
+
+// String formats the address for diagnostics.
+func (a Addr) String() string { return fmt.Sprintf("p%#x", uint64(a)) }
+
+// Memory is the persistence-primitive interface (Table 3 of the paper),
+// bound to a mapped persistent address space. Implementations are
+// per-goroutine: each carries its own emulated write-combining buffer, so
+// a Memory must not be shared between goroutines without external
+// synchronization. Obtain one per worker from the region runtime.
+type Memory interface {
+	// LoadU64 reads the 64-bit word at a. Loads are cached and free.
+	LoadU64(a Addr) uint64
+	// StoreU64 writes through the cache (the store() primitive). The
+	// write is volatile until the containing cache line is flushed.
+	StoreU64(a Addr, v uint64)
+	// WTStoreU64 streams the word toward SCM (the wtstore() primitive).
+	// The write is durable after the next Fence.
+	WTStoreU64(a Addr, v uint64)
+	// Flush writes back the cache line containing a (the flush()
+	// primitive).
+	Flush(a Addr)
+	// FlushRange flushes every cache line overlapping [a, a+n).
+	FlushRange(a Addr, n int64)
+	// Fence orders and completes prior writes (the fence() primitive).
+	Fence()
+
+	// Load, Store and WTStore are byte-granular versions assembled from
+	// atomic word accesses.
+	Load(buf []byte, a Addr)
+	Store(a Addr, buf []byte)
+	WTStore(a Addr, buf []byte)
+}
+
+// The helpers below implement the four consistent-update methods of
+// Table 2. Single-variable and append updates need no ordering inside the
+// update; shadow updates need one ordering constraint; in-place updates
+// are provided by the transaction system (package mtm).
+
+// StoreDurable atomically and durably updates a single 64-bit variable: a
+// single-variable update. Such updates are totally ordered with respect to
+// each other. The store streams to SCM and the fence stalls until it is
+// durable.
+func StoreDurable(m Memory, a Addr, v uint64) {
+	m.WTStoreU64(a, v)
+	m.Fence()
+}
+
+// ShadowUpdate performs a shadow update: writeNew must write the new data
+// (anywhere except *ref), and once that data is durable the reference at
+// ref is atomically swung to newVal. The single ordering constraint —
+// reference modified after the new data completes — is enforced by the
+// intermediate fence.
+//
+// After a failure, a program must find and release unreferenced new data;
+// allocating the new data with the persistent heap's pmalloc (which
+// requires a persistent destination pointer) avoids such leaks.
+func ShadowUpdate(m Memory, ref Addr, newVal uint64, writeNew func(Memory)) {
+	writeNew(m)
+	m.Fence() // new data durable before the reference moves
+	m.WTStoreU64(ref, newVal)
+	m.Fence()
+}
+
+// PublishRange makes [a, a+n) durable: it flushes the covered cache lines
+// and fences. Use after a batch of cacheable stores to complete a shadow
+// or append update written with Store.
+func PublishRange(m Memory, a Addr, n int64) {
+	m.FlushRange(a, n)
+	m.Fence()
+}

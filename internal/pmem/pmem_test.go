@@ -1,0 +1,39 @@
+package pmem
+
+import "testing"
+
+func TestAddrPersistentRange(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want bool
+	}{
+		{Nil, false},
+		{Base - 1, false},
+		{Base, true},
+		{Base + 1, true},
+		{Base + Addr(Span) - 1, true},
+		{Base + Addr(Span), false},
+		{Addr(0x1234), false},
+	}
+	for _, c := range cases {
+		if got := c.a.IsPersistent(); got != c.want {
+			t.Errorf("IsPersistent(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestAddrArithmetic(t *testing.T) {
+	a := Base.Add(128)
+	if a.Sub(Base) != 128 {
+		t.Fatalf("Sub = %d", a.Sub(Base))
+	}
+	if a.Add(-128) != Base {
+		t.Fatalf("Add(-128) = %v", a.Add(-128))
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Base.String(); got != "p0x10000000000" {
+		t.Fatalf("String = %q", got)
+	}
+}

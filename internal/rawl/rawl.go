@@ -1,0 +1,395 @@
+// Package rawl implements Mnemosyne's raw word log (§4.4 of the paper): a
+// high-performance append-only log of uninterpreted word-size values,
+// stored in persistent memory as a fixed-size single-producer /
+// single-consumer Lamport circular buffer.
+//
+// The log's novelty is the tornbit protocol for atomic appends with a
+// single fence. Every 64-bit word in the log buffer reserves one bit — the
+// torn bit — whose value is constant within one pass over the buffer and
+// reverses sense when the log wraps around. Because streaming writes
+// (movntq) are unordered, a crash can persist later words of an append
+// while losing earlier ones; on recovery, such a hole shows up as a word
+// whose torn bit is out of sequence, and the scan stops there. A correct
+// prefix of the log is thus recoverable with no commit records and no
+// checksums, and an append needs only one fence to become durable.
+//
+// Payload words are packed 63 bits per log word, the 64th being the torn
+// bit. Each record is padded to a whole number of log words so records
+// start on word boundaries; this keeps truncation positions exact and
+// recovery parsing simple, at a cost of at most 62 bits of padding per
+// record.
+//
+// Package rawl also provides BaseLog, the conventional alternative the
+// paper compares against in Table 6: whole-word records followed by a
+// commit record, requiring two fences per durable append.
+package rawl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Log header layout, at the log's base address.
+const (
+	hdrMagicOff = 0  // format magic
+	hdrWordsOff = 8  // buffer capacity in words
+	hdrHeadOff  = 16 // packed head: bit63 phase, bits 56-62 torn-bit pos, low bits index
+	hdrSize     = 64 // buffer starts here (cache-line aligned)
+
+	logMagic = 0x4d4e5241574c3031 // "MNRAWL01"
+
+	// recMagic marks a record header in the payload stream. Padding is
+	// zeros, so a zero "header" cleanly terminates parsing.
+	recMagic = 0xA5
+)
+
+// ErrLogFull reports that an append does not fit: the consumer must
+// truncate before the producer can continue.
+var ErrLogFull = errors.New("rawl: log full")
+
+// Pos identifies a log position (a word index plus the torn-bit phase at
+// that index). Append returns the position just past the appended record;
+// TruncateTo with that position consumes the record and everything before
+// it.
+type Pos struct {
+	idx   int64
+	phase uint64
+}
+
+// Log is a tornbit raw word log. The append side (Append, Flush,
+// TruncateAll) belongs to a single producer goroutine. TruncateTo may be
+// called by a separate consumer goroutine with its own pmem.Memory, per
+// the Lamport single-producer/single-consumer discipline.
+type Log struct {
+	mem  pmem.Memory
+	base pmem.Addr
+	n    int64 // buffer capacity in words
+
+	// Producer state (volatile; reconstructed by recovery).
+	tail  int64
+	phase uint64
+	// tornPos is the bit position donated to the torn bit in every log
+	// word (63 by default). Rotate moves it to spread wear over all 64
+	// bit positions, per the paper's §4.5: "RAWL's tornbits may
+	// periodically be shifted to avoid writing 0's and 1's continuously
+	// to the same bits."
+	tornPos uint
+}
+
+// Size returns the number of bytes a log with capacity words of buffer
+// occupies in persistent memory.
+func Size(words int64) int64 { return hdrSize + words*8 }
+
+// MinWords is the smallest useful buffer capacity.
+const MinWords = 8
+
+// Create formats a new log at base with a buffer of words 64-bit words.
+// The buffer is zeroed so the first pass writes torn bit 1.
+func Create(mem pmem.Memory, base pmem.Addr, words int64) (*Log, error) {
+	if words < MinWords {
+		return nil, fmt.Errorf("rawl: capacity %d below minimum %d", words, MinWords)
+	}
+	l := &Log{mem: mem, base: base, n: words, tail: 0, phase: 1, tornPos: 63}
+	for i := int64(0); i < words; i++ {
+		mem.WTStoreU64(l.wordAddr(i), 0)
+	}
+	mem.WTStoreU64(base.Add(hdrWordsOff), uint64(words))
+	mem.WTStoreU64(base.Add(hdrHeadOff), packHead(0, 1, 63))
+	mem.Fence()
+	mem.WTStoreU64(base.Add(hdrMagicOff), logMagic)
+	mem.Fence()
+	return l, nil
+}
+
+// Open attaches to an existing log and recovers its contents: it returns
+// every record that was completely durable at the crash, in append order.
+// The producer's tail is positioned after the last complete record, so
+// appending may resume immediately. Callers normally replay the records
+// and then TruncateAll.
+func Open(mem pmem.Memory, base pmem.Addr) (*Log, [][]uint64, error) {
+	if mem.LoadU64(base.Add(hdrMagicOff)) != logMagic {
+		return nil, nil, fmt.Errorf("rawl: no log at %v", base)
+	}
+	n := int64(mem.LoadU64(base.Add(hdrWordsOff)))
+	if n < MinWords {
+		return nil, nil, fmt.Errorf("rawl: corrupt capacity %d", n)
+	}
+	l := &Log{mem: mem, base: base, n: n}
+	recs := l.recover()
+	return l, recs, nil
+}
+
+func (l *Log) wordAddr(i int64) pmem.Addr { return l.base.Add(hdrSize + i*8) }
+
+func packHead(idx int64, phase uint64, tornPos uint) uint64 {
+	return phase<<63 | uint64(tornPos&0x7f)<<56 | uint64(idx)
+}
+
+func unpackHead(v uint64) (idx int64, phase uint64, tornPos uint) {
+	return int64(v & ((1 << 56) - 1)), v >> 63, uint(v>>56) & 0x7f
+}
+
+func (l *Log) loadHead() (idx int64, phase uint64, tornPos uint) {
+	return unpackHead(l.mem.LoadU64(l.base.Add(hdrHeadOff)))
+}
+
+// packWord inserts the torn bit at position p into a 63-bit payload.
+func packWord(payload, torn uint64, p uint) uint64 {
+	if p == 63 {
+		return payload | torn<<63
+	}
+	lowMask := uint64(1)<<p - 1
+	return payload&lowMask | torn<<p | payload>>p<<(p+1)
+}
+
+// unpackWord extracts the 63-bit payload and the torn bit at position p.
+func unpackWord(w uint64, p uint) (payload, torn uint64) {
+	if p == 63 {
+		return w &^ (1 << 63), w >> 63
+	}
+	lowMask := uint64(1)<<p - 1
+	return w&lowMask | w>>(p+1)<<p, w >> p & 1
+}
+
+// used returns the number of buffer words between the durable head and
+// the producer's tail.
+func (l *Log) used() int64 {
+	head, _, _ := l.loadHead()
+	u := l.tail - head
+	if u < 0 {
+		u += l.n
+	}
+	return u
+}
+
+// Capacity returns the buffer capacity in words.
+func (l *Log) Capacity() int64 { return l.n }
+
+// FreeWords returns how many buffer words an append may consume right now.
+func (l *Log) FreeWords() int64 { return l.n - 1 - l.used() }
+
+// recordWords returns the buffer words consumed by a record of k payload
+// words: a header word plus k words, packed 63 payload bits per log word.
+func recordWords(k int64) int64 {
+	bits := (1 + k) * 64
+	return (bits + 62) / 63
+}
+
+// MaxRecordWords returns the largest record payload (in words) this log
+// can hold.
+func (l *Log) MaxRecordWords() int64 {
+	// Invert recordWords against the usable capacity n-1.
+	k := (l.n - 1) * 63 / 64
+	for recordWords(k) > l.n-1 {
+		k--
+	}
+	return k - 1
+}
+
+// Append appends a record of payload words to the log using streaming
+// writes. The record is not durable until Flush (or any later Fence on
+// this Memory). Returns the position just past the record, for use with
+// TruncateTo. Returns ErrLogFull when the record does not fit until the
+// consumer truncates.
+//
+// This is the paper's log_append: "writes record rec by appending it at
+// the end of the log" without guaranteeing persistence.
+func (l *Log) Append(rec []uint64) (Pos, error) {
+	k := int64(len(rec))
+	if k == 0 {
+		return Pos{}, errors.New("rawl: empty record")
+	}
+	if k >= 1<<32 {
+		return Pos{}, errors.New("rawl: record too large")
+	}
+	need := recordWords(k)
+	if need > l.n-1 {
+		return Pos{}, fmt.Errorf("rawl: record of %d words exceeds log capacity", k)
+	}
+	if need > l.FreeWords() {
+		return Pos{}, ErrLogFull
+	}
+
+	var acc uint64 // pending stream bits, LSB first
+	var accN uint
+	emit := func(w uint64) {
+		acc |= w << accN
+		// accN+64 >= 63 always holds, so at least one log word is
+		// ready.
+		l.emitWord(acc &^ (1 << 63))
+		consumed := 63 - accN // bits of w consumed into the emitted word
+		acc = w >> consumed
+		accN = accN + 64 - 63
+		if accN >= 63 {
+			l.emitWord(acc &^ (1 << 63))
+			acc >>= 63
+			accN -= 63
+		}
+	}
+	emit(uint64(recMagic)<<56 | uint64(k))
+	for _, w := range rec {
+		emit(w)
+	}
+	if accN > 0 {
+		l.emitWord(acc &^ (1 << 63)) // pad the final word with zeros
+	}
+	return Pos{idx: l.tail, phase: l.phase}, nil
+}
+
+// emitWord streams one 63-bit payload word with the current torn bit and
+// advances the tail, flipping the phase on wraparound. The torn bit is the
+// word's most significant bit.
+func (l *Log) emitWord(payload uint64) {
+	l.mem.WTStoreU64(l.wordAddr(l.tail), packWord(payload, l.phase, l.tornPos))
+	l.tail++
+	if l.tail == l.n {
+		l.tail = 0
+		l.phase ^= 1
+	}
+}
+
+// Flush blocks until all prior appends are durable: the paper's log_flush,
+// a single fence. This is the entire durability protocol — no commit
+// record, no checksum.
+func (l *Log) Flush() { l.mem.Fence() }
+
+// TruncateAll drops every record in the log (the paper's log_truncate),
+// durably, with a single-variable update of the packed head state.
+// Producer-side call.
+func (l *Log) TruncateAll() {
+	pmem.StoreDurable(l.mem, l.base.Add(hdrHeadOff), packHead(l.tail, l.phase, l.tornPos))
+}
+
+// TruncateTo consumes every record up to and including the one whose
+// Append returned pos. The consumer passes its own Memory, keeping the
+// producer's write-combining buffer out of the consumer's fence.
+func (l *Log) TruncateTo(mem pmem.Memory, pos Pos) {
+	pmem.StoreDurable(mem, l.base.Add(hdrHeadOff), packHead(pos.idx, pos.phase, l.tornPos))
+}
+
+// TornPos reports the current torn-bit position.
+func (l *Log) TornPos() uint { return l.tornPos }
+
+// Rotate moves the torn bit to the next bit position, spreading wear over
+// all 64 bits of each log word (§4.5). The log must be empty (truncated);
+// the buffer is re-zeroed so the new position scans correctly, and the
+// position change commits with a single durable head update.
+func (l *Log) Rotate() error {
+	if l.used() != 0 {
+		return errors.New("rawl: rotate requires an empty log")
+	}
+	for i := int64(0); i < l.n; i++ {
+		l.mem.WTStoreU64(l.wordAddr(i), 0)
+	}
+	l.mem.Fence()
+	l.tornPos = (l.tornPos + 63) & 63 // 63 -> 62 -> ... -> 0 -> 63
+	l.tail = 0
+	l.phase = 1
+	pmem.StoreDurable(l.mem, l.base.Add(hdrHeadOff), packHead(0, 1, l.tornPos))
+	return nil
+}
+
+// recover scans the buffer from the durable head, accepting words whose
+// torn bit is in sequence, and parses complete records from the accepted
+// prefix. The producer tail resumes after the last complete record.
+func (l *Log) recover() [][]uint64 {
+	head, phase, tornPos := l.loadHead()
+	l.tail, l.phase, l.tornPos = head, phase, tornPos
+
+	// Phase 1: torn-bit scan. Valid words run from head while each torn
+	// bit matches the current pass, flipping expectation on wraparound.
+	// A mismatch is either the end of the written region or a missing
+	// write inside an append; both end the valid prefix.
+	var valid []uint64
+	idx, ph := head, phase
+	for int64(len(valid)) < l.n-1 {
+		payload, torn := unpackWord(l.mem.LoadU64(l.wordAddr(idx)), tornPos)
+		if torn != ph {
+			break
+		}
+		valid = append(valid, payload)
+		idx++
+		if idx == l.n {
+			idx = 0
+			ph ^= 1
+		}
+	}
+
+	// Phase 2: parse records from the 63-bit payload stream. Records
+	// start at log-word boundaries; a zero or unmagical header ends
+	// parsing (padding or never-written space).
+	var recs [][]uint64
+	r := bitReader{words: valid}
+	for {
+		startWord := r.word
+		hdr, ok := r.read64()
+		if !ok || hdr>>56 != recMagic {
+			break
+		}
+		k := int64(uint32(hdr))
+		if k == 0 || recordWords(k) > l.n-1 {
+			break
+		}
+		rec := make([]uint64, 0, k)
+		complete := true
+		for i := int64(0); i < k; i++ {
+			w, ok := r.read64()
+			if !ok {
+				complete = false
+				break
+			}
+			rec = append(rec, w)
+		}
+		if !complete {
+			break
+		}
+		r.alignWord()
+		recs = append(recs, rec)
+		// Track the producer resume point: just past this record.
+		advance := r.word - startWord
+		l.tail += advance
+		for l.tail >= l.n {
+			l.tail -= l.n
+			l.phase ^= 1
+		}
+	}
+	return recs
+}
+
+// bitReader reads 64-bit values from a stream of 63-bit payload words.
+type bitReader struct {
+	words []uint64
+	word  int64 // next word index
+	acc   uint64
+	accN  uint
+}
+
+func (r *bitReader) read64() (uint64, bool) {
+	v := r.acc
+	got := r.accN
+	r.acc, r.accN = 0, 0
+	for {
+		if got >= 64 {
+			return v, true
+		}
+		if r.word >= int64(len(r.words)) {
+			return 0, false
+		}
+		w := r.words[r.word] // low 63 bits are payload
+		r.word++
+		v |= w << got
+		if need := 64 - got; 63 >= need {
+			r.acc = w >> need
+			r.accN = 63 - need
+			return v, true
+		}
+		got += 63
+	}
+}
+
+// alignWord skips to the next log-word boundary (records are padded).
+func (r *bitReader) alignWord() {
+	r.acc, r.accN = 0, 0
+}

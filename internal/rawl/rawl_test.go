@@ -1,0 +1,553 @@
+package rawl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// testEnv returns a runtime, a memory view, and the base address of a
+// fresh persistent region big enough for a log of `words` words.
+func testEnv(t *testing.T, words int64) (*scm.Device, *region.Runtime, *region.Mem, pmem.Addr) {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: 8 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMap(Size(words), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, rt, rt.NewMemory(), addr
+}
+
+func TestCreateOpenEmpty(t *testing.T) {
+	_, _, mem, base := testEnv(t, 128)
+	if _, err := Create(mem, base, 128); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recs))
+	}
+	if l.Capacity() != 128 {
+		t.Fatalf("capacity = %d", l.Capacity())
+	}
+}
+
+func TestOpenGarbageFails(t *testing.T) {
+	_, _, mem, base := testEnv(t, 128)
+	if _, _, err := Open(mem, base); err == nil {
+		t.Fatal("expected error opening unformatted memory")
+	}
+}
+
+func TestAppendFlushRecover(t *testing.T) {
+	dev, _, mem, base := testEnv(t, 256)
+	l, err := Create(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{
+		{1, 2, 3},
+		{0xffffffffffffffff}, // all-ones payload exercises the torn bit path
+		{42, 0, 7, 9, 11},
+	}
+	for _, rec := range want {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Flush()
+	dev.Crash(scm.DropAll{})
+
+	_, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if len(recs[i]) != len(want[i]) {
+			t.Fatalf("record %d has %d words, want %d", i, len(recs[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Fatalf("record %d word %d = %#x, want %#x", i, j, recs[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestUnflushedAppendMayBeLost(t *testing.T) {
+	dev, _, mem, base := testEnv(t, 256)
+	l, err := Create(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]uint64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	// No flush: a DropAll crash must lose the append entirely.
+	dev.Crash(scm.DropAll{})
+	_, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unflushed record recovered: %v", recs)
+	}
+}
+
+func TestPartialAppendDiscardedOnRandomCrash(t *testing.T) {
+	// Flush record A, append record B without flushing, crash randomly.
+	// Recovery must always return A intact, and either B intact (all its
+	// words made it) or no B at all — never a torn B.
+	for seed := int64(0); seed < 50; seed++ {
+		dev, _, mem, base := testEnv(t, 256)
+		l, err := Create(mem, base, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := []uint64{0xa1, 0xa2, 0xa3}
+		b := []uint64{0xb1, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7}
+		if _, err := l.Append(a); err != nil {
+			t.Fatal(err)
+		}
+		l.Flush()
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		dev.Crash(scm.NewRandomPolicy(seed))
+
+		_, recs, err := Open(mem, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) < 1 || len(recs) > 2 {
+			t.Fatalf("seed %d: recovered %d records", seed, len(recs))
+		}
+		if len(recs[0]) != len(a) || recs[0][0] != 0xa1 {
+			t.Fatalf("seed %d: record A damaged: %v", seed, recs[0])
+		}
+		if len(recs) == 2 {
+			if len(recs[1]) != len(b) {
+				t.Fatalf("seed %d: torn record B: %v", seed, recs[1])
+			}
+			for j := range b {
+				if recs[1][j] != b[j] {
+					t.Fatalf("seed %d: record B corrupt at %d", seed, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTornBitDetectsInjectedBitFlips(t *testing.T) {
+	// §6.2: "we tested the torn-bit feature of the RAWL by injecting bit
+	// flips into the log before a crash". Flipping a torn bit inside a
+	// flushed record must cause recovery to discard that record and
+	// everything after it, never to return corrupt data as valid.
+	dev, _, mem, base := testEnv(t, 256)
+	l, err := Create(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]uint64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+
+	// Record 1 occupies recordWords(3) = ceil(256/63) = 5 words.
+	// Flip the torn bit of the first word of record 2 (word index 5).
+	word5 := base.Add(hdrSize + 5*8)
+	v := mem.LoadU64(word5)
+	mem.WTStoreU64(word5, v^(1<<63))
+	mem.Fence()
+	dev.Crash(scm.DropAll{})
+
+	_, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records after bit flip, want 1", len(recs))
+	}
+	if recs[0][0] != 1 || recs[0][1] != 2 || recs[0][2] != 3 {
+		t.Fatalf("record 1 corrupted: %v", recs[0])
+	}
+}
+
+func TestTruncateAllDropsRecords(t *testing.T) {
+	dev, _, mem, base := testEnv(t, 256)
+	l, err := Create(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]uint64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	l.TruncateAll()
+	dev.Crash(scm.DropAll{})
+	_, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("truncated log recovered %d records", len(recs))
+	}
+}
+
+func TestTruncateToConsumesPrefix(t *testing.T) {
+	dev, rt, mem, base := testEnv(t, 256)
+	l, err := Create(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posA, err := l.Append([]uint64{0xa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = l.Append([]uint64{0xb}); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	consumerMem := rt.NewMemory()
+	l.TruncateTo(consumerMem, posA)
+	dev.Crash(scm.DropAll{})
+	_, recs, err := Open(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0][0] != 0xb {
+		t.Fatalf("recovered %v, want just record B", recs)
+	}
+}
+
+func TestWrapAroundManyPasses(t *testing.T) {
+	// Capacity 64 words; records of 5 payload words consume
+	// recordWords(5) = ceil(384/63) = 7 words. Append/flush/truncate
+	// hundreds of times so the log wraps and the torn bit reverses many
+	// times, verifying phase bookkeeping on both sides.
+	dev, _, mem, base := testEnv(t, 64)
+	l, err := Create(mem, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		rec := []uint64{uint64(i), uint64(i) * 3, uint64(i) * 7, ^uint64(i), uint64(i) << 40}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		l.Flush()
+		if i%3 == 2 {
+			// Periodically crash + reopen to verify recovery at
+			// arbitrary wrap positions.
+			dev.Crash(scm.DropAll{})
+			var recs [][]uint64
+			l, recs, err = Open(mem, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 3
+			if i == 2 {
+				want = 3
+			}
+			if len(recs) != want {
+				t.Fatalf("iter %d: recovered %d records, want %d", i, len(recs), want)
+			}
+			last := recs[len(recs)-1]
+			if last[0] != uint64(i) {
+				t.Fatalf("iter %d: last record starts with %d", i, last[0])
+			}
+			l.TruncateAll()
+		}
+	}
+}
+
+func TestLogFullReported(t *testing.T) {
+	_, _, mem, base := testEnv(t, 32)
+	l, err := Create(mem, base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if _, lastErr = l.Append([]uint64{1, 2, 3}); lastErr != nil {
+			break
+		}
+	}
+	if lastErr != ErrLogFull {
+		t.Fatalf("expected ErrLogFull, got %v", lastErr)
+	}
+	l.Flush()
+	l.TruncateAll()
+	if _, err := l.Append([]uint64{1, 2, 3}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	_, _, mem, base := testEnv(t, 32)
+	l, err := Create(mem, base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]uint64, 64)
+	if _, err := l.Append(big); err == nil || err == ErrLogFull {
+		t.Fatalf("oversize append: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: any batch of records appended and flushed is recovered
+	// exactly after a DropAll crash.
+	dev, _, mem, base := testEnv(t, 1024)
+	f := func(seed int64, sizes []uint8) bool {
+		l, err := Create(mem, base, 1024)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var want [][]uint64
+		for _, s := range sizes {
+			k := int(s)%16 + 1
+			rec := make([]uint64, k)
+			for i := range rec {
+				rec[i] = rng.Uint64()
+			}
+			if _, err := l.Append(rec); err != nil {
+				break // full: stop appending, what's in must recover
+			}
+			want = append(want, rec)
+		}
+		l.Flush()
+		dev.Crash(scm.DropAll{})
+		_, recs, err := Open(mem, base)
+		if err != nil || len(recs) != len(want) {
+			return false
+		}
+		for i := range want {
+			if len(recs[i]) != len(want[i]) {
+				return false
+			}
+			for j := range want[i] {
+				if recs[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordWordsMath(t *testing.T) {
+	cases := []struct{ k, want int64 }{
+		{1, 3},   // 128 bits -> 3 words of 63 bits
+		{3, 5},   // 256 bits -> ceil(256/63)=5
+		{62, 64}, // 63*64 bits = 4032 -> 64
+		{63, 66}, // 4096 bits -> ceil(4096/63) = 66
+	}
+	for _, c := range cases {
+		if got := recordWords(c.k); got != c.want {
+			t.Errorf("recordWords(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestBaseLogAppendRecover(t *testing.T) {
+	dev, _, mem, base := testEnv(t, 256)
+	l, err := CreateBase(mem, base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{{1, 2}, {3}, {4, 5, 6}}
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Crash(scm.DropAll{})
+	_, recs, err := OpenBase(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Fatalf("record %d word %d = %d", i, j, recs[i][j])
+			}
+		}
+	}
+}
+
+func TestBaseLogSeqRejectsStaleCommit(t *testing.T) {
+	// Fill a pass, truncate, append one record. Recovery must return
+	// only the new record even though stale committed bytes from the
+	// previous pass still follow it in the buffer.
+	dev, _, mem, base := testEnv(t, 64)
+	l, err := CreateBase(mem, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l.Append([]uint64{uint64(i), uint64(i)}); err == ErrLogFull {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.TruncateAll()
+	if err := l.Append([]uint64{0xfeed}); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash(scm.DropAll{})
+	_, recs, err := OpenBase(mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0][0] != 0xfeed {
+		t.Fatalf("recovered %v, want one record 0xfeed", recs)
+	}
+}
+
+func TestBaseLogWrapAround(t *testing.T) {
+	dev, _, mem, base := testEnv(t, 64)
+	l, err := CreateBase(mem, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := l.Append([]uint64{uint64(i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if i%4 == 3 {
+			dev.Crash(scm.DropAll{})
+			var recs [][]uint64
+			l, recs, err = OpenBase(mem, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 4 {
+				t.Fatalf("iter %d: recovered %d records", i, len(recs))
+			}
+			l.TruncateAll()
+		}
+	}
+}
+
+func TestMaxRecordWordsFits(t *testing.T) {
+	_, _, mem, base := testEnv(t, 128)
+	l, err := Create(mem, base, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := l.MaxRecordWords()
+	if k <= 0 {
+		t.Fatalf("MaxRecordWords = %d", k)
+	}
+	if _, err := l.Append(make([]uint64, k)); err != nil {
+		t.Fatalf("max record rejected: %v", err)
+	}
+}
+
+func TestRotateMovesTornBit(t *testing.T) {
+	// §4.5: the torn bit may periodically be shifted to spread wear.
+	// Rotate through several positions, verifying appends and recovery
+	// keep working at each.
+	dev, _, mem, base := testEnv(t, 128)
+	l, err := Create(mem, base, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TornPos() != 63 {
+		t.Fatalf("initial torn pos = %d", l.TornPos())
+	}
+	for round := 0; round < 5; round++ {
+		want := []uint64{uint64(round) * 11, ^uint64(round), 0xabcdef}
+		if _, err := l.Append(want); err != nil {
+			t.Fatal(err)
+		}
+		l.Flush()
+		dev.Crash(scm.DropAll{})
+		var recs [][]uint64
+		l, recs, err = Open(mem, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0][0] != want[0] || recs[0][2] != 0xabcdef {
+			t.Fatalf("round %d: recovered %v", round, recs)
+		}
+		l.TruncateAll()
+		prev := l.TornPos()
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if l.TornPos() == prev {
+			t.Fatalf("round %d: torn pos did not move", round)
+		}
+		// Rotation itself must survive a crash.
+		dev.Crash(scm.DropAll{})
+		pos := l.TornPos()
+		l, _, err = Open(mem, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.TornPos() != pos {
+			t.Fatalf("round %d: torn pos %d lost in crash (got %d)", round, pos, l.TornPos())
+		}
+	}
+}
+
+func TestRotateRequiresEmptyLog(t *testing.T) {
+	_, _, mem, base := testEnv(t, 64)
+	l, err := Create(mem, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	if err := l.Rotate(); err == nil {
+		t.Fatal("rotate of non-empty log must fail")
+	}
+}
+
+func TestQuickPackWordRoundTrip(t *testing.T) {
+	f := func(payload uint64, torn bool, posRaw uint8) bool {
+		payload &= (1 << 63) - 1
+		pos := uint(posRaw) % 64
+		var tb uint64
+		if torn {
+			tb = 1
+		}
+		p, gotTorn := unpackWord(packWord(payload, tb, pos), pos)
+		return p == payload && gotTorn == tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

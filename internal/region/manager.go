@@ -1,0 +1,438 @@
+// Package region implements Mnemosyne's persistent regions (§3.1, §4.2 of
+// the paper): segments of the persistent virtual address space backed by
+// storage-class memory and swappable to backing files.
+//
+// The package has two layers, mirroring the paper's architecture:
+//
+//   - Manager is the kernel-side region manager. It owns the SCM frame
+//     allocator and the persistent mapping table (PMT) stored at the base
+//     of physical SCM, which records <scm frame, backing file, page offset>
+//     triples so that virtual-to-physical mappings survive reboot. Boot
+//     reconstruction scans the PMT, rebuilds the free list and the reverse
+//     map, and reattaches backing files.
+//
+//   - Runtime is the user-side libmnemosyne layer. It keeps a region table
+//     in the static persistent region — which doubles as an intention log
+//     for region creation — implements pmap/punmap and pstatic variables,
+//     and hands out per-goroutine Memory views that translate persistent
+//     addresses to device offsets.
+package region
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/scm"
+)
+
+// Manager metadata layout at the base of the device:
+//
+//	offset 0:   magic (8 bytes)
+//	offset 8:   frame count (8 bytes)
+//	offset 64:  file table, maxFiles entries of 64 bytes
+//	            {nameLen u64, name [56]byte}; id = index+1
+//	after:      persistent mapping table, one 16-byte entry per frame
+//	            {fileID u64, pageOff u64}; fileID 0 marks a free frame
+const (
+	mgrMagic     = 0x4d4e5245474d4752 // "MNREGMGR"
+	maxFiles     = 256
+	fileEntSize  = 64
+	fileNameMax  = 56
+	fileTableOff = 64
+	pmtOff       = fileTableOff + maxFiles*fileEntSize
+	pmtEntSize   = 16
+)
+
+// ErrNoFrames reports that physical SCM is exhausted; the caller may evict
+// a resident page and retry.
+var ErrNoFrames = errors.New("region: out of SCM frames")
+
+// Manager is the kernel-side region manager.
+type Manager struct {
+	dev *scm.Device
+	ctx *scm.Context
+	dir string
+
+	nframes    int32
+	metaFrames int32
+
+	mu      sync.Mutex
+	free    []int32
+	reverse map[uint64]int32 // fileID<<48|pageOff -> frame
+	info    []frameInfo      // volatile copy of the PMT, indexed by frame
+	files   map[uint32]*os.File
+	names   map[string]uint32
+
+	bootTime time.Duration
+}
+
+type frameInfo struct {
+	fileID  uint32
+	pageOff uint64
+}
+
+func fileKey(fileID uint32, pageOff uint64) uint64 {
+	return uint64(fileID)<<48 | pageOff
+}
+
+// BootManager attaches to the device, reconstructs mappings from the
+// persistent mapping table, and reopens backing files in dir. This is the
+// OS-boot reconstruction path of §4.2, timed by the reincarnation
+// benchmark.
+func BootManager(dev *scm.Device, dir string) (*Manager, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		dev:     dev,
+		ctx:     dev.NewContext(),
+		dir:     dir,
+		files:   make(map[uint32]*os.File),
+		names:   make(map[string]uint32),
+		reverse: make(map[uint64]int32),
+	}
+	total := dev.Size() / scm.PageSize
+	if total > 1<<31 {
+		return nil, errors.New("region: device too large")
+	}
+	m.nframes = int32(total)
+	metaBytes := int64(pmtOff) + int64(m.nframes)*pmtEntSize
+	m.metaFrames = int32((metaBytes + scm.PageSize - 1) / scm.PageSize)
+	if m.metaFrames >= m.nframes {
+		return nil, errors.New("region: device too small for mapping table")
+	}
+
+	if m.ctx.LoadU64(0) != mgrMagic {
+		// Fresh device: format the metadata area.
+		m.ctx.WTStoreU64(8, uint64(m.nframes))
+		for f := int32(0); f < m.nframes; f++ {
+			m.ctx.WTStoreU64(m.pmtEntry(f), 0)
+			m.ctx.WTStoreU64(m.pmtEntry(f)+8, 0)
+		}
+		for i := 0; i < maxFiles; i++ {
+			m.ctx.WTStoreU64(fileTableOff+int64(i)*fileEntSize, 0)
+		}
+		m.ctx.Fence()
+		m.ctx.WTStoreU64(0, mgrMagic)
+		m.ctx.Fence()
+	} else if got := m.ctx.LoadU64(8); got != uint64(m.nframes) {
+		return nil, fmt.Errorf("region: device formatted with %d frames, have %d", got, m.nframes)
+	}
+
+	// Reconstruct the file table.
+	for i := 0; i < maxFiles; i++ {
+		ent := fileTableOff + int64(i)*fileEntSize
+		nameLen := m.ctx.LoadU64(ent)
+		if nameLen == 0 || nameLen > fileNameMax {
+			continue
+		}
+		buf := make([]byte, nameLen)
+		m.ctx.Load(buf, ent+8)
+		m.names[string(buf)] = uint32(i + 1)
+	}
+
+	// Scan the PMT: rebuild the free list and reverse map, the moral
+	// equivalent of updating Linux page descriptors and creating VFS
+	// inodes for each mapping.
+	m.info = make([]frameInfo, m.nframes)
+	for f := m.metaFrames; f < m.nframes; f++ {
+		ent := m.pmtEntry(f)
+		fid := uint32(m.ctx.LoadU64(ent))
+		off := m.ctx.LoadU64(ent + 8)
+		if fid == 0 {
+			m.free = append(m.free, f)
+			continue
+		}
+		if _, ok := m.reverse[fileKey(fid, off)]; ok {
+			// A crash during a wear-leveling remap can leave two
+			// frames mapping the same page with identical contents;
+			// keep the first and reclaim the duplicate.
+			m.writePMT(f, 0, 0)
+			m.free = append(m.free, f)
+			continue
+		}
+		m.info[f] = frameInfo{fileID: fid, pageOff: off}
+		m.reverse[fileKey(fid, off)] = f
+	}
+	m.bootTime = time.Since(start)
+	return m, nil
+}
+
+// BootTime reports how long boot reconstruction took (§6.3.2).
+func (m *Manager) BootTime() time.Duration { return m.bootTime }
+
+// Frames reports the number of usable (non-metadata) frames.
+func (m *Manager) Frames() int { return int(m.nframes - m.metaFrames) }
+
+// FreeFrames reports how many frames are currently unallocated.
+func (m *Manager) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// Dir returns the backing-file directory.
+func (m *Manager) Dir() string { return m.dir }
+
+func (m *Manager) pmtEntry(frame int32) int64 {
+	return pmtOff + int64(frame)*pmtEntSize
+}
+
+// FrameBase returns the device offset of a frame.
+func (m *Manager) FrameBase(frame int32) int64 {
+	return int64(frame) * scm.PageSize
+}
+
+// writePMT durably records a frame's mapping.
+func (m *Manager) writePMT(frame int32, fid uint32, pageOff uint64) {
+	ent := m.pmtEntry(frame)
+	m.ctx.WTStoreU64(ent, uint64(fid))
+	m.ctx.WTStoreU64(ent+8, pageOff)
+	m.ctx.Fence()
+}
+
+// CreateFile registers (or finds) a backing file by name and returns its
+// stable id. The registration is durable before the function returns.
+func (m *Manager) CreateFile(name string) (uint32, error) {
+	if len(name) == 0 || len(name) > fileNameMax {
+		return 0, fmt.Errorf("region: bad backing file name %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.names[name]; ok {
+		return id, nil
+	}
+	for i := 0; i < maxFiles; i++ {
+		ent := fileTableOff + int64(i)*fileEntSize
+		if m.ctx.LoadU64(ent) != 0 {
+			continue
+		}
+		m.ctx.WTStore(ent+8, []byte(name))
+		m.ctx.Fence()
+		m.ctx.WTStoreU64(ent, uint64(len(name)))
+		m.ctx.Fence()
+		id := uint32(i + 1)
+		m.names[name] = id
+		return id, nil
+	}
+	return 0, errors.New("region: file table full")
+}
+
+// LookupFile returns the id of a registered backing file.
+func (m *Manager) LookupFile(name string) (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.names[name]
+	return id, ok
+}
+
+// DeleteFile unregisters a backing file and removes it from disk. All its
+// frames must have been freed first.
+func (m *Manager) DeleteFile(id uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var name string
+	for n, i := range m.names {
+		if i == id {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		return fmt.Errorf("region: no file with id %d", id)
+	}
+	ent := fileTableOff + int64(id-1)*fileEntSize
+	m.ctx.WTStoreU64(ent, 0)
+	m.ctx.Fence()
+	delete(m.names, name)
+	if f, ok := m.files[id]; ok {
+		f.Close()
+		delete(m.files, id)
+	}
+	err := os.Remove(filepath.Join(m.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		err = nil
+	}
+	return err
+}
+
+func (m *Manager) fileName(id uint32) string {
+	for n, i := range m.names {
+		if i == id {
+			return n
+		}
+	}
+	return ""
+}
+
+// handle returns (opening if necessary) the OS file for a backing file id.
+// Caller holds m.mu.
+func (m *Manager) handle(id uint32) (*os.File, error) {
+	if f, ok := m.files[id]; ok {
+		return f, nil
+	}
+	name := m.fileName(id)
+	if name == "" {
+		return nil, fmt.Errorf("region: unknown file id %d", id)
+	}
+	f, err := os.OpenFile(filepath.Join(m.dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m.files[id] = f
+	return f, nil
+}
+
+// AllocFrame allocates a free SCM frame for page pageOff of file fid and
+// durably records the mapping. Returns ErrNoFrames when SCM is full; the
+// caller (the runtime) evicts and retries.
+func (m *Manager) AllocFrame(fid uint32, pageOff uint64) (int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.free) == 0 {
+		return 0, ErrNoFrames
+	}
+	frame := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.info[frame] = frameInfo{fileID: fid, pageOff: pageOff}
+	m.reverse[fileKey(fid, pageOff)] = frame
+	m.writePMT(frame, fid, pageOff)
+	return frame, nil
+}
+
+// FreeFrame durably releases a frame without writing its contents
+// anywhere. Used when destroying a region.
+func (m *Manager) FreeFrame(frame int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.freeLocked(frame)
+}
+
+func (m *Manager) freeLocked(frame int32) {
+	fi := m.info[frame]
+	if fi.fileID != 0 {
+		delete(m.reverse, fileKey(fi.fileID, fi.pageOff))
+		m.info[frame] = frameInfo{}
+	}
+	m.writePMT(frame, 0, 0)
+	m.free = append(m.free, frame)
+}
+
+// LookupFrame finds the resident frame holding page pageOff of file fid.
+func (m *Manager) LookupFrame(fid uint32, pageOff uint64) (int32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.reverse[fileKey(fid, pageOff)]
+	return f, ok
+}
+
+// EvictFrame writes a frame's contents back to its backing file and frees
+// the frame. This is the memory-pressure swap path of §4.2.
+func (m *Manager) EvictFrame(frame int32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi := m.info[frame]
+	if fi.fileID == 0 {
+		return fmt.Errorf("region: evicting unmapped frame %d", frame)
+	}
+	f, err := m.handle(fi.fileID)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, scm.PageSize)
+	m.ctx.Load(buf, m.FrameBase(frame))
+	if _, err := f.WriteAt(buf, int64(fi.pageOff)*scm.PageSize); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	m.freeLocked(frame)
+	return nil
+}
+
+// RemapFrame migrates a frame's contents and mapping to a fresh frame,
+// spreading writes across physical SCM (§4.5: "virtualization enables
+// remapping heavily used virtual pages to spread writes to different
+// physical PCM frames"). Returns the new frame. The caller must update
+// its page tables and guarantee no concurrent access to the page.
+//
+// The new mapping is written before the old one is freed, so a crash in
+// between leaves a duplicate mapping (both frames hold identical durable
+// contents) that boot reconstruction reclaims.
+func (m *Manager) RemapFrame(frame int32) (int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi := m.info[frame]
+	if fi.fileID == 0 {
+		return 0, fmt.Errorf("region: remapping unmapped frame %d", frame)
+	}
+	if len(m.free) == 0 {
+		return 0, ErrNoFrames
+	}
+	newF := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+
+	buf := make([]byte, scm.PageSize)
+	m.ctx.Load(buf, m.FrameBase(frame))
+	m.dev.DurableFill(m.FrameBase(newF), buf)
+
+	m.writePMT(newF, fi.fileID, fi.pageOff)
+	m.writePMT(frame, 0, 0)
+	m.info[newF] = fi
+	m.info[frame] = frameInfo{}
+	m.reverse[fileKey(fi.fileID, fi.pageOff)] = newF
+	m.free = append(m.free, frame)
+	return newF, nil
+}
+
+// FaultIn loads page pageOff of file fid into a free frame, returning the
+// frame. A page beyond the file's current size reads as zeros (a fresh
+// page). Returns ErrNoFrames when SCM is full.
+func (m *Manager) FaultIn(fid uint32, pageOff uint64) (int32, error) {
+	frame, err := m.AllocFrame(fid, pageOff)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	f, err := m.handle(fid)
+	m.mu.Unlock()
+	if err != nil {
+		m.FreeFrame(frame)
+		return 0, err
+	}
+	buf := make([]byte, scm.PageSize)
+	n, err := f.ReadAt(buf, int64(pageOff)*scm.PageSize)
+	if err != nil && err != io.EOF {
+		m.FreeFrame(frame)
+		return 0, err
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	// The faulted-in contents are already durable (they came from the
+	// file); fill the frame through the DMA path so a crash cannot
+	// revert it to stale prior contents.
+	m.dev.DurableFill(m.FrameBase(frame), buf)
+	return frame, nil
+}
+
+// Close closes all backing file handles. Device contents are untouched.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for id, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(m.files, id)
+	}
+	return first
+}

@@ -1,0 +1,200 @@
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/scm"
+)
+
+// Mem is a per-goroutine view of the persistent address space,
+// implementing pmem.Memory. It owns an SCM hardware context (and thus its
+// own emulated write-combining buffer) and a one-entry TLB caching the
+// last region touched.
+type Mem struct {
+	rt  *Runtime
+	ctx *scm.Context
+	tlb *Region
+}
+
+var _ pmem.Memory = (*Mem)(nil)
+
+// NewMemory returns a Memory view for one goroutine.
+func (rt *Runtime) NewMemory() *Mem {
+	return &Mem{rt: rt, ctx: rt.dev.NewContext()}
+}
+
+// Context exposes the underlying hardware context (for delay accounting).
+func (m *Mem) Context() *scm.Context { return m.ctx }
+
+// Runtime returns the owning runtime.
+func (m *Mem) Runtime() *Runtime { return m.rt }
+
+func (m *Mem) region(a pmem.Addr) *Region {
+	if r := m.tlb; r != nil && r.Contains(a) {
+		return r
+	}
+	r := m.rt.lookupRegion(a)
+	if r == nil {
+		panic(fmt.Sprintf("region: access to unmapped persistent address %v", a))
+	}
+	m.tlb = r
+	return r
+}
+
+// withPage translates a and runs f with the device offset. The access
+// [a, a+n) must not cross a page boundary; byte-granular operations split
+// beforehand. For swappable regions the page is faulted in if necessary
+// and the access runs under the swap lock so eviction cannot race it.
+func (m *Mem) withPage(a pmem.Addr, n int64, f func(devOff int64)) {
+	r := m.region(a)
+	off := a.Sub(r.Addr)
+	if off+n > r.Len {
+		panic(fmt.Sprintf("region: access [%v,+%d) overruns region at %v", a, n, r.Addr))
+	}
+	idx := off / scm.PageSize
+	inPage := off % scm.PageSize
+	if inPage+n > scm.PageSize {
+		panic("region: internal: access crosses page boundary")
+	}
+	if !r.swappable() {
+		f(m.rt.mgr.FrameBase(r.pages[idx]) + inPage)
+		return
+	}
+
+	rt := m.rt
+	rt.swapMu.RLock()
+	if frame := r.pages[idx]; frame >= 0 {
+		f(rt.mgr.FrameBase(frame) + inPage)
+		rt.swapMu.RUnlock()
+		return
+	}
+	rt.swapMu.RUnlock()
+
+	rt.swapMu.Lock()
+	frame := r.pages[idx]
+	if frame < 0 {
+		var err error
+		frame, err = rt.faultInEvicting(r.fileID, uint64(idx))
+		if err != nil {
+			rt.swapMu.Unlock()
+			panic(fmt.Sprintf("region: page fault at %v: %v", a, err))
+		}
+		r.pages[idx] = frame
+		rt.resident = append(rt.resident, pageRef{r: r, idx: int(idx)})
+	}
+	f(rt.mgr.FrameBase(frame) + inPage)
+	rt.swapMu.Unlock()
+}
+
+// translate resolves a pinned-region address to its device offset without
+// taking any lock; ok is false for swappable regions, which must go
+// through withPage. This is the word-access fast path: pinned page tables
+// are immutable after mapping.
+func (m *Mem) translate(a pmem.Addr, n int64) (devOff int64, ok bool) {
+	r := m.region(a)
+	if r.swappable() {
+		return 0, false
+	}
+	off := a.Sub(r.Addr)
+	if off+n > r.Len {
+		panic(fmt.Sprintf("region: access [%v,+%d) overruns region at %v", a, n, r.Addr))
+	}
+	return m.rt.mgr.FrameBase(r.pages[off/scm.PageSize]) + off%scm.PageSize, true
+}
+
+// LoadU64 implements pmem.Memory.
+func (m *Mem) LoadU64(a pmem.Addr) (v uint64) {
+	if devOff, ok := m.translate(a, 8); ok {
+		return m.ctx.LoadU64(devOff)
+	}
+	m.withPage(a, 8, func(devOff int64) { v = m.ctx.LoadU64(devOff) })
+	return v
+}
+
+// StoreU64 implements pmem.Memory.
+func (m *Mem) StoreU64(a pmem.Addr, v uint64) {
+	if devOff, ok := m.translate(a, 8); ok {
+		m.ctx.StoreU64(devOff, v)
+		return
+	}
+	m.withPage(a, 8, func(devOff int64) { m.ctx.StoreU64(devOff, v) })
+}
+
+// StoreU64InDirtyLine is StoreU64 for a word whose cache line this memory
+// view already dirtied since that line's last flush (see
+// scm.Context.StoreU64InDirtyLine).
+func (m *Mem) StoreU64InDirtyLine(a pmem.Addr, v uint64) {
+	if devOff, ok := m.translate(a, 8); ok {
+		m.ctx.StoreU64InDirtyLine(devOff, v)
+		return
+	}
+	m.withPage(a, 8, func(devOff int64) { m.ctx.StoreU64InDirtyLine(devOff, v) })
+}
+
+// WTStoreU64 implements pmem.Memory.
+func (m *Mem) WTStoreU64(a pmem.Addr, v uint64) {
+	if devOff, ok := m.translate(a, 8); ok {
+		m.ctx.WTStoreU64(devOff, v)
+		return
+	}
+	m.withPage(a, 8, func(devOff int64) { m.ctx.WTStoreU64(devOff, v) })
+}
+
+// Flush implements pmem.Memory.
+func (m *Mem) Flush(a pmem.Addr) {
+	line := a &^ (scm.LineSize - 1)
+	m.withPage(line, scm.LineSize, func(devOff int64) { m.ctx.Flush(devOff) })
+}
+
+// FlushRange implements pmem.Memory.
+func (m *Mem) FlushRange(a pmem.Addr, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := a &^ (scm.LineSize - 1)
+	last := a.Add(n-1) &^ (scm.LineSize - 1)
+	for line := first; line <= last; line = line.Add(scm.LineSize) {
+		m.Flush(line)
+	}
+}
+
+// Fence implements pmem.Memory.
+func (m *Mem) Fence() { m.ctx.Fence() }
+
+// Load implements pmem.Memory.
+func (m *Mem) Load(buf []byte, a pmem.Addr) {
+	m.chunked(a, int64(len(buf)), func(devOff, pos, n int64) {
+		m.ctx.Load(buf[pos:pos+n], devOff)
+	})
+}
+
+// Store implements pmem.Memory.
+func (m *Mem) Store(a pmem.Addr, buf []byte) {
+	m.chunked(a, int64(len(buf)), func(devOff, pos, n int64) {
+		m.ctx.Store(devOff, buf[pos:pos+n])
+	})
+}
+
+// WTStore implements pmem.Memory.
+func (m *Mem) WTStore(a pmem.Addr, buf []byte) {
+	m.chunked(a, int64(len(buf)), func(devOff, pos, n int64) {
+		m.ctx.WTStore(devOff, buf[pos:pos+n])
+	})
+}
+
+// chunked splits [a, a+n) at page boundaries and invokes f per chunk with
+// the chunk's device offset, position in the buffer, and length.
+func (m *Mem) chunked(a pmem.Addr, n int64, f func(devOff, pos, chunk int64)) {
+	pos := int64(0)
+	for pos < n {
+		inPage := a.Add(pos).Sub(pmem.Addr(0)) % scm.PageSize
+		chunk := scm.PageSize - inPage
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		p := pos
+		m.withPage(a.Add(pos), chunk, func(devOff int64) { f(devOff, p, chunk) })
+		pos += chunk
+	}
+}

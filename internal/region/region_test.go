@@ -1,0 +1,477 @@
+package region
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/scm"
+)
+
+func testRuntime(t *testing.T, devSize int64) (*scm.Device, *Runtime) {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: devSize, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(dev, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, rt
+}
+
+// reopen simulates a process restart on the same (persistent) device.
+func reopen(t *testing.T, dev *scm.Device, rt *Runtime) *Runtime {
+	t.Helper()
+	dir := rt.cfg.Dir
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Open(dev, Config{Dir: dir, StaticSize: rt.cfg.StaticSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt2
+}
+
+func TestManagerBootFormatsFreshDevice(t *testing.T) {
+	dev, err := scm.Open(scm.Config{Size: 1 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BootManager(dev, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames() <= 0 {
+		t.Fatal("no usable frames")
+	}
+	if m.FreeFrames() != m.Frames() {
+		t.Fatalf("free=%d frames=%d", m.FreeFrames(), m.Frames())
+	}
+}
+
+func TestManagerFrameAllocSurvivesReboot(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := scm.Open(scm.Config{Size: 1 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BootManager(dev, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := m.CreateFile("test.pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := m.AllocFrame(fid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := m.FreeFrames()
+
+	// Reboot: a new manager on the same device must reconstruct the
+	// mapping from the persistent mapping table.
+	m2, err := BootManager(dev, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.LookupFrame(fid, 3)
+	if !ok || got != frame {
+		t.Fatalf("LookupFrame after reboot = %d,%v want %d", got, ok, frame)
+	}
+	if m2.FreeFrames() != free {
+		t.Fatalf("free after reboot = %d, want %d", m2.FreeFrames(), free)
+	}
+	if id, ok := m2.LookupFile("test.pr"); !ok || id != fid {
+		t.Fatalf("file table lost: %d,%v", id, ok)
+	}
+}
+
+func TestManagerEvictAndFaultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := scm.Open(scm.Config{Size: 1 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BootManager(dev, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := m.CreateFile("swap.pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := m.AllocFrame(fid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dev.NewContext()
+	ctx.StoreU64(m.FrameBase(frame), 0xfeedface)
+	ctx.Flush(m.FrameBase(frame))
+	if err := m.EvictFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.LookupFrame(fid, 0); ok {
+		t.Fatal("frame still mapped after evict")
+	}
+	frame2, err := m.FaultIn(fid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.LoadU64(m.FrameBase(frame2)); got != 0xfeedface {
+		t.Fatalf("faulted page content = %#x", got)
+	}
+}
+
+func TestRuntimeStaticVariablePersists(t *testing.T) {
+	dev, rt := testRuntime(t, 4<<20)
+	addr, created, err := rt.Static("counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Static should create")
+	}
+	mem := rt.NewMemory()
+	pmem.StoreDurable(mem, addr, 41)
+
+	rt2 := reopen(t, dev, rt)
+	addr2, created2, err := rt2.Static("counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 {
+		t.Fatal("Static recreated after restart")
+	}
+	if addr2 != addr {
+		t.Fatalf("static moved: %v -> %v", addr, addr2)
+	}
+	if got := rt2.NewMemory().LoadU64(addr2); got != 41 {
+		t.Fatalf("static value = %d, want 41", got)
+	}
+}
+
+func TestStaticNameTooLongRejected(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	long := make([]byte, dirNameMax+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, _, err := rt.Static(string(long), 8); err == nil {
+		t.Fatal("expected error for long name")
+	}
+}
+
+func TestStaticSizeMismatchRejected(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	if _, _, err := rt.Static("v", 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.Static("v", 32); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestStaticDistinctVariablesDoNotAlias(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	a, _, err := rt.Static("a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := rt.Static("b", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("aliasing statics")
+	}
+	mem := rt.NewMemory()
+	mem.StoreU64(a, 1)
+	mem.StoreU64(b, 2)
+	if mem.LoadU64(a) != 1 || mem.LoadU64(b) != 2 {
+		t.Fatal("statics overlap")
+	}
+}
+
+func TestPMapDataPersistsAcrossRestart(t *testing.T) {
+	dev, rt := testRuntime(t, 4<<20)
+	ptr, _, err := rt.Static("root", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMapAt(ptr, 2*scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	if mem.LoadU64(ptr) != uint64(addr) {
+		t.Fatal("PMapAt did not store the region address")
+	}
+	msg := []byte("persistent region payload spanning pages")
+	mem.Store(addr.Add(scm.PageSize-16), msg) // crosses the page boundary
+	pmem.PublishRange(mem, addr.Add(scm.PageSize-16), int64(len(msg)))
+
+	rt2 := reopen(t, dev, rt)
+	mem2 := rt2.NewMemory()
+	addr2 := pmem.Addr(mem2.LoadU64(ptr))
+	if addr2 != addr {
+		t.Fatalf("root pointer changed: %v -> %v", addr, addr2)
+	}
+	got := make([]byte, len(msg))
+	mem2.Load(got, addr2.Add(scm.PageSize-16))
+	if string(got) != string(msg) {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestPMapAddressesNeverReused(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	a, err := rt.PMap(scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.PUnmap(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.PMap(scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("address reused after punmap")
+	}
+}
+
+func TestPUnmapFreesFramesAndFile(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	free := rt.Manager().FreeFrames()
+	a, err := rt.PMap(4*scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Manager().FreeFrames() != free-4 {
+		t.Fatalf("frames not allocated: %d", rt.Manager().FreeFrames())
+	}
+	if err := rt.PUnmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Manager().FreeFrames() != free {
+		t.Fatalf("frames leaked: %d != %d", rt.Manager().FreeFrames(), free)
+	}
+	files, err := filepath.Glob(filepath.Join(rt.Manager().Dir(), "region-*.pr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("backing files leaked: %v", files)
+	}
+}
+
+func TestPUnmapUnknownRegionFails(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	if err := rt.PUnmap(pmem.Base.Add(1 << 30)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCrashDuringPMapRollsBack(t *testing.T) {
+	// Simulate a crash after the intention record but before completion:
+	// fabricate a "creating" entry, then reopen. Recovery must destroy
+	// it.
+	dev, rt := testRuntime(t, 4<<20)
+	addr, err := rt.PMap(scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.lookupRegion(addr)
+	ent := rt.tableEntry(r.slot)
+	rt.storeStatic(ent, stateCreating)
+	rt.ctx.Fence()
+	free := rt.Manager().FreeFrames()
+
+	rt2 := reopen(t, dev, rt)
+	if got := rt2.lookupRegion(addr); got != nil {
+		t.Fatal("partially created region mapped after recovery")
+	}
+	if state, _, _, _, _ := rt2.readEntry(r.slot); state != stateFree {
+		t.Fatalf("slot state = %d, want free", state)
+	}
+	if rt2.Manager().FreeFrames() != free+1 {
+		t.Fatalf("frames not reclaimed: %d, want %d", rt2.Manager().FreeFrames(), free+1)
+	}
+}
+
+func TestUnflushedWritesLostOnCrash(t *testing.T) {
+	dev, rt := testRuntime(t, 4<<20)
+	addr, err := rt.PMap(scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	mem.StoreU64(addr, 123) // never flushed
+	mem.StoreU64(addr.Add(64), 456)
+	mem.Flush(addr.Add(64))
+	dev.Crash(scm.DropAll{})
+	if got := mem.LoadU64(addr); got != 0 {
+		t.Fatalf("unflushed write survived: %d", got)
+	}
+	if got := mem.LoadU64(addr.Add(64)); got != 456 {
+		t.Fatalf("flushed write lost: %d", got)
+	}
+}
+
+func TestSwappableRegionLargerThanSCM(t *testing.T) {
+	// Device: 1 MB (256 frames, minus metadata). Region: 2 MB swappable.
+	dev, err := scm.Open(scm.Config{Size: 1 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(dev, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMap(2<<20, FlagSwappable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	// Touch every page: must evict to make progress.
+	npages := int64(2 << 20 / scm.PageSize)
+	for p := int64(0); p < npages; p++ {
+		mem.WTStoreU64(addr.Add(p*scm.PageSize), uint64(p)+1)
+		mem.Fence()
+	}
+	// Re-read everything: evicted pages fault back in from the file.
+	for p := int64(0); p < npages; p++ {
+		if got := mem.LoadU64(addr.Add(p * scm.PageSize)); got != uint64(p)+1 {
+			t.Fatalf("page %d = %d, want %d", p, got, p+1)
+		}
+	}
+}
+
+func TestSwappableDataSurvivesRestart(t *testing.T) {
+	dev, err := scm.Open(scm.Config{Size: 1 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rt, err := Open(dev, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, _, err := rt.Static("swaproot", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMapAt(ptr, 2<<20, FlagSwappable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	npages := int64(2 << 20 / scm.PageSize)
+	for p := int64(0); p < npages; p++ {
+		mem.WTStoreU64(addr.Add(p*scm.PageSize), uint64(p)^0xabcd)
+		mem.Fence()
+	}
+
+	rt2 := reopen(t, dev, rt)
+	mem2 := rt2.NewMemory()
+	for p := int64(0); p < npages; p++ {
+		if got := mem2.LoadU64(addr.Add(p * scm.PageSize)); got != uint64(p)^0xabcd {
+			t.Fatalf("page %d = %#x after restart", p, got)
+		}
+	}
+}
+
+func TestManyRegionsReincarnate(t *testing.T) {
+	dev, rt := testRuntime(t, 8<<20)
+	var addrs []pmem.Addr
+	mem := rt.NewMemory()
+	for i := 0; i < 20; i++ {
+		a, err := rt.PMap(scm.PageSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmem.StoreDurable(mem, a, uint64(i)*7+1)
+		addrs = append(addrs, a)
+	}
+	rt2 := reopen(t, dev, rt)
+	if rt2.Stats().RegionsMapped != 20 {
+		t.Fatalf("RegionsMapped = %d", rt2.Stats().RegionsMapped)
+	}
+	mem2 := rt2.NewMemory()
+	for i, a := range addrs {
+		if got := mem2.LoadU64(a); got != uint64(i)*7+1 {
+			t.Fatalf("region %d = %d", i, got)
+		}
+	}
+}
+
+func TestRegionPathEnvVar(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("MNEMOSYNE_REGION_PATH", dir)
+	dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PMap(scm.PageSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no backing files in MNEMOSYNE_REGION_PATH dir")
+	}
+}
+
+func TestAccessToUnmappedAddressPanics(t *testing.T) {
+	_, rt := testRuntime(t, 4<<20)
+	mem := rt.NewMemory()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mem.LoadU64(pmem.Base.Add(1 << 35))
+}
+
+func TestConcurrentMemoriesDisjointRegions(t *testing.T) {
+	_, rt := testRuntime(t, 8<<20)
+	const workers = 4
+	addrs := make([]pmem.Addr, workers)
+	for i := range addrs {
+		a, err := rt.PMap(4*scm.PageSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	done := make(chan bool, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			mem := rt.NewMemory()
+			base := addrs[w]
+			for i := int64(0); i < 2000; i++ {
+				off := (i % 2048) * 8
+				mem.StoreU64(base.Add(off), uint64(w+1)*1000+uint64(i))
+				if i%32 == 0 {
+					mem.Flush(base.Add(off))
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,658 @@
+package region
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/scm"
+)
+
+// Region flags.
+const (
+	// FlagSwappable marks a region whose pages may be evicted to the
+	// backing file under memory pressure. Swappable regions are mapped
+	// lazily (pages fault in on first access). Regions without the flag
+	// are pinned: mapped eagerly and never evicted, giving lock-free
+	// address translation.
+	FlagSwappable uint64 = 1 << iota
+)
+
+// Static region layout (the region mapped at pmem.Base). The 16 KB region
+// table matches §4.2: "The library reserves 16KB in the static persistent
+// region to store a region table containing the process's persistent
+// regions."
+const (
+	staticMagic = 0x4d4e535441544943 // "MNSTATIC"
+
+	hdrMagicOff  = 0
+	hdrVersOff   = 8
+	hdrNextOff   = 16 // next unassigned persistent address
+	hdrCursorOff = 24 // bump cursor for pstatic variable space
+
+	tableOff   = 64
+	regionEnt  = 48 // state, addr, len, fileID, flags, reserved
+	maxRegions = 340
+
+	dirOff     = tableOff + maxRegions*regionEnt // pstatic directory
+	dirEnt     = 64                              // nameLen, name[40], off, size
+	dirNameMax = 40
+	maxStatics = 512
+
+	staticDataOff = dirOff + maxStatics*dirEnt
+
+	// DefaultStaticSize is the default size of the static region.
+	DefaultStaticSize = 256 << 10
+)
+
+// Region table entry states. The table doubles as an intention log
+// (§4.2): a crash between "creating" and "complete" makes the recovery
+// path destroy the partially created region.
+const (
+	stateFree     = 0
+	stateCreating = 1
+	stateComplete = 2
+	stateDeleting = 3
+)
+
+const staticFileName = "static.pr"
+
+// Config configures the libmnemosyne runtime.
+type Config struct {
+	// Dir is where backing files live. Empty selects the
+	// MNEMOSYNE_REGION_PATH environment variable and then the current
+	// directory, as in the paper.
+	Dir string
+	// StaticSize is the static region's size; zero selects
+	// DefaultStaticSize.
+	StaticSize int64
+}
+
+// Region describes one mapped persistent region.
+type Region struct {
+	Addr   pmem.Addr
+	Len    int64
+	Flags  uint64
+	fileID uint32
+	slot   int // region table slot; -1 for the static region
+	// pages maps region page index to SCM frame; -1 means not resident.
+	// Immutable after mapping for pinned regions; guarded by the
+	// runtime's swap lock for swappable ones.
+	pages []int32
+}
+
+func (r *Region) swappable() bool { return r.Flags&FlagSwappable != 0 }
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a pmem.Addr) bool {
+	return a >= r.Addr && a.Sub(r.Addr) < r.Len
+}
+
+type pageRef struct {
+	r   *Region
+	idx int
+}
+
+// OpenStats records the costs of runtime reincarnation (§6.3.2).
+type OpenStats struct {
+	// ManagerBoot is the kernel-side PMT reconstruction time.
+	ManagerBoot time.Duration
+	// Remap is the time to remap persistent regions into the process.
+	Remap time.Duration
+	// RegionsMapped counts the regions recreated.
+	RegionsMapped int
+}
+
+// Runtime is the libmnemosyne layer: it creates and records the persistent
+// regions of a process.
+type Runtime struct {
+	mgr *Manager
+	dev *scm.Device
+	ctx *scm.Context
+	cfg Config
+
+	mu      sync.Mutex                // serializes pmap/punmap/static
+	regions atomic.Pointer[[]*Region] // sorted by Addr; copy-on-write
+
+	swapMu   sync.RWMutex // guards swappable page tables and residency
+	resident []pageRef    // FIFO of resident swappable pages
+
+	static *Region
+	stats  OpenStats
+}
+
+// Open boots the region manager on the device and reincarnates the
+// process's persistent regions from dir.
+func Open(dev *scm.Device, cfg Config) (*Runtime, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = os.Getenv("MNEMOSYNE_REGION_PATH")
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	if cfg.StaticSize == 0 {
+		cfg.StaticSize = DefaultStaticSize
+	}
+	if cfg.StaticSize < staticDataOff+4096 {
+		return nil, fmt.Errorf("region: static size %d too small", cfg.StaticSize)
+	}
+	cfg.StaticSize = (cfg.StaticSize + scm.PageSize - 1) &^ (scm.PageSize - 1)
+
+	mgr, err := BootManager(dev, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{mgr: mgr, dev: dev, ctx: dev.NewContext(), cfg: cfg}
+	rt.stats.ManagerBoot = mgr.BootTime()
+	empty := []*Region{}
+	rt.regions.Store(&empty)
+
+	start := time.Now()
+	if err := rt.mapStatic(); err != nil {
+		return nil, err
+	}
+	if err := rt.recoverRegions(); err != nil {
+		return nil, err
+	}
+	rt.collectOrphanFiles()
+	rt.stats.Remap = time.Since(start)
+	return rt, nil
+}
+
+// Stats returns the reincarnation costs of this open.
+func (rt *Runtime) Stats() OpenStats { return rt.stats }
+
+// Manager exposes the kernel-side manager (for tests and tooling).
+func (rt *Runtime) Manager() *Manager { return rt.mgr }
+
+// Device returns the underlying SCM device.
+func (rt *Runtime) Device() *scm.Device { return rt.dev }
+
+// StaticRegion returns the static region descriptor.
+func (rt *Runtime) StaticRegion() *Region { return rt.static }
+
+// Close releases backing file handles. Persistent state is untouched.
+func (rt *Runtime) Close() error { return rt.mgr.Close() }
+
+func (rt *Runtime) mapStatic() error {
+	fid, err := rt.mgr.CreateFile(staticFileName)
+	if err != nil {
+		return err
+	}
+	r := &Region{Addr: pmem.Base, Len: rt.cfg.StaticSize, fileID: fid, slot: -1}
+	if err := rt.mapPages(r); err != nil {
+		return err
+	}
+	rt.static = r
+	rt.publishRegion(r)
+
+	if rt.loadStatic(hdrMagicOff) != staticMagic {
+		// First run: initialize the static region header.
+		rt.storeStatic(hdrVersOff, 1)
+		rt.storeStatic(hdrNextOff, uint64(pmem.Base)+uint64(rt.cfg.StaticSize))
+		rt.storeStatic(hdrCursorOff, staticDataOff)
+		rt.ctx.Fence()
+		rt.storeStatic(hdrMagicOff, staticMagic)
+		rt.ctx.Fence()
+	}
+	return nil
+}
+
+// loadStatic/storeStatic access the static region header via the already
+// mapped pages (durable via WTStore + caller's fence).
+func (rt *Runtime) loadStatic(off int64) uint64 {
+	return rt.ctx.LoadU64(rt.mustResolve(pmem.Base.Add(off)))
+}
+
+func (rt *Runtime) storeStatic(off int64, v uint64) {
+	rt.ctx.WTStoreU64(rt.mustResolve(pmem.Base.Add(off)), v)
+}
+
+// mustResolve translates for runtime-internal metadata in pinned regions.
+func (rt *Runtime) mustResolve(a pmem.Addr) int64 {
+	r := rt.lookupRegion(a)
+	if r == nil {
+		panic(fmt.Sprintf("region: unmapped metadata address %v", a))
+	}
+	idx := a.Sub(r.Addr) / scm.PageSize
+	frame := r.pages[idx]
+	if frame < 0 {
+		panic(fmt.Sprintf("region: metadata page not resident at %v", a))
+	}
+	return rt.mgr.FrameBase(frame) + a.Sub(r.Addr)%scm.PageSize
+}
+
+// mapPages eagerly maps a pinned region (or lazily initializes a swappable
+// one). "Soft faults" reuse frames already resident from the PMT scan;
+// hard faults read the backing file.
+func (rt *Runtime) mapPages(r *Region) error {
+	n := int(r.Len / scm.PageSize)
+	r.pages = make([]int32, n)
+	if r.swappable() {
+		for i := range r.pages {
+			r.pages[i] = -1
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		frame, ok := rt.mgr.LookupFrame(r.fileID, uint64(i))
+		if !ok {
+			var err error
+			frame, err = rt.faultInEvicting(r.fileID, uint64(i))
+			if err != nil {
+				return err
+			}
+		}
+		r.pages[i] = frame
+	}
+	return nil
+}
+
+// faultInEvicting faults a page in, evicting resident swappable pages as
+// needed to find a free frame.
+func (rt *Runtime) faultInEvicting(fid uint32, pageOff uint64) (int32, error) {
+	for {
+		frame, err := rt.mgr.FaultIn(fid, pageOff)
+		if err == nil {
+			return frame, nil
+		}
+		if !errors.Is(err, ErrNoFrames) {
+			return 0, err
+		}
+		if !rt.evictOne() {
+			return 0, ErrNoFrames
+		}
+	}
+}
+
+// evictOne evicts the oldest resident swappable page. Callers must hold
+// swapMu for writing or guarantee no concurrent swappable access.
+func (rt *Runtime) evictOne() bool {
+	if len(rt.resident) == 0 {
+		return false
+	}
+	ref := rt.resident[0]
+	rt.resident = rt.resident[1:]
+	frame := ref.r.pages[ref.idx]
+	if frame < 0 {
+		return rt.evictOne()
+	}
+	if err := rt.mgr.EvictFrame(frame); err != nil {
+		panic(fmt.Sprintf("region: evict failed: %v", err))
+	}
+	ref.r.pages[ref.idx] = -1
+	return true
+}
+
+func (rt *Runtime) publishRegion(r *Region) {
+	old := *rt.regions.Load()
+	next := make([]*Region, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, r)
+	sort.Slice(next, func(i, j int) bool { return next[i].Addr < next[j].Addr })
+	rt.regions.Store(&next)
+}
+
+func (rt *Runtime) unpublishRegion(r *Region) {
+	old := *rt.regions.Load()
+	next := make([]*Region, 0, len(old))
+	for _, x := range old {
+		if x != r {
+			next = append(next, x)
+		}
+	}
+	rt.regions.Store(&next)
+}
+
+// lookupRegion finds the region containing a, lock-free.
+func (rt *Runtime) lookupRegion(a pmem.Addr) *Region {
+	regs := *rt.regions.Load()
+	i := sort.Search(len(regs), func(i int) bool { return regs[i].Addr > a })
+	if i == 0 {
+		return nil
+	}
+	r := regs[i-1]
+	if !r.Contains(a) {
+		return nil
+	}
+	return r
+}
+
+// Region returns the mapped region containing a, or nil.
+func (rt *Runtime) Region(a pmem.Addr) *Region { return rt.lookupRegion(a) }
+
+// Regions returns a snapshot of the mapped regions, sorted by address.
+func (rt *Runtime) Regions() []*Region {
+	regs := *rt.regions.Load()
+	out := make([]*Region, len(regs))
+	copy(out, regs)
+	return out
+}
+
+func (rt *Runtime) tableEntry(slot int) int64 {
+	return tableOff + int64(slot)*regionEnt
+}
+
+func (rt *Runtime) readEntry(slot int) (state uint64, addr pmem.Addr, length int64, fid uint32, flags uint64) {
+	ent := rt.tableEntry(slot)
+	state = rt.loadStatic(ent)
+	addr = pmem.Addr(rt.loadStatic(ent + 8))
+	length = int64(rt.loadStatic(ent + 16))
+	fid = uint32(rt.loadStatic(ent + 24))
+	flags = rt.loadStatic(ent + 32)
+	return
+}
+
+// recoverRegions walks the region table: completed regions are remapped
+// into the address space, partially created or deleted ones are destroyed
+// (§4.2: "When an application starts, libmnemosyne recreates previously
+// allocated persistent regions and destroys partially created ones.").
+func (rt *Runtime) recoverRegions() error {
+	for slot := 0; slot < maxRegions; slot++ {
+		state, addr, length, fid, flags := rt.readEntry(slot)
+		switch state {
+		case stateFree:
+		case stateComplete:
+			r := &Region{Addr: addr, Len: length, Flags: flags, fileID: fid, slot: slot}
+			if err := rt.mapPages(r); err != nil {
+				return err
+			}
+			rt.publishRegion(r)
+			if r.swappable() {
+				// Pages already resident (found in the PMT)
+				// become evictable again.
+				for i := 0; i < len(r.pages); i++ {
+					if frame, ok := rt.mgr.LookupFrame(fid, uint64(i)); ok {
+						r.pages[i] = frame
+						rt.resident = append(rt.resident, pageRef{r: r, idx: i})
+					}
+				}
+			}
+			rt.stats.RegionsMapped++
+		case stateCreating, stateDeleting:
+			rt.destroySlot(slot, length, fid)
+		}
+	}
+	return nil
+}
+
+// destroySlot frees any frames and the backing file of a dead region and
+// clears its table entry.
+func (rt *Runtime) destroySlot(slot int, length int64, fid uint32) {
+	if fid != 0 {
+		for p := uint64(0); p < uint64(length/scm.PageSize); p++ {
+			if frame, ok := rt.mgr.LookupFrame(fid, p); ok {
+				rt.mgr.FreeFrame(frame)
+			}
+		}
+		_ = rt.mgr.DeleteFile(fid)
+	}
+	ent := rt.tableEntry(slot)
+	rt.storeStatic(ent, stateFree)
+	rt.ctx.Fence()
+}
+
+// collectOrphanFiles removes region backing files registered in the file
+// table but referenced by no region table entry (a crash window between
+// file creation and the intention record).
+func (rt *Runtime) collectOrphanFiles() {
+	live := map[uint32]bool{rt.static.fileID: true}
+	for slot := 0; slot < maxRegions; slot++ {
+		state, _, _, fid, _ := rt.readEntry(slot)
+		if state != stateFree {
+			live[fid] = true
+		}
+	}
+	rt.mgr.mu.Lock()
+	var orphans []uint32
+	for name, id := range rt.mgr.names {
+		if strings.HasPrefix(name, "region-") && !live[id] {
+			orphans = append(orphans, id)
+		}
+	}
+	rt.mgr.mu.Unlock()
+	for _, id := range orphans {
+		_ = rt.mgr.DeleteFile(id)
+	}
+}
+
+// PMap creates a dynamic persistent region of at least length bytes,
+// analogous to mmap (§4.2). The region's address is stable across
+// restarts. Prefer PMapAt, which stores the address through a persistent
+// pointer so the region cannot leak on a crash.
+func (rt *Runtime) PMap(length int64, flags uint64) (pmem.Addr, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if length <= 0 {
+		return pmem.Nil, errors.New("region: pmap length must be positive")
+	}
+	length = (length + scm.PageSize - 1) &^ (scm.PageSize - 1)
+
+	// Reserve the address range first, durably: even if we crash
+	// mid-create, the range is never reissued.
+	addr := pmem.Addr(rt.loadStatic(hdrNextOff))
+	if !addr.Add(length - 1).IsPersistent() {
+		return pmem.Nil, errors.New("region: persistent address space exhausted")
+	}
+	rt.storeStatic(hdrNextOff, uint64(addr)+uint64(length))
+	rt.ctx.Fence()
+
+	slot := -1
+	for s := 0; s < maxRegions; s++ {
+		if state, _, _, _, _ := rt.readEntry(s); state == stateFree {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		return pmem.Nil, errors.New("region: region table full")
+	}
+
+	name := fmt.Sprintf("region-%016x.pr", uint64(addr))
+	fid, err := rt.mgr.CreateFile(name)
+	if err != nil {
+		return pmem.Nil, err
+	}
+
+	// Intention record: fields plus state=creating become durable
+	// together; recovery destroys the region unless state reaches
+	// complete.
+	ent := rt.tableEntry(slot)
+	rt.storeStatic(ent+8, uint64(addr))
+	rt.storeStatic(ent+16, uint64(length))
+	rt.storeStatic(ent+24, uint64(fid))
+	rt.storeStatic(ent+32, flags)
+	rt.storeStatic(ent, stateCreating)
+	rt.ctx.Fence()
+
+	r := &Region{Addr: addr, Len: length, Flags: flags, fileID: fid, slot: slot}
+	if err := rt.mapPages(r); err != nil {
+		rt.destroySlot(slot, length, fid)
+		return pmem.Nil, err
+	}
+	rt.publishRegion(r)
+
+	rt.storeStatic(ent, stateComplete)
+	rt.ctx.Fence()
+	return addr, nil
+}
+
+// PMapAt creates a region and durably stores its address at ptr, which
+// must itself be persistent — the paper's leak-avoidance discipline: "the
+// pmap function takes as an in/out parameter a persistent variable to
+// receive the region's address."
+func (rt *Runtime) PMapAt(ptr pmem.Addr, length int64, flags uint64) (pmem.Addr, error) {
+	if !ptr.IsPersistent() {
+		return pmem.Nil, fmt.Errorf("region: pmap destination %v is not persistent", ptr)
+	}
+	addr, err := rt.PMap(length, flags)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	rt.ctx.WTStoreU64(rt.mustResolve(ptr), uint64(addr))
+	rt.ctx.Fence()
+	return addr, nil
+}
+
+// PUnmap deletes the dynamic region starting at addr. The whole region is
+// deleted; partial unmapping is not supported.
+func (rt *Runtime) PUnmap(addr pmem.Addr) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r := rt.lookupRegion(addr)
+	if r == nil || r.Addr != addr {
+		return fmt.Errorf("region: no region starts at %v", addr)
+	}
+	if r.slot < 0 {
+		return errors.New("region: cannot unmap the static region")
+	}
+	ent := rt.tableEntry(r.slot)
+	rt.storeStatic(ent, stateDeleting)
+	rt.ctx.Fence()
+
+	rt.swapMu.Lock()
+	keep := rt.resident[:0]
+	for _, ref := range rt.resident {
+		if ref.r != r {
+			keep = append(keep, ref)
+		}
+	}
+	rt.resident = keep
+	rt.unpublishRegion(r)
+	rt.swapMu.Unlock()
+
+	rt.destroySlot(r.slot, r.Len, r.fileID)
+	return nil
+}
+
+// StaticInfo describes one named persistent static variable.
+type StaticInfo struct {
+	Name string
+	Addr pmem.Addr
+	Size int64
+}
+
+// Statics enumerates the persistent static variables of this process.
+func (rt *Runtime) Statics() []StaticInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []StaticInfo
+	for i := 0; i < maxStatics; i++ {
+		ent := dirOff + int64(i)*dirEnt
+		nameLen := rt.loadStatic(ent)
+		if nameLen == 0 || nameLen > dirNameMax {
+			continue
+		}
+		buf := make([]byte, nameLen)
+		rt.ctx.Load(buf, rt.mustResolve(pmem.Base.Add(ent+8)))
+		out = append(out, StaticInfo{
+			Name: string(buf),
+			Addr: pmem.Base.Add(int64(rt.loadStatic(ent + 48))),
+			Size: int64(rt.loadStatic(ent + 56)),
+		})
+	}
+	return out
+}
+
+// WearLevel remaps every resident page whose physical frame has absorbed
+// at least minWrites writes (per the device's wear counters) onto a fresh
+// frame, spreading wear across SCM. The runtime must be quiesced: no
+// concurrent Memory access. Returns the number of pages moved. Requires
+// the device to be opened with TrackWear.
+func (rt *Runtime) WearLevel(minWrites uint32) (int, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+	moved := 0
+	for _, r := range *rt.regions.Load() {
+		for idx, frame := range r.pages {
+			if frame < 0 {
+				continue
+			}
+			if rt.dev.WearCount(rt.mgr.FrameBase(frame)) < minWrites {
+				continue
+			}
+			newF, err := rt.mgr.RemapFrame(frame)
+			if err == ErrNoFrames {
+				return moved, nil // nothing left to move onto
+			}
+			if err != nil {
+				return moved, err
+			}
+			r.pages[idx] = newF
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// Static returns the address of the named persistent static variable,
+// allocating it in the static region on first use. created reports whether
+// this call allocated it (the program should then initialize it). This is
+// the runtime analogue of the paper's pstatic keyword: initialized once
+// when the program first runs, retaining its value across invocations.
+func (rt *Runtime) Static(name string, size int64) (addr pmem.Addr, created bool, err error) {
+	if len(name) == 0 || len(name) > dirNameMax {
+		return pmem.Nil, false, fmt.Errorf("region: bad static name %q", name)
+	}
+	if size <= 0 {
+		return pmem.Nil, false, errors.New("region: static size must be positive")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	freeSlot := -1
+	for i := 0; i < maxStatics; i++ {
+		ent := dirOff + int64(i)*dirEnt
+		nameLen := rt.loadStatic(ent)
+		if nameLen == 0 {
+			if freeSlot < 0 {
+				freeSlot = i
+			}
+			continue
+		}
+		if int(nameLen) != len(name) {
+			continue
+		}
+		buf := make([]byte, nameLen)
+		rt.ctx.Load(buf, rt.mustResolve(pmem.Base.Add(ent+8)))
+		if string(buf) != name {
+			continue
+		}
+		off := rt.loadStatic(ent + 48)
+		storedSize := int64(rt.loadStatic(ent + 56))
+		if storedSize != size {
+			return pmem.Nil, false, fmt.Errorf("region: static %q has size %d, requested %d", name, storedSize, size)
+		}
+		return pmem.Base.Add(int64(off)), false, nil
+	}
+	if freeSlot < 0 {
+		return pmem.Nil, false, errors.New("region: static directory full")
+	}
+
+	cursor := int64(rt.loadStatic(hdrCursorOff))
+	cursor = (cursor + 63) &^ 63
+	if cursor+size > rt.cfg.StaticSize {
+		return pmem.Nil, false, errors.New("region: static region full")
+	}
+	// Bump the cursor durably first: a crash mid-create leaks the space
+	// but never aliases two variables.
+	rt.storeStatic(hdrCursorOff, uint64(cursor+size))
+	rt.ctx.Fence()
+
+	ent := dirOff + int64(freeSlot)*dirEnt
+	rt.ctx.WTStore(rt.mustResolve(pmem.Base.Add(ent+8)), []byte(name))
+	rt.storeStatic(ent+48, uint64(cursor))
+	rt.storeStatic(ent+56, uint64(size))
+	rt.ctx.Fence()
+	rt.storeStatic(ent, uint64(len(name)))
+	rt.ctx.Fence()
+	return pmem.Base.Add(cursor), true, nil
+}

@@ -1,0 +1,140 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/scm"
+)
+
+func TestRemapFrameMovesDataAndMapping(t *testing.T) {
+	dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff, TrackWear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(dev, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMap(scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	mem.WTStoreU64(addr, 0xfeedbead)
+	mem.WTStoreU64(addr.Add(2048), 77)
+	mem.Fence()
+
+	r := rt.Region(addr)
+	oldFrame := r.pages[0]
+	newFrame, err := rt.Manager().RemapFrame(oldFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newFrame == oldFrame {
+		t.Fatal("frame did not move")
+	}
+	r.pages[0] = newFrame
+
+	// Data still readable through the same virtual address.
+	if got := mem.LoadU64(addr); got != 0xfeedbead {
+		t.Fatalf("word after remap = %#x", got)
+	}
+	if got := mem.LoadU64(addr.Add(2048)); got != 77 {
+		t.Fatalf("word2 after remap = %d", got)
+	}
+	// And the new mapping survives reboot.
+	m2, err := BootManager(dev, rt.Manager().Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.LookupFrame(r.fileID, 0)
+	if !ok || got != newFrame {
+		t.Fatalf("mapping after reboot = %d,%v want %d", got, ok, newFrame)
+	}
+}
+
+func TestWearLevelMovesHotPages(t *testing.T) {
+	dev, err := scm.Open(scm.Config{Size: 8 << 20, Mode: scm.DelayOff, TrackWear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(dev, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.PMap(4*scm.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rt.NewMemory()
+	// Hammer page 0; touch page 2 lightly.
+	for i := 0; i < 5000; i++ {
+		mem.WTStoreU64(addr, uint64(i))
+	}
+	mem.Fence()
+	mem.WTStoreU64(addr.Add(2*scm.PageSize), 42)
+	mem.Fence()
+
+	r := rt.Region(addr)
+	hotFrame := r.pages[0]
+	if dev.WearCount(rt.Manager().FrameBase(hotFrame)) < 5000 {
+		t.Fatalf("wear counter = %d", dev.WearCount(rt.Manager().FrameBase(hotFrame)))
+	}
+	moved, err := rt.WearLevel(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved < 1 {
+		t.Fatalf("moved %d pages", moved)
+	}
+	if r.pages[0] == hotFrame {
+		t.Fatal("hot page not remapped")
+	}
+	if got := mem.LoadU64(addr); got != 4999 {
+		t.Fatalf("data after wear leveling = %d", got)
+	}
+	if got := mem.LoadU64(addr.Add(2 * scm.PageSize)); got != 42 {
+		t.Fatalf("cold data after wear leveling = %d", got)
+	}
+}
+
+func TestBootReclaimsDuplicateMappings(t *testing.T) {
+	// Fabricate the crash window of RemapFrame: two frames mapping the
+	// same (file, page). Boot must keep one and free the other.
+	dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m, err := BootManager(dev, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := m.CreateFile("dup.pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.AllocFrame(fid, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a second PMT entry for the same page directly (the crash
+	// leaves exactly this).
+	f2, err := m.AllocFrame(fid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.writePMT(f2, fid, 7)
+	free := m.FreeFrames()
+
+	m2, err := BootManager(dev, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m2.LookupFrame(fid, 7); !ok || (got != f1 && got != f2) {
+		t.Fatalf("mapping lost: %d %v", got, ok)
+	}
+	if m2.FreeFrames() != free+1 {
+		t.Fatalf("duplicate not reclaimed: free %d, want %d", m2.FreeFrames(), free+1)
+	}
+}

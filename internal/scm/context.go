@@ -1,0 +1,222 @@
+package scm
+
+import "time"
+
+// pendingWT is a streaming write sitting in a write-combining buffer: it is
+// visible to the program but not yet durable. old is the word's last
+// durable value, used to revert it on crash.
+type pendingWT struct {
+	off int64
+	old uint64
+}
+
+// Context is a per-goroutine view of the device, owning the goroutine's
+// write-combining buffer and delay accounting. It corresponds to a hardware
+// thread in the paper's emulator.
+type Context struct {
+	dev *Device
+
+	// wc holds streaming writes not yet drained by a fence.
+	wc      []pendingWT
+	wcBytes int64
+
+	// accountedNs accumulates virtual delay in DelayAccount mode.
+	accountedNs int64
+
+	// Operation counters, unsynchronized (per-context); aggregated by
+	// Device.Snapshot.
+	stores, wtStores, flushes, fences, bytesWT uint64
+}
+
+// Device returns the owning device.
+func (c *Context) Device() *Device { return c.dev }
+
+// AccountedTime reports this context's accumulated virtual delay.
+func (c *Context) AccountedTime() time.Duration {
+	return time.Duration(c.accountedNs)
+}
+
+// ResetAccounting zeroes this context's virtual delay counter.
+func (c *Context) ResetAccounting() { c.accountedNs = 0 }
+
+func align8(off int64) bool { return off&7 == 0 }
+
+// LoadU64 reads the 64-bit word at off. Loads hit the coherent memory
+// image, so they observe unflushed stores and unfenced streaming writes,
+// exactly as loads on a real cache-coherent machine do.
+func (c *Context) LoadU64(off int64) uint64 {
+	c.dev.checkRange(off, WordSize)
+	if !align8(off) {
+		panic("scm: unaligned LoadU64")
+	}
+	return c.dev.loadWord(off)
+}
+
+// StoreU64 performs a regular cacheable write (the paper's store()
+// primitive, x86 mov). The write is immediately visible but volatile until
+// the containing line is flushed. No delay applies: the write hits the
+// cache.
+func (c *Context) StoreU64(off int64, v uint64) {
+	c.dev.checkRange(off, WordSize)
+	if !align8(off) {
+		panic("scm: unaligned StoreU64")
+	}
+	c.dev.markDirty(off)
+	c.dev.storeWord(off, v)
+	c.stores++
+}
+
+// StoreU64InDirtyLine is StoreU64 for a word whose cache line this context
+// has already dirtied since the last flush of that line: the pre-image is
+// already recorded, so the dirty-table bookkeeping is skipped. Batch
+// writers (the transaction write-back path) use it for the second and
+// later stores to a line.
+func (c *Context) StoreU64InDirtyLine(off int64, v uint64) {
+	c.dev.checkRange(off, WordSize)
+	if !align8(off) {
+		panic("scm: unaligned StoreU64InDirtyLine")
+	}
+	c.dev.storeWord(off, v)
+	c.stores++
+}
+
+// WTStoreU64 performs a streaming write-through write (the paper's
+// wtstore() primitive, x86 movntq). The write is visible immediately and
+// becomes durable at the next Fence; until then it may be lost, per word,
+// on a crash. Bandwidth cost is charged at the draining fence, modeling
+// write combining.
+func (c *Context) WTStoreU64(off int64, v uint64) {
+	c.dev.checkRange(off, WordSize)
+	if !align8(off) {
+		panic("scm: unaligned WTStoreU64")
+	}
+	c.wc = append(c.wc, pendingWT{off: off, old: c.dev.loadWord(off)})
+	c.dev.storeWord(off, v)
+	c.wcBytes += WordSize
+	c.wtStores++
+	c.bytesWT += WordSize
+}
+
+// Flush writes the cache line containing off back to SCM (the paper's
+// flush() primitive, x86 clflush), making any cached stores to that line
+// durable. It charges the PCM write latency when the line was dirty.
+func (c *Context) Flush(off int64) {
+	c.dev.checkRange(off, 1)
+	line := off &^ (LineSize - 1)
+	if c.dev.persistLine(line) {
+		c.delay(c.dev.cfg.WriteLatency)
+	}
+	c.flushes++
+}
+
+// FlushRange flushes every cache line overlapping [off, off+n).
+func (c *Context) FlushRange(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.dev.checkRange(off, n)
+	first := off &^ (LineSize - 1)
+	last := (off + n - 1) &^ (LineSize - 1)
+	for line := first; line <= last; line += LineSize {
+		c.Flush(line)
+	}
+}
+
+// Fence drains this context's write-combining buffer and stalls until all
+// its prior writes are durable (the paper's fence() primitive, x86 mfence
+// after movntq). The delay models waiting for outstanding writes plus the
+// bandwidth-limited streaming of the combined data.
+func (c *Context) Fence() {
+	c.wc = c.wc[:0]
+	d := c.dev.cfg.WriteLatency
+	if c.wcBytes > 0 && c.dev.cfg.WriteBandwidth > 0 {
+		d += time.Duration(float64(c.wcBytes) / c.dev.cfg.WriteBandwidth * 1e9)
+	}
+	c.wcBytes = 0
+	c.delay(d)
+	c.fences++
+}
+
+// Load copies n = len(buf) bytes starting at off into buf. Byte-granular
+// access is assembled from atomic word loads.
+func (c *Context) Load(buf []byte, off int64) {
+	n := int64(len(buf))
+	if n == 0 {
+		return
+	}
+	c.dev.checkRange(off, n)
+	i := int64(0)
+	for i < n {
+		w := c.dev.loadWord((off + i) &^ 7)
+		shift := uint((off + i) & 7)
+		for ; shift < 8 && i < n; shift++ {
+			buf[i] = byte(w >> (shift * 8))
+			i++
+		}
+	}
+}
+
+// Store performs cacheable writes of buf at off. Partial words at the
+// edges use read-modify-write; callers racing on the same word must
+// synchronize externally (the transaction system's locks do).
+func (c *Context) Store(off int64, buf []byte) {
+	c.rmw(off, buf, c.StoreU64)
+}
+
+// WTStore performs streaming writes of buf at off.
+func (c *Context) WTStore(off int64, buf []byte) {
+	c.rmw(off, buf, c.WTStoreU64)
+}
+
+func (c *Context) rmw(off int64, buf []byte, put func(int64, uint64)) {
+	n := int64(len(buf))
+	if n == 0 {
+		return
+	}
+	c.dev.checkRange(off, n)
+	i := int64(0)
+	for i < n {
+		wordOff := (off + i) &^ 7
+		shift := uint((off + i) & 7)
+		if shift == 0 && n-i >= 8 {
+			v := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
+				uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
+				uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+			put(wordOff, v)
+			i += 8
+			continue
+		}
+		w := c.dev.loadWord(wordOff)
+		for ; shift < 8 && i < n; shift++ {
+			w &^= 0xff << (shift * 8)
+			w |= uint64(buf[i]) << (shift * 8)
+			i++
+		}
+		put(wordOff, w)
+	}
+}
+
+// delay realizes a write delay according to the configured mode.
+func (c *Context) delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	switch c.dev.cfg.Mode {
+	case DelayOff:
+	case DelaySpin:
+		spin(d)
+	case DelayAccount:
+		c.accountedNs += int64(d)
+	}
+}
+
+// spin busy-waits for d, like the paper's TSC calibration loop. The wait
+// deliberately does not yield: an mfence stall occupies its core, so on a
+// host with as many CPUs as emulated threads the model is exact. (On a
+// host with fewer CPUs, emulated threads time-slice and multi-thread
+// scaling cannot exceed one core's worth — see EXPERIMENTS.md.)
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

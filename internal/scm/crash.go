@@ -1,0 +1,81 @@
+package scm
+
+import "math/rand"
+
+// CrashPolicy decides, for each unpersisted write, whether it survives a
+// simulated power failure. The paper's failure model (§2): "on a system
+// failure, in-flight memory operations may fail, and atomic updates either
+// complete or do not modify memory". The atomic unit is a 64-bit word for
+// streaming writes and a cache line for cached stores.
+type CrashPolicy interface {
+	// KeepLine reports whether the dirty cache line at off reached SCM.
+	KeepLine(off int64) bool
+	// KeepWord reports whether the unfenced streaming word at off
+	// reached SCM.
+	KeepWord(off int64) bool
+}
+
+// DropAll loses every unpersisted write: the most adversarial power
+// failure.
+type DropAll struct{}
+
+func (DropAll) KeepLine(int64) bool { return false }
+func (DropAll) KeepWord(int64) bool { return false }
+
+// KeepAll persists every in-flight write, as if the failure arrived just
+// after everything drained.
+type KeepAll struct{}
+
+func (KeepAll) KeepLine(int64) bool { return true }
+func (KeepAll) KeepWord(int64) bool { return true }
+
+// RandomPolicy keeps each in-flight write independently with probability
+// 1/2, using a deterministic seed so failures are reproducible.
+type RandomPolicy struct{ rng *rand.Rand }
+
+// NewRandomPolicy returns a reproducible random crash policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *RandomPolicy) KeepLine(int64) bool { return p.rng.Intn(2) == 0 }
+func (p *RandomPolicy) KeepWord(int64) bool { return p.rng.Intn(2) == 0 }
+
+// Crash simulates a power failure and reboot. Every dirty cache line and
+// every unfenced streaming word is either persisted or reverted to its
+// last durable value, per the policy. Afterwards the device is in the
+// state a fresh boot would observe: caches empty, WC buffers empty.
+//
+// The device must be quiesced: no concurrent operations, including on
+// contexts. Existing contexts remain usable after Crash, modeling the
+// process restarting on the same "hardware".
+func (d *Device) Crash(policy CrashPolicy) {
+	// Streaming words first: a WC word is newer than any cached line
+	// pre-image only when the program mixed Store and WTStore on the
+	// same line without an intervening flush, which the programming
+	// model forbids (the paper uses wtstore for logs and store+flush
+	// for data, on disjoint lines).
+	d.mu.Lock()
+	ctxs := append([]*Context(nil), d.contexts...)
+	d.mu.Unlock()
+	for _, ctx := range ctxs {
+		for _, p := range ctx.wc {
+			if !policy.KeepWord(p.off) {
+				d.storeWord(p.off, p.old)
+			}
+		}
+		ctx.wc = ctx.wc[:0]
+		ctx.wcBytes = 0
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for line, old := range sh.m {
+			if !policy.KeepLine(line) {
+				d.revertLine(line, old)
+			}
+		}
+		sh.m = make(map[int64][WordsPerLine]uint64)
+		sh.mu.Unlock()
+	}
+}

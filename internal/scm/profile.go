@@ -1,0 +1,64 @@
+package scm
+
+import "time"
+
+// Profile captures the access characteristics of a memory technology, as
+// surveyed in Table 1 of the paper. ReadLatency is informational: the
+// emulator, like the paper's, does not delay loads (§6.1).
+type Profile struct {
+	Name        string
+	ReadLatency time.Duration
+	// WriteLatency is the technology's write latency; the emulator
+	// charges the *extra* latency over DRAM, per §6.1.
+	WriteLatency time.Duration
+	// Endurance is the supported number of overwrites per cell.
+	Endurance float64
+}
+
+// Technology profiles from Table 1. PCMToday is the currently available
+// part; PCMProspective matches research prototypes whose write latencies
+// the evaluation sweeps over (150 ns default, 1000 ns and 2000 ns in
+// Figure 7).
+var (
+	DRAM = Profile{
+		Name:         "DRAM",
+		ReadLatency:  60 * time.Nanosecond,
+		WriteLatency: 60 * time.Nanosecond,
+		Endurance:    1e16,
+	}
+	NANDFlash = Profile{
+		Name:         "NAND Flash",
+		ReadLatency:  25 * time.Microsecond,
+		WriteLatency: 350 * time.Microsecond,
+		Endurance:    1e5,
+	}
+	PCMToday = Profile{
+		Name:         "PCM (today)",
+		ReadLatency:  115 * time.Nanosecond,
+		WriteLatency: 120 * time.Microsecond,
+		Endurance:    1e6,
+	}
+	PCMProspective = Profile{
+		Name:         "PCM (prospective)",
+		ReadLatency:  67 * time.Nanosecond,
+		WriteLatency: 150 * time.Nanosecond,
+		Endurance:    1e10,
+	}
+	STTRAM = Profile{
+		Name:         "STT-RAM",
+		ReadLatency:  6 * time.Nanosecond,
+		WriteLatency: 13 * time.Nanosecond,
+		Endurance:    1e15,
+	}
+)
+
+// ExtraWriteLatency returns the additional write latency this technology
+// has over DRAM, which is what the emulator charges per write reaching the
+// device.
+func (p Profile) ExtraWriteLatency() time.Duration {
+	d := p.WriteLatency - DRAM.WriteLatency
+	if d < 0 {
+		return 0
+	}
+	return d
+}

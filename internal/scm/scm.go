@@ -1,0 +1,451 @@
+// Package scm emulates a storage-class memory (SCM) device such as
+// phase-change memory attached to the memory bus.
+//
+// The emulator reproduces the performance model of the Mnemosyne paper
+// (§6.1): reads are free, writes to SCM incur an extra latency over DRAM
+// (150 ns by default), sequential streaming writes are limited by a write
+// bandwidth (4 GB/s by default), and a fence waits for outstanding writes.
+//
+// It also reproduces the paper's failure model (§2): data in the processor
+// cache or in write-combining buffers is volatile; only data that has
+// actually reached SCM survives a crash. Individual 64-bit writes are
+// atomic. Crash simulates a power failure by reverting a subset of the
+// unpersisted writes, chosen by a CrashPolicy.
+//
+// Four hardware primitives are exposed, matching Table 3 of the paper:
+//
+//	Store    — a regular cacheable write (mov); volatile until flushed
+//	WTStore  — a streaming write-through write (movntq); volatile until fenced
+//	Flush    — write a cache line back to SCM (clflush)
+//	Fence    — drain write-combining buffers and stall until durable (mfence)
+//
+// All word accesses use sync/atomic, which both models the hardware's
+// atomic 64-bit write guarantee and keeps concurrent benchmark workloads
+// race-free.
+package scm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// WordSize is the unit of atomic persistence, in bytes.
+	WordSize = 8
+	// LineSize is the cache-line size modeled by Flush, in bytes.
+	LineSize = 64
+	// WordsPerLine is the number of 64-bit words in a cache line.
+	WordsPerLine = LineSize / WordSize
+	// PageSize is the frame size used by the region manager, in bytes.
+	PageSize = 4096
+)
+
+// Default performance parameters, from §6.1 of the paper: "All tests add
+// 150 ns of extra latency and are limited to 4 GB/s of write bandwidth."
+const (
+	DefaultWriteLatency   = 150 * time.Nanosecond
+	DefaultWriteBandwidth = 4 << 30 // bytes per second
+)
+
+// DelayMode selects how write delays are realized.
+type DelayMode int
+
+const (
+	// DelayOff disables delays entirely; unit tests use this.
+	DelayOff DelayMode = iota
+	// DelaySpin busy-waits for the configured delay, like the paper's
+	// emulator which spins on the timestamp counter. Benchmarks use this.
+	DelaySpin
+	// DelayAccount does not wait but accumulates the delay in a virtual
+	// nanosecond counter, for deterministic latency measurements.
+	DelayAccount
+)
+
+// Config describes an emulated SCM device.
+type Config struct {
+	// Size is the device capacity in bytes. Rounded up to a whole page.
+	Size int64
+	// WriteLatency is the extra latency of a PCM write over DRAM.
+	// Zero selects DefaultWriteLatency; use Mode=DelayOff to disable.
+	WriteLatency time.Duration
+	// WriteBandwidth caps sequential streaming writes, in bytes/second.
+	// Zero selects DefaultWriteBandwidth.
+	WriteBandwidth float64
+	// Mode selects the delay realization.
+	Mode DelayMode
+	// Path optionally names a backing file so device contents survive
+	// process exit. Empty means a purely in-memory device.
+	Path string
+	// TrackWear counts writes per page, supporting wear-leveling
+	// decisions (§4.5 of the paper assumes wear leveling below the
+	// programming model; the counters let the region manager provide
+	// it by remapping hot pages).
+	TrackWear bool
+}
+
+func (c *Config) fill() {
+	if c.WriteLatency == 0 {
+		c.WriteLatency = DefaultWriteLatency
+	}
+	if c.WriteBandwidth == 0 {
+		c.WriteBandwidth = DefaultWriteBandwidth
+	}
+	if c.Size <= 0 {
+		c.Size = 16 << 20
+	}
+	c.Size = (c.Size + PageSize - 1) &^ (PageSize - 1)
+}
+
+const dirtyShards = 64
+
+type dirtyShard struct {
+	mu sync.Mutex
+	// m maps a line-aligned byte offset to the line's last persisted
+	// contents. Present means the line is dirty in the "cache".
+	m map[int64][WordsPerLine]uint64
+}
+
+// Device is an emulated SCM device. The word array is the device truth:
+// anything there at crash time survives. The dirty-line table and each
+// context's write-combining buffer track data that is visible to the
+// program but not yet durable.
+type Device struct {
+	cfg   Config
+	words []uint64
+	wear  []atomic.Uint32 // per-page write counts; nil unless TrackWear
+
+	shards [dirtyShards]dirtyShard
+
+	mu       sync.Mutex
+	contexts []*Context
+	closed   bool
+}
+
+// StatsSnapshot aggregates the per-context operation counters.
+type StatsSnapshot struct {
+	Stores, WTStores, Flushes, Fences, BytesWT uint64
+	AccountedNs                                int64
+}
+
+// Open creates (or reopens, when cfg.Path names an existing image) an
+// emulated SCM device.
+func Open(cfg Config) (*Device, error) {
+	cfg.fill()
+	d := &Device{cfg: cfg}
+	d.words = make([]uint64, cfg.Size/WordSize)
+	if cfg.TrackWear {
+		d.wear = make([]atomic.Uint32, cfg.Size/PageSize)
+	}
+	for i := range d.shards {
+		d.shards[i].m = make(map[int64][WordsPerLine]uint64)
+	}
+	if cfg.Path != "" {
+		if err := d.loadImage(cfg.Path); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.words)) * WordSize }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Snapshot sums the operation counters over every context. Counters are
+// kept per context without synchronization (the hot paths run millions of
+// operations per second), so a snapshot taken while contexts are active is
+// approximate.
+func (d *Device) Snapshot() StatsSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var s StatsSnapshot
+	for _, c := range d.contexts {
+		s.Stores += c.stores
+		s.WTStores += c.wtStores
+		s.Flushes += c.flushes
+		s.Fences += c.fences
+		s.BytesWT += c.bytesWT
+		s.AccountedNs += c.accountedNs
+	}
+	return s
+}
+
+// AccountedTime reports the virtual time accumulated in DelayAccount mode.
+func (d *Device) AccountedTime() time.Duration {
+	return time.Duration(d.Snapshot().AccountedNs)
+}
+
+// NewContext returns a per-thread hardware context. A context owns its
+// write-combining buffer, mirroring per-core WC buffers: Fence drains only
+// the calling context's streaming writes. Contexts must not be shared
+// between goroutines without external synchronization.
+func (d *Device) NewContext() *Context {
+	ctx := &Context{dev: d}
+	d.mu.Lock()
+	d.contexts = append(d.contexts, ctx)
+	d.mu.Unlock()
+	return ctx
+}
+
+func (d *Device) shard(line int64) *dirtyShard {
+	return &d.shards[uint64(line/LineSize)%dirtyShards]
+}
+
+// checkRange panics when [off, off+n) is outside the device; persistent
+// memory corruption bugs should fail loudly in the emulator.
+func (d *Device) checkRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.Size() {
+		panic(fmt.Sprintf("scm: access [%#x,+%d) outside device of %d bytes", off, n, d.Size()))
+	}
+}
+
+// loadWord / storeWord are the only routines that touch the word array.
+func (d *Device) loadWord(off int64) uint64 {
+	return atomic.LoadUint64(&d.words[off/WordSize])
+}
+
+func (d *Device) storeWord(off int64, v uint64) {
+	atomic.StoreUint64(&d.words[off/WordSize], v)
+	if d.wear != nil {
+		d.wear[off/PageSize].Add(1)
+	}
+}
+
+// WearCount reports the write count of the page containing off (zero
+// unless TrackWear is configured).
+func (d *Device) WearCount(off int64) uint32 {
+	if d.wear == nil {
+		return 0
+	}
+	return d.wear[off/PageSize].Load()
+}
+
+// WearProfile copies the per-page write counters (nil unless TrackWear).
+func (d *Device) WearProfile() []uint32 {
+	if d.wear == nil {
+		return nil
+	}
+	out := make([]uint32, len(d.wear))
+	for i := range d.wear {
+		out[i] = d.wear[i].Load()
+	}
+	return out
+}
+
+// markDirty records the pre-image of the line containing off, the first
+// time the line is dirtied since its last flush.
+func (d *Device) markDirty(off int64) {
+	line := off &^ (LineSize - 1)
+	sh := d.shard(line)
+	sh.mu.Lock()
+	if _, ok := sh.m[line]; !ok {
+		var old [WordsPerLine]uint64
+		for i := 0; i < WordsPerLine; i++ {
+			old[i] = d.loadWord(line + int64(i)*WordSize)
+		}
+		sh.m[line] = old
+	}
+	sh.mu.Unlock()
+}
+
+// persistLine drops the line's pre-image: its current contents are now the
+// durable contents. Reports whether the line was dirty.
+func (d *Device) persistLine(line int64) bool {
+	sh := d.shard(line)
+	sh.mu.Lock()
+	_, ok := sh.m[line]
+	if ok {
+		delete(sh.m, line)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// revertLine restores the line's pre-image, modeling a dirty cache line
+// that never reached SCM before the crash.
+func (d *Device) revertLine(line int64, old [WordsPerLine]uint64) {
+	for i := 0; i < WordsPerLine; i++ {
+		d.storeWord(line+int64(i)*WordSize, old[i])
+	}
+}
+
+// DurableFill writes buf at off directly as durable contents, bypassing
+// the cache and write-combining models. It is the DMA path used by the
+// kernel when a page's contents arrive from a backing file (already
+// durable there) — not a program-visible store primitive. off and len(buf)
+// must be word-aligned.
+func (d *Device) DurableFill(off int64, buf []byte) {
+	n := int64(len(buf))
+	d.checkRange(off, n)
+	if off&7 != 0 || n&7 != 0 {
+		panic("scm: unaligned DurableFill")
+	}
+	for i := int64(0); i < n; i += WordSize {
+		v := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
+			uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
+			uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+		d.storeWord(off+i, v)
+	}
+	// The filled contents are the durable truth: drop any stale
+	// pre-images so a crash cannot resurrect prior frame contents.
+	first := off &^ (LineSize - 1)
+	last := (off + n - 1) &^ (LineSize - 1)
+	for line := first; line <= last; line += LineSize {
+		sh := d.shard(line)
+		sh.mu.Lock()
+		delete(sh.m, line)
+		sh.mu.Unlock()
+	}
+}
+
+// DirtyLines reports how many cache lines are dirty (unflushed).
+func (d *Device) DirtyLines() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// PendingWTWords reports how many streaming words are unfenced, across all
+// contexts.
+func (d *Device) PendingWTWords() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, ctx := range d.contexts {
+		n += len(ctx.wc)
+	}
+	return n
+}
+
+// FlushAll persists every dirty line and drains every context's
+// write-combining buffer without applying delays. It models an orderly
+// shutdown (the OS flushing caches before power-off).
+func (d *Device) FlushAll() {
+	d.mu.Lock()
+	ctxs := append([]*Context(nil), d.contexts...)
+	d.mu.Unlock()
+	for _, ctx := range ctxs {
+		ctx.wc = ctx.wc[:0]
+		ctx.wcBytes = 0
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[int64][WordsPerLine]uint64)
+		sh.mu.Unlock()
+	}
+}
+
+// Close flushes all caches and, when the device has a backing file, saves
+// the image. The device must be quiesced.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("scm: device already closed")
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.FlushAll()
+	if d.cfg.Path != "" {
+		return d.saveImage(d.cfg.Path)
+	}
+	return nil
+}
+
+// Image persistence. The on-disk format is a small header followed by the
+// raw word array in little-endian order.
+
+var imageMagic = [8]byte{'M', 'N', 'E', 'S', 'C', 'M', '0', '1'}
+
+func (d *Device) saveImage(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	copy(buf, imageMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(d.words)))
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	const chunkWords = 1 << 16
+	chunk := make([]byte, chunkWords*WordSize)
+	for base := 0; base < len(d.words); base += chunkWords {
+		end := base + chunkWords
+		if end > len(d.words) {
+			end = base + len(d.words) - base
+			end = len(d.words)
+		}
+		n := 0
+		for i := base; i < end; i++ {
+			binary.LittleEndian.PutUint64(chunk[n:], d.words[i])
+			n += WordSize
+		}
+		if _, err := f.Write(chunk[:n]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (d *Device) loadImage(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // fresh device
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return fmt.Errorf("scm: bad image header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != imageMagic {
+		return fmt.Errorf("scm: %s is not an SCM image", path)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n != uint64(len(d.words)) {
+		return fmt.Errorf("scm: image has %d words, device has %d", n, len(d.words))
+	}
+	const chunkWords = 1 << 16
+	chunk := make([]byte, chunkWords*WordSize)
+	for base := 0; base < len(d.words); base += chunkWords {
+		end := base + chunkWords
+		if end > len(d.words) {
+			end = len(d.words)
+		}
+		want := (end - base) * WordSize
+		if _, err := io.ReadFull(f, chunk[:want]); err != nil {
+			return fmt.Errorf("scm: short image: %w", err)
+		}
+		for i := base; i < end; i++ {
+			d.words[i] = binary.LittleEndian.Uint64(chunk[(i-base)*WordSize:])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package scm
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDevice(t *testing.T, size int64) *Device {
+	t.Helper()
+	d, err := Open(Config{Size: size, Mode: DelayOff})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+func TestOpenRoundsSizeToPage(t *testing.T) {
+	d := testDevice(t, 100)
+	if d.Size() != PageSize {
+		t.Fatalf("size = %d, want %d", d.Size(), PageSize)
+	}
+}
+
+func TestStoreLoadU64(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(64, 0xdeadbeefcafef00d)
+	if got := ctx.LoadU64(64); got != 0xdeadbeefcafef00d {
+		t.Fatalf("LoadU64 = %#x", got)
+	}
+	if got := ctx.LoadU64(72); got != 0 {
+		t.Fatalf("adjacent word = %#x, want 0", got)
+	}
+}
+
+func TestUnalignedWordAccessPanics(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	for _, f := range []func(){
+		func() { ctx.LoadU64(3) },
+		func() { ctx.StoreU64(5, 1) },
+		func() { ctx.WTStoreU64(9, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on unaligned access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := testDevice(t, 1<<12)
+	ctx := d.NewContext()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	ctx.StoreU64(d.Size(), 1)
+}
+
+func TestByteLoadStoreRoundTrip(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	// Deliberately unaligned offset.
+	ctx.Store(13, msg)
+	got := make([]byte, len(msg))
+	ctx.Load(got, 13)
+	if string(got) != string(msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestByteStoreDoesNotClobberNeighbors(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 0x1111111111111111)
+	ctx.StoreU64(8, 0x2222222222222222)
+	ctx.Store(6, []byte{0xaa, 0xbb, 0xcc, 0xdd})
+	if got := ctx.LoadU64(0); got != 0xbbaa111111111111 {
+		t.Fatalf("word0 = %#x", got)
+	}
+	if got := ctx.LoadU64(8); got != 0x222222222222ddcc {
+		t.Fatalf("word1 = %#x", got)
+	}
+}
+
+func TestQuickByteRoundTrip(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	f := func(off uint16, data []byte) bool {
+		o := int64(off)
+		if len(data) == 0 || o+int64(len(data)) > d.Size() {
+			return true
+		}
+		ctx.Store(o, data)
+		got := make([]byte, len(data))
+		ctx.Load(got, o)
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashDropAllRevertsUnflushedStores(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	ctx.Flush(0)
+	ctx.StoreU64(0, 2) // dirty again, not flushed
+	ctx.StoreU64(128, 3)
+	d.Crash(DropAll{})
+	if got := ctx.LoadU64(0); got != 1 {
+		t.Fatalf("word0 after crash = %d, want flushed value 1", got)
+	}
+	if got := ctx.LoadU64(128); got != 0 {
+		t.Fatalf("word128 after crash = %d, want 0", got)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("dirty lines after crash = %d", d.DirtyLines())
+	}
+}
+
+func TestCrashKeepAllPersistsEverything(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 7)
+	ctx.WTStoreU64(64, 9)
+	d.Crash(KeepAll{})
+	if got := ctx.LoadU64(0); got != 7 {
+		t.Fatalf("cached store lost: %d", got)
+	}
+	if got := ctx.LoadU64(64); got != 9 {
+		t.Fatalf("streaming store lost: %d", got)
+	}
+}
+
+func TestWTStoreVolatileUntilFence(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.WTStoreU64(0, 42)
+	if got := ctx.LoadU64(0); got != 42 {
+		t.Fatalf("WT store not visible: %d", got)
+	}
+	d.Crash(DropAll{})
+	if got := ctx.LoadU64(0); got != 0 {
+		t.Fatalf("unfenced WT store survived crash: %d", got)
+	}
+
+	ctx.WTStoreU64(0, 43)
+	ctx.Fence()
+	d.Crash(DropAll{})
+	if got := ctx.LoadU64(0); got != 43 {
+		t.Fatalf("fenced WT store lost: %d", got)
+	}
+}
+
+func TestCrashWordGranularityForWTStores(t *testing.T) {
+	// A random crash must lose streaming words independently: some of a
+	// multi-word append survive, others do not. With 64 words and a fair
+	// coin, both outcomes occur for any seed with overwhelming
+	// probability.
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	for i := int64(0); i < 64; i++ {
+		ctx.WTStoreU64(i*8, uint64(i)+1)
+	}
+	d.Crash(NewRandomPolicy(1))
+	kept, lost := 0, 0
+	for i := int64(0); i < 64; i++ {
+		switch ctx.LoadU64(i * 8) {
+		case uint64(i) + 1:
+			kept++
+		case 0:
+			lost++
+		default:
+			t.Fatalf("word %d has torn value", i)
+		}
+	}
+	if kept == 0 || lost == 0 {
+		t.Fatalf("crash not word-granular: kept=%d lost=%d", kept, lost)
+	}
+}
+
+func TestCrashLineGranularityForStores(t *testing.T) {
+	// Two stores on the same line live or die together.
+	for seed := int64(0); seed < 8; seed++ {
+		d := testDevice(t, 1<<16)
+		ctx := d.NewContext()
+		ctx.StoreU64(0, 1)
+		ctx.StoreU64(8, 2)
+		d.Crash(NewRandomPolicy(seed))
+		a, b := ctx.LoadU64(0), ctx.LoadU64(8)
+		if (a == 0) != (b == 0) {
+			t.Fatalf("seed %d: line split by crash: a=%d b=%d", seed, a, b)
+		}
+	}
+}
+
+func TestFlushPersistsLine(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 5)
+	ctx.Flush(0)
+	d.Crash(DropAll{})
+	if got := ctx.LoadU64(0); got != 5 {
+		t.Fatalf("flushed store lost: %d", got)
+	}
+}
+
+func TestFlushRangeCoversAllLines(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	for off := int64(0); off < 256; off += 8 {
+		ctx.StoreU64(off, uint64(off))
+	}
+	ctx.FlushRange(0, 256)
+	d.Crash(DropAll{})
+	for off := int64(0); off < 256; off += 8 {
+		if got := ctx.LoadU64(off); got != uint64(off) {
+			t.Fatalf("word at %d lost after FlushRange", off)
+		}
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	ctx.StoreU64(8, 2) // same line
+	ctx.StoreU64(64, 3)
+	if got := d.DirtyLines(); got != 2 {
+		t.Fatalf("DirtyLines = %d, want 2", got)
+	}
+	ctx.Flush(0)
+	if got := d.DirtyLines(); got != 1 {
+		t.Fatalf("DirtyLines after flush = %d, want 1", got)
+	}
+	ctx.WTStoreU64(128, 1)
+	ctx.WTStoreU64(136, 2)
+	if got := d.PendingWTWords(); got != 2 {
+		t.Fatalf("PendingWTWords = %d, want 2", got)
+	}
+	ctx.Fence()
+	if got := d.PendingWTWords(); got != 0 {
+		t.Fatalf("PendingWTWords after fence = %d", got)
+	}
+}
+
+func TestAccountingMode(t *testing.T) {
+	d, err := Open(Config{Size: 1 << 16, Mode: DelayAccount, WriteLatency: 150 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	if ctx.AccountedTime() != 0 {
+		t.Fatalf("store should be free, accounted %v", ctx.AccountedTime())
+	}
+	ctx.Flush(0)
+	if got := ctx.AccountedTime(); got != 150*time.Nanosecond {
+		t.Fatalf("flush accounted %v, want 150ns", got)
+	}
+	ctx.Flush(0) // clean line: free
+	if got := ctx.AccountedTime(); got != 150*time.Nanosecond {
+		t.Fatalf("clean flush charged: %v", got)
+	}
+	ctx.ResetAccounting()
+	// 1024 streaming bytes at 4 GiB/s ≈ 238ns, plus the 150ns fence.
+	for off := int64(0); off < 1024; off += 8 {
+		ctx.WTStoreU64(off, 1)
+	}
+	ctx.Fence()
+	bwNs := 1024.0 / float64(4<<30) * 1e9
+	want := 150*time.Nanosecond + time.Duration(bwNs)
+	if got := ctx.AccountedTime(); got < want-2*time.Nanosecond || got > want+2*time.Nanosecond {
+		t.Fatalf("fence accounted %v, want ≈%v", got, want)
+	}
+}
+
+func TestSpinDelayApproximatesTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	d, err := Open(Config{Size: 1 << 12, Mode: DelaySpin, WriteLatency: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	start := time.Now()
+	ctx.Flush(0)
+	if got := time.Since(start); got < 50*time.Microsecond {
+		t.Fatalf("spin flush took %v, want >= 50µs", got)
+	}
+}
+
+func TestImageSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scm.img")
+	d, err := Open(Config{Size: 1 << 16, Mode: DelayOff, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	rng := rand.New(rand.NewSource(7))
+	vals := make(map[int64]uint64)
+	for i := 0; i < 100; i++ {
+		off := int64(rng.Intn(1<<13)) * 8
+		v := rng.Uint64()
+		vals[off] = v
+		ctx.StoreU64(off, v)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := Open(Config{Size: 1 << 16, Mode: DelayOff, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := d2.NewContext()
+	for off, v := range vals {
+		if got := ctx2.LoadU64(off); got != v {
+			t.Fatalf("word %d = %#x, want %#x", off, got, v)
+		}
+	}
+}
+
+func TestImageSizeMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scm.img")
+	d, err := Open(Config{Size: 1 << 16, Mode: DelayOff, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Size: 1 << 17, Mode: DelayOff, Path: path}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestImageCorruptMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scm.img")
+	if err := os.WriteFile(path, []byte("not an scm image at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Size: 1 << 12, Mode: DelayOff, Path: path}); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestDoubleCloseFails(t *testing.T) {
+	d := testDevice(t, 1<<12)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("expected error on double close")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	ctx.WTStoreU64(8, 2)
+	ctx.Flush(0)
+	ctx.Fence()
+	s := d.Snapshot()
+	if s.Stores != 1 || s.WTStores != 1 || s.Flushes != 1 || s.Fences != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesWT != 8 {
+		t.Fatalf("BytesWT = %d", s.BytesWT)
+	}
+}
+
+func TestConcurrentDisjointAccess(t *testing.T) {
+	d := testDevice(t, 1<<20)
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			ctx := d.NewContext()
+			base := int64(w) * (1 << 16)
+			for i := int64(0); i < 1000; i++ {
+				off := base + (i%512)*8
+				ctx.StoreU64(off, uint64(w)<<32|uint64(i))
+				if i%16 == 0 {
+					ctx.Flush(off)
+				}
+				ctx.WTStoreU64(base+4096+(i%64)*8, uint64(i))
+				if i%8 == 0 {
+					ctx.Fence()
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+func TestProfileExtraWriteLatency(t *testing.T) {
+	if DRAM.ExtraWriteLatency() != 0 {
+		t.Fatal("DRAM should have no extra write latency")
+	}
+	if STTRAM.ExtraWriteLatency() != 0 {
+		t.Fatal("STT-RAM writes are faster than DRAM; extra latency clamps to 0")
+	}
+	if got := PCMProspective.ExtraWriteLatency(); got != 90*time.Nanosecond {
+		t.Fatalf("PCM prospective extra latency = %v", got)
+	}
+}

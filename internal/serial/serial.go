@@ -1,0 +1,125 @@
+// Package serial is the Boost-serialization baseline of Table 5: it
+// serializes a whole in-memory (or persistent) red-black tree into a
+// binary archive and writes it to a file on the PCM-disk, the way
+// "productivity applications including word processors use this approach
+// for periodic fast saves."
+//
+// The archive format mimics a Boost binary archive: a signature, a
+// version, an element count, then (key, payload) records.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/mtm"
+	"repro/internal/pcmdisk"
+	"repro/internal/pds"
+)
+
+var archiveMagic = [8]byte{'s', 'e', 'r', 'a', 'r', 'c', 'h', '1'}
+
+// SerializeRBTree walks the tree in order and encodes it into a fresh
+// archive buffer.
+func SerializeRBTree(tx *mtm.Tx, tree *pds.RBTree) []byte {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, archiveMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, 1) // version
+	countAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, 0)
+	n := uint64(0)
+	tree.InOrder(tx, func(key uint64, payload []byte) bool {
+		buf = binary.LittleEndian.AppendUint64(buf, key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		n++
+		return true
+	})
+	binary.LittleEndian.PutUint64(buf[countAt:], n)
+	return buf
+}
+
+// Deserialize decodes an archive into (key, payload) pairs.
+func Deserialize(buf []byte) (keys []uint64, payloads [][]byte, err error) {
+	if len(buf) < 20 || [8]byte(buf[:8]) != archiveMagic {
+		return nil, nil, errors.New("serial: bad archive signature")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != 1 {
+		return nil, nil, fmt.Errorf("serial: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(buf[12:])
+	off := 20
+	for i := uint64(0); i < n; i++ {
+		if off+12 > len(buf) {
+			return nil, nil, errors.New("serial: truncated archive")
+		}
+		key := binary.LittleEndian.Uint64(buf[off:])
+		plen := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		off += 12
+		if off+plen > len(buf) {
+			return nil, nil, errors.New("serial: truncated payload")
+		}
+		p := make([]byte, plen)
+		copy(p, buf[off:])
+		off += plen
+		keys = append(keys, key)
+		payloads = append(payloads, p)
+	}
+	return keys, payloads, nil
+}
+
+// Snapshotter persists archives to a file on the PCM-disk, alternating
+// between two slots so a crash during a save never loses the previous
+// snapshot (the usual fast-save discipline).
+type Snapshotter struct {
+	file *pcmdisk.File
+	slot int64
+	half int64
+}
+
+// NewSnapshotter creates (or reopens) a snapshot file that can hold two
+// archives of up to maxArchive bytes each.
+func NewSnapshotter(disk *pcmdisk.Disk, name string, maxArchive int64) (*Snapshotter, error) {
+	f, err := disk.CreateFile(name, 2*(maxArchive+16))
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshotter{file: f, half: maxArchive + 16}, nil
+}
+
+// Save writes the archive to the next slot and syncs — the operation
+// whose latency Table 5 reports.
+func (s *Snapshotter) Save(archive []byte) error {
+	base := s.slot * s.half
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(archive)))
+	if err := s.file.WriteAt(hdr[:], base); err != nil {
+		return err
+	}
+	if err := s.file.WriteAt(archive, base+8); err != nil {
+		return err
+	}
+	s.file.Sync()
+	s.slot ^= 1
+	return nil
+}
+
+// Load reads back the most recent snapshot.
+func (s *Snapshotter) Load() ([]byte, error) {
+	slot := s.slot ^ 1 // last written
+	base := slot * s.half
+	var hdr [8]byte
+	if err := s.file.ReadAt(hdr[:], base); err != nil {
+		return nil, err
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[:]))
+	if n <= 0 || n > s.half-8 {
+		return nil, errors.New("serial: no snapshot")
+	}
+	buf := make([]byte, n)
+	if err := s.file.ReadAt(buf, base+8); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

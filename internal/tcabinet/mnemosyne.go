@@ -1,0 +1,89 @@
+package tcabinet
+
+import (
+	"repro/internal/mtm"
+	"repro/internal/pds"
+	"repro/internal/region"
+)
+
+// MnemosyneStore is the paper's conversion: the B+ tree lives in a
+// persistent region and every update is a durable memory transaction.
+// "We also removed the locks used for synchronizing concurrent accesses
+// to the tree and relied on transactions for concurrency control" (§6.2).
+type MnemosyneStore struct {
+	tm   *mtm.TM
+	tree *pds.BPTree
+}
+
+// OpenMnemosyne opens the store over a region runtime; the TM must have a
+// heap attached.
+func OpenMnemosyne(rt *region.Runtime, tm *mtm.TM) (*MnemosyneStore, error) {
+	root, _, err := rt.Static("tcabinet.root", 8)
+	if err != nil {
+		return nil, err
+	}
+	return &MnemosyneStore{tm: tm, tree: pds.NewBPTree(root)}, nil
+}
+
+// Name implements Store.
+func (s *MnemosyneStore) Name() string { return "tokyocabinet-mnemosyne" }
+
+// Session implements Store: each worker gets its own transaction thread.
+func (s *MnemosyneStore) Session() (Session, error) {
+	th, err := s.tm.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	return &mnSession{s: s, th: th}, nil
+}
+
+// Count implements Store.
+func (s *MnemosyneStore) Count() (int, error) {
+	th, err := s.tm.NewThread()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	err = th.Atomic(func(tx *mtm.Tx) error {
+		n = s.tree.Len(tx)
+		return nil
+	})
+	return n, err
+}
+
+type mnSession struct {
+	s  *MnemosyneStore
+	th *mtm.Thread
+}
+
+func (ss *mnSession) Put(key uint64, val []byte) error {
+	return ss.th.Atomic(func(tx *mtm.Tx) error {
+		return ss.s.tree.Put(tx, key, val)
+	})
+}
+
+func (ss *mnSession) Delete(key uint64) error {
+	err := ss.th.Atomic(func(tx *mtm.Tx) error {
+		return ss.s.tree.Delete(tx, key)
+	})
+	if err == pds.ErrNotFound {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (ss *mnSession) Get(key uint64) ([]byte, error) {
+	var out []byte
+	err := ss.th.Atomic(func(tx *mtm.Tx) error {
+		v, err := ss.s.tree.Get(tx, key)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if err == pds.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	return out, err
+}

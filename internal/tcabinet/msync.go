@@ -1,0 +1,483 @@
+package tcabinet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/pcmdisk"
+)
+
+// Msync-mode store: a B+ tree in a byte image mapped onto a PCM-disk
+// file. Every mutation dirties whole 4 KB pages; Msync writes the dirty
+// pages back and fsyncs, which is exactly the cost profile of msync on a
+// memory-mapped file.
+//
+// File image layout:
+//
+//	page 0:                  header (magic, root, nextNode, heapOff, count)
+//	pages 1..nodePages:      tree nodes, one per page
+//	heap area (after nodes): appended values, [len u32][bytes]
+//
+// Node page layout: meta(8: nkeys<<1|leaf) nextLeaf(8) keys[order]
+// slots[order+1] — slots hold child node indexes in inner nodes and heap
+// offsets in leaves.
+const (
+	msPage  = pcmdisk.BlockSize
+	msOrder = 200
+
+	msMagic = 0x4d4e544342543031 // "MNTCBT01"
+
+	mhMagicOff = 0
+	mhRootOff  = 8
+	mhNextOff  = 16
+	mhHeapOff  = 24
+	mhCountOff = 32
+
+	mnMetaOff = 0
+	mnLeafOff = 8
+	mnKeysOff = 16
+	mnSlotOff = mnKeysOff + 8*msOrder
+)
+
+// MsyncConfig sizes the store.
+type MsyncConfig struct {
+	// NodePages bounds the tree size (default 4096 nodes).
+	NodePages int
+	// HeapBytes bounds appended values (default 32 MB).
+	HeapBytes int64
+	// SyncEveryUpdate selects durability after every update, the
+	// configuration Table 4 measures. When false the caller must invoke
+	// Msync explicitly (stock Tokyo Cabinet's rare syncs).
+	SyncEveryUpdate bool
+}
+
+func (c *MsyncConfig) fill() {
+	if c.NodePages == 0 {
+		c.NodePages = 4096
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 32 << 20
+	}
+}
+
+// MsyncStore is the msync-mode store. A single mutex serializes updates,
+// like the locks the paper removed from Tokyo Cabinet.
+type MsyncStore struct {
+	cfg  MsyncConfig
+	file *pcmdisk.File
+
+	mu    sync.Mutex
+	data  []byte
+	dirty map[int64]bool
+
+	heapBase int64
+}
+
+// OpenMsync creates or reopens an msync-mode store on the disk.
+func OpenMsync(disk *pcmdisk.Disk, cfg MsyncConfig) (*MsyncStore, error) {
+	cfg.fill()
+	size := int64(cfg.NodePages+1)*msPage + cfg.HeapBytes
+	f, err := disk.CreateFile("tcabinet.tcb", size)
+	if err != nil {
+		return nil, err
+	}
+	s := &MsyncStore{
+		cfg:      cfg,
+		file:     f,
+		data:     make([]byte, size),
+		dirty:    make(map[int64]bool),
+		heapBase: int64(cfg.NodePages+1) * msPage,
+	}
+	if err := f.ReadAt(s.data, 0); err != nil {
+		return nil, err
+	}
+	if s.u64(mhMagicOff) != msMagic {
+		// Fresh store.
+		s.putU64(mhMagicOff, msMagic)
+		s.putU64(mhRootOff, 0)
+		s.putU64(mhNextOff, 1)
+		s.putU64(mhHeapOff, uint64(s.heapBase))
+		s.putU64(mhCountOff, 0)
+		s.Msync()
+	}
+	return s, nil
+}
+
+// Name implements Store.
+func (s *MsyncStore) Name() string { return "tokyocabinet-msync" }
+
+// Session implements Store; all sessions share the global lock.
+func (s *MsyncStore) Session() (Session, error) { return s, nil }
+
+// Count implements Store.
+func (s *MsyncStore) Count() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.u64(mhCountOff)), nil
+}
+
+// Byte-image accessors; every write dirties its page.
+func (s *MsyncStore) u64(off int64) uint64 {
+	return binary.LittleEndian.Uint64(s.data[off:])
+}
+
+func (s *MsyncStore) putU64(off int64, v uint64) {
+	binary.LittleEndian.PutUint64(s.data[off:], v)
+	s.dirty[off&^(msPage-1)] = true
+}
+
+func (s *MsyncStore) putBytes(off int64, b []byte) {
+	copy(s.data[off:], b)
+	first := off &^ (msPage - 1)
+	last := (off + int64(len(b)) - 1) &^ (msPage - 1)
+	for p := first; p <= last; p += msPage {
+		s.dirty[p] = true
+	}
+}
+
+// Msync writes all dirty pages back to the file and fsyncs — the paper's
+// msync call. Exposed for the rare-sync configuration.
+func (s *MsyncStore) Msync() {
+	s.mu.Lock()
+	pages := make([]int64, 0, len(s.dirty))
+	for p := range s.dirty {
+		pages = append(pages, p)
+	}
+	s.dirty = make(map[int64]bool)
+	for _, p := range pages {
+		if err := s.file.WriteAt(s.data[p:p+msPage], p); err != nil {
+			panic(err)
+		}
+	}
+	s.mu.Unlock()
+	s.file.Sync()
+}
+
+// Reload re-reads the file image after a crash (remounting the mapping).
+func (s *MsyncStore) Reload() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty = make(map[int64]bool)
+	return s.file.ReadAt(s.data, 0)
+}
+
+// Node accessors. Node index n lives at page n (index 0 = nil).
+func (s *MsyncStore) node(n uint64) int64 { return int64(n) * msPage }
+
+func (s *MsyncStore) meta(n uint64) (nkeys int, leaf bool) {
+	m := s.u64(s.node(n) + mnMetaOff)
+	return int(m >> 1), m&1 != 0
+}
+
+func (s *MsyncStore) setMeta(n uint64, nkeys int, leaf bool) {
+	m := uint64(nkeys) << 1
+	if leaf {
+		m |= 1
+	}
+	s.putU64(s.node(n)+mnMetaOff, m)
+}
+
+func (s *MsyncStore) key(n uint64, i int) uint64 { return s.u64(s.node(n) + mnKeysOff + int64(i)*8) }
+func (s *MsyncStore) setKey(n uint64, i int, k uint64) {
+	s.putU64(s.node(n)+mnKeysOff+int64(i)*8, k)
+}
+func (s *MsyncStore) slot(n uint64, i int) uint64 { return s.u64(s.node(n) + mnSlotOff + int64(i)*8) }
+func (s *MsyncStore) setSlot(n uint64, i int, v uint64) {
+	s.putU64(s.node(n)+mnSlotOff+int64(i)*8, v)
+}
+
+func (s *MsyncStore) newNode(leaf bool) (uint64, error) {
+	n := s.u64(mhNextOff)
+	if n > uint64(s.cfg.NodePages) {
+		return 0, fmt.Errorf("tcabinet: node space exhausted (%d pages)", s.cfg.NodePages)
+	}
+	s.putU64(mhNextOff, n+1)
+	s.setMeta(n, 0, leaf)
+	s.putU64(s.node(n)+mnLeafOff, 0)
+	return n, nil
+}
+
+// appendValue copies val into the heap area, returning its offset.
+func (s *MsyncStore) appendValue(val []byte) (uint64, error) {
+	off := int64(s.u64(mhHeapOff))
+	need := int64(4 + len(val))
+	if off+need > int64(len(s.data)) {
+		return 0, fmt.Errorf("tcabinet: value heap exhausted")
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(val)))
+	s.putBytes(off, hdr[:])
+	s.putBytes(off+4, val)
+	s.putU64(mhHeapOff, uint64(off+need))
+	return uint64(off), nil
+}
+
+func (s *MsyncStore) readValue(off uint64) []byte {
+	n := binary.LittleEndian.Uint32(s.data[off:])
+	out := make([]byte, n)
+	copy(out, s.data[off+4:])
+	return out
+}
+
+func (s *MsyncStore) search(n uint64, nkeys int, k uint64) int {
+	lo, hi := 0, nkeys
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.key(n, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put implements Session.
+func (s *MsyncStore) Put(key uint64, val []byte) error {
+	s.mu.Lock()
+	err := s.put(key, val)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.cfg.SyncEveryUpdate {
+		s.Msync()
+	}
+	return nil
+}
+
+func (s *MsyncStore) put(key uint64, val []byte) error {
+	root := s.u64(mhRootOff)
+	if root == 0 {
+		leaf, err := s.newNode(true)
+		if err != nil {
+			return err
+		}
+		voff, err := s.appendValue(val)
+		if err != nil {
+			return err
+		}
+		s.setKey(leaf, 0, key)
+		s.setSlot(leaf, 0, voff)
+		s.setMeta(leaf, 1, true)
+		s.putU64(mhRootOff, leaf)
+		s.putU64(mhCountOff, 1)
+		return nil
+	}
+	midKey, sib, added, err := s.insert(root, key, val)
+	if err != nil {
+		return err
+	}
+	if sib != 0 {
+		newRoot, err := s.newNode(false)
+		if err != nil {
+			return err
+		}
+		s.setKey(newRoot, 0, midKey)
+		s.setSlot(newRoot, 0, root)
+		s.setSlot(newRoot, 1, sib)
+		s.setMeta(newRoot, 1, false)
+		s.putU64(mhRootOff, newRoot)
+	}
+	if added {
+		s.putU64(mhCountOff, s.u64(mhCountOff)+1)
+	}
+	return nil
+}
+
+func (s *MsyncStore) insert(n uint64, key uint64, val []byte) (uint64, uint64, bool, error) {
+	nkeys, leaf := s.meta(n)
+	if leaf {
+		i := s.search(n, nkeys, key)
+		if i < nkeys && s.key(n, i) == key {
+			voff, err := s.appendValue(val)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			s.setSlot(n, i, voff)
+			return 0, 0, false, nil
+		}
+		voff, err := s.appendValue(val)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		for j := nkeys; j > i; j-- {
+			s.setKey(n, j, s.key(n, j-1))
+			s.setSlot(n, j, s.slot(n, j-1))
+		}
+		s.setKey(n, i, key)
+		s.setSlot(n, i, voff)
+		nkeys++
+		s.setMeta(n, nkeys, true)
+		if nkeys < msOrder {
+			return 0, 0, true, nil
+		}
+		mid, sib, err := s.splitLeaf(n, nkeys)
+		return mid, sib, true, err
+	}
+
+	i := s.search(n, nkeys, key)
+	if i < nkeys && s.key(n, i) == key {
+		i++
+	}
+	midKey, sib, added, err := s.insert(s.slot(n, i), key, val)
+	if err != nil || sib == 0 {
+		return 0, 0, added, err
+	}
+	for j := nkeys; j > i; j-- {
+		s.setKey(n, j, s.key(n, j-1))
+		s.setSlot(n, j+1, s.slot(n, j))
+	}
+	s.setKey(n, i, midKey)
+	s.setSlot(n, i+1, sib)
+	nkeys++
+	s.setMeta(n, nkeys, false)
+	if nkeys < msOrder {
+		return 0, 0, added, nil
+	}
+	mid, sib2, err := s.splitInner(n, nkeys)
+	return mid, sib2, added, err
+}
+
+func (s *MsyncStore) splitLeaf(n uint64, nkeys int) (uint64, uint64, error) {
+	sib, err := s.newNode(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := nkeys / 2
+	for j := half; j < nkeys; j++ {
+		s.setKey(sib, j-half, s.key(n, j))
+		s.setSlot(sib, j-half, s.slot(n, j))
+	}
+	s.setMeta(sib, nkeys-half, true)
+	s.putU64(s.node(sib)+mnLeafOff, s.u64(s.node(n)+mnLeafOff))
+	s.putU64(s.node(n)+mnLeafOff, sib)
+	s.setMeta(n, half, true)
+	return s.key(sib, 0), sib, nil
+}
+
+func (s *MsyncStore) splitInner(n uint64, nkeys int) (uint64, uint64, error) {
+	sib, err := s.newNode(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := nkeys / 2
+	midKey := s.key(n, half)
+	for j := half + 1; j < nkeys; j++ {
+		s.setKey(sib, j-half-1, s.key(n, j))
+		s.setSlot(sib, j-half-1, s.slot(n, j))
+	}
+	s.setSlot(sib, nkeys-half-1, s.slot(n, nkeys))
+	s.setMeta(sib, nkeys-half-1, false)
+	s.setMeta(n, half, false)
+	return midKey, sib, nil
+}
+
+// Get implements Session.
+func (s *MsyncStore) Get(key uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.u64(mhRootOff)
+	if n == 0 {
+		return nil, ErrNotFound
+	}
+	for {
+		nkeys, leaf := s.meta(n)
+		i := s.search(n, nkeys, key)
+		if leaf {
+			if i < nkeys && s.key(n, i) == key {
+				return s.readValue(s.slot(n, i)), nil
+			}
+			return nil, ErrNotFound
+		}
+		if i < nkeys && s.key(n, i) == key {
+			i++
+		}
+		n = s.slot(n, i)
+	}
+}
+
+// Delete implements Session (lazy, like the Mnemosyne-mode tree).
+func (s *MsyncStore) Delete(key uint64) error {
+	s.mu.Lock()
+	err := s.delete(key)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.cfg.SyncEveryUpdate {
+		s.Msync()
+	}
+	return nil
+}
+
+func (s *MsyncStore) delete(key uint64) error {
+	n := s.u64(mhRootOff)
+	if n == 0 {
+		return ErrNotFound
+	}
+	for {
+		nkeys, leaf := s.meta(n)
+		i := s.search(n, nkeys, key)
+		if leaf {
+			if i >= nkeys || s.key(n, i) != key {
+				return ErrNotFound
+			}
+			for j := i; j < nkeys-1; j++ {
+				s.setKey(n, j, s.key(n, j+1))
+				s.setSlot(n, j, s.slot(n, j+1))
+			}
+			s.setMeta(n, nkeys-1, true)
+			s.putU64(mhCountOff, s.u64(mhCountOff)-1)
+			return nil
+		}
+		if i < nkeys && s.key(n, i) == key {
+			i++
+		}
+		n = s.slot(n, i)
+	}
+}
+
+// Verify walks the tree checking structural sanity; it reports the
+// corruption torn msync writes can cause after a crash.
+func (s *MsyncStore) Verify() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root := s.u64(mhRootOff)
+	if root == 0 {
+		return nil
+	}
+	next := s.u64(mhNextOff)
+	var walk func(n uint64, depth int) error
+	walk = func(n uint64, depth int) error {
+		if n == 0 || n >= next || depth > 16 {
+			return fmt.Errorf("tcabinet: bad node reference %d at depth %d", n, depth)
+		}
+		nkeys, leaf := s.meta(n)
+		if nkeys < 0 || nkeys > msOrder {
+			return fmt.Errorf("tcabinet: node %d has %d keys", n, nkeys)
+		}
+		for i := 1; i < nkeys; i++ {
+			if s.key(n, i) <= s.key(n, i-1) {
+				return fmt.Errorf("tcabinet: node %d keys out of order", n)
+			}
+		}
+		if leaf {
+			for i := 0; i < nkeys; i++ {
+				off := s.slot(n, i)
+				if off < uint64(s.heapBase) || off >= s.u64(mhHeapOff) {
+					return fmt.Errorf("tcabinet: leaf %d slot %d points outside heap", n, i)
+				}
+			}
+			return nil
+		}
+		for i := 0; i <= nkeys; i++ {
+			if err := walk(s.slot(n, i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0)
+}

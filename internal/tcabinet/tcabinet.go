@@ -1,0 +1,38 @@
+// Package tcabinet is a Tokyo-Cabinet-like key-value store (§6.2 of the
+// paper): a B+ tree persisted in one of two ways.
+//
+//   - Msync mode reproduces stock Tokyo Cabinet: the tree lives in a
+//     memory-mapped file on the PCM-disk and is made durable by calling
+//     msync after updates. Synced after every update it is slow; synced
+//     rarely it "loses unsaved data after a crash", and a crash during
+//     the flush can tear multi-page updates (the inconsistency the paper
+//     contrasts against Mnemosyne's transactions).
+//
+//   - Mnemosyne mode is the paper's conversion: the B+ tree is allocated
+//     in a persistent region and every update runs in a durable memory
+//     transaction. The file, msync calls and the application's own locks
+//     are all removed; transactions provide concurrency control.
+package tcabinet
+
+import "errors"
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("tcabinet: key not found")
+
+// Session is a per-worker handle to a store.
+type Session interface {
+	// Put inserts or replaces a record.
+	Put(key uint64, val []byte) error
+	// Delete removes a record.
+	Delete(key uint64) error
+	// Get copies a record's value.
+	Get(key uint64) ([]byte, error)
+}
+
+// Store is a key-value store in either mode.
+type Store interface {
+	Name() string
+	Session() (Session, error)
+	// Count returns the number of records.
+	Count() (int, error)
+}

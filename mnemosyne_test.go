@@ -1,0 +1,231 @@
+package mnemosyne_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	mnemosyne "repro"
+)
+
+func testPM(t *testing.T, cfg mnemosyne.Config) *mnemosyne.PM {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.DeviceSize == 0 {
+		cfg.DeviceSize = 128 << 20
+	}
+	pm, err := mnemosyne.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func TestFacadeStaticAndTransaction(t *testing.T) {
+	pm := testPM(t, mnemosyne.Config{})
+	counter, created, err := pm.Static("t.counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("fresh instance should create the static")
+	}
+	for i := 0; i < 10; i++ {
+		if err := pm.Atomic(func(tx *mnemosyne.Tx) error {
+			tx.StoreU64(counter, tx.LoadU64(counter)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pm.Memory().LoadU64(counter); got != 10 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestFacadeCrashAndAttach(t *testing.T) {
+	dir := t.TempDir()
+	cfg := mnemosyne.Config{Dir: dir, DeviceSize: 128 << 20}
+	pm := testPM(t, cfg)
+
+	root, _, err := pm.Static("t.tree", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := mnemosyne.NewBPTree(root)
+	th, err := pm.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+			return tree.Put(tx, i, []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dev := pm.Device()
+	dev.Crash(mnemosyne.RandomCrash(3))
+	if err := pm.Runtime().Close(); err != nil {
+		t.Fatal(err)
+	}
+	pm2, err := mnemosyne.Attach(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, err := pm2.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2 := mnemosyne.NewBPTree(root)
+	if err := th2.Atomic(func(tx *mnemosyne.Tx) error {
+		for i := uint64(0); i < 200; i++ {
+			v, err := tree2.Get(tx, i)
+			if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+				return fmt.Errorf("key %d after crash: %q %v", i, v, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDeviceImagePersistsAcrossProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "scm.img")
+	cfg := mnemosyne.Config{DevicePath: img, Dir: dir, DeviceSize: 64 << 20}
+
+	pm := testPM(t, cfg)
+	addr, _, err := pm.Static("t.persist", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnemosyne.StoreDurable(pm.Memory(), addr, 0xfeedface)
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(img); err != nil {
+		t.Fatalf("image not written: %v", err)
+	}
+
+	pm2 := testPM(t, cfg)
+	addr2, created, err := pm2.Static("t.persist", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || addr2 != addr {
+		t.Fatalf("static not reincarnated: created=%v addr %v vs %v", created, addr2, addr)
+	}
+	if got := pm2.Memory().LoadU64(addr2); got != 0xfeedface {
+		t.Fatalf("value = %#x", got)
+	}
+	if err := pm2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLogRoundTrip(t *testing.T) {
+	pm := testPM(t, mnemosyne.Config{})
+	log, err := pm.CreateLog("t.log", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	log.Flush()
+	pm.Device().Crash(mnemosyne.DropAll)
+	_, recs, err := pm.OpenLog("t.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0]) != 3 || recs[0][2] != 3 {
+		t.Fatalf("recovered %v", recs)
+	}
+	if _, err := pm.CreateLog("t.log", 1024); err == nil {
+		t.Fatal("recreating an existing log should fail")
+	}
+	if _, _, err := pm.OpenLog("t.noexist"); err == nil {
+		t.Fatal("opening a missing log should fail")
+	}
+}
+
+func TestFacadeShadowUpdate(t *testing.T) {
+	pm := testPM(t, mnemosyne.Config{})
+	ref, _, err := pm.Static("t.ref", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := pm.PMap(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pm.Memory()
+	mnemosyne.ShadowUpdate(mem, ref, uint64(region), func(m mnemosyne.Memory) {
+		m.WTStoreU64(region, 111)
+		m.WTStoreU64(region.Add(8), 222)
+	})
+	pm.Device().Crash(mnemosyne.DropAll)
+	if got := mnemosyne.Addr(mem.LoadU64(ref)); got != region {
+		t.Fatalf("reference = %v", got)
+	}
+	if mem.LoadU64(region) != 111 || mem.LoadU64(region.Add(8)) != 222 {
+		t.Fatal("shadow data lost")
+	}
+}
+
+func TestFacadeAllocator(t *testing.T) {
+	pm := testPM(t, mnemosyne.Config{})
+	ptr, _, err := pm.Static("t.ptr", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := pm.Allocator()
+	block, err := alloc.PMalloc(1024, ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block == mnemosyne.Nil {
+		t.Fatal("nil block")
+	}
+	if err := alloc.PFree(ptr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCollect(t *testing.T) {
+	pm := testPM(t, mnemosyne.Config{})
+	slots, _, err := pm.Static("t.gcslots", 8*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := pm.Allocator()
+	for i := int64(0); i < 16; i++ {
+		if _, err := alloc.PMalloc(128, slots.Add(i*8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Orphan half.
+	mem := pm.Memory()
+	for i := int64(8); i < 16; i++ {
+		mnemosyne.StoreDurable(mem, slots.Add(i*8), 0)
+	}
+	rep, err := pm.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Freed != 8 {
+		t.Fatalf("collected %d blocks, want 8 (report %+v)", rep.Freed, rep)
+	}
+	// Survivors intact.
+	for i := int64(0); i < 8; i++ {
+		if err := alloc.PFree(slots.Add(i * 8)); err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+	}
+}
