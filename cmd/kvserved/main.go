@@ -5,10 +5,16 @@
 // Usage:
 //
 //	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
+//	         [-metrics-addr :9090] [-trace]
 //
 // Protocol (line-oriented; try it with `nc localhost 7070`):
 //
-//	SET <key> <value> | GET <key> | DEL <key> | COUNT | PING | QUIT
+//	SET <key> <value> | GET <key> | DEL <key> | COUNT | STATS | PING | QUIT
+//
+// With -metrics-addr the server also exposes Prometheus metrics on
+// GET /metrics, expvar on /debug/vars, pprof under /debug/pprof/ and —
+// with -trace — a Chrome trace_event dump of recent persistence events
+// on GET /trace (load it in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -21,18 +27,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvserve"
+	"repro/internal/telemetry"
 )
 
 var (
-	addr    = flag.String("addr", ":7070", "listen address")
-	image   = flag.String("image", "scm.img", "SCM device image file")
-	dir     = flag.String("dir", ".", "region backing directory")
-	size    = flag.Int64("size", 256<<20, "device size in bytes")
-	emulate = flag.Bool("emulate-latency", false, "spin-emulate PCM write latency")
+	addr        = flag.String("addr", ":7070", "listen address")
+	image       = flag.String("image", "scm.img", "SCM device image file")
+	dir         = flag.String("dir", ".", "region backing directory")
+	size        = flag.Int64("size", 256<<20, "device size in bytes")
+	emulate     = flag.Bool("emulate-latency", false, "spin-emulate PCM write latency")
+	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (empty disables)")
+	traceOn     = flag.Bool("trace", false, "record persistence events to the in-memory trace ring (served on /trace)")
 )
 
 func main() {
 	flag.Parse()
+	if *traceOn {
+		telemetry.DefaultTracer.Enable()
+	}
 	pm, err := core.Open(core.Config{
 		DevicePath:     *image,
 		Dir:            *dir,
@@ -51,21 +63,30 @@ func main() {
 		log.Fatalf("kvserved: listen: %v", err)
 	}
 	fmt.Printf("kvserved: serving durable KV on %s (image %s)\n", l.Addr(), *image)
+	if *metricsAddr != "" {
+		_, bound, err := telemetry.Serve(*metricsAddr, telemetry.Default, telemetry.DefaultTracer)
+		if err != nil {
+			log.Fatalf("kvserved: metrics listener: %v", err)
+		}
+		fmt.Printf("kvserved: telemetry on http://%s/metrics\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	// The handler only stops the listener; Serve then returns nil and the
+	// main goroutine runs the one pm.Close. Closing (and exiting) here as
+	// well raced that close and could kill the process mid image-save,
+	// losing acknowledged data across a graceful restart.
 	go func() {
 		<-sig
 		fmt.Println("kvserved: shutting down")
 		srv.Close()
-		if err := pm.Close(); err != nil {
-			log.Printf("kvserved: close: %v", err)
-		}
-		os.Exit(0)
 	}()
 
 	if err := srv.Serve(l); err != nil {
 		log.Fatalf("kvserved: %v", err)
 	}
-	_ = pm.Close()
+	if err := pm.Close(); err != nil {
+		log.Fatalf("kvserved: close: %v", err)
+	}
 }

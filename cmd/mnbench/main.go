@@ -14,19 +14,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 var (
-	quick  = flag.Bool("quick", false, "shrink workloads for a fast pass")
-	noSpin = flag.Bool("nospin", false, "disable emulated write delays")
-	ops    = flag.Int("ops", 0, "override ops per thread for microbenchmarks")
-	csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
+	noSpin   = flag.Bool("nospin", false, "disable emulated write delays")
+	ops      = flag.Int("ops", 0, "override ops per thread for microbenchmarks")
+	csvDir   = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	jsonPath = flag.String("json", "", "write all rows plus a telemetry snapshot as JSON to this file")
 )
 
 // csvOut appends one row to <csvDir>/<name>.csv, creating it with the
@@ -34,6 +38,7 @@ var (
 var csvFiles = map[string]*os.File{}
 
 func csvOut(name, header string, cols ...interface{}) {
+	jsonCollect(name, header, cols...)
 	if *csvDir == "" {
 		return
 	}
@@ -59,6 +64,43 @@ func csvOut(name, header string, cols ...interface{}) {
 		fmt.Fprintf(f, "%v", c)
 	}
 	fmt.Fprintln(f)
+}
+
+// jsonRows accumulates every emitted result row for -json; the header's
+// comma-separated column names become the row's JSON keys.
+var jsonRows []map[string]interface{}
+
+func jsonCollect(name, header string, cols ...interface{}) {
+	if *jsonPath == "" {
+		return
+	}
+	keys := strings.Split(header, ",")
+	row := map[string]interface{}{"experiment": name}
+	for i, c := range cols {
+		if i < len(keys) {
+			row[keys[i]] = c
+		}
+	}
+	jsonRows = append(jsonRows, row)
+}
+
+// writeJSON dumps the collected rows plus a snapshot of the telemetry
+// registry (counters, gauges and latency quantiles accumulated by the
+// stack while the experiments ran), so a results file carries both the
+// paper-level numbers and the low-level persistence activity behind them.
+func writeJSON() error {
+	if *jsonPath == "" {
+		return nil
+	}
+	out := struct {
+		Rows      []map[string]interface{} `json:"rows"`
+		Telemetry map[string]float64       `json:"telemetry"`
+	}{jsonRows, telemetry.Default.Snapshot()}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
 }
 
 func baseOptions() bench.Options {
@@ -91,6 +133,10 @@ func main() {
 	}
 	for _, f := range csvFiles {
 		f.Close()
+	}
+	if err := writeJSON(); err != nil {
+		fmt.Fprintf(os.Stderr, "mnbench: json: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap>
+//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap|stats>
+//
+// `stats` prints the telemetry registry in Prometheus text format. With
+// -metrics-url it instead scrapes a live server's /metrics endpoint
+// (e.g. a kvserved started with -metrics-addr), so the same subcommand
+// works against both an offline image and a running process.
 //
 // The image and backing directory are opened read-mostly; pmctl performs
 // the same boot reconstruction a restarting process would, so it also
@@ -14,19 +19,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/pheap"
 	"repro/internal/pmem"
 	"repro/internal/region"
 	"repro/internal/scm"
+	"repro/internal/telemetry"
 )
 
 var (
-	imagePath = flag.String("image", "scm.img", "SCM device image file")
-	dirPath   = flag.String("dir", ".", "region backing directory")
-	devSize   = flag.Int64("size", 256<<20, "device size in bytes (must match the image)")
-	heapAt    = flag.Uint64("heap", 0, "persistent address of a heap to inspect (for `heap`)")
+	imagePath  = flag.String("image", "scm.img", "SCM device image file")
+	dirPath    = flag.String("dir", ".", "region backing directory")
+	devSize    = flag.Int64("size", 256<<20, "device size in bytes (must match the image)")
+	heapAt     = flag.Uint64("heap", 0, "persistent address of a heap to inspect (for `heap`)")
+	metricsURL = flag.String("metrics-url", "", "scrape this /metrics URL instead of opening the image (for `stats`)")
 )
 
 func main() {
@@ -41,7 +51,27 @@ func main() {
 	}
 }
 
+// scrape fetches a live server's Prometheus endpoint and copies it to
+// stdout, so `pmctl stats -metrics-url ...` works without touching the
+// image the server has open.
+func scrape(url string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
 func run(cmd string) error {
+	if cmd == "stats" && *metricsURL != "" {
+		return scrape(*metricsURL)
+	}
 	dev, err := scm.Open(scm.Config{Size: *devSize, Mode: scm.DelayOff, Path: *imagePath})
 	if err != nil {
 		return err
@@ -90,8 +120,12 @@ func run(cmd string) error {
 		fmt.Printf("superblocks: %d (%d fully free)\n", s.Superblocks, s.FreeSuperblocks)
 		fmt.Printf("large area:  %d bytes, %d free\n", s.LargeBytes, s.LargeFreeBytes)
 		fmt.Printf("scavenge:    %v\n", h.ScavengeTime())
+	case "stats":
+		// The boot above already populated the region gauges; reading
+		// the image offline is itself the recovery being measured.
+		return telemetry.Default.WritePrometheus(os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want info, regions, statics or heap)", cmd)
+		return fmt.Errorf("unknown command %q (want info, regions, statics, heap or stats)", cmd)
 	}
 	return nil
 }

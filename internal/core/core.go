@@ -25,6 +25,7 @@ import (
 	"repro/internal/rawl"
 	"repro/internal/region"
 	"repro/internal/scm"
+	"repro/internal/telemetry"
 )
 
 // Config assembles a persistent-memory instance.
@@ -143,7 +144,40 @@ func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 	if err != nil {
 		return nil, err
 	}
+	pm.registerTelemetry()
 	return pm, nil
+}
+
+// registerTelemetry publishes sampled gauges over the stack's own stats
+// interfaces. Sampling at exposition time keeps the store/flush hot paths
+// free of shared-counter traffic; when a stack is reincarnated (crash
+// tests, reopen), the latest instance wins the registration.
+func (pm *PM) registerTelemetry() {
+	dev, heap := pm.dev, pm.heap
+	telemetry.NewSampled("scm_stores", "Cumulative uncached stores issued to the SCM device.",
+		func() float64 { return float64(dev.Snapshot().Stores) })
+	telemetry.NewSampled("scm_wt_stores", "Cumulative write-through stores issued to the SCM device.",
+		func() float64 { return float64(dev.Snapshot().WTStores) })
+	telemetry.NewSampled("scm_flushes", "Cumulative cache-line flushes issued to the SCM device.",
+		func() float64 { return float64(dev.Snapshot().Flushes) })
+	telemetry.NewSampled("scm_fences", "Cumulative persistence fences issued to the SCM device.",
+		func() float64 { return float64(dev.Snapshot().Fences) })
+	telemetry.NewSampled("scm_wt_bytes", "Cumulative bytes written through write-combining buffers.",
+		func() float64 { return float64(dev.Snapshot().BytesWT) })
+	telemetry.NewSampled("scm_accounted_delay_ns", "Cumulative emulated PCM write delay accounted, in nanoseconds.",
+		func() float64 { return float64(dev.Snapshot().AccountedNs) })
+	telemetry.NewSampled("scm_dirty_lines", "Cache lines currently dirty (unflushed) in the emulated cache.",
+		func() float64 { return float64(dev.DirtyLines()) })
+	telemetry.NewSampled("scm_pending_wt_words", "Write-combining buffer words not yet drained by a fence.",
+		func() float64 { return float64(dev.PendingWTWords()) })
+	telemetry.NewSampled("pheap_superblocks", "Superblocks managed by the persistent heap.",
+		func() float64 { return float64(heap.Stats().Superblocks) })
+	telemetry.NewSampled("pheap_free_superblocks", "Superblocks currently unassigned to any size class.",
+		func() float64 { return float64(heap.Stats().FreeSuperblocks) })
+	telemetry.NewSampled("pheap_large_bytes", "Bytes in the persistent heap's large-object extent.",
+		func() float64 { return float64(heap.Stats().LargeBytes) })
+	telemetry.NewSampled("pheap_large_free_bytes", "Free bytes in the persistent heap's large-object extent.",
+		func() float64 { return float64(heap.Stats().LargeFreeBytes) })
 }
 
 // Close shuts the instance down cleanly: asynchronous truncation drains,

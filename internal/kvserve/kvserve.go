@@ -10,6 +10,7 @@
 //	GET <key>           -> VALUE <value> | MISSING
 //	DEL <key>           -> OK | MISSING
 //	COUNT               -> COUNT <n>
+//	STATS               -> STATS key=value ... (telemetry snapshot)
 //	PING                -> PONG
 //	QUIT                -> BYE (closes the connection)
 //
@@ -24,10 +25,18 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mtm"
 	"repro/internal/pds"
+	"repro/internal/telemetry"
+)
+
+var (
+	telReqLat = telemetry.NewHistogram("kvserve_request_latency_ns", "Latency of kvserve protocol commands, in nanoseconds.")
+	telReqs   = telemetry.NewCounter("kvserve_requests_total", "Protocol commands dispatched by kvserve.")
+	telErrs   = telemetry.NewCounter("kvserve_errors_total", "Protocol commands answered with ERROR.")
 )
 
 // Server serves the protocol over a listener.
@@ -165,7 +174,23 @@ func (s *Server) session(conn net.Conn, th *mtm.Thread) {
 	}
 }
 
+// dispatch times and traces one protocol command around handle.
 func (s *Server) dispatch(th *mtm.Thread, line string) string {
+	start := time.Now()
+	reply := s.handle(th, line)
+	lat := time.Since(start).Nanoseconds()
+	telReqs.Inc()
+	telReqLat.Observe(lat)
+	if strings.HasPrefix(reply, "ERROR") {
+		telErrs.Inc()
+	}
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvRequest, th.ID(), uint64(lat), uint64(len(line)))
+	}
+	return reply
+}
+
+func (s *Server) handle(th *mtm.Thread, line string) string {
 	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
@@ -235,7 +260,35 @@ func (s *Server) dispatch(th *mtm.Thread, line string) string {
 			return "ERROR " + err.Error()
 		}
 		return fmt.Sprintf("COUNT %d", n)
+	case "STATS":
+		return s.stats()
 	default:
 		return "ERROR unknown command"
 	}
+}
+
+// stats renders one line of key=value pairs from the live stack: the
+// transaction system's commit/abort counts, the SCM device's primitive
+// counts, log-append totals from the telemetry registry, and the request
+// latency distribution served so far.
+func (s *Server) stats() string {
+	tm := s.pm.TM().Snapshot()
+	dev := s.pm.Device().Snapshot()
+	reg := telemetry.Default.Snapshot()
+	var b strings.Builder
+	b.WriteString("STATS")
+	add := func(k string, v uint64) { fmt.Fprintf(&b, " %s=%d", k, v) }
+	add("commits", tm.Commits)
+	add("aborts", tm.Aborts)
+	add("readonly", tm.ReadOnly)
+	add("stores", dev.Stores)
+	add("wtstores", dev.WTStores)
+	add("flushes", dev.Flushes)
+	add("fences", dev.Fences)
+	add("log_appends", uint64(reg["rawl_appends_total"]))
+	add("log_bytes", uint64(reg["rawl_append_payload_bytes_total"]))
+	add("requests", telReqLat.Count())
+	fmt.Fprintf(&b, " req_p50_us=%.1f req_p99_us=%.1f",
+		telReqLat.Quantile(0.50)/1e3, telReqLat.Quantile(0.99)/1e3)
+	return b.String()
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -164,5 +166,64 @@ func TestDataSurvivesServerRestart(t *testing.T) {
 		if got := c2.cmd(t, fmt.Sprintf("GET key%d", i)); got != want {
 			t.Fatalf("GET key%d -> %q", i, got)
 		}
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	c := dial(t, addr)
+	for i := 0; i < 20; i++ {
+		if got := c.cmd(t, fmt.Sprintf("SET sk%d sv%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d -> %q", i, got)
+		}
+	}
+	if got := c.cmd(t, "GET sk0"); got != "VALUE sv0" {
+		t.Fatalf("GET -> %q", got)
+	}
+	reply := c.cmd(t, "STATS")
+	fields := strings.Fields(reply)
+	if len(fields) < 2 || fields[0] != "STATS" {
+		t.Fatalf("STATS reply %q", reply)
+	}
+	kv := make(map[string]string)
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			t.Fatalf("malformed field %q in %q", f, reply)
+		}
+		kv[k] = v
+	}
+	num := func(k string) float64 {
+		t.Helper()
+		s, ok := kv[k]
+		if !ok {
+			t.Fatalf("STATS missing %q: %q", k, reply)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("STATS %s=%q: %v", k, s, err)
+		}
+		return v
+	}
+	// 20 durable SETs committed before their replies, so the counters
+	// must already reflect them when STATS is answered.
+	if got := num("commits"); got < 20 {
+		t.Errorf("commits = %v, want >= 20", got)
+	}
+	if got := num("fences"); got == 0 {
+		t.Error("fences = 0, want > 0")
+	}
+	if got := num("log_appends"); got == 0 {
+		t.Error("log_appends = 0, want > 0")
+	}
+	// 21 commands preceded STATS on this connection.
+	if got := num("requests"); got < 21 {
+		t.Errorf("requests = %v, want >= 21", got)
+	}
+	if p50, p99 := num("req_p50_us"), num("req_p99_us"); p50 <= 0 || p99 < p50 {
+		t.Errorf("latency quantiles p50=%v p99=%v", p50, p99)
+	}
+	for _, k := range []string{"aborts", "readonly", "stores", "wtstores", "flushes", "log_bytes"} {
+		num(k) // presence check
 	}
 }

@@ -4,6 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	telAddLat    = telemetry.NewHistogram("ldapdir_add_latency_ns", "Latency of directory add operations, in nanoseconds.")
+	telSearchLat = telemetry.NewHistogram("ldapdir_search_latency_ns", "Latency of directory search operations, in nanoseconds.")
+	telErrors    = telemetry.NewCounter("ldapdir_errors_total", "Directory operations that returned an error.")
 )
 
 // Server runs directory operations against a backend with a pool of
@@ -67,9 +75,12 @@ func (s *Server) RunAddWorkload(workers, start, n int) (WorkloadResult, error) {
 			defer wg.Done()
 			for i := start + w; i < start+n; i += workers {
 				s.frontend()
+				opBegin := time.Now()
 				if err := sessions[w].Add(TemplateEntry(i)); err != nil {
 					errCount[w]++
+					telErrors.Inc()
 				}
+				telAddLat.ObserveSince(opBegin)
 			}
 		}(w)
 	}
@@ -108,14 +119,22 @@ func (s *Server) RunMixedWorkload(workers, start, adds, searchesPerAdd int) (Wor
 			for i := start + w; i < start+adds; i += workers {
 				e := TemplateEntry(i)
 				s.frontend()
-				if err := sessions[w].Add(e); err != nil {
+				opBegin := time.Now()
+				err := sessions[w].Add(e)
+				telAddLat.ObserveSince(opBegin)
+				if err != nil {
 					errCount[w]++
+					telErrors.Inc()
 					continue
 				}
 				for j := 0; j < searchesPerAdd; j++ {
 					s.frontend()
-					if _, err := sessions[w].Search(e.DN); err != nil {
+					opBegin = time.Now()
+					_, err := sessions[w].Search(e.DN)
+					telSearchLat.ObserveSince(opBegin)
+					if err != nil {
 						errCount[w]++
+						telErrors.Inc()
 					}
 				}
 			}

@@ -48,6 +48,18 @@ import (
 	"repro/internal/rawl"
 	"repro/internal/region"
 	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// Recovery metrics: counts aggregate over every Open in the process; the
+// gauge holds the most recent replay's cost.
+var (
+	telRecoveryReplayed = telemetry.NewCounter("mtm_recovery_replayed_total",
+		"committed transactions re-applied from per-thread logs at open")
+	telRecoveryUndone = telemetry.NewCounter("mtm_recovery_undone_total",
+		"uncommitted undo-mode transactions rolled back at open")
+	telRecoveryNs = telemetry.NewGauge("mtm_recovery_ns",
+		"duration of the most recent log replay at open, ns")
 )
 
 const (
@@ -356,11 +368,17 @@ func (tm *TM) recover(mem pmem.Memory) error {
 			mem.WTStoreU64(pmem.Addr(c.rec[3+2*k]), c.rec[4+2*k])
 		}
 		tm.recovery.Replayed++
+		if telemetry.TraceEnabled() {
+			telemetry.Emit(telemetry.EvRecoveryReplay, 0, c.ts, n)
+		}
 	}
 	if len(redo) > 0 {
 		mem.Fence()
 	}
 	tm.clock.Store(maxTs)
 	tm.recovery.Duration = time.Since(start)
+	telRecoveryReplayed.Add(uint64(tm.recovery.Replayed))
+	telRecoveryUndone.Add(uint64(tm.recovery.Undone))
+	telRecoveryNs.Set(tm.recovery.Duration.Nanoseconds())
 	return nil
 }

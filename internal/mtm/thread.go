@@ -12,6 +12,23 @@ import (
 	"repro/internal/rawl"
 	"repro/internal/region"
 	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// Stack-wide transaction metrics (internal/telemetry). Per-TM counts stay
+// in TM.Snapshot; these aggregate over every TM in the process and feed
+// the live exposition endpoint.
+var (
+	telCommits = telemetry.NewCounter("mtm_commits_total",
+		"durable transactions committed (writing transactions)")
+	telAborts = telemetry.NewCounter("mtm_aborts_total",
+		"transaction attempts aborted on conflict")
+	telReadOnly = telemetry.NewCounter("mtm_readonly_total",
+		"transactions that committed without writes")
+	telCommitLat = telemetry.NewHistogram("mtm_commit_latency_ns",
+		"end-to-end Atomic() latency to durable commit, including retries, ns")
+	telAbortLat = telemetry.NewHistogram("mtm_abort_latency_ns",
+		"latency of attempts that ended in a conflict abort, ns")
 )
 
 // ErrTooManyThreads reports that every per-thread log slot is taken.
@@ -37,8 +54,9 @@ type Thread struct {
 	scratch    pmem.Addr // per-thread persistent pointer slots
 	scratchIdx int64
 
-	tx  Tx
-	rng *rand.Rand
+	tx     Tx
+	rng    *rand.Rand
+	latSeq uint64 // transaction count for latency-histogram sampling
 }
 
 // NewThread binds a new transaction thread to a free log slot.
@@ -78,6 +96,10 @@ func (tm *TM) NewThread() (*Thread, error) {
 // Memory returns the thread's memory view, for non-transactional
 // persistence-primitive work between transactions.
 func (t *Thread) Memory() *region.Mem { return t.mem }
+
+// ID returns the thread's 1-based log-slot id, stable for the thread's
+// lifetime. Telemetry uses it as the trace thread id.
+func (t *Thread) ID() uint64 { return t.id }
 
 // nextScratch rotates through the thread's persistent scratch pointer
 // slots, used as pmalloc/pfree destinations for transaction-internal
@@ -156,20 +178,52 @@ type Tx struct {
 // error aborts and rolls back. Conflicts with concurrent transactions
 // retry automatically with randomized backoff.
 func (t *Thread) Atomic(fn func(tx *Tx) error) error {
+	// The latency histograms sample one transaction in sixteen: two clock
+	// reads cost as much as the rest of a read-only commit, and the
+	// distribution doesn't need every data point. Counters stay exact.
+	// Tracing forces timing so every trace event carries a real latency.
+	t.latSeq++
+	timed := t.latSeq&15 == 1 || telemetry.TraceEnabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+		if telemetry.TraceEnabled() {
+			telemetry.Emit(telemetry.EvTxnBegin, t.id, 0, 0)
+		}
+	}
 	backoff := time.Microsecond
+	attemptStart := start
 	for {
 		err := t.attempt(fn)
 		if err == nil {
+			if timed {
+				lat := time.Since(start).Nanoseconds()
+				telCommitLat.Observe(lat)
+				if telemetry.TraceEnabled() {
+					telemetry.Emit(telemetry.EvTxnCommit, t.id, uint64(lat), uint64(len(t.tx.writes)))
+				}
+			}
 			return nil
 		}
 		if _, isConflict := err.(conflictErr); !isConflict {
 			return err
 		}
 		t.tm.stats.Aborts.Add(1)
+		telAborts.Inc()
+		if timed {
+			abortLat := time.Since(attemptStart).Nanoseconds()
+			telAbortLat.Observe(abortLat)
+			if telemetry.TraceEnabled() {
+				telemetry.Emit(telemetry.EvTxnAbort, t.id, uint64(abortLat), 0)
+			}
+		}
 		// Randomized exponential backoff to break livelock.
 		spinFor(time.Duration(t.rng.Int63n(int64(backoff) + 1)))
 		if backoff < 128*time.Microsecond {
 			backoff *= 2
+		}
+		if timed {
+			attemptStart = time.Now()
 		}
 	}
 }
@@ -385,6 +439,7 @@ func (tx *Tx) commit() error {
 	}
 	if len(tx.writes) == 0 {
 		tm.stats.ReadOnly.Add(1)
+		telReadOnly.Inc()
 		tx.releaseLocksNoCommit()
 		return nil
 	}
@@ -464,6 +519,7 @@ func (tx *Tx) commit() error {
 	}
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
+	telCommits.Inc()
 	return nil
 }
 
@@ -474,6 +530,7 @@ func (tx *Tx) commitUndo() error {
 	tm := t.tm
 	if len(tx.undoWrites) == 0 {
 		tm.stats.ReadOnly.Add(1)
+		telReadOnly.Inc()
 		tx.releaseLocksNoCommit()
 		return nil
 	}
@@ -502,6 +559,7 @@ func (tx *Tx) commitUndo() error {
 	}
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
+	telCommits.Inc()
 	return nil
 }
 

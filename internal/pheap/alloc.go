@@ -8,6 +8,17 @@ import (
 
 	"repro/internal/pmem"
 	"repro/internal/rawl"
+	"repro/internal/telemetry"
+)
+
+// Heap activity metrics, aggregated over every heap in the process.
+var (
+	telAllocs = telemetry.NewCounter("pheap_allocs_total",
+		"persistent allocations (pmalloc)")
+	telAllocBytes = telemetry.NewCounter("pheap_alloc_bytes_total",
+		"bytes requested from the persistent heap")
+	telFrees = telemetry.NewCounter("pheap_frees_total",
+		"persistent frees (pfree)")
 )
 
 // Redo record opcodes. Each record starts with the global sequence number,
@@ -56,6 +67,18 @@ func (a *Allocator) PMalloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	if !ptr.IsPersistent() {
 		return pmem.Nil, fmt.Errorf("pheap: pmalloc destination %v is not persistent", ptr)
 	}
+	block, err := a.smallOrLargeAlloc(size, ptr)
+	if err == nil {
+		telAllocs.Inc()
+		telAllocBytes.Add(uint64(size))
+		if telemetry.TraceEnabled() {
+			telemetry.Emit(telemetry.EvAlloc, uint64(a.idx), uint64(block), uint64(size))
+		}
+	}
+	return block, err
+}
+
+func (a *Allocator) smallOrLargeAlloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	if size > MaxSmall {
 		return a.largeAlloc(size, ptr)
 	}
@@ -78,14 +101,22 @@ func (a *Allocator) PFree(ptr pmem.Addr) error {
 	}
 	h := a.h
 	sbEnd := h.sbData.Add(h.sbCount * SuperblockSize)
+	var err error
 	switch {
 	case block >= h.sbData && block < sbEnd:
-		return a.smallFree(block, ptr)
+		err = a.smallFree(block, ptr)
 	case block >= h.largeAt.Add(chunkHdr) && block < h.largeAt.Add(h.largeSz):
-		return a.largeFree(block, ptr)
+		err = a.largeFree(block, ptr)
 	default:
 		return fmt.Errorf("pheap: pfree of foreign address %v", block)
 	}
+	if err == nil {
+		telFrees.Inc()
+		if telemetry.TraceEnabled() {
+			telemetry.Emit(telemetry.EvFree, uint64(a.idx), uint64(block), 0)
+		}
+	}
+	return err
 }
 
 // UsableSize reports the capacity of the block at addr (which must be a
@@ -175,6 +206,11 @@ func (a *Allocator) smallAlloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	a.lane.mem.WTStoreU64(h.sbMetaAddr(sb).Add(16+int64(w)*8), st.bitmap[w]|mask)
 	a.lane.mem.WTStoreU64(ptr, uint64(block))
 	a.lane.mem.Fence()
+	// Retire the record now that its effect is durable, before the block
+	// is published. A record left in an idle lane's log would be replayed
+	// at the next Open over state that other lanes have since advanced
+	// (and truncated), un-doing their applied operations.
+	a.lane.log.TruncateAll()
 
 	st.bitmap[w] |= mask
 	st.free--
@@ -208,6 +244,8 @@ func (a *Allocator) smallFree(block, ptr pmem.Addr) error {
 	a.lane.mem.WTStoreU64(h.sbMetaAddr(sb).Add(16+int64(w)*8), st.bitmap[w]&^mask)
 	a.lane.mem.WTStoreU64(ptr, 0)
 	a.lane.mem.Fence()
+	// Retire before the bit is published as free (see smallAlloc).
+	a.lane.log.TruncateAll()
 
 	st.bitmap[w] &^= mask
 	st.free++
@@ -293,8 +331,11 @@ func (a *Allocator) appendLog(rec []uint64) {
 	a.lane.log.Flush()
 }
 
-// replay applies one redo record during Open. Records are idempotent given
-// in-order replay of each lane's unconsumed suffix.
+// replay applies one redo record during Open. Each lane log holds at most
+// the one record whose application may have been cut short by a crash
+// (records are retired as soon as their effect is fenced), so replay
+// re-applies in-flight operations only; re-applying an operation whose
+// effect already reached SCM is idempotent.
 func (h *Heap) replay(rec []uint64) error {
 	if len(rec) < 2 {
 		return errors.New("pheap: short redo record")

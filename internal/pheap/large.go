@@ -34,6 +34,11 @@ func unpackChunk(v uint64) (size int64, inUse bool) {
 func (a *Allocator) largeAlloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	h := a.h
 	need := (size + chunkHdr + 63) &^ 63
+	// The lane lock serializes appends to the lane log against small
+	// operations on the same lane; it nests outside largeMu, matching
+	// PFree -> largeFree.
+	a.lane.mu.Lock()
+	defer a.lane.mu.Unlock()
 	h.largeMu.Lock()
 	defer h.largeMu.Unlock()
 
@@ -63,6 +68,9 @@ func (a *Allocator) largeAlloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	block := h.largeAt.Add(c.off + chunkHdr)
 	h.largeMem.WTStoreU64(ptr, uint64(block))
 	h.largeMem.Fence()
+	// Retire the record now that its effect is durable, before the chunk
+	// leaves the free index (see smallAlloc).
+	a.lane.log.TruncateAll()
 
 	if taken < c.size {
 		h.largeFree[ci] = chunk{off: c.off + taken, size: c.size - taken}
@@ -92,6 +100,8 @@ func (a *Allocator) largeFree(block, ptr pmem.Addr) error {
 	h.largeMem.WTStoreU64(h.largeAt.Add(off), packChunk(size, false))
 	h.largeMem.WTStoreU64(ptr, 0)
 	h.largeMem.Fence()
+	// Retire before the chunk is published as free (see smallAlloc).
+	a.lane.log.TruncateAll()
 
 	// Insert into the sorted free list and coalesce with neighbors.
 	// Durable merges are single idempotent size rewrites.

@@ -422,3 +422,76 @@ func TestQuickAllocFreeInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestStaleLaneRecordNotReplayed is a regression test for a redo-log
+// retirement bug: lane logs used to be truncated only when full, so an
+// already-applied record (say a free) could sit in an idle lane's log
+// while another lane reallocated the same block and then truncated its
+// own log. Open's replay would re-apply the stale free over the newer
+// state, marking a live block free — later surfacing as value aliasing
+// or "pheap: double free". Records must be retired as soon as their
+// effect is fenced, so a quiesced reopen replays nothing.
+func TestStaleLaneRecordNotReplayed(t *testing.T) {
+	e := newEnv(t, 8<<20, Config{Lanes: 2})
+	a0 := &Allocator{h: e.heap, lane: e.heap.lanes[0], idx: 0}
+	a1 := &Allocator{h: e.heap, lane: e.heap.lanes[1], idx: 1}
+
+	// Lane 0 allocates a block; lane 1 frees it (frees go to the block's
+	// home superblock from whichever lane issues them), putting the free's
+	// redo record in lane 1's log. Lane 1 then goes idle.
+	x, err := a0.PMalloc(64, e.ptr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.PFree(e.ptr(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lane 0 reallocates the same block (lowest free bit of its active
+	// superblock): the precondition for the stale free to bite.
+	y, err := a0.PMalloc(64, e.ptr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != x {
+		t.Skipf("allocator did not reuse block (%v vs %v); scenario not reproduced", y, x)
+	}
+
+	// Churn lane 0 enough that, under the old protocol, its log would
+	// have filled and truncated away the realloc record for x — leaving
+	// lane 1's stale free as the only record mentioning the block.
+	for i := 0; i < 400; i++ {
+		if _, err := a0.PMalloc(64, e.ptr(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a0.PFree(e.ptr(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced restart that loses nothing in flight: replay must not
+	// resurrect any already-applied operation.
+	e.reopenHeap(t, scm.KeepAll{})
+
+	alive := false
+	e.heap.ForEachAllocated(func(addr pmem.Addr, size int64) bool {
+		if addr == x {
+			alive = true
+			return false
+		}
+		return true
+	})
+	if !alive {
+		t.Fatalf("block %v vanished across a lossless reopen: stale lane record replayed", x)
+	}
+
+	// And the block must not be handed out a second time.
+	a := e.heap.NewAllocator()
+	z, err := a.PMalloc(64, e.ptr(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == x {
+		t.Fatalf("block %v double-allocated after reopen", x)
+	}
+}

@@ -29,6 +29,21 @@ import (
 	"fmt"
 
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
+)
+
+// Log activity metrics, aggregated over every log in the process. Append
+// is a hot path (every transaction commit passes through it), so the
+// instrumentation is two uncontended atomic adds and nothing else.
+var (
+	telAppends = telemetry.NewCounter("rawl_appends_total",
+		"records appended to tornbit logs")
+	telAppendBytes = telemetry.NewCounter("rawl_append_payload_bytes_total",
+		"payload bytes appended to tornbit logs")
+	telTruncations = telemetry.NewCounter("rawl_truncations_total",
+		"log truncations (whole-log and consumer-side)")
+	telLogFull = telemetry.NewCounter("rawl_log_full_total",
+		"appends rejected because the log was full")
 )
 
 // Log header layout, at the log's base address.
@@ -209,6 +224,7 @@ func (l *Log) Append(rec []uint64) (Pos, error) {
 		return Pos{}, fmt.Errorf("rawl: record of %d words exceeds log capacity", k)
 	}
 	if need > l.FreeWords() {
+		telLogFull.Inc()
 		return Pos{}, ErrLogFull
 	}
 
@@ -235,6 +251,11 @@ func (l *Log) Append(rec []uint64) (Pos, error) {
 	if accN > 0 {
 		l.emitWord(acc &^ (1 << 63)) // pad the final word with zeros
 	}
+	telAppends.Inc()
+	telAppendBytes.Add(uint64(k) * 8)
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvLogAppend, uint64(l.base), uint64(k), uint64(need))
+	}
 	return Pos{idx: l.tail, phase: l.phase}, nil
 }
 
@@ -260,6 +281,10 @@ func (l *Log) Flush() { l.mem.Fence() }
 // Producer-side call.
 func (l *Log) TruncateAll() {
 	pmem.StoreDurable(l.mem, l.base.Add(hdrHeadOff), packHead(l.tail, l.phase, l.tornPos))
+	telTruncations.Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvLogTruncate, uint64(l.base), 0, 0)
+	}
 }
 
 // TruncateTo consumes every record up to and including the one whose
@@ -267,6 +292,10 @@ func (l *Log) TruncateAll() {
 // producer's write-combining buffer out of the consumer's fence.
 func (l *Log) TruncateTo(mem pmem.Memory, pos Pos) {
 	pmem.StoreDurable(mem, l.base.Add(hdrHeadOff), packHead(pos.idx, pos.phase, l.tornPos))
+	telTruncations.Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvLogTruncate, uint64(l.base), 0, 0)
+	}
 }
 
 // TornPos reports the current torn-bit position.

@@ -12,6 +12,24 @@ import (
 
 	"repro/internal/pmem"
 	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// Runtime lifecycle metrics. The gauges record the most recent Open's
+// reincarnation costs (§6.3.2); the counters aggregate region activity.
+var (
+	telBootNs = telemetry.NewGauge("region_manager_boot_ns",
+		"kernel-side page-mapping-table reconstruction time at open, ns")
+	telRemapNs = telemetry.NewGauge("region_remap_ns",
+		"time to remap persistent regions into the process at open, ns")
+	telRegionsMapped = telemetry.NewGauge("region_regions_mapped",
+		"persistent regions remapped by the most recent open")
+	telPMaps = telemetry.NewCounter("region_pmaps_total",
+		"dynamic persistent regions created")
+	telPUnmaps = telemetry.NewCounter("region_punmaps_total",
+		"dynamic persistent regions deleted")
+	telFaults = telemetry.NewCounter("region_page_faults_total",
+		"swappable-region pages faulted in from backing files")
 )
 
 // Region flags.
@@ -162,6 +180,13 @@ func Open(dev *scm.Device, cfg Config) (*Runtime, error) {
 	}
 	rt.collectOrphanFiles()
 	rt.stats.Remap = time.Since(start)
+	telBootNs.Set(rt.stats.ManagerBoot.Nanoseconds())
+	telRemapNs.Set(rt.stats.Remap.Nanoseconds())
+	telRegionsMapped.Set(int64(rt.stats.RegionsMapped))
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvRegionOpen, 0,
+			uint64(rt.stats.RegionsMapped), uint64(rt.stats.ManagerBoot.Nanoseconds()))
+	}
 	return rt, nil
 }
 
@@ -260,6 +285,7 @@ func (rt *Runtime) faultInEvicting(fid uint32, pageOff uint64) (int32, error) {
 	for {
 		frame, err := rt.mgr.FaultIn(fid, pageOff)
 		if err == nil {
+			telFaults.Inc()
 			return frame, nil
 		}
 		if !errors.Is(err, ErrNoFrames) {
@@ -480,6 +506,7 @@ func (rt *Runtime) PMap(length int64, flags uint64) (pmem.Addr, error) {
 
 	rt.storeStatic(ent, stateComplete)
 	rt.ctx.Fence()
+	telPMaps.Inc()
 	return addr, nil
 }
 
@@ -528,6 +555,7 @@ func (rt *Runtime) PUnmap(addr pmem.Addr) error {
 	rt.swapMu.Unlock()
 
 	rt.destroySlot(r.slot, r.Len, r.fileID)
+	telPUnmaps.Inc()
 	return nil
 }
 

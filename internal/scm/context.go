@@ -1,6 +1,11 @@
 package scm
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // pendingWT is a streaming write sitting in a write-combining buffer: it is
 // visible to the program but not yet durable. old is the word's last
@@ -10,22 +15,72 @@ type pendingWT struct {
 	old uint64
 }
 
+// opCounters is the published view of one context's operation counts.
+// Only the owning goroutine writes them, but Device.Snapshot reads them
+// concurrently, so they are atomics; the trailing padding rounds the
+// block up to a cache line so two contexts' hot counters never
+// false-share. The owner does not touch these on the per-word fast path:
+// it tallies into plain opTally fields and copies them here at each
+// Fence, so a store costs an ordinary increment rather than a locked
+// read-modify-write. Snapshot therefore lags a context's unfenced tail
+// of operations — every durability path ends in a fence, so quiesced
+// totals are exact.
+type opCounters struct {
+	stores      atomic.Uint64
+	wtStores    atomic.Uint64
+	flushes     atomic.Uint64
+	fences      atomic.Uint64
+	accountedNs atomic.Int64 // virtual delay in DelayAccount mode
+	_           [24]byte
+}
+
+// opTally is the owner-side tally behind opCounters: plain fields touched
+// only by the context's goroutine.
+type opTally struct {
+	stores      uint64
+	wtStores    uint64
+	flushes     uint64
+	fences      uint64
+	accountedNs int64
+}
+
 // Context is a per-goroutine view of the device, owning the goroutine's
 // write-combining buffer and delay accounting. It corresponds to a hardware
 // thread in the paper's emulator.
 type Context struct {
 	dev *Device
+	id  uint64 // 1-based creation index; the trace tid
 
 	// wc holds streaming writes not yet drained by a fence.
 	wc      []pendingWT
 	wcBytes int64
 
-	// accountedNs accumulates virtual delay in DelayAccount mode.
-	accountedNs int64
+	// Operation counters: t is the owner-only tally, n the published
+	// copy aggregated by Device.Snapshot.
+	t opTally
+	n opCounters
+}
 
-	// Operation counters, unsynchronized (per-context); aggregated by
-	// Device.Snapshot.
-	stores, wtStores, flushes, fences, bytesWT uint64
+// publish copies the owner-side tally into the atomics Device.Snapshot
+// reads. Called at Fence, the natural (and already expensive)
+// serialization point.
+// Unchanged counters are skipped: an uncontended atomic load is an
+// ordinary load, so the comparison costs nothing, while the avoided
+// atomic store is a full memory barrier.
+func (c *Context) publish() {
+	if v := c.t.stores; c.n.stores.Load() != v {
+		c.n.stores.Store(v)
+	}
+	if v := c.t.wtStores; c.n.wtStores.Load() != v {
+		c.n.wtStores.Store(v)
+	}
+	if v := c.t.flushes; c.n.flushes.Load() != v {
+		c.n.flushes.Store(v)
+	}
+	c.n.fences.Store(c.t.fences)
+	if v := c.t.accountedNs; c.n.accountedNs.Load() != v {
+		c.n.accountedNs.Store(v)
+	}
 }
 
 // Device returns the owning device.
@@ -33,11 +88,14 @@ func (c *Context) Device() *Device { return c.dev }
 
 // AccountedTime reports this context's accumulated virtual delay.
 func (c *Context) AccountedTime() time.Duration {
-	return time.Duration(c.accountedNs)
+	return time.Duration(c.t.accountedNs)
 }
 
 // ResetAccounting zeroes this context's virtual delay counter.
-func (c *Context) ResetAccounting() { c.accountedNs = 0 }
+func (c *Context) ResetAccounting() {
+	c.t.accountedNs = 0
+	c.n.accountedNs.Store(0)
+}
 
 func align8(off int64) bool { return off&7 == 0 }
 
@@ -63,7 +121,7 @@ func (c *Context) StoreU64(off int64, v uint64) {
 	}
 	c.dev.markDirty(off)
 	c.dev.storeWord(off, v)
-	c.stores++
+	c.t.stores++
 }
 
 // StoreU64InDirtyLine is StoreU64 for a word whose cache line this context
@@ -77,7 +135,7 @@ func (c *Context) StoreU64InDirtyLine(off int64, v uint64) {
 		panic("scm: unaligned StoreU64InDirtyLine")
 	}
 	c.dev.storeWord(off, v)
-	c.stores++
+	c.t.stores++
 }
 
 // WTStoreU64 performs a streaming write-through write (the paper's
@@ -93,8 +151,7 @@ func (c *Context) WTStoreU64(off int64, v uint64) {
 	c.wc = append(c.wc, pendingWT{off: off, old: c.dev.loadWord(off)})
 	c.dev.storeWord(off, v)
 	c.wcBytes += WordSize
-	c.wtStores++
-	c.bytesWT += WordSize
+	c.t.wtStores++
 }
 
 // Flush writes the cache line containing off back to SCM (the paper's
@@ -103,10 +160,18 @@ func (c *Context) WTStoreU64(off int64, v uint64) {
 func (c *Context) Flush(off int64) {
 	c.dev.checkRange(off, 1)
 	line := off &^ (LineSize - 1)
-	if c.dev.persistLine(line) {
+	dirty := c.dev.persistLine(line)
+	if dirty {
 		c.delay(c.dev.cfg.WriteLatency)
 	}
-	c.flushes++
+	c.t.flushes++
+	if telemetry.TraceEnabled() {
+		wasDirty := uint64(0)
+		if dirty {
+			wasDirty = 1
+		}
+		telemetry.Emit(telemetry.EvFlush, c.id, uint64(line), wasDirty)
+	}
 }
 
 // FlushRange flushes every cache line overlapping [off, off+n).
@@ -128,13 +193,18 @@ func (c *Context) FlushRange(off, n int64) {
 // bandwidth-limited streaming of the combined data.
 func (c *Context) Fence() {
 	c.wc = c.wc[:0]
+	drained := c.wcBytes
 	d := c.dev.cfg.WriteLatency
-	if c.wcBytes > 0 && c.dev.cfg.WriteBandwidth > 0 {
-		d += time.Duration(float64(c.wcBytes) / c.dev.cfg.WriteBandwidth * 1e9)
+	if drained > 0 && c.dev.cfg.WriteBandwidth > 0 {
+		d += time.Duration(float64(drained) / c.dev.cfg.WriteBandwidth * 1e9)
 	}
 	c.wcBytes = 0
 	c.delay(d)
-	c.fences++
+	c.t.fences++
+	c.publish()
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvFence, c.id, uint64(drained), 0)
+	}
 }
 
 // Load copies n = len(buf) bytes starting at off into buf. Byte-granular
@@ -206,7 +276,7 @@ func (c *Context) delay(d time.Duration) {
 	case DelaySpin:
 		spin(d)
 	case DelayAccount:
-		c.accountedNs += int64(d)
+		c.t.accountedNs += int64(d)
 	}
 }
 

@@ -159,22 +159,25 @@ func (d *Device) Size() int64 { return int64(len(d.words)) * WordSize }
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// Snapshot sums the operation counters over every context. Counters are
-// kept per context without synchronization (the hot paths run millions of
-// operations per second), so a snapshot taken while contexts are active is
-// approximate.
+// Snapshot sums the operation counters over every context. Each context
+// publishes its counters at its fences (hot paths pay only a plain
+// increment), so a snapshot taken while contexts are active reflects
+// each context as of its last fence; once a context quiesces — every
+// durability protocol ends in a fence — its counts are exact.
 func (d *Device) Snapshot() StatsSnapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var s StatsSnapshot
 	for _, c := range d.contexts {
-		s.Stores += c.stores
-		s.WTStores += c.wtStores
-		s.Flushes += c.flushes
-		s.Fences += c.fences
-		s.BytesWT += c.bytesWT
-		s.AccountedNs += c.accountedNs
+		s.Stores += c.n.stores.Load()
+		s.WTStores += c.n.wtStores.Load()
+		s.Flushes += c.n.flushes.Load()
+		s.Fences += c.n.fences.Load()
+		s.AccountedNs += c.n.accountedNs.Load()
 	}
+	// Streaming writes are word-granular (byte-level WTStore assembles
+	// full words), so the byte total is derived rather than counted.
+	s.BytesWT = s.WTStores * WordSize
 	return s
 }
 
@@ -191,6 +194,7 @@ func (d *Device) NewContext() *Context {
 	ctx := &Context{dev: d}
 	d.mu.Lock()
 	d.contexts = append(d.contexts, ctx)
+	ctx.id = uint64(len(d.contexts))
 	d.mu.Unlock()
 	return ctx
 }

@@ -1,0 +1,70 @@
+package scm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotWhileHammering is the regression test for the racy
+// per-context counters: Device.Snapshot used to read plain uint64 fields
+// that contexts incremented without synchronization, so running this under
+// `go test -race` failed. Contexts now tally into owner-only fields and
+// publish atomics at each fence, which Snapshot reads.
+func TestSnapshotWhileHammering(t *testing.T) {
+	d, err := Open(Config{Size: 1 << 20, Mode: DelayAccount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const opsPer = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := d.NewContext()
+			base := int64(w) * 4096
+			for i := 0; i < opsPer; i++ {
+				off := base + int64(i%64)*8
+				ctx.StoreU64(off, uint64(i))
+				ctx.WTStoreU64(off, uint64(i))
+				ctx.Flush(off)
+				ctx.Fence()
+			}
+		}(w)
+	}
+
+	// Snapshot continuously while the workers hammer.
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Snapshot()
+				_ = d.AccountedTime()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := d.Snapshot()
+	want := uint64(workers * opsPer)
+	if s.Stores != want || s.WTStores != want || s.Flushes != want || s.Fences != want {
+		t.Errorf("snapshot = %+v, want %d of each op", s, want)
+	}
+	if s.BytesWT != want*WordSize {
+		t.Errorf("BytesWT = %d, want %d", s.BytesWT, want*WordSize)
+	}
+	if s.AccountedNs == 0 {
+		t.Error("AccountedNs = 0, want accumulated delay in DelayAccount mode")
+	}
+}

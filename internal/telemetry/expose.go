@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler returns an HTTP handler exposing the registry and tracer:
+//
+//	/metrics            Prometheus text exposition format
+//	/trace              Chrome trace_event JSON of the event ring
+//	/debug/vars         expvar JSON (includes the registry snapshot)
+//	/debug/pprof/...    runtime profiling endpoints
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// publishMu guards the expvar registration, which panics on duplicates.
+var publishMu sync.Mutex
+
+// publishExpvar mirrors the registry into expvar under "telemetry".
+func publishExpvar(r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	name := "telemetry"
+	if r != Default {
+		name = "telemetry_aux"
+	}
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+	}
+}
+
+// Serve starts an HTTP server for the registry and tracer on addr and
+// returns once the listener is bound, along with the bound address (useful
+// with ":0"). The server runs until the process exits or Close is called
+// on the returned server.
+func Serve(addr string, r *Registry, t *Tracer) (*http.Server, string, error) {
+	publishExpvar(r)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{
+		Handler:           Handler(r, t),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr().String(), nil
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed histogram bucket count. Bucket i holds values v
+// with bits.Len64(v) == i: bucket 0 is exactly zero, bucket i (i >= 1)
+// covers [2^(i-1), 2^i - 1]. 48 buckets span 1 ns to about 39 hours when
+// observing nanoseconds, with no configuration and no allocation.
+const NumBuckets = 48
+
+// Histogram is a fixed power-of-two-bucket histogram. Observe is one
+// bits.Len64 plus three atomic adds; there is no lock and no allocation,
+// so hot paths can observe every operation.
+type Histogram struct {
+	name, help string
+	count, sum atomic.Uint64
+	buckets    [NumBuckets]atomic.Uint64
+	_          [56]byte
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// bucketFor maps a value to its bucket index.
+func bucketFor(v uint64) int {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// BucketCounts returns a copy of the per-bucket counts.
+func (h *Histogram) BucketCounts() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket containing the target rank. The estimate is exact to
+// within the bucket's power-of-two width. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1))
+			hi := float64(uint64(1) << uint(i))
+			frac := float64(target-(cum-c)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return float64(bucketUpper(NumBuckets - 1))
+}
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// writePrometheus emits the histogram in Prometheus cumulative-bucket
+// form. Buckets past the last non-empty one are elided (the +Inf bucket
+// carries the total), keeping the exposition small and deterministic.
+func (h *Histogram) writePrometheus(b *strings.Builder) {
+	writeHeader(b, h.name, h.help, "histogram")
+	counts := h.BucketCounts()
+	last := -1
+	for i, c := range counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", h.name, bucketUpper(i), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.Count())
+	fmt.Fprintf(b, "%s_sum %d\n", h.name, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", h.name, h.Count())
+}

@@ -1,0 +1,243 @@
+// Package telemetry is the unified observability layer of the Mnemosyne
+// stack: a metrics registry of lock-free counters, gauges and fixed-bucket
+// latency histograms, a bounded ring-buffer tracer of persistence
+// lifecycle events, and exposition in Prometheus text format over an
+// optional HTTP endpoint.
+//
+// The paper's whole evaluation (Tables 4-6, Figure 6) rests on counting
+// persistence primitives — stores, write-through stores, flushes and above
+// all fences — and on end-to-end latency distributions. This package gives
+// every layer one place to report those numbers and one place to read
+// them, live, from a running server.
+//
+// Design constraints, in order:
+//
+//   - Hot paths (scm stores, rawl appends, transaction commits) must stay
+//     allocation-free. Every instrument is a pre-registered struct of
+//     atomics; recording is one or two uncontended atomic adds.
+//   - Counters are padded to a cache line so independently updated
+//     instruments never false-share.
+//   - Reading is always safe concurrently with writing: snapshots are
+//     approximate under load but race-free.
+//
+// Most callers use the package-level Default registry through NewCounter,
+// NewGauge, NewHistogram and NewSampled, mirroring expvar's global style;
+// tests build private Registry instances.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The padding keeps two
+// counters allocated back to back from sharing a cache line, so hot-path
+// instruments on different goroutines do not false-share.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+	_          [56]byte
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+	_          [56]byte
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// sampledGauge is a gauge whose value is computed at read time — the
+// zero-hot-path-cost instrument. The SCM device's operation counters are
+// exposed this way: the device already aggregates per-context counters, so
+// exposition samples Device.Snapshot instead of charging the store path a
+// second atomic update.
+type sampledGauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// metric reads and writes never take the registry lock.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sampled  map[string]*sampledGauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		sampled:  make(map[string]*sampledGauge),
+	}
+}
+
+// Default is the process-wide registry, used by the package-level
+// constructors and served by Handler.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. Repeated
+// registration with the same name returns the same counter, so package-level
+// instruments and per-instance wiring can coexist.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name, help: help}
+	r.hists[name] = h
+	return h
+}
+
+// Sampled registers (or replaces) a gauge computed by fn at exposition
+// time. Replacement semantics suit instruments bound to a live instance:
+// when a process reopens its persistent-memory stack, the newest instance
+// wins.
+func (r *Registry) Sampled(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sampled[name] = &sampledGauge{name: name, help: help, fn: fn}
+}
+
+// Package-level constructors against Default.
+
+// NewCounter returns the named counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewGauge returns the named gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewHistogram returns the named histogram in the Default registry.
+func NewHistogram(name, help string) *Histogram { return Default.Histogram(name, help) }
+
+// NewSampled registers a sampled gauge in the Default registry.
+func NewSampled(name, help string, fn func() float64) { Default.Sampled(name, help, fn) }
+
+// Snapshot returns a flat name->value view of every metric. Histograms
+// expand to <name>_count, <name>_sum, <name>_p50 and <name>_p99. The
+// mnbench -json output embeds this so benchmark runs carry their full
+// measurement context.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64)
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, s := range r.sampled {
+		out[name] = s.fn()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = float64(h.Sum())
+		out[name+"_p50"] = h.Quantile(0.50)
+		out[name+"_p99"] = h.Quantile(0.99)
+	}
+	return out
+}
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format (version 0.0.4), sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.sampled))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.sampled {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		if c, ok := r.counters[n]; ok {
+			writeHeader(&b, n, c.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", n, c.Value())
+		} else if g, ok := r.gauges[n]; ok {
+			writeHeader(&b, n, g.help, "gauge")
+			fmt.Fprintf(&b, "%s %d\n", n, g.Value())
+		} else if s, ok := r.sampled[n]; ok {
+			writeHeader(&b, n, s.help, "gauge")
+			fmt.Fprintf(&b, "%s %g\n", n, s.fn())
+		} else if h, ok := r.hists[n]; ok {
+			h.writePrometheus(&b)
+		}
+	}
+	r.mu.RUnlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}

@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("h", "")
+	// Bucket i holds values with bits.Len64(v) == i.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {-5, 0},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	counts := h.BucketCounts()
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1, 41: 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramBucketUpper(t *testing.T) {
+	for _, c := range []struct {
+		i    int
+		want uint64
+	}{{0, 0}, {1, 1}, {2, 3}, {3, 7}, {11, 2047}} {
+		if got := bucketUpper(c.i); got != c.want {
+			t.Errorf("bucketUpper(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("h", "")
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	// 100 observations of 100ns and one of 1ms: p50 must sit in
+	// 100's bucket [64,128), p99.9 in the millisecond bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1_000_000)
+	if q := h.Quantile(0.50); q < 64 || q > 128 {
+		t.Errorf("p50 = %v, want within [64,128]", q)
+	}
+	if q := h.Quantile(0.999); q < 524288 || q > 1048576 {
+		t.Errorf("p99.9 = %v, want within the 1ms bucket", q)
+	}
+	if m := h.Mean(); math.Abs(m-(100*100+1_000_000)/101.0) > 1 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+				// Concurrent reads must be race-clean.
+				_ = c.Value()
+				_ = h.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x", "") != r.Counter("x", "other help") {
+		t.Error("same name returned distinct counters")
+	}
+	if r.Histogram("x", "") != r.Histogram("x", "") {
+		t.Error("same name returned distinct histograms")
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(10) // rounds up to 16
+	if tr.Capacity() != 16 {
+		t.Fatalf("capacity = %d, want 16", tr.Capacity())
+	}
+	tr.Emit(EvFence, 1, 1, 1) // dropped: not enabled
+	tr.Enable()
+	defer tr.Disable()
+	const emitted = 40
+	for i := 0; i < emitted; i++ {
+		tr.Emit(EvLogAppend, uint64(i), uint64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("events = %d, want 16 (ring capacity)", len(evs))
+	}
+	// The ring must retain exactly the newest 16 events, in order.
+	for i, e := range evs {
+		wantA := uint64(emitted - 16 + i)
+		if e.A != wantA {
+			t.Errorf("event %d: A = %d, want %d", i, e.A, wantA)
+		}
+		if e.Kind != EvLogAppend {
+			t.Errorf("event %d: kind = %v", i, e.Kind)
+		}
+		if i > 0 && e.TS < evs[i-1].TS {
+			t.Errorf("event %d out of order", i)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit(EvFence, uint64(w), uint64(i), 0)
+				if i%100 == 0 {
+					_ = tr.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(tr.Events()); n == 0 || n > 64 {
+		t.Errorf("events = %d, want (0,64]", n)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable()
+	tr.Emit(EvTxnBegin, 3, 0, 0)
+	tr.Emit(EvTxnCommit, 3, 1500, 8)
+	tr.Emit(EvFence, 3, 64, 0)
+	var b strings.Builder
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  uint64  `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	byName := map[string]string{}
+	for _, e := range doc.TraceEvents {
+		byName[e.Name] = e.Ph
+	}
+	if byName["txn_commit"] != "X" {
+		t.Errorf("txn_commit ph = %q, want X (duration event)", byName["txn_commit"])
+	}
+	if byName["fence"] != "i" {
+		t.Errorf("fence ph = %q, want i (instant event)", byName["fence"])
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scm_fences_total", "fence operations")
+	c.Add(42)
+	g := r.Gauge("region_regions_mapped", "regions mapped at open")
+	g.Set(7)
+	r.Sampled("heap_free_bytes", "free heap bytes", func() float64 { return 3.5 })
+	h := r.Histogram("commit_latency_ns", "commit latency")
+	h.Observe(1) // bucket 1, le="1"
+	h.Observe(2) // bucket 2, le="3"
+	h.Observe(3) // bucket 2
+	h.Observe(9) // bucket 4, le="15"
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP commit_latency_ns commit latency
+# TYPE commit_latency_ns histogram
+commit_latency_ns_bucket{le="0"} 0
+commit_latency_ns_bucket{le="1"} 1
+commit_latency_ns_bucket{le="3"} 3
+commit_latency_ns_bucket{le="7"} 3
+commit_latency_ns_bucket{le="15"} 4
+commit_latency_ns_bucket{le="+Inf"} 4
+commit_latency_ns_sum 15
+commit_latency_ns_count 4
+# HELP heap_free_bytes free heap bytes
+# TYPE heap_free_bytes gauge
+heap_free_bytes 3.5
+# HELP region_regions_mapped regions mapped at open
+# TYPE region_regions_mapped gauge
+region_regions_mapped 7
+# HELP scm_fences_total fence operations
+# TYPE scm_fences_total counter
+scm_fences_total 42
+`
+	if b.String() != want {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(5)
+	h := r.Histogram("lat", "")
+	h.Observe(100)
+	h.Observe(200)
+	s := r.Snapshot()
+	if s["c"] != 5 {
+		t.Errorf("c = %v", s["c"])
+	}
+	if s["lat_count"] != 2 || s["lat_sum"] != 300 {
+		t.Errorf("lat_count=%v lat_sum=%v", s["lat_count"], s["lat_sum"])
+	}
+	if _, ok := s["lat_p99"]; !ok {
+		t.Error("missing lat_p99")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := EvNone; k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if fmt.Sprint(EvRecoveryReplay) != "recovery_replay" {
+		t.Errorf("EvRecoveryReplay = %v", EvRecoveryReplay)
+	}
+}

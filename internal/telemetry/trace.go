@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies a persistence lifecycle event.
+type Kind uint8
+
+// Trace event kinds. The A/B argument meanings per kind:
+//
+//	EvTxnBegin       -
+//	EvTxnCommit      A=latency ns, B=write-set words
+//	EvTxnAbort       A=latency ns
+//	EvLogAppend      A=payload words, B=record buffer words
+//	EvLogTruncate    -
+//	EvFlush          A=device line offset, B=1 if the line was dirty
+//	EvFence          A=write-combining bytes drained
+//	EvRecoveryReplay A=commit timestamp, B=words replayed
+//	EvRegionOpen     A=regions mapped, B=manager boot ns
+//	EvAlloc          A=block address, B=size bytes
+//	EvFree           A=block address
+//	EvRequest        A=latency ns
+const (
+	EvNone Kind = iota
+	EvTxnBegin
+	EvTxnCommit
+	EvTxnAbort
+	EvLogAppend
+	EvLogTruncate
+	EvFlush
+	EvFence
+	EvRecoveryReplay
+	EvRegionOpen
+	EvAlloc
+	EvFree
+	EvRequest
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvNone:           "none",
+	EvTxnBegin:       "txn_begin",
+	EvTxnCommit:      "txn_commit",
+	EvTxnAbort:       "txn_abort",
+	EvLogAppend:      "log_append",
+	EvLogTruncate:    "log_truncate",
+	EvFlush:          "flush",
+	EvFence:          "fence",
+	EvRecoveryReplay: "recovery_replay",
+	EvRegionOpen:     "region_open",
+	EvAlloc:          "alloc",
+	EvFree:           "free",
+	EvRequest:        "request",
+}
+
+// String returns the event kind's trace name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// durationKinds marks kinds whose A argument is a duration in
+// nanoseconds; the Chrome exporter renders them as complete ("X") events.
+var durationKinds = [numKinds]bool{
+	EvTxnCommit: true,
+	EvTxnAbort:  true,
+	EvRequest:   true,
+}
+
+// Event is one recorded trace event.
+type Event struct {
+	TS   int64 // nanoseconds since the tracer was created
+	Kind Kind
+	TID  uint64 // logical thread (scm context / mtm thread / connection)
+	A, B uint64 // kind-specific arguments, see the Kind constants
+}
+
+// traceSlot is one ring entry. Fields are atomics so a snapshot racing a
+// writer is race-detector clean; the seq word is odd while a write is in
+// flight, so torn slots are skipped rather than misread.
+type traceSlot struct {
+	seq                 atomic.Uint64
+	ts, kind, tid, a, b atomic.Uint64
+}
+
+// Tracer is a bounded lock-free ring buffer of events. Emit is a few
+// atomic stores when enabled and a single atomic load when disabled, so
+// tracing instrumentation can live permanently on hot paths. When the
+// ring wraps, the oldest events are overwritten.
+type Tracer struct {
+	enabled atomic.Bool
+	start   time.Time
+	cursor  atomic.Uint64
+	mask    uint64
+
+	mu    sync.Mutex // guards lazy slot allocation
+	slots []traceSlot
+	cap   int
+}
+
+// NewTracer returns a tracer whose ring holds capacity events (rounded up
+// to a power of two, minimum 16). The ring memory is allocated on the
+// first Enable, so an unused tracer costs nothing.
+func NewTracer(capacity int) *Tracer {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{start: time.Now(), cap: n}
+}
+
+// DefaultTracer is the process-wide tracer, disabled until Enable.
+var DefaultTracer = NewTracer(1 << 16)
+
+// Enable allocates the ring (first call) and turns event recording on.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	if t.slots == nil {
+		t.slots = make([]traceSlot, t.cap)
+		t.mask = uint64(t.cap - 1)
+	}
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable turns event recording off; recorded events remain readable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Capacity returns the ring size in events.
+func (t *Tracer) Capacity() int { return t.cap }
+
+// Emit records one event. No-op (one atomic load) when disabled.
+func (t *Tracer) Emit(k Kind, tid, a, b uint64) {
+	if !t.enabled.Load() {
+		return
+	}
+	ts := uint64(time.Since(t.start).Nanoseconds())
+	i := t.cursor.Add(1) - 1
+	s := &t.slots[i&t.mask]
+	s.seq.Add(1) // odd: write in flight
+	s.ts.Store(ts)
+	s.kind.Store(uint64(k))
+	s.tid.Store(tid)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Add(1) // even: stable
+}
+
+// Emit records one event on the DefaultTracer.
+func Emit(k Kind, tid, a, b uint64) { DefaultTracer.Emit(k, tid, a, b) }
+
+// TraceEnabled reports whether the DefaultTracer is recording; hot paths
+// with non-trivial argument computation check it first.
+func TraceEnabled() bool { return DefaultTracer.Enabled() }
+
+// Events returns a snapshot of the recorded events, oldest first. Events
+// being written concurrently are skipped. At most Capacity events are
+// returned; earlier ones have been overwritten.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	slots := t.slots
+	t.mu.Unlock()
+	if slots == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(slots))
+	for i := range slots {
+		s := &slots[i]
+		seq := s.seq.Load()
+		if seq == 0 || seq&1 == 1 {
+			continue // never written, or write in flight
+		}
+		e := Event{
+			TS:   int64(s.ts.Load()),
+			Kind: Kind(s.kind.Load()),
+			TID:  s.tid.Load(),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // overwritten while reading
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// WriteChromeJSON writes the recorded events as a Chrome trace_event JSON
+// document (load it at chrome://tracing or https://ui.perfetto.dev).
+// Duration-carrying kinds become complete ("X") events; the rest are
+// instants.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	events := t.Events()
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		tsUS := float64(e.TS) / 1e3
+		var line string
+		if int(e.Kind) < len(durationKinds) && durationKinds[e.Kind] {
+			// A complete event spans [start, start+dur); e.TS is the end.
+			durUS := float64(e.A) / 1e3
+			start := tsUS - durUS
+			if start < 0 {
+				start = 0
+			}
+			line = fmt.Sprintf(
+				"{\"name\":%q,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"a\":%d,\"b\":%d}}%s\n",
+				e.Kind.String(), e.TID, start, durUS, e.A, e.B, sep)
+		} else {
+			line = fmt.Sprintf(
+				"{\"name\":%q,\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"a\":%d,\"b\":%d}}%s\n",
+				e.Kind.String(), e.TID, tsUS, e.A, e.B, sep)
+		}
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
