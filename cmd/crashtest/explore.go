@@ -1,0 +1,205 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/crashpoint"
+	"repro/internal/mtm"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// exploreMain runs the crash-point exploration over the §6.2 random-update
+// workload: instead of sampling crashes with a seeded policy, it enumerates
+// every persistence event of one recorded run and replays the workload
+// crashing immediately before each of them, under every crash policy,
+// checking the full stack (regions, heap, transactions) after each.
+// Returns the process exit code.
+func exploreMain() int {
+	ops := *nops
+	if ops > 24 {
+		// Exploration replays the workload points×policies times; the
+		// default -ops (tuned for the sampling tests) would take hours.
+		ops = 8
+	}
+	txs := exploreTxs(ops, *seed)
+
+	var opt crashpoint.Options
+	if *points > 0 {
+		opt.Schedule = crashpoint.Budget{N: *points}
+	}
+	lastPct := -1
+	opt.Progress = func(done, total int) {
+		if pct := done * 100 / total; pct != lastPct && pct%10 == 0 {
+			fmt.Printf("\rexplore          %3d%% (%d/%d replays)", pct, done, total)
+			lastPct = pct
+		}
+	}
+
+	rep, err := crashpoint.Explore(exploreWorkload(txs), opt)
+	fmt.Println()
+	if err != nil {
+		fmt.Printf("explore          ERROR: %v\n", err)
+		return 1
+	}
+	fmt.Printf("explore          %s\n", rep)
+	snap := telemetry.Default.Snapshot()
+	fmt.Printf("telemetry        crashpoint_runs_total=%.0f crashpoint_failures_total=%.0f crashpoint_points=%.0f\n",
+		snap["crashpoint_runs_total"], snap["crashpoint_failures_total"], snap["crashpoint_points"])
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			fmt.Printf("  %v\n", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// exploreTxs precomputes the deterministic transaction list (offset/value
+// pairs over a 64-word array) so every replay issues the identical event
+// sequence.
+func exploreTxs(ops int, seed int64) [][][2]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	txs := make([][][2]uint64, ops)
+	for i := range txs {
+		n := 1 + rng.Intn(4)
+		seen := map[uint64]bool{}
+		for j := 0; j < n; j++ {
+			off := uint64(rng.Intn(64)) * 8
+			if seen[off] {
+				continue
+			}
+			seen[off] = true
+			txs[i] = append(txs[i], [2]uint64{off, rng.Uint64()})
+		}
+	}
+	return txs
+}
+
+// exploreModel folds the first m transactions into the expected image.
+func exploreModel(txs [][][2]uint64, m int) [64]uint64 {
+	var img [64]uint64
+	for i := 0; i < m && i < len(txs); i++ {
+		for _, w := range txs[i] {
+			img[w[0]/8] = w[1]
+		}
+	}
+	return img
+}
+
+// exploreWorkload builds crash-point Runs over a deliberately small stack
+// (heap, log and data sized for replay speed, not capacity).
+func exploreWorkload(txs [][][2]uint64) crashpoint.Workload {
+	const heapSize = 256 << 10
+	return func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 8 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "crashtest-explore-*")
+		if err != nil {
+			return nil, err
+		}
+		acked := 0
+
+		openAll := func() (*region.Runtime, *pheap.Heap, *mtm.TM, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir})
+			if err != nil {
+				return nil, nil, nil, pmem.Nil, err
+			}
+			heapPtr, _, err := rt.Static("explore.heap", 8)
+			if err != nil {
+				return nil, nil, nil, pmem.Nil, err
+			}
+			mem := rt.NewMemory()
+			var heap *pheap.Heap
+			if base := pmem.Addr(mem.LoadU64(heapPtr)); base == pmem.Nil {
+				base, err = rt.PMapAt(heapPtr, heapSize, 0)
+				if err == nil {
+					heap, err = pheap.Format(rt, base, heapSize, pheap.Config{Lanes: 2})
+				}
+			} else {
+				heap, err = pheap.Open(rt, base)
+				if errors.Is(err, pheap.ErrNoHeap) {
+					// The crash fell between linking the heap region and
+					// Format's commit; nothing can live there yet.
+					heap, err = pheap.Format(rt, base, heapSize, pheap.Config{Lanes: 2})
+				}
+			}
+			if err != nil {
+				return nil, nil, nil, pmem.Nil, err
+			}
+			tm, err := mtm.Open(rt, "explore", mtm.Config{Heap: heap, Slots: 2, LogWords: 512})
+			if err != nil {
+				return nil, nil, nil, pmem.Nil, err
+			}
+			dataPtr, _, err := rt.Static("explore.data", 8)
+			if err != nil {
+				return nil, nil, nil, pmem.Nil, err
+			}
+			data := pmem.Addr(mem.LoadU64(dataPtr))
+			if data == pmem.Nil {
+				if data, err = rt.PMapAt(dataPtr, scm.PageSize, 0); err != nil {
+					return nil, nil, nil, pmem.Nil, err
+				}
+			}
+			return rt, heap, tm, data, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				_, _, tm, data, err := openAll()
+				if err != nil {
+					return err
+				}
+				th, err := tm.NewThread()
+				if err != nil {
+					return err
+				}
+				for i, writes := range txs {
+					err := th.Atomic(func(tx *mtm.Tx) error {
+						for _, w := range writes {
+							tx.StoreU64(data.Add(int64(w[0])), w[1])
+						}
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					acked = i + 1
+				}
+				return nil
+			},
+			Check: func() error {
+				defer os.RemoveAll(dir)
+				rt, heap, tm, data, err := openAll()
+				if err != nil {
+					return fmt.Errorf("stack not reopenable after %d acked txs: %w", acked, err)
+				}
+				defer rt.Close()
+				defer tm.Close()
+				if err := heap.Check(); err != nil {
+					return err
+				}
+				mem := rt.NewMemory()
+				var img [64]uint64
+				for i := int64(0); i < 64; i++ {
+					img[i] = mem.LoadU64(data.Add(i * 8))
+				}
+				for _, m := range []int{acked, acked + 1} {
+					if m <= len(txs) && img == exploreModel(txs, m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("memory matches neither %d nor %d applied transactions", acked, acked+1)
+			},
+		}, nil
+	}
+}

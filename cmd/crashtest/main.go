@@ -9,12 +9,21 @@
 // streaming word, then the whole Mnemosyne stack is reopened over the
 // surviving bytes and must recover.
 //
+// With -explore, crashtest switches from seeded sampling to systematic
+// crash-point exploration (internal/crashpoint): one recorded run
+// enumerates every persistence event, then the workload is replayed with
+// power cut immediately before each event under every crash policy, and
+// the whole stack must recover each time. -points bounds how many crash
+// points are replayed (0 explores all of them).
+//
 // Usage:
 //
 //	crashtest [-rounds N] [-ops N] [-seed N]
+//	crashtest -explore [-points N] [-seed N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,13 +39,18 @@ import (
 )
 
 var (
-	rounds = flag.Int("rounds", 20, "crash/recover rounds per test")
-	nops   = flag.Int("ops", 200, "transactions per round")
-	seed   = flag.Int64("seed", 1, "base PRNG seed")
+	rounds  = flag.Int("rounds", 20, "crash/recover rounds per test")
+	nops    = flag.Int("ops", 200, "transactions per round")
+	seed    = flag.Int64("seed", 1, "base PRNG seed")
+	explore = flag.Bool("explore", false, "systematically explore every crash point instead of sampling")
+	points  = flag.Int("points", 0, "crash points to replay in -explore mode (0 = all)")
 )
 
 func main() {
 	flag.Parse()
+	if *explore {
+		os.Exit(exploreMain())
+	}
 	fail := 0
 	for name, test := range map[string]func() error{
 		"random-updates": randomUpdates,
@@ -83,8 +97,17 @@ func openStack(dev *scm.Device, dir string) (*stack, error) {
 		if heap, err = pheap.Format(rt, base, 64<<20, pheap.Config{Lanes: 8}); err != nil {
 			return nil, err
 		}
-	} else if heap, err = pheap.Open(rt, base); err != nil {
-		return nil, err
+	} else {
+		heap, err = pheap.Open(rt, base)
+		if errors.Is(err, pheap.ErrNoHeap) {
+			// A crash between linking the heap region and Format's commit
+			// point left the pointer over unformatted memory; nothing can
+			// live there yet, so reformat.
+			heap, err = pheap.Format(rt, base, 64<<20, pheap.Config{Lanes: 8})
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	tm, err := mtm.Open(rt, "crash", mtm.Config{Heap: heap})
 	if err != nil {

@@ -131,6 +131,13 @@ func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 		}
 	} else {
 		pm.heap, err = pheap.Open(rt, base)
+		if errors.Is(err, pheap.ErrNoHeap) {
+			// A crash between linking the heap region and Format's
+			// commit point left the pointer set over unformatted
+			// memory. The region exists solely for this heap and no
+			// allocation can predate the missing magic, so reformat.
+			pm.heap, err = pheap.Format(rt, base, cfg.HeapSize, pheap.Config{Lanes: 16})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,94 @@
+// Package crashpoint systematically explores a workload's crash points.
+//
+// The scm emulator's crash model (paper §2) reverts unpersisted writes at
+// an arbitrary instant; cmd/crashtest samples that space with seeded
+// random policies. This package makes the search exhaustive and
+// deterministic instead: every persistence-relevant device event — a
+// dirty-line flush, a fence (with or without a write-combining drain), a
+// DMA page fill, a whole-cache eviction — is a *crash point*, the instant
+// just before that event takes effect. A workload with N events has N+1
+// crash points (point N is "after the last event": the residual
+// unpersisted state of a completed run).
+//
+// Exploration runs the workload once under a Recorder to count its events,
+// then replays it once per (crash point, crash policy) pair. Each replay
+// installs a Trigger that, at event k, freezes the device (scm.PowerCut)
+// and panics with scm.PowerFailure; the freeze guarantees nothing on the
+// unwinding path — deferred transaction rollbacks, cleanup handlers — can
+// alter the durable image the simulated failure left behind. The explorer
+// then applies the crash policy to the surviving bytes (scm.CrashMidOp)
+// and calls the workload's recovery oracle, which reopens the stack over
+// the crashed image and checks the layer's durability contract.
+//
+// Workloads must be deterministic: single-goroutine bodies, no map
+// iteration, fixed seeds. The explorer verifies this by checking that each
+// replay reaches its target event.
+package crashpoint
+
+import (
+	"repro/internal/scm"
+)
+
+// Recorder counts persistence events by kind. Install it with
+// Device.SetProbe for the recording pass.
+type Recorder struct {
+	counts [scm.ProbeKindCount]int64
+	total  int64
+}
+
+// Event implements scm.Probe.
+func (r *Recorder) Event(kind scm.ProbeKind, ctx uint64, off int64, n int) {
+	r.total++
+	if int(kind) < len(r.counts) {
+		r.counts[kind]++
+	}
+}
+
+// Total reports the number of events recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// ByKind reports the recorded event counts keyed by kind name.
+func (r *Recorder) ByKind() map[string]int64 {
+	out := make(map[string]int64, len(r.counts))
+	for k, n := range r.counts {
+		if n > 0 {
+			out[scm.ProbeKind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// Trigger simulates a power failure at crash point K: immediately before
+// persistence event K takes effect it freezes the device and panics with
+// scm.PowerFailure. It fires at most once.
+type Trigger struct {
+	dev *scm.Device
+	k   int64
+
+	n     int64         // events seen so far
+	Fired bool          // whether the power failure was injected
+	Kind  scm.ProbeKind // kind of the event the failure preempted
+}
+
+// NewTrigger returns a trigger that cuts power at event k of dev.
+func NewTrigger(dev *scm.Device, k int64) *Trigger {
+	return &Trigger{dev: dev, k: k}
+}
+
+// Event implements scm.Probe.
+func (t *Trigger) Event(kind scm.ProbeKind, ctx uint64, off int64, n int) {
+	if t.Fired {
+		return
+	}
+	if t.n == t.k {
+		t.Fired = true
+		t.Kind = kind
+		t.dev.PowerCut()
+		panic(scm.PowerFailure{})
+	}
+	t.n++
+}
+
+// Seen reports how many events the trigger observed (excluding the one it
+// preempted).
+func (t *Trigger) Seen() int64 { return t.n }

@@ -1,0 +1,231 @@
+package crashpoint
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/scm"
+)
+
+func openDev(t *testing.T) *scm.Device {
+	t.Helper()
+	d, err := scm.Open(scm.Config{Size: 64 << 10, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRecorderTaxonomy pins down which device operations count as
+// persistence events, and of which kind.
+func TestRecorderTaxonomy(t *testing.T) {
+	d := openDev(t)
+	ctx := d.NewContext()
+	rec := &Recorder{}
+	d.SetProbe(rec)
+	defer d.SetProbe(nil)
+
+	ctx.StoreU64(0, 1) // cached store: not an event
+	ctx.Flush(0)       // dirty-line write-back: flush
+	ctx.Flush(0)       // clean line: not an event
+	ctx.Fence()        // empty WC buffer: fence
+	ctx.WTStoreU64(64, 2)
+	ctx.Fence()                          // drains one word: wt-drain
+	d.DurableFill(128, make([]byte, 64)) // DMA fill: fill
+	ctx.StoreU64(192, 3)
+	d.FlushAll() // whole-cache eviction: evict-all
+
+	want := map[string]int64{
+		"flush":     1,
+		"fence":     1,
+		"wt-drain":  1,
+		"fill":      1,
+		"evict-all": 1,
+	}
+	if got := rec.ByKind(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recorded %v, want %v", got, want)
+	}
+	if rec.Total() != 5 {
+		t.Fatalf("total %d, want 5", rec.Total())
+	}
+}
+
+// shadowWorkload builds a generation-swinging shadow-update workload over
+// a bare device. With broken=false it follows the correct protocol (new
+// buffer made durable, then the reference swung durably); with
+// broken=true it swings the reference before the buffer is durable — the
+// classic missing-fence bug the explorer must catch.
+func shadowWorkload(broken bool) Workload {
+	const (
+		refOff = 0
+		bufA   = 512
+		bufB   = 576
+		gens   = 4
+	)
+	encode := func(target int64, gen uint64) uint64 { return uint64(target) | gen<<32 }
+	decode := func(v uint64) (int64, uint64) { return int64(v & 0xffffffff), v >> 32 }
+
+	return func() (*Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 64 << 10, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		ctx := dev.NewContext()
+		acked := uint64(0)
+
+		writeBuf := func(target int64, gen uint64) {
+			for i := int64(0); i < 8; i++ {
+				ctx.StoreU64(target+i*8, gen)
+			}
+			ctx.Flush(target)
+			ctx.Fence()
+		}
+		swingRef := func(target int64, gen uint64) {
+			ctx.WTStoreU64(refOff, encode(target, gen))
+			ctx.Fence()
+		}
+
+		return &Run{
+			Dev: dev,
+			Body: func() error {
+				for gen := uint64(1); gen <= gens; gen++ {
+					target := int64(bufA)
+					if gen%2 == 0 {
+						target = bufB
+					}
+					if broken {
+						swingRef(target, gen) // published before durable!
+						writeBuf(target, gen)
+					} else {
+						writeBuf(target, gen)
+						swingRef(target, gen)
+					}
+					acked = gen
+				}
+				return nil
+			},
+			Check: func() error {
+				// A fresh context reads the post-crash image.
+				rd := dev.NewContext()
+				ref := rd.LoadU64(refOff)
+				if ref == 0 {
+					if acked > 0 {
+						return fmt.Errorf("ref lost after %d acked generations", acked)
+					}
+					return nil
+				}
+				target, gen := decode(ref)
+				if gen < acked || gen > acked+1 {
+					return fmt.Errorf("ref generation %d, acked %d", gen, acked)
+				}
+				for i := int64(0); i < 8; i++ {
+					if v := rd.LoadU64(target + i*8); v != gen {
+						return fmt.Errorf("ref points at gen %d but word %d of its buffer reads %d", gen, i, v)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+func TestExploreShadowUpdateProtocol(t *testing.T) {
+	rep, err := Explore(shadowWorkload(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per generation: one buffer flush, one buffer fence, one ref drain.
+	if rep.Events != 12 || rep.Points != 13 {
+		t.Fatalf("got %d events / %d points, want 12 / 13", rep.Events, rep.Points)
+	}
+	if rep.Failed() {
+		t.Fatalf("correct protocol failed:\n%v", rep.Failures)
+	}
+	if rep.Runs != 13*len(DefaultPolicies()) {
+		t.Fatalf("ran %d replays, want %d", rep.Runs, 13*len(DefaultPolicies()))
+	}
+}
+
+// TestExploreCatchesBrokenRecovery is the harness's reason to exist: a
+// deliberately broken persistence protocol (reference published before its
+// data is durable) must be caught, and the report must localize a failing
+// crash point inside the vulnerable window.
+func TestExploreCatchesBrokenRecovery(t *testing.T) {
+	rep, err := Explore(shadowWorkload(true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("broken shadow-update protocol survived every crash point")
+	}
+	// The workload is vulnerable from the very first instant: the ref's
+	// streaming write is in flight before event 0 (its drain fence), so
+	// a policy that lands that word exposes the never-written buffer.
+	if first := rep.FirstFailing(); first != 0 {
+		t.Fatalf("first failing point %d, want 0", first)
+	}
+}
+
+// TestExploreDeterminism: recording the same workload twice must count the
+// same events, or replays would target the wrong instants.
+func TestExploreDeterminism(t *testing.T) {
+	for _, broken := range []bool{false, true} {
+		var totals []int64
+		for i := 0; i < 2; i++ {
+			run, err := shadowWorkload(broken)()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &Recorder{}
+			run.Dev.SetProbe(rec)
+			if err := run.Body(); err != nil {
+				t.Fatal(err)
+			}
+			run.Dev.SetProbe(nil)
+			totals = append(totals, rec.Total())
+		}
+		if totals[0] != totals[1] {
+			t.Fatalf("broken=%v: recorded %d then %d events", broken, totals[0], totals[1])
+		}
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if got := (Full{}).Points(4); !reflect.DeepEqual(got, []int64{0, 1, 2, 3}) {
+		t.Fatalf("Full: %v", got)
+	}
+	if got := (Stride{N: 2}).Points(5); !reflect.DeepEqual(got, []int64{0, 2, 4}) {
+		t.Fatalf("Stride over 5: %v", got)
+	}
+	if got := (Stride{N: 2}).Points(6); !reflect.DeepEqual(got, []int64{0, 2, 4, 5}) {
+		t.Fatalf("Stride over 6 must include the last point: %v", got)
+	}
+	if got := (Budget{N: 100}).Points(7); len(got) != 7 {
+		t.Fatalf("oversized Budget must degrade to Full: %v", got)
+	}
+	got := (Budget{N: 5}).Points(100)
+	if len(got) != 5 {
+		t.Fatalf("Budget emitted %d points: %v", len(got), got)
+	}
+	seen := map[int64]bool{}
+	for _, k := range got {
+		if k < 0 || k >= 100 || seen[k] {
+			t.Fatalf("Budget emitted invalid or duplicate point %d in %v", k, got)
+		}
+		seen[k] = true
+	}
+	if !seen[0] || !seen[99] || !seen[50] {
+		t.Fatalf("Budget sample must cover endpoints and midpoint: %v", got)
+	}
+}
+
+func TestMaxFailuresStopsEarly(t *testing.T) {
+	rep, err := Explore(shadowWorkload(true), Options{MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("collected %d failures, want exactly 1", len(rep.Failures))
+	}
+}

@@ -1,0 +1,241 @@
+package crashpoint
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+var (
+	telRuns     = telemetry.NewCounter("crashpoint_runs_total", "crash-point replays executed")
+	telFailures = telemetry.NewCounter("crashpoint_failures_total", "crash-point replays whose recovery oracle failed")
+	telPoints   = telemetry.NewGauge("crashpoint_points", "crash points enumerated by the most recent recording pass")
+)
+
+// Run is one instance of a workload: a fresh device, the workload body,
+// and the recovery oracle over that device.
+type Run struct {
+	// Dev is the device the body runs against. The explorer installs its
+	// probes on it and crashes it.
+	Dev *scm.Device
+	// Body executes the workload. It must be deterministic (single
+	// goroutine, fixed seeds, no map iteration): every replay must issue
+	// the identical persistence-event sequence. A power-failure panic
+	// unwinds through Body; it must not recover scm.PowerFailure.
+	Body func() error
+	// Check reopens the software stack over the device's surviving bytes
+	// and runs the layer's recovery oracle, returning an error when a
+	// durability contract is violated. It runs after every crash, so it
+	// must cope with any prefix of Body's effects (track acknowledged
+	// progress in variables Body updates as it goes).
+	Check func() error
+}
+
+// Workload constructs identical Runs; the explorer calls it once for the
+// recording pass and once per replay.
+type Workload func() (*Run, error)
+
+// Options tunes an exploration.
+type Options struct {
+	// Policies are the crash policies applied at every explored point.
+	// Nil selects DefaultPolicies.
+	Policies []NamedPolicy
+	// Schedule picks the crash points to replay. Nil selects Full.
+	Schedule Schedule
+	// MaxFailures stops the exploration once this many oracle failures
+	// have been collected. Zero selects 16.
+	MaxFailures int
+	// Progress, when non-nil, is called after every replay with the
+	// number of replays done and planned.
+	Progress func(done, total int)
+}
+
+func (o *Options) fill() {
+	if o.Policies == nil {
+		o.Policies = DefaultPolicies()
+	}
+	if o.Schedule == nil {
+		o.Schedule = Full{}
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 16
+	}
+}
+
+// Failure records one oracle violation.
+type Failure struct {
+	Point  int64  // the crash point
+	Policy string // the policy name
+	Kind   string // kind of the preempted event ("end" for the final point)
+	Err    error  // what the oracle reported
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("point %d (%s, policy %s): %v", f.Point, f.Kind, f.Policy, f.Err)
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Events   int64            // persistence events in the recording pass
+	Points   int64            // crash points (Events + 1)
+	Explored int              // distinct points replayed
+	Runs     int              // total replays (points × policies)
+	ByKind   map[string]int64 // recorded event counts by kind
+	Failures []Failure        // oracle violations, in exploration order
+}
+
+// Failed reports whether any oracle violation was found.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// FirstFailing returns the smallest failing crash point, or -1.
+func (r *Report) FirstFailing() int64 {
+	first := int64(-1)
+	for _, f := range r.Failures {
+		if first < 0 || f.Point < first {
+			first = f.Point
+		}
+	}
+	return first
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(&b, "%d events (", r.Events)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", k, r.ByKind[k])
+	}
+	fmt.Fprintf(&b, "), %d points explored, %d replays, %d failures", r.Explored, r.Runs, len(r.Failures))
+	return b.String()
+}
+
+// Explore enumerates w's crash points and replays the scheduled subset
+// under every policy. It returns a non-nil Report with the collected
+// oracle failures; the error return is reserved for harness problems (the
+// workload failing on its own, nondeterminism, setup errors), which make
+// the exploration itself meaningless.
+func Explore(w Workload, opt Options) (*Report, error) {
+	opt.fill()
+
+	// Recording pass: enumerate the events of an uninterrupted run.
+	run, err := w()
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: workload setup: %w", err)
+	}
+	rec := &Recorder{}
+	run.Dev.SetProbe(rec)
+	err = run.Body()
+	run.Dev.SetProbe(nil)
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: recording run failed: %w", err)
+	}
+	// The oracle must hold on the uninterrupted run, or every replay
+	// would report noise.
+	run.Dev.Crash(scm.KeepAll{})
+	if err := checkGuarded(run.Check); err != nil {
+		return nil, fmt.Errorf("crashpoint: oracle rejects the uninterrupted workload: %w", err)
+	}
+
+	rep := &Report{
+		Events: rec.Total(),
+		Points: rec.Total() + 1,
+		ByKind: rec.ByKind(),
+	}
+	telPoints.Set(rep.Points)
+
+	points := opt.Schedule.Points(rep.Points)
+	rep.Explored = len(points)
+	planned := len(points) * len(opt.Policies)
+	for _, k := range points {
+		for _, pol := range opt.Policies {
+			fail, err := exploreOne(w, k, rep.Events, pol)
+			rep.Runs++
+			telRuns.Inc()
+			if opt.Progress != nil {
+				opt.Progress(rep.Runs, planned)
+			}
+			if err != nil {
+				return rep, err
+			}
+			if fail != nil {
+				rep.Failures = append(rep.Failures, *fail)
+				telFailures.Inc()
+				if len(rep.Failures) >= opt.MaxFailures {
+					return rep, nil
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// exploreOne replays the workload once, cutting power at event k and
+// applying pol to the in-flight writes.
+func exploreOne(w Workload, k, events int64, pol NamedPolicy) (*Failure, error) {
+	run, err := w()
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: workload setup: %w", err)
+	}
+	trig := NewTrigger(run.Dev, k)
+	run.Dev.SetProbe(trig)
+	berr, interrupted := runGuarded(run.Body)
+	run.Dev.SetProbe(nil)
+	if !interrupted {
+		if berr != nil {
+			return nil, fmt.Errorf("crashpoint: point %d: workload failed before the crash: %w", k, berr)
+		}
+		if k < events {
+			return nil, fmt.Errorf(
+				"crashpoint: point %d never reached: replay saw only %d events where the recording saw %d (workload nondeterministic?)",
+				k, trig.Seen(), events)
+		}
+	}
+	kind := "end"
+	if trig.Fired {
+		kind = trig.Kind.String()
+	}
+	run.Dev.CrashMidOp(pol.New())
+	if err := checkGuarded(run.Check); err != nil {
+		return &Failure{Point: k, Policy: pol.Name, Kind: kind, Err: err}, nil
+	}
+	return nil, nil
+}
+
+// runGuarded runs the workload body, converting the trigger's
+// PowerFailure panic into the interrupted flag. Other panics propagate.
+func runGuarded(body func() error) (err error, interrupted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(scm.PowerFailure); ok {
+				err = nil
+				interrupted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return body(), false
+}
+
+// checkGuarded runs a recovery oracle, converting a panic into a failure:
+// recovery code must never panic on a crash-corrupted image, so a panic is
+// itself an oracle violation rather than a harness error.
+func checkGuarded(check func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return check()
+}

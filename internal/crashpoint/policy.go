@@ -1,0 +1,47 @@
+package crashpoint
+
+import "repro/internal/scm"
+
+// NamedPolicy couples a crash policy constructor with a display name. New
+// is called once per replay so stateful policies start fresh.
+type NamedPolicy struct {
+	Name string
+	New  func() scm.CrashPolicy
+}
+
+// SplitPolicy is a deterministic per-line (and per-word) adversarial
+// policy: it keeps roughly half of the in-flight writes, selected by a
+// hash of the offset and salt. Unlike RandomPolicy it depends only on the
+// write's address, so a given (point, salt) pair always loses exactly the
+// same lines — failures reproduce without replaying a PRNG call sequence.
+// Different salts lose different halves, together covering mixed
+// survivor patterns DropAll and KeepAll cannot produce.
+type SplitPolicy struct{ Salt uint64 }
+
+func (p SplitPolicy) keep(off int64) bool {
+	x := uint64(off)/scm.WordSize + p.Salt
+	// SplitMix64 finalizer: avalanche so adjacent lines decorrelate.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x&1 == 0
+}
+
+// KeepLine implements scm.CrashPolicy.
+func (p SplitPolicy) KeepLine(off int64) bool { return p.keep(off) }
+
+// KeepWord implements scm.CrashPolicy.
+func (p SplitPolicy) KeepWord(off int64) bool { return p.keep(off) }
+
+// DefaultPolicies is the standard policy set: the two extremes plus two
+// differently-salted adversarial splits.
+func DefaultPolicies() []NamedPolicy {
+	return []NamedPolicy{
+		{Name: "drop-all", New: func() scm.CrashPolicy { return scm.DropAll{} }},
+		{Name: "keep-all", New: func() scm.CrashPolicy { return scm.KeepAll{} }},
+		{Name: "split-1", New: func() scm.CrashPolicy { return SplitPolicy{Salt: 1} }},
+		{Name: "split-2", New: func() scm.CrashPolicy { return SplitPolicy{Salt: 2} }},
+	}
+}

@@ -1,0 +1,99 @@
+package crashpoint
+
+import "os"
+
+// Schedule selects which of a workload's crash points to replay. total is
+// the number of crash points (events + 1); returned points must lie in
+// [0, total).
+type Schedule interface {
+	Points(total int64) []int64
+}
+
+// Full replays every crash point.
+type Full struct{}
+
+// Points implements Schedule.
+func (Full) Points(total int64) []int64 {
+	pts := make([]int64, total)
+	for i := range pts {
+		pts[i] = int64(i)
+	}
+	return pts
+}
+
+// Stride replays every N-th crash point, always including the first and
+// the last.
+type Stride struct{ N int64 }
+
+// Points implements Schedule.
+func (s Stride) Points(total int64) []int64 {
+	n := s.N
+	if n < 1 {
+		n = 1
+	}
+	var pts []int64
+	for k := int64(0); k < total; k += n {
+		pts = append(pts, k)
+	}
+	if total > 0 && pts[len(pts)-1] != total-1 {
+		pts = append(pts, total-1)
+	}
+	return pts
+}
+
+// Budget replays at most N crash points, chosen in bisection order: the
+// endpoints first, then recursive interval midpoints. A small budget thus
+// still spreads over the whole run rather than clustering at its start,
+// and growing the budget only refines the same sample.
+type Budget struct{ N int }
+
+// Points implements Schedule.
+func (b Budget) Points(total int64) []int64 {
+	if int64(b.N) >= total {
+		return Full{}.Points(total)
+	}
+	if b.N <= 0 || total <= 0 {
+		return nil
+	}
+	seen := make(map[int64]bool, b.N)
+	pts := make([]int64, 0, b.N)
+	emit := func(k int64) {
+		if len(pts) < b.N && !seen[k] {
+			seen[k] = true
+			pts = append(pts, k)
+		}
+	}
+	emit(0)
+	emit(total - 1)
+	type span struct{ lo, hi int64 } // half-open
+	queue := []span{{0, total}}
+	for len(queue) > 0 && len(pts) < b.N {
+		s := queue[0]
+		queue = queue[1:]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		mid := s.lo + (s.hi-s.lo)/2
+		emit(mid)
+		queue = append(queue, span{s.lo, mid}, span{mid + 1, s.hi})
+	}
+	return pts
+}
+
+// exhaustiveEnv, when set to 1, forces Full exploration regardless of
+// -short; the nightly CI job sets it.
+const exhaustiveEnv = "CRASHPOINT_EXHAUSTIVE"
+
+// TestSchedule returns the schedule package tests should use: Full by
+// default, a bisection Budget sample under -short (the PR-gating CI
+// configuration), and always Full when CRASHPOINT_EXHAUSTIVE=1 (nightly
+// CI).
+func TestSchedule(short bool, budget int) Schedule {
+	if os.Getenv(exhaustiveEnv) == "1" {
+		return Full{}
+	}
+	if short {
+		return Budget{N: budget}
+	}
+	return Full{}
+}

@@ -1,0 +1,130 @@
+package kvserve
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scm"
+)
+
+// TestSoakCrashRecover drives waves of concurrent network clients against
+// the server, then crashes the device under a reproducible random
+// keep/drop policy mid-run and reincarnates the stack — repeatedly. Every
+// write a client saw acknowledged must survive every crash: each client
+// owns a private key space, so the expected store is the exact union of
+// the per-client acknowledged models. Run with -race, this also shakes
+// concurrent sessions, async truncation and the shutdown paths.
+func TestSoakCrashRecover(t *testing.T) {
+	waves, clients, ops := 3, 4, 60
+	if testing.Short() {
+		waves, ops = 2, 20
+	}
+	cfg := core.Config{
+		Dir:             t.TempDir(),
+		DeviceSize:      64 << 20,
+		Threads:         clients + 1,
+		AsyncTruncation: true,
+	}
+	pm, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pm.Device()
+
+	serve := func() (*Server, string) {
+		t.Helper()
+		srv, err := New(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		return srv, l.Addr().String()
+	}
+
+	expect := map[string]string{} // acknowledged store image
+	srv, addr := serve()
+	for wave := 0; wave < waves; wave++ {
+		models := make([]map[string]string, clients)
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				model := map[string]string{}
+				models[ci] = model
+				c := dial(t, addr)
+				defer c.conn.Close()
+				rng := rand.New(rand.NewSource(int64(wave*100 + ci)))
+				for j := 0; j < ops; j++ {
+					key := fmt.Sprintf("w%dc%dk%d", wave, ci, rng.Intn(10))
+					if rng.Intn(4) == 0 {
+						reply := c.cmd(t, "DEL "+key)
+						if reply != "OK" && reply != "MISSING" {
+							errs <- fmt.Errorf("DEL %s: %s", key, reply)
+							return
+						}
+						delete(model, key)
+					} else {
+						val := fmt.Sprintf("v%d.%d.%d", wave, ci, j)
+						if reply := c.cmd(t, "SET "+key+" "+val); reply != "OK" {
+							errs <- fmt.Errorf("SET %s: %s", key, reply)
+							return
+						}
+						model[key] = val
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		// Key spaces are disjoint per (wave, client), so each client's
+		// model is authoritative for its own keys: present means the
+		// acked value, absent means acked-deleted.
+		for ci, model := range models {
+			for n := 0; n < 10; n++ {
+				k := fmt.Sprintf("w%dc%dk%d", wave, ci, n)
+				if v, ok := model[k]; ok {
+					expect[k] = v
+				} else {
+					delete(expect, k)
+				}
+			}
+		}
+
+		// Power failure: stop cleanly above the device (sessions drained,
+		// background truncation halted), then lose a random subset of all
+		// unpersisted state and reincarnate everything.
+		srv.Close()
+		pm.TM().StopTruncation()
+		dev.Crash(scm.NewRandomPolicy(int64(1000 + wave)))
+		pm, err = core.Attach(dev, cfg)
+		if err != nil {
+			t.Fatalf("reattach after crash %d: %v", wave, err)
+		}
+		srv, addr = serve()
+
+		c := dial(t, addr)
+		for k, v := range expect {
+			if got := c.cmd(t, "GET "+k); got != "VALUE "+v {
+				t.Fatalf("after crash %d: GET %s = %q, want %q", wave, k, got, "VALUE "+v)
+			}
+		}
+		if got := c.cmd(t, "COUNT"); got != fmt.Sprintf("COUNT %d", len(expect)) {
+			t.Fatalf("after crash %d: %s, want %d acked keys", wave, got, len(expect))
+		}
+		c.conn.Close()
+	}
+	srv.Close()
+}

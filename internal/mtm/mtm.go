@@ -200,20 +200,23 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 			return nil, err
 		}
 		tm.base = base
-		for i := 0; i < cfg.Slots; i++ {
-			if _, err := rawl.Create(mem, tm.slotAddr(i), cfg.LogWords); err != nil {
-				return nil, err
-			}
+		if err := tm.create(mem); err != nil {
+			return nil, err
 		}
-		mem.WTStoreU64(base.Add(hdrSlotsOff), uint64(cfg.Slots))
-		mem.WTStoreU64(base.Add(hdrLogWordsOff), uint64(cfg.LogWords))
-		mem.Fence()
-		mem.WTStoreU64(base, tmMagic)
-		mem.Fence()
 	} else {
 		tm.base = base
 		if mem.LoadU64(base) != tmMagic {
-			return nil, fmt.Errorf("mtm: %q root does not point at a TM region", name)
+			// The root was durably linked to the region but the header
+			// magic never committed: a crash interrupted creation. No
+			// transaction can have run before the magic fence, so
+			// re-running creation over the same region is safe.
+			if err := tm.create(mem); err != nil {
+				return nil, err
+			}
+			if cfg.AsyncTruncation {
+				tm.mgr = newLogManager(tm)
+			}
+			return tm, nil
 		}
 		slots := int(mem.LoadU64(base.Add(hdrSlotsOff)))
 		logWords := int64(mem.LoadU64(base.Add(hdrLogWordsOff)))
@@ -229,6 +232,22 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 		tm.mgr = newLogManager(tm)
 	}
 	return tm, nil
+}
+
+// create lays out the per-slot logs and commits the header; the magic
+// written behind its fence is the creation's durability point.
+func (tm *TM) create(mem pmem.Memory) error {
+	for i := 0; i < tm.cfg.Slots; i++ {
+		if _, err := rawl.Create(mem, tm.slotAddr(i), tm.cfg.LogWords); err != nil {
+			return err
+		}
+	}
+	mem.WTStoreU64(tm.base.Add(hdrSlotsOff), uint64(tm.cfg.Slots))
+	mem.WTStoreU64(tm.base.Add(hdrLogWordsOff), uint64(tm.cfg.LogWords))
+	mem.Fence()
+	mem.WTStoreU64(tm.base, tmMagic)
+	mem.Fence()
+	return nil
 }
 
 // Recovery returns what Open replayed.

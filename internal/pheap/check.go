@@ -1,0 +1,58 @@
+package pheap
+
+import "fmt"
+
+// Check verifies the structural consistency of the heap's persistent
+// metadata, without touching the volatile indexes:
+//
+//   - every superblock's class word is either zero (unassigned) or a valid
+//     power-of-two size class, and its bitmap sets no bit beyond the
+//     block count that class yields (an unassigned superblock's bitmap
+//     must be empty — a class assignment is fenced before any allocation
+//     in it can log or apply);
+//   - the large-object area parses as a chain of sane, line-aligned
+//     chunks tiling it exactly.
+//
+// The crash-point recovery oracles call it after reopening a crashed
+// image; any error means recovery reconstructed (or accepted) corrupt
+// allocator metadata. The heap must be quiesced.
+func (h *Heap) Check() error {
+	for sb := int32(0); sb < int32(h.sbCount); sb++ {
+		meta := h.sbMetaAddr(sb)
+		bs := int64(h.mem.LoadU64(meta))
+		blocks := int64(0)
+		if bs != 0 {
+			if bs < MinBlock || bs > MaxSmall || bs&(bs-1) != 0 {
+				return fmt.Errorf("pheap: superblock %d has invalid block size %d", sb, bs)
+			}
+			blocks = SuperblockSize / bs
+		}
+		for w := int64(0); w < bitmapWords; w++ {
+			word := h.mem.LoadU64(meta.Add(16 + w*8))
+			lo := w * 64
+			if lo+64 <= blocks {
+				continue
+			}
+			valid := uint64(0)
+			if blocks > lo {
+				valid = (uint64(1) << uint(blocks-lo)) - 1
+			}
+			if word&^valid != 0 {
+				return fmt.Errorf("pheap: superblock %d (block size %d) sets bitmap bits beyond its %d blocks", sb, bs, blocks)
+			}
+		}
+	}
+
+	off := int64(0)
+	for off < h.largeSz {
+		size, _ := unpackChunk(h.mem.LoadU64(h.largeAt.Add(off)))
+		if size < chunkHdr || size&63 != 0 || off+size > h.largeSz {
+			return fmt.Errorf("pheap: corrupt large chunk at +%d (size %d of %d)", off, size, h.largeSz)
+		}
+		off += size
+	}
+	if off != h.largeSz {
+		return fmt.Errorf("pheap: large chunk chain covers %d of %d bytes", off, h.largeSz)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package pheap
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// pheapOp is one step of the deterministic allocator workload: an
+// allocation of Size bytes into pointer slot Slot, or (Size == 0) a free
+// of slot Slot.
+type pheapOp struct {
+	Slot int
+	Size int64
+}
+
+var pheapOps = []pheapOp{
+	{Slot: 0, Size: 24},
+	{Slot: 1, Size: 100},
+	{Slot: 2, Size: 6000}, // large-object path
+	{Slot: 0},             // free
+	{Slot: 3, Size: 16},
+	{Slot: 2}, // large free
+	{Slot: 4, Size: 4096},
+	{Slot: 1}, // free
+}
+
+// liveAfter returns which slots hold an allocation after the first m ops.
+func liveAfter(m int) [8]bool {
+	var live [8]bool
+	for i := 0; i < m; i++ {
+		live[pheapOps[i].Slot] = pheapOps[i].Size > 0
+	}
+	return live
+}
+
+const pheapCrashHeapSize = 128 << 10
+
+// pheapCrashWorkload drives the allocator ops over a small freshly
+// formatted heap. With tamper set, the body finishes by re-appending an
+// already-applied-and-retired redo record to the lane log — simulating the
+// pre-retirement stale-replay bug PR 1 fixed — which the recovery oracle
+// must catch.
+func pheapCrashWorkload(t *testing.T, tamper bool) crashpoint.Workload {
+	return func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 2 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		done := 0
+
+		openRegion := func() (*region.Runtime, pmem.Addr, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			heapPtr, _, err := rt.Static("pheap.crash.heap", 8)
+			if err != nil {
+				rt.Close()
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			slots, _, err := rt.Static("pheap.crash.slots", 64)
+			if err != nil {
+				rt.Close()
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			return rt, heapPtr, slots, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				rt, heapPtr, slots, err := openRegion()
+				if err != nil {
+					return err
+				}
+				base, err := rt.PMapAt(heapPtr, pheapCrashHeapSize, 0)
+				if err != nil {
+					return err
+				}
+				h, err := Format(rt, base, pheapCrashHeapSize, Config{Lanes: 2})
+				if err != nil {
+					return err
+				}
+				a := h.NewAllocator()
+				mem := rt.NewMemory()
+				var first pmem.Addr // ops[0]'s block, for the tamper record
+				for i, op := range pheapOps {
+					slotAddr := slots.Add(int64(op.Slot) * 8)
+					if op.Size > 0 {
+						blk, err := a.PMalloc(op.Size, slotAddr)
+						if err != nil {
+							return err
+						}
+						if i == 0 {
+							first = blk
+						}
+					} else if err := a.PFree(slotAddr); err != nil {
+						return err
+					}
+					done = i + 1
+				}
+				if tamper {
+					// Re-append ops[0]'s redo record as if it had never
+					// been retired: stale state over a block that was
+					// since freed.
+					sb := first.Sub(h.sbData) / SuperblockSize
+					bs := int64(mem.LoadU64(h.sbMetaAddr(int32(sb))))
+					bit := (first.Sub(h.sbDataAddr(int32(sb)))) / bs
+					rec := []uint64{1, opSmallAlloc, uint64(sb), uint64(bit),
+						uint64(slots), uint64(first)}
+					if _, err := a.lane.log.Append(rec); err != nil {
+						return err
+					}
+					a.lane.log.Flush()
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, heapPtr, slots, err := openRegion()
+				if err != nil {
+					return fmt.Errorf("region tables not remappable: %w", err)
+				}
+				defer rt.Close()
+				mem := rt.NewMemory()
+				base := pmem.Addr(mem.LoadU64(heapPtr))
+				if base == pmem.Nil {
+					if done > 0 {
+						return fmt.Errorf("heap region lost after %d acked ops", done)
+					}
+					return nil
+				}
+				h, err := Open(rt, base)
+				if errors.Is(err, ErrNoHeap) {
+					// Format's magic never committed; legal only before
+					// any operation was acknowledged.
+					if done > 0 {
+						return fmt.Errorf("heap unopenable after %d acked ops: %w", done, err)
+					}
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := h.Check(); err != nil {
+					return err
+				}
+
+				allocated := map[pmem.Addr]int64{}
+				h.ForEachAllocated(func(addr pmem.Addr, size int64) bool {
+					allocated[addr] = size
+					return true
+				})
+
+				// Every non-nil slot must name a distinct live block of
+				// adequate size; every live block must be named by a slot
+				// (no leaks — pmalloc's pointer-coupling guarantee).
+				var pattern [8]bool
+				named := map[pmem.Addr]int{}
+				for s := 0; s < 8; s++ {
+					v := pmem.Addr(mem.LoadU64(slots.Add(int64(s) * 8)))
+					if v == pmem.Nil {
+						continue
+					}
+					pattern[s] = true
+					size, ok := allocated[v]
+					if !ok {
+						return fmt.Errorf("slot %d points at %v, which is not allocated (dangling)", s, v)
+					}
+					if prev, dup := named[v]; dup {
+						return fmt.Errorf("slots %d and %d alias block %v", prev, s, v)
+					}
+					named[v] = s
+					// Find the op that filled this slot to check the size.
+					for i := len(pheapOps) - 1; i >= 0; i-- {
+						if pheapOps[i].Slot == s && pheapOps[i].Size > 0 {
+							if size < pheapOps[i].Size {
+								return fmt.Errorf("slot %d block %v has %d usable bytes, want >= %d", s, v, size, pheapOps[i].Size)
+							}
+							break
+						}
+					}
+				}
+				for addr := range allocated {
+					if _, ok := named[addr]; !ok {
+						return fmt.Errorf("block %v (%d bytes) allocated but referenced by no slot (leak)", addr, allocated[addr])
+					}
+				}
+
+				// The slot pattern must equal the shadow model after done
+				// or done+1 ops (the in-flight op either happened or not).
+				for _, m := range []int{done, done + 1} {
+					if m > len(pheapOps) {
+						continue
+					}
+					if pattern == liveAfter(m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("slot pattern %v matches neither %d nor %d applied ops", pattern, done, done+1)
+			},
+		}, nil
+	}
+}
+
+// TestCrashPointsPheap explores every crash point of the allocator
+// workload: allocator metadata must stay consistent and the heap must
+// neither leak nor double-expose a block at any of them.
+func TestCrashPointsPheap(t *testing.T) {
+	rep, err := crashpoint.Explore(pheapCrashWorkload(t, false), crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("pheap recovery oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("pheap: %s", rep)
+}
+
+// TestStaleLaneRecordCaughtByOracle reverts, in effect, PR 1's lane-record
+// retirement: a redo record that was already applied and truncated is
+// planted back in the lane log. Recovery replays it over newer state; the
+// oracle must flag the resurrected allocation.
+func TestStaleLaneRecordCaughtByOracle(t *testing.T) {
+	run, err := pheapCrashWorkload(t, true)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Body(); err != nil {
+		t.Fatal(err)
+	}
+	run.Dev.Crash(scm.KeepAll{})
+	err = run.Check()
+	if err == nil {
+		t.Fatal("oracle accepted a heap recovered over a stale lane-log record")
+	}
+	t.Logf("caught: %v", err)
+}

@@ -38,8 +38,16 @@ import (
 
 	"repro/internal/pmem"
 	"repro/internal/rawl"
+
 	"repro/internal/region"
 )
+
+// ErrNoHeap reports that the memory at base holds no formatted heap:
+// either it never was one, or a crash interrupted Format before its magic
+// committed. A caller that created the region expressly for this heap
+// (e.g. via PMapAt on a dedicated static pointer) may safely re-Format on
+// this error — no allocation can exist before Format's commit point.
+var ErrNoHeap = errors.New("pheap: no heap")
 
 const (
 	heapMagic = 0x4d4e484541503031 // "MNHEAP01"
@@ -274,7 +282,7 @@ func Format(rt *region.Runtime, base pmem.Addr, size int64, cfg Config) (*Heap, 
 func Open(rt *region.Runtime, base pmem.Addr) (*Heap, error) {
 	h := &Heap{rt: rt, mem: rt.NewMemory(), base: base}
 	if h.mem.LoadU64(base.Add(offMagic)) != heapMagic {
-		return nil, fmt.Errorf("pheap: no heap at %v", base)
+		return nil, fmt.Errorf("%w at %v", ErrNoHeap, base)
 	}
 	h.size = int64(h.mem.LoadU64(base.Add(offSize)))
 	h.sbCount = int64(h.mem.LoadU64(base.Add(offSBCount)))

@@ -1,0 +1,168 @@
+package pmem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// TestCrashPointsConsistentUpdates explores every crash point of the
+// Table-2 consistent-update helpers over a freshly opened and mapped
+// region — covering the region open/map path and StoreDurable,
+// ShadowUpdate and PublishRange end to end.
+//
+// Layout inside one mapped page:
+//
+//	+0    counter updated with StoreDurable
+//	+8    shadow reference (encodes buffer offset and generation)
+//	+64   published flag: highest generation completed by PublishRange
+//	+128  append area written with Store + PublishRange (64 B per gen)
+//	+512  shadow buffer A (64 B)
+//	+576  shadow buffer B (64 B)
+func TestCrashPointsConsistentUpdates(t *testing.T) {
+	const (
+		offCounter = 0
+		offRef     = 8
+		offFlag    = 64
+		offAppend  = 128
+		offBufA    = 512
+		offBufB    = 576
+		gens       = 3
+	)
+	encode := func(buf int64, gen uint64) uint64 { return uint64(buf) | gen<<32 }
+	decode := func(v uint64) (int64, uint64) { return int64(v & 0xffffffff), v >> 32 }
+
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 2 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		ackedCounter := uint64(0)
+		ackedGen := uint64(0)  // shadow generations completed
+		ackedFlag := uint64(0) // publish generations completed
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+				if err != nil {
+					return err
+				}
+				ptr, _, err := rt.Static("pmem.crash", 8)
+				if err != nil {
+					return err
+				}
+				base, err := rt.PMapAt(ptr, scm.PageSize, 0)
+				if err != nil {
+					return err
+				}
+				mem := rt.NewMemory()
+				for gen := uint64(1); gen <= gens; gen++ {
+					// Single-variable update.
+					pmem.StoreDurable(mem, base.Add(offCounter), gen)
+					ackedCounter = gen
+
+					// Shadow update into the idle buffer.
+					target := int64(offBufA)
+					if gen%2 == 0 {
+						target = offBufB
+					}
+					pmem.ShadowUpdate(mem, base.Add(offRef), encode(target, gen), func(m pmem.Memory) {
+						for i := int64(0); i < 8; i++ {
+							m.StoreU64(base.Add(target+i*8), gen)
+						}
+						m.Flush(base.Add(target))
+					})
+					ackedGen = gen
+
+					// Append update: cacheable stores, then publish, then
+					// a durable flag commits the append.
+					at := offAppend + int64(gen-1)*64
+					for i := int64(0); i < 8; i++ {
+						mem.StoreU64(base.Add(at+i*8), gen*100+uint64(i))
+					}
+					pmem.PublishRange(mem, base.Add(at), 64)
+					pmem.StoreDurable(mem, base.Add(offFlag), gen)
+					ackedFlag = gen
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+				if err != nil {
+					return fmt.Errorf("region tables not remappable: %w", err)
+				}
+				defer rt.Close()
+				ptr, _, err := rt.Static("pmem.crash", 8)
+				if err != nil {
+					return err
+				}
+				mem := rt.NewMemory()
+				base := pmem.Addr(mem.LoadU64(ptr))
+				if base == pmem.Nil {
+					if ackedCounter > 0 {
+						return fmt.Errorf("data region lost after %d acked updates", ackedCounter)
+					}
+					return nil
+				}
+
+				// Single-variable: the word is always the last acked value
+				// or the one in-flight behind it.
+				if v := mem.LoadU64(base.Add(offCounter)); v != ackedCounter && v != ackedCounter+1 {
+					return fmt.Errorf("counter %d, acked %d", v, ackedCounter)
+				}
+
+				// Shadow: whatever the reference names must be complete.
+				if ref := mem.LoadU64(base.Add(offRef)); ref != 0 {
+					target, gen := decode(ref)
+					if gen < ackedGen || gen > ackedGen+1 {
+						return fmt.Errorf("shadow ref generation %d, acked %d", gen, ackedGen)
+					}
+					for i := int64(0); i < 8; i++ {
+						if v := mem.LoadU64(base.Add(target + i*8)); v != gen {
+							return fmt.Errorf("shadow ref names gen %d but its buffer word %d reads %d", gen, i, v)
+						}
+					}
+				} else if ackedGen > 0 {
+					return fmt.Errorf("shadow ref lost after %d acked generations", ackedGen)
+				}
+
+				// Append: every generation the flag covers must be fully
+				// durable.
+				flag := mem.LoadU64(base.Add(offFlag))
+				if flag < ackedFlag || flag > ackedFlag+1 {
+					return fmt.Errorf("publish flag %d, acked %d", flag, ackedFlag)
+				}
+				for gen := uint64(1); gen <= flag; gen++ {
+					at := offAppend + int64(gen-1)*64
+					for i := int64(0); i < 8; i++ {
+						if v := mem.LoadU64(base.Add(at + i*8)); v != gen*100+uint64(i) {
+							return fmt.Errorf("published append gen %d word %d reads %d", gen, i, v)
+						}
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 24),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("pmem consistent-update oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("pmem: %s", rep)
+}

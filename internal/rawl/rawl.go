@@ -131,6 +131,12 @@ func Open(mem pmem.Memory, base pmem.Addr) (*Log, [][]uint64, error) {
 	if n < MinWords {
 		return nil, nil, fmt.Errorf("rawl: corrupt capacity %d", n)
 	}
+	// The head is updated in place over the log's lifetime, so unlike the
+	// write-once capacity it is exposed to corruption; validate it rather
+	// than index out of the buffer.
+	if idx, _, tornPos := unpackHead(mem.LoadU64(base.Add(hdrHeadOff))); idx >= n || tornPos > 63 {
+		return nil, nil, fmt.Errorf("rawl: corrupt head (index %d of %d, torn bit %d)", idx, n, tornPos)
+	}
 	l := &Log{mem: mem, base: base, n: n}
 	recs := l.recover()
 	return l, recs, nil

@@ -1,0 +1,182 @@
+package region_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// TestCrashPointsRegion explores every crash point of a region lifecycle —
+// statics, pmap into a persistent pointer, durable data writes, and the
+// clear-pointer-then-punmap discipline — and checks §4.2's recovery
+// contract: tables stay remappable, statics keep their addresses, a
+// non-nil persistent pointer always names a live mapped region with its
+// acknowledged contents, and at most one region (the in-flight pmap's
+// leak window) may exist without a referencing pointer.
+func TestCrashPointsRegion(t *testing.T) {
+	const (
+		wordsA = 8
+		wordsB = 8
+	)
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 2 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		// Acknowledged progress, updated by Body as operations complete.
+		var ptrA, ptrB pmem.Addr // static slots (recorded once created)
+		var bAddr pmem.Addr      // region B's address, for post-unmap checks
+		ackedAW, ackedBW := 0, 0 // durable data words in A and B
+		cleared, unmapped := false, false
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+				if err != nil {
+					return err
+				}
+				ptrA, _, err = rt.Static("region.crash.ptrA", 8)
+				if err != nil {
+					return err
+				}
+				ptrB, _, err = rt.Static("region.crash.ptrB", 8)
+				if err != nil {
+					return err
+				}
+				mem := rt.NewMemory()
+
+				a, err := rt.PMapAt(ptrA, scm.PageSize, 0)
+				if err != nil {
+					return err
+				}
+				for i := int64(0); i < wordsA; i++ {
+					pmem.StoreDurable(mem, a.Add(i*8), 0xA100+uint64(i))
+					ackedAW = int(i) + 1
+				}
+
+				b, err := rt.PMapAt(ptrB, 2*scm.PageSize, 0)
+				if err != nil {
+					return err
+				}
+				bAddr = b
+				for i := int64(0); i < wordsB; i++ {
+					pmem.StoreDurable(mem, b.Add(i*8), 0xB200+uint64(i))
+					ackedBW = int(i) + 1
+				}
+
+				// Deletion discipline: durably drop the reference first so
+				// the pointer can never dangle, then unmap.
+				pmem.StoreDurable(mem, ptrB, 0)
+				cleared = true
+				if err := rt.PUnmap(b); err != nil {
+					return err
+				}
+				unmapped = true
+				return nil
+			},
+			Check: func() error {
+				rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+				if err != nil {
+					return fmt.Errorf("region tables not remappable: %w", err)
+				}
+				defer rt.Close()
+				pa, _, err := rt.Static("region.crash.ptrA", 8)
+				if err != nil {
+					return err
+				}
+				pb, _, err := rt.Static("region.crash.ptrB", 8)
+				if err != nil {
+					return err
+				}
+				if ptrA != pmem.Nil && pa != ptrA {
+					return fmt.Errorf("static ptrA moved: %v, was %v", pa, ptrA)
+				}
+				if ptrB != pmem.Nil && pb != ptrB {
+					return fmt.Errorf("static ptrB moved: %v, was %v", pb, ptrB)
+				}
+				mem := rt.NewMemory()
+
+				av := pmem.Addr(mem.LoadU64(pa))
+				if av == pmem.Nil {
+					if ackedAW > 0 {
+						return fmt.Errorf("region A lost after %d acked writes", ackedAW)
+					}
+				} else {
+					if rt.Region(av) == nil {
+						return fmt.Errorf("ptrA names %v but no region is mapped there", av)
+					}
+					for i := int64(0); i < int64(ackedAW); i++ {
+						if v := mem.LoadU64(av.Add(i * 8)); v != 0xA100+uint64(i) {
+							return fmt.Errorf("region A word %d reads %#x after %d acked writes", i, v, ackedAW)
+						}
+					}
+				}
+
+				bv := pmem.Addr(mem.LoadU64(pb))
+				if cleared && bv != pmem.Nil {
+					return fmt.Errorf("ptrB reads %v after its durable clear", bv)
+				}
+				if bv != pmem.Nil {
+					if rt.Region(bv) == nil {
+						return fmt.Errorf("ptrB dangles: %v is not mapped", bv)
+					}
+					for i := int64(0); i < int64(ackedBW); i++ {
+						if v := mem.LoadU64(bv.Add(i * 8)); v != 0xB200+uint64(i) {
+							return fmt.Errorf("region B word %d reads %#x after %d acked writes", i, v, ackedBW)
+						}
+					}
+				} else if ackedBW > 0 && !cleared && ackedBW < wordsB {
+					// ptrB became durable before the first write was
+					// acknowledged, so it may read nil only once the clear
+					// is the one in-flight operation (all writes acked).
+					return fmt.Errorf("ptrB lost after %d acked writes with the clear not yet issued", ackedBW)
+				}
+				if unmapped && bAddr != pmem.Nil && rt.Region(bAddr) != nil {
+					return fmt.Errorf("region B still mapped after acked punmap")
+				}
+
+				// Leak bound: beyond the regions the two pointers name, at
+				// most one unreferenced region may exist — the pmap whose
+				// pointer store the crash interrupted.
+				staticAddr := rt.StaticRegion().Addr
+				unknown := 0
+				for _, r := range rt.Regions() {
+					if r.Addr == staticAddr || r.Addr == av || r.Addr == bv {
+						continue
+					}
+					if !unmapped && r.Addr == bAddr {
+						// B's deletion was in flight; the region may
+						// legitimately survive (its pointer is cleared).
+						continue
+					}
+					unknown++
+				}
+				if unknown > 1 {
+					return fmt.Errorf("%d unreferenced regions survived recovery (at most the in-flight pmap may leak)", unknown)
+				}
+				return nil
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("region recovery oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("region: %s", rep)
+}

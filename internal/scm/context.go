@@ -55,6 +55,12 @@ type Context struct {
 	wc      []pendingWT
 	wcBytes int64
 
+	// inOp is the depth of mutating operations currently executing on
+	// this context. Device.Crash asserts it is zero (quiesced); a
+	// crash-point trigger panicking out of a probe leaves it nonzero,
+	// which CrashMidOp resets. Owner-goroutine only, so a plain int.
+	inOp int
+
 	// Operation counters: t is the owner-only tally, n the published
 	// copy aggregated by Device.Snapshot.
 	t opTally
@@ -119,9 +125,11 @@ func (c *Context) StoreU64(off int64, v uint64) {
 	if !align8(off) {
 		panic("scm: unaligned StoreU64")
 	}
+	c.inOp++
 	c.dev.markDirty(off)
 	c.dev.storeWord(off, v)
 	c.t.stores++
+	c.inOp--
 }
 
 // StoreU64InDirtyLine is StoreU64 for a word whose cache line this context
@@ -134,8 +142,10 @@ func (c *Context) StoreU64InDirtyLine(off int64, v uint64) {
 	if !align8(off) {
 		panic("scm: unaligned StoreU64InDirtyLine")
 	}
+	c.inOp++
 	c.dev.storeWord(off, v)
 	c.t.stores++
+	c.inOp--
 }
 
 // WTStoreU64 performs a streaming write-through write (the paper's
@@ -148,10 +158,13 @@ func (c *Context) WTStoreU64(off int64, v uint64) {
 	if !align8(off) {
 		panic("scm: unaligned WTStoreU64")
 	}
+	c.inOp++
+	c.dev.checkAlive()
 	c.wc = append(c.wc, pendingWT{off: off, old: c.dev.loadWord(off)})
 	c.dev.storeWord(off, v)
 	c.wcBytes += WordSize
 	c.t.wtStores++
+	c.inOp--
 }
 
 // Flush writes the cache line containing off back to SCM (the paper's
@@ -160,6 +173,12 @@ func (c *Context) WTStoreU64(off int64, v uint64) {
 func (c *Context) Flush(off int64) {
 	c.dev.checkRange(off, 1)
 	line := off &^ (LineSize - 1)
+	c.inOp++
+	// A clean-line flush changes no durable state, so only a dirty line's
+	// write-back counts as a crash-point event.
+	if p := c.dev.probeP(); p != nil && c.dev.lineDirty(line) {
+		p.Event(ProbeFlush, c.id, line, 1)
+	}
 	dirty := c.dev.persistLine(line)
 	if dirty {
 		c.delay(c.dev.cfg.WriteLatency)
@@ -172,6 +191,7 @@ func (c *Context) Flush(off int64) {
 		}
 		telemetry.Emit(telemetry.EvFlush, c.id, uint64(line), wasDirty)
 	}
+	c.inOp--
 }
 
 // FlushRange flushes every cache line overlapping [off, off+n).
@@ -192,6 +212,15 @@ func (c *Context) FlushRange(off, n int64) {
 // after movntq). The delay models waiting for outstanding writes plus the
 // bandwidth-limited streaming of the combined data.
 func (c *Context) Fence() {
+	c.inOp++
+	if p := c.dev.probeP(); p != nil {
+		kind := ProbeFence
+		if len(c.wc) > 0 {
+			kind = ProbeDrain
+		}
+		p.Event(kind, c.id, -1, len(c.wc))
+	}
+	c.dev.checkAlive()
 	c.wc = c.wc[:0]
 	drained := c.wcBytes
 	d := c.dev.cfg.WriteLatency
@@ -205,6 +234,7 @@ func (c *Context) Fence() {
 	if telemetry.TraceEnabled() {
 		telemetry.Emit(telemetry.EvFence, c.id, uint64(drained), 0)
 	}
+	c.inOp--
 }
 
 // Load copies n = len(buf) bytes starting at off into buf. Byte-granular

@@ -1,6 +1,9 @@
 package scm
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // CrashPolicy decides, for each unpersisted write, whether it survives a
 // simulated power failure. The paper's failure model (§2): "on a system
@@ -47,18 +50,50 @@ func (p *RandomPolicy) KeepWord(int64) bool { return p.rng.Intn(2) == 0 }
 // state a fresh boot would observe: caches empty, WC buffers empty.
 //
 // The device must be quiesced: no concurrent operations, including on
-// contexts. Existing contexts remain usable after Crash, modeling the
-// process restarting on the same "hardware".
+// contexts. Crash fails loudly (panics) if any context has an operation in
+// flight — crashing mid-operation would silently corrupt the reverted
+// state. Existing contexts remain usable after Crash, modeling the process
+// restarting on the same "hardware".
 func (d *Device) Crash(policy CrashPolicy) {
+	ctxs := d.snapshotContexts()
+	for _, ctx := range ctxs {
+		if ctx.inOp != 0 {
+			panic(fmt.Sprintf(
+				"scm: Crash while context %d has %d operation(s) in flight; the device must be quiesced (use CrashMidOp after a simulated power failure)",
+				ctx.id, ctx.inOp))
+		}
+	}
+	d.crash(policy, ctxs)
+}
+
+// CrashMidOp is Crash without the quiescence assertion, for the one caller
+// that legitimately crashes mid-operation: the crash-point explorer, whose
+// power-failure trigger panics out of a probe and leaves the interrupted
+// context's in-flight counter unbalanced. It resets those counters and the
+// power-cut freeze before reverting state.
+func (d *Device) CrashMidOp(policy CrashPolicy) {
+	d.crash(policy, d.snapshotContexts())
+}
+
+func (d *Device) snapshotContexts() []*Context {
+	d.mu.Lock()
+	ctxs := append([]*Context(nil), d.contexts...)
+	d.mu.Unlock()
+	return ctxs
+}
+
+// crash reverts unpersisted state per the policy. It clears the power-cut
+// freeze first: the reverts below go through storeWord, which refuses to
+// run on a power-cut device.
+func (d *Device) crash(policy CrashPolicy, ctxs []*Context) {
+	d.powerCut = false
 	// Streaming words first: a WC word is newer than any cached line
 	// pre-image only when the program mixed Store and WTStore on the
 	// same line without an intervening flush, which the programming
 	// model forbids (the paper uses wtstore for logs and store+flush
 	// for data, on disjoint lines).
-	d.mu.Lock()
-	ctxs := append([]*Context(nil), d.contexts...)
-	d.mu.Unlock()
 	for _, ctx := range ctxs {
+		ctx.inOp = 0
 		for _, p := range ctx.wc {
 			if !policy.KeepWord(p.off) {
 				d.storeWord(p.off, p.old)

@@ -1,0 +1,121 @@
+package scm
+
+// ProbeKind classifies a persistence-relevant device event: an operation
+// that moves program-visible data toward (or into) durable SCM. The
+// crash-point explorer (internal/crashpoint) counts these events to
+// enumerate a workload's crash points; each kind corresponds to one
+// hardware-level durability action.
+type ProbeKind uint8
+
+const (
+	// ProbeFlush is the write-back of a dirty cache line (clflush).
+	// Only flushes of actually-dirty lines are events: a clean-line
+	// flush changes no durable state.
+	ProbeFlush ProbeKind = iota
+	// ProbeFence is a fence issued with an empty write-combining
+	// buffer: an ordering point with no data movement of its own.
+	ProbeFence
+	// ProbeDrain is a fence draining pending streaming (write-through)
+	// words from the context's write-combining buffer into SCM.
+	ProbeDrain
+	// ProbeFill is a DMA fill of durable contents, the kernel path that
+	// populates a frame from a backing file during page fault-in.
+	ProbeFill
+	// ProbeEvictAll is a whole-cache write-back (FlushAll), modeling an
+	// orderly shutdown's cache eviction.
+	ProbeEvictAll
+
+	probeKinds = 5
+)
+
+// ProbeKindCount is the number of distinct probe event kinds.
+const ProbeKindCount = probeKinds
+
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeFlush:
+		return "flush"
+	case ProbeFence:
+		return "fence"
+	case ProbeDrain:
+		return "wt-drain"
+	case ProbeFill:
+		return "fill"
+	case ProbeEvictAll:
+		return "evict-all"
+	}
+	return "unknown"
+}
+
+// Probe observes persistence events on a device. Event is called
+// immediately BEFORE the event takes effect, with no device locks held, so
+// a probe may panic to simulate a power failure at exactly that boundary
+// (after calling Device.PowerCut). ctx is the issuing context's id (0 for
+// device-level events), off the affected device offset (-1 when the event
+// has no single offset), and n the event's size in event-specific units
+// (dirty lines, pending words, fill words).
+//
+// Probes run synchronously on the issuing goroutine. Installing a probe on
+// a device used by concurrent goroutines requires the probe itself to be
+// safe for concurrent use.
+type Probe interface {
+	Event(kind ProbeKind, ctx uint64, off int64, n int)
+}
+
+// probeHolder wraps the interface so it fits an atomic.Pointer.
+type probeHolder struct{ p Probe }
+
+// SetProbe installs (or, with nil, removes) the device's persistence-event
+// probe. The hot paths pay one atomic pointer load when no probe is set.
+func (d *Device) SetProbe(p Probe) {
+	if p == nil {
+		d.probe.Store(nil)
+		return
+	}
+	d.probe.Store(&probeHolder{p: p})
+}
+
+func (d *Device) probeP() Probe {
+	h := d.probe.Load()
+	if h == nil {
+		return nil
+	}
+	return h.p
+}
+
+// lineDirty reports whether the line-aligned offset is dirty (has an
+// unflushed pre-image).
+func (d *Device) lineDirty(line int64) bool {
+	sh := d.shard(line)
+	sh.mu.Lock()
+	_, ok := sh.m[line]
+	sh.mu.Unlock()
+	return ok
+}
+
+// PowerFailure is the panic value raised by mutating device operations
+// after PowerCut. A crash-point probe panics with it to unwind the
+// workload, and the power-cut freeze guarantees that nothing on the
+// unwinding path (deferred rollbacks, cleanup handlers) can alter the
+// device state the simulated failure left behind: any attempt re-raises
+// PowerFailure.
+type PowerFailure struct{}
+
+func (PowerFailure) Error() string { return "scm: device is power-cut" }
+
+// PowerCut freezes the device at the instant of a simulated power failure:
+// every subsequent mutating operation (store, streaming store, flush,
+// fence, fill) panics with PowerFailure until Crash or CrashMidOp reboots
+// the device. Loads remain readable, like inspecting a dead machine's
+// memory image. Callers are expected to panic(PowerFailure{}) right after
+// cutting power, from a probe callback.
+func (d *Device) PowerCut() { d.powerCut = true }
+
+// checkAlive panics when the device is power-cut. Called at the head of
+// every mutating primitive, before any durable or bookkeeping state
+// changes.
+func (d *Device) checkAlive() {
+	if d.powerCut {
+		panic(PowerFailure{})
+	}
+}

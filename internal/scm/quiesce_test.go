@@ -1,0 +1,126 @@
+package scm
+
+import (
+	"strings"
+	"testing"
+)
+
+// crashInProbe calls Crash from inside a persistence-event probe, i.e.
+// while the issuing context is mid-operation — exactly the misuse the
+// quiescence assertion must catch.
+type crashInProbe struct {
+	d     *Device
+	fired bool
+}
+
+func (p *crashInProbe) Event(kind ProbeKind, ctx uint64, off int64, n int) {
+	if p.fired {
+		return
+	}
+	p.fired = true
+	p.d.Crash(DropAll{})
+}
+
+func TestCrashAssertsQuiesced(t *testing.T) {
+	d, err := Open(Config{Size: 1 << 20, Mode: DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+
+	probe := &crashInProbe{d: d}
+	d.SetProbe(probe)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Crash during an in-flight Flush did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "quiesced") {
+				t.Fatalf("unexpected panic value: %v", r)
+			}
+		}()
+		ctx.Flush(0) // probe fires mid-Flush and calls Crash
+	}()
+	d.SetProbe(nil)
+	if !probe.fired {
+		t.Fatal("probe never fired")
+	}
+
+	// The aborted Flush left the context's in-flight counter unbalanced;
+	// CrashMidOp is the documented way to crash such a device.
+	d.CrashMidOp(DropAll{})
+	if got := ctx.LoadU64(0); got != 0 {
+		t.Fatalf("dropped dirty line still visible: got %#x, want 0", got)
+	}
+
+	// After CrashMidOp the device is rebooted and fully usable again,
+	// including the plain (asserting) Crash.
+	ctx.StoreU64(0, 2)
+	ctx.Flush(0)
+	ctx.Fence()
+	d.Crash(DropAll{})
+	if got := ctx.LoadU64(0); got != 2 {
+		t.Fatalf("persisted word lost: got %#x, want 2", got)
+	}
+}
+
+func TestCrashQuiescedOK(t *testing.T) {
+	d, err := Open(Config{Size: 1 << 20, Mode: DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	ctx.WTStoreU64(64, 7)
+	ctx.Fence()
+	ctx.StoreU64(128, 9) // dirty, unflushed
+	d.Crash(DropAll{})   // quiesced: must not panic
+	if got := ctx.LoadU64(64); got != 7 {
+		t.Fatalf("fenced word lost: got %d, want 7", got)
+	}
+	if got := ctx.LoadU64(128); got != 0 {
+		t.Fatalf("unflushed store survived DropAll: got %d", got)
+	}
+}
+
+func TestPowerCutFreezesDevice(t *testing.T) {
+	d, err := Open(Config{Size: 1 << 20, Mode: DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewContext()
+	ctx.StoreU64(0, 1)
+	d.PowerCut()
+
+	mustPowerFail := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if _, ok := recover().(PowerFailure); !ok {
+				t.Fatalf("%s on a power-cut device did not raise PowerFailure", name)
+			}
+		}()
+		fn()
+	}
+	mustPowerFail("StoreU64", func() { ctx.StoreU64(8, 2) })
+	mustPowerFail("WTStoreU64", func() { ctx.WTStoreU64(16, 3) })
+	mustPowerFail("Flush", func() { ctx.Flush(0) })
+	mustPowerFail("Fence", func() { ctx.Fence() })
+	mustPowerFail("DurableFill", func() { d.DurableFill(64, make([]byte, 64)) })
+	mustPowerFail("FlushAll", func() { d.FlushAll() })
+
+	// Loads still work: the post-mortem image is readable.
+	if got := ctx.LoadU64(0); got != 1 {
+		t.Fatalf("load on power-cut device: got %d, want 1", got)
+	}
+
+	// CrashMidOp reboots the device.
+	d.CrashMidOp(DropAll{})
+	ctx.StoreU64(8, 5)
+	ctx.Flush(8)
+	ctx.Fence()
+	if got := ctx.LoadU64(8); got != 5 {
+		t.Fatalf("device unusable after CrashMidOp: got %d, want 5", got)
+	}
+}

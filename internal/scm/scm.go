@@ -122,6 +122,13 @@ type Device struct {
 
 	shards [dirtyShards]dirtyShard
 
+	// probe, when set, observes persistence events (see probe.go).
+	probe atomic.Pointer[probeHolder]
+	// powerCut freezes every mutating operation after a simulated power
+	// failure (PowerCut). Written only by the goroutine simulating the
+	// failure or by Crash/CrashMidOp on a quiesced device.
+	powerCut bool
+
 	mu       sync.Mutex
 	contexts []*Context
 	closed   bool
@@ -217,6 +224,7 @@ func (d *Device) loadWord(off int64) uint64 {
 }
 
 func (d *Device) storeWord(off int64, v uint64) {
+	d.checkAlive()
 	atomic.StoreUint64(&d.words[off/WordSize], v)
 	if d.wear != nil {
 		d.wear[off/PageSize].Add(1)
@@ -263,6 +271,7 @@ func (d *Device) markDirty(off int64) {
 // persistLine drops the line's pre-image: its current contents are now the
 // durable contents. Reports whether the line was dirty.
 func (d *Device) persistLine(line int64) bool {
+	d.checkAlive()
 	sh := d.shard(line)
 	sh.mu.Lock()
 	_, ok := sh.m[line]
@@ -292,6 +301,10 @@ func (d *Device) DurableFill(off int64, buf []byte) {
 	if off&7 != 0 || n&7 != 0 {
 		panic("scm: unaligned DurableFill")
 	}
+	if p := d.probeP(); p != nil {
+		p.Event(ProbeFill, 0, off, int(n/WordSize))
+	}
+	d.checkAlive()
 	for i := int64(0); i < n; i += WordSize {
 		v := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
 			uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
@@ -338,6 +351,10 @@ func (d *Device) PendingWTWords() int {
 // write-combining buffer without applying delays. It models an orderly
 // shutdown (the OS flushing caches before power-off).
 func (d *Device) FlushAll() {
+	if p := d.probeP(); p != nil {
+		p.Event(ProbeEvictAll, 0, -1, d.DirtyLines())
+	}
+	d.checkAlive()
 	d.mu.Lock()
 	ctxs := append([]*Context(nil), d.contexts...)
 	d.mu.Unlock()
