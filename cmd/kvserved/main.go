@@ -36,6 +36,8 @@ var (
 	dir         = flag.String("dir", ".", "region backing directory")
 	size        = flag.Int64("size", 256<<20, "device size in bytes")
 	emulate     = flag.Bool("emulate-latency", false, "spin-emulate PCM write latency")
+	threads     = flag.Int("threads", 0, "concurrent transaction threads (0 = default 32); caps concurrent connections, not cumulative ones")
+	leaseWait   = flag.Duration("lease-timeout", 0, "how long a connection waits for a transaction thread when all are busy (0 = default 5s)")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (empty disables)")
 	traceOn     = flag.Bool("trace", false, "record persistence events to the in-memory trace ring (served on /trace)")
 )
@@ -50,6 +52,8 @@ func main() {
 		Dir:            *dir,
 		DeviceSize:     *size,
 		EmulateLatency: *emulate,
+		Threads:        *threads,
+		LeaseTimeout:   *leaseWait,
 	})
 	if err != nil {
 		log.Fatalf("kvserved: open persistent memory: %v", err)

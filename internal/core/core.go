@@ -54,7 +54,13 @@ type Config struct {
 	// path (Figure 6's optimization).
 	AsyncTruncation bool
 	// Threads bounds concurrent transaction threads (default 32).
+	// Thread slots are leased and recycled, so the bound caps concurrent
+	// threads, not cumulative ones.
 	Threads int
+	// LeaseTimeout bounds how long ThreadPool.Lease waits for a free
+	// transaction thread when all Threads slots are leased (default 5s).
+	// Negative disables waiting: Lease fails immediately when full.
+	LeaseTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -71,6 +77,9 @@ func (c *Config) fill() {
 	}
 	if c.Threads == 0 {
 		c.Threads = 32
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 5 * time.Second
 	}
 }
 
@@ -234,17 +243,45 @@ func (pm *PM) PUnmap(addr pmem.Addr) error { return pm.rt.PUnmap(addr) }
 // (store/wtstore/flush/fence at persistent addresses).
 func (pm *PM) Memory() *region.Mem { return pm.rt.NewMemory() }
 
-// NewThread returns a transaction thread for the calling goroutine.
+// NewThread returns a transaction thread for the calling goroutine. The
+// caller owns the thread's log slot until Thread.Close returns it; use
+// ThreadPool for lease/release discipline with a bounded wait.
 func (pm *PM) NewThread() (*mtm.Thread, error) { return pm.tm.NewThread() }
 
-// Atomic runs fn as a durable memory transaction on a fresh thread — a
+// ThreadPool leases transaction threads against the instance's Threads
+// bound. Lease blocks up to the configured LeaseTimeout when every slot
+// is taken — a burst of sessions beyond Threads queues instead of
+// erroring — and Release recycles the thread's log slot for the next
+// lease. Servers take one lease per connection or session.
+type ThreadPool struct {
+	tm      *mtm.TM
+	timeout time.Duration
+}
+
+// ThreadPool returns the instance's thread pool.
+func (pm *PM) ThreadPool() *ThreadPool {
+	return &ThreadPool{tm: pm.tm, timeout: pm.cfg.LeaseTimeout}
+}
+
+// Lease binds a transaction thread to a free log slot, waiting up to the
+// instance's LeaseTimeout when all slots are leased.
+func (p *ThreadPool) Lease() (*mtm.Thread, error) { return p.tm.LeaseThread(p.timeout) }
+
+// Release closes the thread, recycling its slot. A non-nil error means
+// the handoff invariants could not be established and the slot was
+// quarantined rather than reused.
+func (p *ThreadPool) Release(th *mtm.Thread) error { return th.Close() }
+
+// Atomic runs fn as a durable memory transaction on a leased thread — a
 // convenience for programs with casual transaction needs; hot paths
-// should keep a Thread per goroutine.
+// should keep a Thread per goroutine. The thread is released afterwards,
+// so casual use no longer consumes log slots cumulatively.
 func (pm *PM) Atomic(fn func(tx *mtm.Tx) error) error {
-	th, err := pm.tm.NewThread()
+	th, err := pm.tm.LeaseThread(pm.cfg.LeaseTimeout)
 	if err != nil {
 		return err
 	}
+	defer th.Close()
 	return th.Atomic(fn)
 }
 

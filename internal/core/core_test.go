@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/mtm"
 	"repro/internal/pmem"
@@ -113,7 +114,7 @@ func TestLogLifecycle(t *testing.T) {
 	}
 }
 
-func TestAtomicConvenienceConsumesSlots(t *testing.T) {
+func TestAtomicConvenienceRecyclesSlots(t *testing.T) {
 	pm, err := Open(Config{Dir: t.TempDir(), DeviceSize: 64 << 20, Threads: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -122,18 +123,62 @@ func TestAtomicConvenienceConsumesSlots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
+	// Each Atomic leases and releases a thread, so calls well beyond the
+	// Threads bound must all succeed — slot use is per-call, not
+	// cumulative.
+	for i := 0; i < 20; i++ {
 		if err := pm.Atomic(func(tx *mtm.Tx) error {
 			tx.StoreU64(a, uint64(i))
 			return nil
 		}); err != nil {
-			t.Fatal(err)
+			t.Fatalf("Atomic %d: %v", i, err)
 		}
 	}
-	// Each Atomic burns a slot; the 4th must fail with the slot error,
-	// documenting why hot paths keep their own Thread.
-	if err := pm.Atomic(func(tx *mtm.Tx) error { return nil }); err == nil {
-		t.Fatal("expected slot exhaustion")
+	if got := pm.TM().LiveThreads(); got != 0 {
+		t.Fatalf("live threads after Atomic calls = %d, want 0", got)
+	}
+}
+
+func TestThreadPoolLeaseReleaseAndTimeout(t *testing.T) {
+	pm, err := Open(Config{Dir: t.TempDir(), DeviceSize: 64 << 20, Threads: 2,
+		LeaseTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pm.ThreadPool()
+	t1, err := pool.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := pool.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full pool: a third lease must wait and time out.
+	if _, err := pool.Lease(); err != mtm.ErrLeaseTimeout {
+		t.Fatalf("lease on full pool: %v, want ErrLeaseTimeout", err)
+	}
+	// A concurrent release unblocks a waiting lease before its timeout.
+	pm2, err := Open(Config{Dir: t.TempDir(), DeviceSize: 64 << 20, Threads: 2,
+		LeaseTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := pm2.ThreadPool()
+	a1, _ := pool2.Lease()
+	a2, _ := pool2.Lease()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		pool2.Release(a1)
+	}()
+	a3, err := pool2.Lease()
+	if err != nil {
+		t.Fatalf("lease after concurrent release: %v", err)
+	}
+	for _, th := range []*mtm.Thread{t1, t2, a2, a3} {
+		if err := th.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

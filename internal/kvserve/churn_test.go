@@ -1,0 +1,120 @@
+package kvserve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConnectionChurn is the regression for the slot-exhaustion bug: a
+// server with Threads:8 must serve 4x that many sequential connections
+// without ever answering ErrTooManyThreads, because each disconnect
+// returns its leased log slot to the pool.
+func TestConnectionChurn(t *testing.T) {
+	_, pm, addr := startServer(t, core.Config{
+		Dir: t.TempDir(), DeviceSize: 128 << 20, Threads: 8,
+	})
+	const conns = 4 * 8
+	for i := 0; i < conns; i++ {
+		c := dial(t, addr)
+		if got := c.cmd(t, fmt.Sprintf("SET churn%d v%d", i, i)); got != "OK" {
+			t.Fatalf("conn %d SET -> %q", i, got)
+		}
+		if got := c.cmd(t, fmt.Sprintf("GET churn%d", i)); got != "VALUE v"+fmt.Sprint(i) {
+			t.Fatalf("conn %d GET -> %q", i, got)
+		}
+		if got := c.cmd(t, "QUIT"); got != "BYE" {
+			t.Fatalf("conn %d QUIT -> %q", i, got)
+		}
+		c.conn.Close()
+	}
+	// One more connection proves the pool is still healthy, and reads
+	// back a value written by an early, long-closed session.
+	c := dial(t, addr)
+	if got := c.cmd(t, "GET churn0"); got != "VALUE v0" {
+		t.Fatalf("GET churn0 after churn -> %q", got)
+	}
+	c.conn.Close()
+	_ = pm
+}
+
+// TestDelCollision pins the DEL collision fix: with a hash that maps
+// every key to one tree slot, DEL of a never-stored key must answer
+// MISSING and leave the stored record intact, because the server now
+// compares the stored key before deleting.
+func TestDelCollision(t *testing.T) {
+	srv, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	srv.hash = func(string) uint64 { return 42 }
+	c := dial(t, addr)
+	if got := c.cmd(t, "SET alpha one"); got != "OK" {
+		t.Fatalf("SET -> %q", got)
+	}
+	// "beta" hashes to alpha's slot. The old hash-only DEL destroyed
+	// alpha's record and answered OK here.
+	if got := c.cmd(t, "DEL beta"); got != "MISSING" {
+		t.Fatalf("DEL of colliding absent key -> %q, want MISSING", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE one" {
+		t.Fatalf("GET alpha after colliding DEL -> %q", got)
+	}
+	// GET through the collision also answers MISSING, not alpha's value.
+	if got := c.cmd(t, "GET beta"); got != "MISSING" {
+		t.Fatalf("GET of colliding absent key -> %q", got)
+	}
+	// Deleting the real key still works.
+	if got := c.cmd(t, "DEL alpha"); got != "OK" {
+		t.Fatalf("DEL alpha -> %q", got)
+	}
+}
+
+// TestLineTooLong sends a command line beyond the scanner cap and
+// expects an explicit protocol error, not a silent disconnect.
+func TestLineTooLong(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	errsBefore := telErrs.Value()
+	c := dial(t, addr)
+	huge := strings.Repeat("x", 70<<10)
+	if _, err := fmt.Fprintf(c.conn, "SET big %s\n", huge); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if reply != "ERROR line too long\n" {
+		t.Fatalf("oversized line -> %q", reply)
+	}
+	// The scanner cannot resync mid-line, so the server ends the session.
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after unrecoverable protocol error")
+	}
+	if got := telErrs.Value(); got <= errsBefore {
+		t.Fatalf("kvserve_errors_total did not count the overlong line (%d -> %d)", errsBefore, got)
+	}
+}
+
+// TestOversizedKeyAndValueRejected covers the encodeKV bound fix: keys
+// beyond the record header's reach and values beyond the value cap are
+// rejected with ERROR instead of corrupting the record encoding.
+func TestOversizedKeyAndValueRejected(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	c := dial(t, addr)
+	longKey := strings.Repeat("k", MaxKeyLen+1)
+	if got := c.cmd(t, "SET "+longKey+" v"); !strings.HasPrefix(got, "ERROR key too long") {
+		t.Fatalf("oversized key -> %q", got)
+	}
+	longVal := strings.Repeat("v", MaxValueLen+1)
+	if got := c.cmd(t, "SET k "+longVal); !strings.HasPrefix(got, "ERROR value too long") {
+		t.Fatalf("oversized value -> %q", got)
+	}
+	// A maximal legal key still round-trips.
+	okKey := strings.Repeat("k", MaxKeyLen)
+	if got := c.cmd(t, "SET "+okKey+" edge"); got != "OK" {
+		t.Fatalf("max-size key SET -> %q", got)
+	}
+	if got := c.cmd(t, "GET "+okKey); got != "VALUE edge" {
+		t.Fatalf("max-size key GET -> %q", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -43,6 +44,7 @@ var (
 type Server struct {
 	pm   *core.PM
 	tree *pds.BPTree
+	hash func(string) uint64 // hashKey, overridable by collision tests
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -59,7 +61,7 @@ func New(pm *core.PM) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{pm: pm, tree: pds.NewBPTree(root), conns: make(map[net.Conn]bool)}, nil
+	return &Server{pm: pm, tree: pds.NewBPTree(root), hash: hashKey, conns: make(map[net.Conn]bool)}, nil
 }
 
 // hashKey maps a string key into the tree's key space (FNV-1a). The full
@@ -73,13 +75,29 @@ func hashKey(s string) uint64 {
 	return h
 }
 
-func encodeKV(key, value string) []byte {
+// Record and protocol size limits. The key length must fit the record
+// header's two bytes; handle rejects oversized keys and values before
+// encodeKV runs, so encoding can never corrupt a header.
+const (
+	// MaxKeyLen bounds SET/GET/DEL keys (bytes).
+	MaxKeyLen = 4 << 10
+	// MaxValueLen bounds SET values (bytes).
+	MaxValueLen = 56 << 10
+)
+
+func encodeKV(key, value string) ([]byte, error) {
+	if len(key) > MaxKeyLen {
+		return nil, fmt.Errorf("kvserve: key of %d bytes exceeds %d", len(key), MaxKeyLen)
+	}
+	if len(value) > MaxValueLen {
+		return nil, fmt.Errorf("kvserve: value of %d bytes exceeds %d", len(value), MaxValueLen)
+	}
 	out := make([]byte, 2+len(key)+len(value))
 	out[0] = byte(len(key))
 	out[1] = byte(len(key) >> 8)
 	copy(out[2:], key)
 	copy(out[2+len(key):], value)
-	return out
+	return out, nil
 }
 
 func decodeKV(b []byte) (key, value string, err error) {
@@ -93,13 +111,17 @@ func decodeKV(b []byte) (key, value string, err error) {
 	return string(b[2 : 2+n]), string(b[2+n:]), nil
 }
 
-// Serve accepts connections until Close. Each connection gets its own
-// transaction thread, so connections are bounded by the instance's
-// Threads configuration.
+// Serve accepts connections until Close. Each connection leases a
+// transaction thread from the instance's pool for the life of the
+// session and releases it on disconnect, so the Threads bound caps
+// concurrent connections only — cumulative connections are unlimited,
+// and a burst beyond the bound queues (up to the lease timeout) instead
+// of erroring.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
+	pool := s.pm.ThreadPool()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -111,12 +133,6 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		th, err := s.pm.NewThread()
-		if err != nil {
-			fmt.Fprintf(conn, "ERROR %v\n", err)
-			conn.Close()
-			continue
-		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -126,6 +142,9 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = true
 		s.mu.Unlock()
 		s.wg.Add(1)
+		// The lease happens on the session goroutine: a full pool must
+		// not stall the accept loop, and concurrent arrivals then queue
+		// for slots concurrently.
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -134,6 +153,13 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
+			th, err := pool.Lease()
+			if err != nil {
+				telErrs.Inc()
+				fmt.Fprintf(conn, "ERROR %v\n", err)
+				return
+			}
+			defer pool.Release(th)
 			s.session(conn, th)
 		}()
 	}
@@ -172,6 +198,19 @@ func (s *Server) session(conn net.Conn, th *mtm.Thread) {
 			return
 		}
 	}
+	// A line over the scanner cap is a client protocol error, not a
+	// silent disconnect: answer it and count it. The scanner cannot
+	// resynchronize mid-line, so the connection still ends here.
+	if errors.Is(sc.Err(), bufio.ErrTooLong) {
+		telErrs.Inc()
+		fmt.Fprintln(w, "ERROR line too long")
+		w.Flush()
+		// Drain the rest of the oversized line: closing with unread
+		// bytes queued sends an RST that can destroy the error reply
+		// before the client reads it.
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		io.Copy(io.Discard, conn)
+	}
 }
 
 // dispatch times and traces one protocol command around handle.
@@ -202,8 +241,18 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 			return "ERROR usage: SET <key> <value>"
 		}
 		key, value := fields[1], fields[2]
-		err := th.Atomic(func(tx *mtm.Tx) error {
-			return s.tree.Put(tx, hashKey(key), encodeKV(key, value))
+		if len(key) > MaxKeyLen {
+			return fmt.Sprintf("ERROR key too long (max %d bytes)", MaxKeyLen)
+		}
+		if len(value) > MaxValueLen {
+			return fmt.Sprintf("ERROR value too long (max %d bytes)", MaxValueLen)
+		}
+		rec, err := encodeKV(key, value)
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		err = th.Atomic(func(tx *mtm.Tx) error {
+			return s.tree.Put(tx, s.hash(key), rec)
 		})
 		if err != nil {
 			return "ERROR " + err.Error()
@@ -215,7 +264,7 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 		}
 		var value string
 		err := th.Atomic(func(tx *mtm.Tx) error {
-			raw, err := s.tree.Get(tx, hashKey(fields[1]))
+			raw, err := s.tree.Get(tx, s.hash(fields[1]))
 			if err != nil {
 				return err
 			}
@@ -241,7 +290,21 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 			return "ERROR usage: DEL <key>"
 		}
 		err := th.Atomic(func(tx *mtm.Tx) error {
-			return s.tree.Delete(tx, hashKey(fields[1]))
+			// Load and compare the stored key before deleting: the
+			// tree is keyed by hash, and deleting on a collision
+			// would destroy a different key's record.
+			raw, err := s.tree.Get(tx, s.hash(fields[1]))
+			if err != nil {
+				return err
+			}
+			k, _, err := decodeKV(raw)
+			if err != nil {
+				return err
+			}
+			if k != fields[1] {
+				return pds.ErrNotFound // hash collision with another key
+			}
+			return s.tree.Delete(tx, s.hash(fields[1]))
 		})
 		if err == pds.ErrNotFound {
 			return "MISSING"

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scm"
@@ -127,4 +128,130 @@ func TestSoakCrashRecover(t *testing.T) {
 		c.conn.Close()
 	}
 	srv.Close()
+}
+
+// TestSoakConnectionChurn hammers the thread-leasing path: more workers
+// than transaction threads, each repeatedly connecting, writing, and
+// disconnecting, so slots are leased, queued for, and recycled
+// concurrently — with a device crash and reattach between the two churn
+// phases. Every acknowledged write from either phase must survive, and
+// no connection may ever be refused for lack of a slot. Run with -race
+// this doubles as the leasing layer's data-race check.
+func TestSoakConnectionChurn(t *testing.T) {
+	workers, rounds, ops := 8, 6, 5
+	if testing.Short() {
+		rounds = 3
+	}
+	cfg := core.Config{
+		Dir:             t.TempDir(),
+		DeviceSize:      64 << 20,
+		Threads:         4, // deliberately half the worker count
+		AsyncTruncation: true,
+		LeaseTimeout:    30 * time.Second,
+	}
+	pm, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pm.Device()
+
+	serve := func() (*Server, string) {
+		t.Helper()
+		srv, err := New(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		return srv, l.Addr().String()
+	}
+
+	expect := map[string]string{}
+	srv, addr := serve()
+	for phase := 0; phase < 2; phase++ {
+		models := make([]map[string]string, workers)
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				model := map[string]string{}
+				models[wi] = model
+				for r := 0; r < rounds; r++ {
+					// Fresh connection every round: this is the churn —
+					// each iteration leases a slot some other worker just
+					// released.
+					c := dial(t, addr)
+					for j := 0; j < ops; j++ {
+						key := fmt.Sprintf("p%dw%dr%dk%d", phase, wi, r, j)
+						val := fmt.Sprintf("v%d", j)
+						if reply := c.cmd(t, "SET "+key+" "+val); reply != "OK" {
+							errs <- fmt.Errorf("worker %d round %d: SET %s: %s", wi, r, key, reply)
+							c.conn.Close()
+							return
+						}
+						model[key] = val
+					}
+					// Delete one key from this round so recycled slots see
+					// delete records too.
+					del := fmt.Sprintf("p%dw%dr%dk0", phase, wi, r)
+					if reply := c.cmd(t, "DEL "+del); reply != "OK" {
+						errs <- fmt.Errorf("worker %d round %d: DEL %s: %s", wi, r, del, reply)
+						c.conn.Close()
+						return
+					}
+					delete(model, del)
+					if reply := c.cmd(t, "QUIT"); reply != "BYE" {
+						errs <- fmt.Errorf("worker %d round %d: QUIT: %s", wi, r, reply)
+						c.conn.Close()
+						return
+					}
+					c.conn.Close()
+				}
+			}(wi)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for _, model := range models {
+			for k, v := range model {
+				expect[k] = v
+			}
+		}
+
+		if phase == 0 {
+			// Power failure between the churn phases, then reincarnate:
+			// recovery now runs over logs that many logical threads wrote
+			// into the same physical slots.
+			srv.Close()
+			pm.TM().StopTruncation()
+			dev.Crash(scm.NewRandomPolicy(4242))
+			pm, err = core.Attach(dev, cfg)
+			if err != nil {
+				t.Fatalf("reattach after crash: %v", err)
+			}
+			srv, addr = serve()
+		}
+	}
+
+	c := dial(t, addr)
+	for k, v := range expect {
+		if got := c.cmd(t, "GET "+k); got != "VALUE "+v {
+			t.Fatalf("GET %s = %q, want %q", k, got, "VALUE "+v)
+		}
+	}
+	if got := c.cmd(t, "COUNT"); got != fmt.Sprintf("COUNT %d", len(expect)) {
+		t.Fatalf("%s, want %d acked keys", got, len(expect))
+	}
+	c.conn.Close()
+	srv.Close()
+	if got := pm.TM().LiveThreads(); got != 0 {
+		t.Fatalf("live threads after all sessions closed = %d, want 0", got)
+	}
 }

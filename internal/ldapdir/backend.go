@@ -20,11 +20,14 @@ type Backend interface {
 	Close() error
 }
 
-// Session is a per-worker view of a backend.
+// Session is a per-worker view of a backend. Close releases whatever the
+// session holds (back-mnemosyne leases a transaction thread per session);
+// a session must not be used after Close.
 type Session interface {
 	Add(e *Entry) error
 	Search(dn string) (*Entry, error)
 	Delete(dn string) error
+	Close() error
 }
 
 // dnKey hashes a DN to the 64-bit key space of the stores.
@@ -93,6 +96,9 @@ func (b *BDBBackend) Session() (Session, error) { return (*bdbSession)(b), nil }
 func (b *BDBBackend) Close() error { return nil }
 
 type bdbSession BDBBackend
+
+// Close implements Session; back-bdb sessions hold no per-session state.
+func (s *bdbSession) Close() error { return nil }
 
 func (s *bdbSession) Add(e *Entry) error {
 	if err := s.db.Put(dnKey(e.DN), e.Encode()); err != nil {
@@ -174,6 +180,9 @@ func (b *LDBMBackend) Flush() error {
 }
 
 type ldbmSession LDBMBackend
+
+// Close implements Session; back-ldbm sessions hold no per-session state.
+func (s *ldbmSession) Close() error { return nil }
 
 func (s *ldbmSession) bump() error {
 	if s.ops.Add(1)%s.flushEvery == 0 {

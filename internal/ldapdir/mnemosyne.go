@@ -2,6 +2,7 @@ package ldapdir
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/mtm"
 	"repro/internal/pds"
@@ -26,6 +27,10 @@ type MnemosyneBackend struct {
 	tm    *mtm.TM
 	tree  *pds.AVL
 	descs *DescTable
+
+	// LeaseTimeout bounds how long Session waits for a transaction
+	// thread when every log slot is leased. Zero means don't wait.
+	LeaseTimeout time.Duration
 }
 
 // DescTable is the volatile attribute-description table kept by the front
@@ -86,9 +91,10 @@ func OpenMnemosyneBackend(rt *region.Runtime, tm *mtm.TM, bootGen uint64) (*Mnem
 		return nil, err
 	}
 	return &MnemosyneBackend{
-		tm:    tm,
-		tree:  pds.NewAVL(root),
-		descs: NewDescTable(bootGen),
+		tm:           tm,
+		tree:         pds.NewAVL(root),
+		descs:        NewDescTable(bootGen),
+		LeaseTimeout: 5 * time.Second,
 	}, nil
 }
 
@@ -98,10 +104,11 @@ func (b *MnemosyneBackend) Name() string { return "back-mnemosyne" }
 // Descs exposes the description table (tests).
 func (b *MnemosyneBackend) Descs() *DescTable { return b.descs }
 
-// Session implements Backend: each worker gets its own transaction
-// thread.
+// Session implements Backend: each worker leases its own transaction
+// thread for the session's lifetime and returns it at Session.Close, so
+// session churn does not consume log slots cumulatively.
 func (b *MnemosyneBackend) Session() (Session, error) {
-	th, err := b.tm.NewThread()
+	th, err := b.tm.LeaseThread(b.LeaseTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +122,9 @@ type mnemosyneSession struct {
 	b  *MnemosyneBackend
 	th *mtm.Thread
 }
+
+// Close releases the session's transaction thread back to the slot pool.
+func (s *mnemosyneSession) Close() error { return s.th.Close() }
 
 // Add updates the persistent AVL cache in one durable transaction — the
 // paper's four atomic blocks collapse to one here because Go's API wraps

@@ -46,6 +46,18 @@ func (s *Server) frontend() {
 	}
 }
 
+// closeSessions releases every session a workload opened, so repeated
+// workloads do not consume transaction-thread slots cumulatively.
+func closeSessions(sessions []Session) {
+	for _, sess := range sessions {
+		if sess != nil {
+			if err := sess.Close(); err != nil {
+				telErrors.Inc()
+			}
+		}
+	}
+}
+
 // WorkloadResult reports a load-generation run.
 type WorkloadResult struct {
 	Backend   string
@@ -59,6 +71,7 @@ type WorkloadResult struct {
 // concurrently add template entries [start, start+n).
 func (s *Server) RunAddWorkload(workers, start, n int) (WorkloadResult, error) {
 	sessions := make([]Session, workers)
+	defer closeSessions(sessions)
 	for i := range sessions {
 		sess, err := s.backend.Session()
 		if err != nil {
@@ -102,6 +115,7 @@ func (s *Server) RunAddWorkload(workers, start, n int) (WorkloadResult, error) {
 // per add), modeling a read-mostly directory.
 func (s *Server) RunMixedWorkload(workers, start, adds, searchesPerAdd int) (WorkloadResult, error) {
 	sessions := make([]Session, workers)
+	defer closeSessions(sessions)
 	for i := range sessions {
 		sess, err := s.backend.Session()
 		if err != nil {

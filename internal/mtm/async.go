@@ -25,7 +25,7 @@ type logManager struct {
 	tm      *TM
 	jobs    chan truncJob
 	quit    chan struct{}
-	halted  bool
+	halted  atomic.Bool
 	pending atomic.Int64
 	wg      sync.WaitGroup
 }
@@ -55,6 +55,7 @@ func (m *logManager) run() {
 			// The data is durable; the redo records up to pos are
 			// no longer needed.
 			job.t.log.TruncateTo(mem, job.pos)
+			job.t.pendingTrunc.Add(-1)
 			m.pending.Add(-1)
 		}
 	}
@@ -63,31 +64,35 @@ func (m *logManager) run() {
 // halt stops the manager goroutine without draining queued jobs, leaving
 // committed-but-unflushed transactions in the logs.
 func (m *logManager) halt() {
-	if m.halted {
+	if !m.halted.CompareAndSwap(false, true) {
 		return
 	}
-	m.halted = true
 	close(m.quit)
 	m.wg.Wait()
 }
+
+// isHalted reports whether halt stopped the manager; Thread.Close uses it
+// to stop waiting for truncation jobs that will never run.
+func (m *logManager) isHalted() bool { return m.halted.Load() }
 
 // submit enqueues a job; it blocks when the manager is far behind, which
 // is the backpressure the paper notes: "program threads may stall until
 // there is free log space."
 func (m *logManager) submit(job truncJob) {
+	job.t.pendingTrunc.Add(1)
 	m.pending.Add(1)
 	m.jobs <- job
 }
 
 // drain waits until every submitted job has completed.
 func (m *logManager) drain() {
-	for !m.halted && m.pending.Load() > 0 {
+	for !m.halted.Load() && m.pending.Load() > 0 {
 		runtime.Gosched()
 	}
 }
 
 func (m *logManager) stop() {
-	if m.halted {
+	if m.halted.Load() {
 		return
 	}
 	m.drain()

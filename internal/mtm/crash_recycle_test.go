@@ -1,0 +1,154 @@
+package mtm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// TestCrashPointsSlotRecycling explores every crash point of a workload
+// in which one physical log slot is written by many successive logical
+// threads: each transaction runs on a freshly leased thread that is
+// closed (and its slot recycled) before the next. The §5 visibility
+// contract must hold across handoffs — a crash inside Close's truncate
+// or inside the next lease's bind must never replay a previous lease's
+// records or lose an acknowledged commit.
+func TestCrashPointsSlotRecycling(t *testing.T) {
+	const txs = 8
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		acked := 0
+
+		openAll := func() (*region.Runtime, *TM, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, nil, pmem.Nil, err
+			}
+			tm, err := Open(rt, "recycle", Config{Slots: 1, LogWords: 256})
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			ptr, _, err := rt.Static("mtm.recycle.data", 8)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			mem := rt.NewMemory()
+			base := pmem.Addr(mem.LoadU64(ptr))
+			if base == pmem.Nil {
+				base, err = rt.PMapAt(ptr, scm.PageSize, 0)
+				if err != nil {
+					rt.Close()
+					return nil, nil, pmem.Nil, err
+				}
+			}
+			return rt, tm, base, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				_, tm, base, err := openAll()
+				if err != nil {
+					return err
+				}
+				for i := 0; i < txs; i++ {
+					// A fresh logical thread per transaction: with Slots:1
+					// every iteration reuses the same physical slot, so the
+					// log head crosses a lease boundary between every pair
+					// of transactions.
+					th, err := tm.NewThread()
+					if err != nil {
+						return err
+					}
+					writes := txWrites(i)
+					idxs := make([]int64, 0, len(writes))
+					for idx := range writes {
+						idxs = append(idxs, idx)
+					}
+					for a := 1; a < len(idxs); a++ {
+						for b := a; b > 0 && idxs[b] < idxs[b-1]; b-- {
+							idxs[b], idxs[b-1] = idxs[b-1], idxs[b]
+						}
+					}
+					err = th.Atomic(func(tx *Tx) error {
+						for _, idx := range idxs {
+							tx.StoreU64(base.Add(idx*8), writes[idx])
+						}
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					acked = i + 1
+					if err := th.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, tm, base, err := openAll()
+				if err != nil {
+					return fmt.Errorf("stack not reopenable after %d acked txs: %w", acked, err)
+				}
+				defer rt.Close()
+				defer tm.Close()
+				// Recovery must leave the recycled slot leasable: a slot
+				// poisoned by a crash mid-handoff would strand the server
+				// with zero usable threads.
+				th, err := tm.NewThread()
+				if err != nil {
+					return fmt.Errorf("slot not leasable after recovery (%d acked txs): %w", acked, err)
+				}
+				if err := th.Close(); err != nil {
+					return fmt.Errorf("recycled slot not closable after recovery: %w", err)
+				}
+				if base == pmem.Nil {
+					if acked > 0 {
+						return fmt.Errorf("data region lost after %d acked txs", acked)
+					}
+					return nil
+				}
+				mem := rt.NewMemory()
+				var img [64]uint64
+				for i := int64(0); i < 64; i++ {
+					img[i] = mem.LoadU64(base.Add(i * 8))
+				}
+				for _, m := range []int{acked, acked + 1} {
+					if m > txs {
+						continue
+					}
+					if img == applyTxs(m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("post-recovery image matches neither %d nor %d applied txs", acked, acked+1)
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("slot-recycling oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("slot recycling: %s", rep)
+}

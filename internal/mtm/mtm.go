@@ -147,12 +147,18 @@ type TM struct {
 	logBytes int64     // log portion of a slot
 	slotSize int64     // log portion + scratch page
 
-	clock  atomic.Uint64
-	locks  []atomic.Uint64
-	nextID atomic.Uint64
+	clock atomic.Uint64
+	locks []atomic.Uint64
 
-	threadMu sync.Mutex
-	threads  []*Thread
+	// Thread-slot leasing state. Slots are leased to live threads and
+	// recycled through freeSlots when a thread closes; threads is the
+	// live set. slotAvail is closed and replaced on every release, so
+	// bounded-wait leasing can block on it (broadcast wakeup).
+	slotMu    sync.Mutex
+	freeSlots []int
+	nextSlot  int
+	threads   map[int]*Thread
+	slotAvail chan struct{}
 
 	mgr *logManager
 
@@ -183,6 +189,8 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 	}
 	tm := &TM{rt: rt, cfg: cfg}
 	tm.locks = make([]atomic.Uint64, lockCount)
+	tm.threads = make(map[int]*Thread)
+	tm.slotAvail = make(chan struct{})
 	tm.logBytes = (rawl.Size(cfg.LogWords) + scm.PageSize - 1) &^ (scm.PageSize - 1)
 	tm.slotSize = tm.logBytes + scm.PageSize
 
@@ -291,6 +299,21 @@ func (tm *TM) StopTruncation() {
 
 // Heap returns the attached persistent heap, or nil.
 func (tm *TM) Heap() *pheap.Heap { return tm.cfg.Heap }
+
+// LiveThreads reports how many threads are currently bound to log slots.
+func (tm *TM) LiveThreads() int {
+	tm.slotMu.Lock()
+	defer tm.slotMu.Unlock()
+	return len(tm.threads)
+}
+
+// FreeSlots reports how many log slots a NewThread call could draw from
+// right now (recycled plus never-used).
+func (tm *TM) FreeSlots() int {
+	tm.slotMu.Lock()
+	defer tm.slotMu.Unlock()
+	return len(tm.freeSlots) + (tm.cfg.Slots - tm.nextSlot)
+}
 
 // RegionBase returns the base address of the TM's log region. Garbage
 // collectors skip it when scanning for roots: truncated logs still

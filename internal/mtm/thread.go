@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pheap"
@@ -31,8 +32,30 @@ var (
 		"latency of attempts that ended in a conflict abort, ns")
 )
 
+// Thread-lifecycle metrics. A lease is any successful slot binding
+// (NewThread or LeaseThread); a release is a successful Close.
+var (
+	telLeases = telemetry.NewCounter("mtm_thread_leases_total",
+		"transaction threads bound to a log slot")
+	telReleases = telemetry.NewCounter("mtm_thread_releases_total",
+		"transaction threads closed, their slot recycled")
+	telLeaseWaits = telemetry.NewCounter("mtm_lease_waits_total",
+		"LeaseThread calls that had to wait for a slot")
+	telLeaseTimeouts = telemetry.NewCounter("mtm_lease_timeouts_total",
+		"LeaseThread calls that timed out waiting for a slot")
+	telReleaseFailures = telemetry.NewCounter("mtm_thread_release_failures_total",
+		"Thread.Close calls that failed; the slot is quarantined, not recycled")
+	telLiveThreads = telemetry.NewGauge("mtm_live_threads",
+		"transaction threads currently bound to log slots")
+	telPostCommitErr = telemetry.NewCounter("mtm_postcommit_cleanup_errors_total",
+		"deferred frees that failed after the transaction was already durable")
+)
+
 // ErrTooManyThreads reports that every per-thread log slot is taken.
 var ErrTooManyThreads = errors.New("mtm: out of log slots")
+
+// ErrLeaseTimeout reports that LeaseThread gave up waiting for a slot.
+var ErrLeaseTimeout = errors.New("mtm: timed out waiting for a log slot")
 
 // conflict is the panic value used to unwind a transaction on a conflict
 // abort; Atomic recovers it and retries.
@@ -42,10 +65,13 @@ type conflict struct{}
 type txFailure struct{ err error }
 
 // Thread is a per-goroutine transaction context bound to one persistent
-// log slot. Threads must not be shared between goroutines.
+// log slot. Threads must not be shared between goroutines. Close returns
+// the slot for reuse; a slot may serve many successive logical threads
+// over the process's lifetime.
 type Thread struct {
 	tm     *TM
-	id     uint64 // 1-based; stored in lock words while held
+	id     uint64 // slot+1; stored in lock words while held
+	slot   int    // 0-based log-slot index
 	mem    *region.Mem
 	log    *rawl.Log
 	logPos rawl.Pos
@@ -54,43 +80,181 @@ type Thread struct {
 	scratch    pmem.Addr // per-thread persistent pointer slots
 	scratchIdx int64
 
+	// pendingTrunc counts this slot's truncation jobs still queued at the
+	// asynchronous log manager; Close drains it to zero before the slot
+	// may be recycled (a late TruncateTo from a previous lease would
+	// clobber the next lease's log head).
+	pendingTrunc atomic.Int64
+
 	tx     Tx
 	rng    *rand.Rand
 	latSeq uint64 // transaction count for latency-histogram sampling
 }
 
-// NewThread binds a new transaction thread to a free log slot.
-func (tm *TM) NewThread() (*Thread, error) {
-	id := tm.nextID.Add(1)
-	if id > uint64(tm.cfg.Slots) {
-		return nil, ErrTooManyThreads
+// takeSlotLocked pops a recycled slot if one is available, preferring
+// reuse over minting a never-used slot. Caller holds slotMu.
+func (tm *TM) takeSlotLocked() (int, bool) {
+	if n := len(tm.freeSlots); n > 0 {
+		slot := tm.freeSlots[n-1]
+		tm.freeSlots = tm.freeSlots[:n-1]
+		return slot, true
 	}
+	if tm.nextSlot < tm.cfg.Slots {
+		slot := tm.nextSlot
+		tm.nextSlot++
+		return slot, true
+	}
+	return -1, false
+}
+
+// releaseSlot returns a slot to the free list and wakes every waiting
+// LeaseThread (broadcast: the channel is closed and replaced).
+func (tm *TM) releaseSlot(slot int) {
+	tm.slotMu.Lock()
+	tm.freeSlots = append(tm.freeSlots, slot)
+	close(tm.slotAvail)
+	tm.slotAvail = make(chan struct{})
+	tm.slotMu.Unlock()
+}
+
+// bindSlot attaches a fresh Thread to a leased slot. The slot's log must
+// be empty — the durability contract of slot handoff — so a bind that
+// finds live records quarantines the slot (it is not recycled) and
+// reports the bug instead of replaying another thread's state.
+func (tm *TM) bindSlot(slot int) (*Thread, error) {
 	mem := tm.rt.NewMemory()
-	log, recs, err := rawl.Open(mem, tm.slotAddr(int(id-1)))
+	log, recs, err := rawl.Open(mem, tm.slotAddr(slot))
 	if err != nil {
 		return nil, err
 	}
 	if len(recs) != 0 {
-		// Open truncated all logs after recovery, so live records can
-		// only mean a bug.
-		return nil, fmt.Errorf("mtm: slot %d has live records", id-1)
+		// Open truncated all logs after recovery and Close verifies
+		// truncation before recycling, so live records can only mean a
+		// bug.
+		return nil, fmt.Errorf("mtm: slot %d has live records", slot)
 	}
 	t := &Thread{
 		tm:      tm,
-		id:      id,
+		id:      uint64(slot + 1),
+		slot:    slot,
 		mem:     mem,
 		log:     log,
-		scratch: tm.scratchAddr(int(id - 1)),
-		rng:     rand.New(rand.NewSource(int64(id))),
+		scratch: tm.scratchAddr(slot),
+		rng:     rand.New(rand.NewSource(int64(slot + 1))),
 	}
 	if tm.cfg.Heap != nil {
 		t.alloc = tm.cfg.Heap.NewAllocator()
 	}
 	t.tx.t = t
-	tm.threadMu.Lock()
-	tm.threads = append(tm.threads, t)
-	tm.threadMu.Unlock()
+	tm.slotMu.Lock()
+	tm.threads[slot] = t
+	tm.slotMu.Unlock()
+	telLeases.Inc()
+	telLiveThreads.Add(1)
 	return t, nil
+}
+
+// NewThread binds a new transaction thread to a free log slot, drawing
+// recycled slots before minting new ones. It fails immediately with
+// ErrTooManyThreads when every slot is leased; LeaseThread waits instead.
+func (tm *TM) NewThread() (*Thread, error) {
+	tm.slotMu.Lock()
+	slot, ok := tm.takeSlotLocked()
+	tm.slotMu.Unlock()
+	if !ok {
+		return nil, ErrTooManyThreads
+	}
+	return tm.bindSlot(slot)
+}
+
+// LeaseThread is NewThread with a bounded wait: when every slot is leased
+// it blocks until a Thread.Close frees one or the timeout elapses
+// (ErrLeaseTimeout). A non-positive timeout degenerates to NewThread.
+func (tm *TM) LeaseThread(timeout time.Duration) (*Thread, error) {
+	tm.slotMu.Lock()
+	if slot, ok := tm.takeSlotLocked(); ok {
+		tm.slotMu.Unlock()
+		return tm.bindSlot(slot)
+	}
+	if timeout <= 0 {
+		tm.slotMu.Unlock()
+		return nil, ErrTooManyThreads
+	}
+	telLeaseWaits.Inc()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		ch := tm.slotAvail
+		tm.slotMu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			telLeaseTimeouts.Inc()
+			return nil, ErrLeaseTimeout
+		}
+		tm.slotMu.Lock()
+		if slot, ok := tm.takeSlotLocked(); ok {
+			tm.slotMu.Unlock()
+			return tm.bindSlot(slot)
+		}
+	}
+}
+
+// Close retires the thread and returns its log slot for reuse. The
+// handoff contract is an empty, durably truncated log: Close drains any
+// truncation jobs still queued for the slot, verifies the RAWL holds no
+// live words, durably clears the scratch page, and asserts no lock word
+// still carries the thread's id. On any violation the slot is quarantined
+// (never recycled) and the error describes the invariant that broke.
+// Close must not be called concurrently with Atomic on the same thread;
+// closing an already-closed thread is a no-op.
+func (t *Thread) Close() error {
+	tm := t.tm
+	if tm == nil {
+		return nil
+	}
+	if err := t.closeCheck(); err != nil {
+		telReleaseFailures.Inc()
+		return err
+	}
+	t.tm = nil
+	tm.slotMu.Lock()
+	delete(tm.threads, t.slot)
+	tm.slotMu.Unlock()
+	tm.releaseSlot(t.slot)
+	telReleases.Inc()
+	telLiveThreads.Add(-1)
+	return nil
+}
+
+// closeCheck establishes the empty-log handoff invariants.
+func (t *Thread) closeCheck() error {
+	tm := t.tm
+	if tm.mgr != nil {
+		for t.pendingTrunc.Load() > 0 && !tm.mgr.isHalted() {
+			runtime.Gosched()
+		}
+		if n := t.pendingTrunc.Load(); n > 0 {
+			return fmt.Errorf("mtm: thread %d closed with %d truncation jobs pending and the log manager halted", t.id, n)
+		}
+	}
+	if used := t.log.UsedWords(); used != 0 {
+		return fmt.Errorf("mtm: thread %d closed with %d live log words", t.id, used)
+	}
+	// Clear the scratch page durably so the next lease of this slot
+	// starts from deterministic state and stale block addresses cannot
+	// conservatively retain garbage during a GC scan.
+	for i := int64(0); i < scratchSlots; i++ {
+		t.mem.WTStoreU64(t.scratch.Add(i*8), 0)
+	}
+	t.mem.Fence()
+	owner := lockedBit | t.id
+	for i := range tm.locks {
+		if tm.locks[i].Load() == owner {
+			return fmt.Errorf("mtm: thread %d closed while still owning lock %d", t.id, i)
+		}
+	}
+	return nil
 }
 
 // Memory returns the thread's memory view, for non-transactional
@@ -511,16 +675,25 @@ func (tx *Tx) commit() error {
 		t.tm.lockAt(le.idx).Store(ts)
 	}
 
-	// Deferred frees execute once the transaction is durable.
-	for _, slot := range tx.frees {
-		if err := t.alloc.PFree(slot); err != nil {
-			return fmt.Errorf("mtm: deferred pfree: %w", err)
-		}
-	}
+	tx.runDeferredFrees()
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
 	telCommits.Inc()
 	return nil
+}
+
+// runDeferredFrees executes the frees deferred to commit. The transaction
+// is already durable at this point — its redo (or commit) record survived
+// a fence and its locks carry the commit timestamp — so a failing free
+// must not surface as a transaction error: callers would report failure
+// for a write that actually committed. The block stays allocated (a leak
+// the conservative GC can reclaim) and the failure is counted.
+func (tx *Tx) runDeferredFrees() {
+	for _, slot := range tx.frees {
+		if err := tx.t.alloc.PFree(slot); err != nil {
+			telPostCommitErr.Inc()
+		}
+	}
 }
 
 // commitUndo completes an undo-logged transaction: flush the in-place
@@ -552,11 +725,7 @@ func (tx *Tx) commitUndo() error {
 	for _, le := range tx.locks {
 		t.tm.lockAt(le.idx).Store(ts)
 	}
-	for _, slot := range tx.frees {
-		if err := t.alloc.PFree(slot); err != nil {
-			return fmt.Errorf("mtm: deferred pfree: %w", err)
-		}
-	}
+	tx.runDeferredFrees()
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
 	telCommits.Inc()

@@ -191,6 +191,11 @@ func (l *Log) Capacity() int64 { return l.n }
 // FreeWords returns how many buffer words an append may consume right now.
 func (l *Log) FreeWords() int64 { return l.n - 1 - l.used() }
 
+// UsedWords returns how many buffer words hold live (untruncated)
+// records. Zero means the log is empty — the handoff contract mtm's
+// thread-slot recycling verifies before a slot is reused.
+func (l *Log) UsedWords() int64 { return l.used() }
+
 // recordWords returns the buffer words consumed by a record of k payload
 // words: a header word plus k words, packed 63 payload bits per log word.
 func recordWords(k int64) int64 {

@@ -29,6 +29,7 @@ func OpenMnemosyne(rt *region.Runtime, tm *mtm.TM) (*MnemosyneStore, error) {
 func (s *MnemosyneStore) Name() string { return "tokyocabinet-mnemosyne" }
 
 // Session implements Store: each worker gets its own transaction thread.
+// The session's Close method returns the thread's log slot for reuse.
 func (s *MnemosyneStore) Session() (Session, error) {
 	th, err := s.tm.NewThread()
 	if err != nil {
@@ -37,12 +38,14 @@ func (s *MnemosyneStore) Session() (Session, error) {
 	return &mnSession{s: s, th: th}, nil
 }
 
-// Count implements Store.
+// Count implements Store. The counting thread is leased and released, so
+// repeated counts do not consume log slots cumulatively.
 func (s *MnemosyneStore) Count() (int, error) {
 	th, err := s.tm.NewThread()
 	if err != nil {
 		return 0, err
 	}
+	defer th.Close()
 	n := 0
 	err = th.Atomic(func(tx *mtm.Tx) error {
 		n = s.tree.Len(tx)
@@ -55,6 +58,10 @@ type mnSession struct {
 	s  *MnemosyneStore
 	th *mtm.Thread
 }
+
+// Close releases the session's transaction thread back to the slot pool.
+// Callers holding a Session interface can reach it via type assertion.
+func (ss *mnSession) Close() error { return ss.th.Close() }
 
 func (ss *mnSession) Put(key uint64, val []byte) error {
 	return ss.th.Atomic(func(tx *mtm.Tx) error {
