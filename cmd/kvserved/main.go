@@ -5,11 +5,16 @@
 // Usage:
 //
 //	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
-//	         [-metrics-addr :9090] [-trace]
+//	         [-group-commit] [-group-commit-wait 50µs] [-metrics-addr :9090]
+//	         [-trace]
 //
 // Protocol (line-oriented; try it with `nc localhost 7070`):
 //
-//	SET <key> <value> | GET <key> | DEL <key> | COUNT | STATS | PING | QUIT
+//	SET <key> <value> | GET <key> | DEL <key> | MSET <k> <v> ... |
+//	MDEL <key> ... | COUNT | STATS | PING | QUIT
+//
+// Pipelined clients (several request lines in flight) are answered in
+// order; with -group-commit their transactions share durability fences.
 //
 // With -metrics-addr the server also exposes Prometheus metrics on
 // GET /metrics, expvar on /debug/vars, pprof under /debug/pprof/ and —
@@ -40,6 +45,9 @@ var (
 	leaseWait   = flag.Duration("lease-timeout", 0, "how long a connection waits for a transaction thread when all are busy (0 = default 5s)")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (empty disables)")
 	traceOn     = flag.Bool("trace", false, "record persistence events to the in-memory trace ring (served on /trace)")
+	groupCommit = flag.Bool("group-commit", false, "coalesce durability fences across concurrent commits")
+	gcWait      = flag.Duration("group-commit-wait", 0, "epoch leader's gathering window while writers are active (0 = default 50µs, negative disables)")
+	gcBatch     = flag.Int("group-commit-batch", 0, "max transactions per commit epoch (0 = default 64)")
 )
 
 func main() {
@@ -54,6 +62,10 @@ func main() {
 		EmulateLatency: *emulate,
 		Threads:        *threads,
 		LeaseTimeout:   *leaseWait,
+
+		GroupCommit:      *groupCommit,
+		GroupCommitWait:  *gcWait,
+		GroupCommitBatch: *gcBatch,
 	})
 	if err != nil {
 		log.Fatalf("kvserved: open persistent memory: %v", err)

@@ -6,7 +6,7 @@
 //	mnbench [flags] <experiment>...
 //
 // Experiments: table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7
-// reincarnation ablation all
+// reincarnation ablation groupcommit all
 //
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
@@ -146,6 +146,7 @@ func run(exp string) error {
 		for _, e := range []string{
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
+			"groupcommit",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -170,8 +171,10 @@ func run(exp string) error {
 		return reincarnation()
 	case "ablation":
 		return ablation()
+	case "groupcommit":
+		return groupCommit()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit all)")
 	}
 }
 
@@ -360,6 +363,26 @@ func reincarnation() error {
 	fmt.Printf("heap scavenge:                 %12v (%d live allocations)\n", res.HeapScavenge, res.LiveAllocs)
 	fmt.Printf("transaction replay:            %12v total, %v per tx (%d txs)\n",
 		res.ReplayTotal, res.ReplayPerTx, res.TxReplayed)
+	return nil
+}
+
+func groupCommit() error {
+	header("Group commit: fence coalescing across concurrent committers")
+	fmt.Printf("%-12s %10s %14s %18s\n", "Mode", "Goroutines", "Updates/s", "Fences/commit")
+	rows, err := bench.RunGroupCommit(bench.GroupCommitOpts{
+		Options:    baseOptions(),
+		Goroutines: 8,
+		TxPerG:     scale(400),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %10d %14.0f %18.2f\n",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit)
+		csvOut("groupcommit", "mode,goroutines,updates_per_sec,fences_per_commit",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit)
+	}
 	return nil
 }
 

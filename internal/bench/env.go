@@ -39,6 +39,12 @@ type Options struct {
 	WriteThroughWriteback bool
 	// Slots bounds TM threads (default 32).
 	Slots int
+	// GroupCommit routes commits through the group-commit coordinator.
+	GroupCommit bool
+	// GroupCommitWait is the epoch leader's gathering window.
+	GroupCommitWait time.Duration
+	// GroupCommitBatch caps members per commit epoch.
+	GroupCommitBatch int
 }
 
 func (o *Options) fill() {
@@ -109,6 +115,9 @@ func NewEnv(o Options) (*Env, error) {
 		AsyncTruncation:       o.AsyncTruncation,
 		UndoLogging:           o.UndoLogging,
 		WriteThroughWriteback: o.WriteThroughWriteback,
+		GroupCommit:           o.GroupCommit,
+		GroupCommitWait:       o.GroupCommitWait,
+		GroupCommitBatch:      o.GroupCommitBatch,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pmem"
+)
+
+// Group-commit experiment: K goroutines committing small independent
+// transactions, with and without the epoch coordinator, plus a batched
+// variant that folds several updates into one transaction via
+// Thread.AtomicBatch. The figure of merit is device fences per committed
+// transaction — the ordering overhead group commit amortizes — next to
+// the throughput it buys.
+
+// GroupCommitOpts configures the experiment.
+type GroupCommitOpts struct {
+	Options
+	// Goroutines is the number of concurrent committers (default 8).
+	Goroutines int
+	// TxPerG is updates per goroutine (default 400).
+	TxPerG int
+	// BatchSize is updates per AtomicBatch call in the batched phase
+	// (default 8).
+	BatchSize int
+}
+
+// GroupCommitRow is one mode's measurement.
+type GroupCommitRow struct {
+	Mode            string
+	Goroutines      int
+	OpsPerSec       float64
+	FencesPerCommit float64
+}
+
+func (r GroupCommitRow) String() string {
+	return fmt.Sprintf("%-12s %2d goroutines: %9.0f ops/s, %5.2f fences/commit",
+		r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit)
+}
+
+// RunGroupCommit measures solo commits, group commits and batched group
+// commits over identical workloads.
+func RunGroupCommit(o GroupCommitOpts) ([]GroupCommitRow, error) {
+	if o.Goroutines == 0 {
+		o.Goroutines = 8
+	}
+	if o.TxPerG == 0 {
+		o.TxPerG = 400
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8
+	}
+	var rows []GroupCommitRow
+	for _, phase := range []struct {
+		mode           string
+		group, batched bool
+	}{
+		{"solo", false, false},
+		{"group", true, false},
+		{"group+batch", true, true},
+	} {
+		row, err := runGroupCommitPhase(phase.mode, o, phase.group, phase.batched)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runGroupCommitPhase(mode string, o GroupCommitOpts, group, batched bool) (GroupCommitRow, error) {
+	opts := o.Options
+	opts.GroupCommit = group
+	env, err := NewEnv(opts)
+	if err != nil {
+		return GroupCommitRow{}, err
+	}
+	defer env.Close()
+
+	// One private counter word per goroutine: the workload measures fence
+	// coalescing across independent transactions, not lock conflicts.
+	roots := make([]pmem.Addr, o.Goroutines)
+	for g := range roots {
+		a, _, err := env.RT.Static(fmt.Sprintf("gcbench.%d", g), 8)
+		if err != nil {
+			return GroupCommitRow{}, err
+		}
+		roots[g] = a
+	}
+
+	startFences := env.Dev.Snapshot().Fences
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, o.Goroutines)
+	for g := 0; g < o.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th, err := env.TM.NewThread()
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer th.Close()
+			addr := roots[g]
+			bump := func(tx *mtm.Tx) error {
+				tx.StoreU64(addr, tx.LoadU64(addr)+1)
+				return nil
+			}
+			if batched {
+				fns := make([]func(tx *mtm.Tx) error, o.BatchSize)
+				for i := range fns {
+					fns[i] = bump
+				}
+				for n := 0; n < o.TxPerG; n += o.BatchSize {
+					if err := th.AtomicBatch(fns); err != nil {
+						errc <- err
+						return
+					}
+				}
+			} else {
+				for n := 0; n < o.TxPerG; n++ {
+					if err := th.Atomic(bump); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return GroupCommitRow{}, err
+	default:
+	}
+
+	env.TM.Drain()
+	commits := env.TM.Snapshot().Commits
+	fences := env.Dev.Snapshot().Fences - startFences
+	fpc := 0.0
+	if commits > 0 {
+		fpc = float64(fences) / float64(commits)
+	}
+	return GroupCommitRow{
+		Mode:            mode,
+		Goroutines:      o.Goroutines,
+		OpsPerSec:       float64(o.Goroutines*o.TxPerG) / elapsed.Seconds(),
+		FencesPerCommit: fpc,
+	}, nil
+}

@@ -98,6 +98,14 @@ func RunReincarnation(o ReincarnationOpts) (ReincarnationResult, error) {
 	}
 	for i := 0; i < o.PendingTx; i++ {
 		i := i
+		if i == o.PendingTx-1 {
+			// Halt truncation before the last commit: the manager
+			// coalesces queued jobs, so on a fast run it may otherwise
+			// have truncated every earlier commit by the time we halt,
+			// leaving nothing to replay. This guarantees at least one
+			// pending transaction survives in the logs.
+			env.TM.StopTruncation()
+		}
 		if err := th.Atomic(func(tx *mtm.Tx) error {
 			for w := int64(0); w < 8; w++ {
 				tx.StoreU64(dataRegion.Add(int64(i)*64+w*8), uint64(i*100)+uint64(w))

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -61,6 +62,17 @@ type Config struct {
 	// transaction thread when all Threads slots are leased (default 5s).
 	// Negative disables waiting: Lease fails immediately when full.
 	LeaseTimeout time.Duration
+	// GroupCommit routes commits through the group-commit coordinator:
+	// concurrent transactions share one durability fence per commit
+	// epoch instead of fencing individually. Requires redo logging (the
+	// default).
+	GroupCommit bool
+	// GroupCommitWait is the epoch leader's gathering window while other
+	// writers are active (default 50µs; negative disables waiting). An
+	// idle system commits at single-operation latency regardless.
+	GroupCommitWait time.Duration
+	// GroupCommitBatch caps members per commit epoch (default 64).
+	GroupCommitBatch int
 }
 
 func (c *Config) fill() {
@@ -153,9 +165,12 @@ func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 	}
 
 	pm.tm, err = mtm.Open(rt, "core", mtm.Config{
-		Heap:            pm.heap,
-		Slots:           cfg.Threads,
-		AsyncTruncation: cfg.AsyncTruncation,
+		Heap:             pm.heap,
+		Slots:            cfg.Threads,
+		AsyncTruncation:  cfg.AsyncTruncation,
+		GroupCommit:      cfg.GroupCommit,
+		GroupCommitWait:  cfg.GroupCommitWait,
+		GroupCommitBatch: cfg.GroupCommitBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +209,15 @@ func (pm *PM) registerTelemetry() {
 		func() float64 { return float64(heap.Stats().LargeBytes) })
 	telemetry.NewSampled("pheap_large_free_bytes", "Free bytes in the persistent heap's large-object extent.",
 		func() float64 { return float64(heap.Stats().LargeFreeBytes) })
+	tm := pm.tm
+	telemetry.NewSampled("mtm_fences_per_commit", "Device fences divided by committed transactions; group commit drives this below 1.",
+		func() float64 {
+			commits := tm.Snapshot().Commits
+			if commits == 0 {
+				return 0
+			}
+			return float64(dev.Snapshot().Fences) / float64(commits)
+		})
 }
 
 // Close shuts the instance down cleanly: asynchronous truncation drains,
@@ -263,9 +287,29 @@ func (pm *PM) ThreadPool() *ThreadPool {
 	return &ThreadPool{tm: pm.tm, timeout: pm.cfg.LeaseTimeout}
 }
 
-// Lease binds a transaction thread to a free log slot, waiting up to the
-// instance's LeaseTimeout when all slots are leased.
-func (p *ThreadPool) Lease() (*mtm.Thread, error) { return p.tm.LeaseThread(p.timeout) }
+// Lease binds a transaction thread to a free log slot. When every slot
+// is leased it waits until one frees, ctx is cancelled, or — when ctx
+// carries no deadline of its own — the instance's LeaseTimeout elapses.
+// The cancellation error matches both mnemosyne's ErrLeaseTimeout and
+// ctx.Err() under errors.Is.
+func (p *ThreadPool) Lease(ctx context.Context) (*mtm.Thread, error) {
+	if p.timeout < 0 {
+		return p.tm.NewThread()
+	}
+	if _, ok := ctx.Deadline(); !ok && p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	return p.tm.Lease(ctx)
+}
+
+// LeaseWithTimeout is Lease with a bare timeout instead of a context.
+//
+// Deprecated: use Lease with a context carrying the deadline.
+func (p *ThreadPool) LeaseWithTimeout(timeout time.Duration) (*mtm.Thread, error) {
+	return p.tm.LeaseThread(timeout)
+}
 
 // Release closes the thread, recycling its slot. A non-nil error means
 // the handoff invariants could not be established and the slot was
@@ -283,6 +327,23 @@ func (pm *PM) Atomic(fn func(tx *mtm.Tx) error) error {
 	}
 	defer th.Close()
 	return th.Atomic(fn)
+}
+
+// AtomicBatch runs every fn inside one transaction on a single leased
+// thread: one lease, one log append and one durability fence (or one
+// group-commit epoch) for the whole batch, where per-fn Atomic calls
+// would pay a lease and a fence each. The batch commits or aborts as a
+// unit: an error from any fn rolls back them all.
+func (pm *PM) AtomicBatch(fns []func(tx *mtm.Tx) error) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	th, err := pm.tm.LeaseThread(pm.cfg.LeaseTimeout)
+	if err != nil {
+		return err
+	}
+	defer th.Close()
+	return th.AtomicBatch(fns)
 }
 
 // Allocator returns a persistent-heap allocator handle (pmalloc/pfree)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -146,16 +148,16 @@ func TestThreadPoolLeaseReleaseAndTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool := pm.ThreadPool()
-	t1, err := pool.Lease()
+	t1, err := pool.Lease(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := pool.Lease()
+	t2, err := pool.Lease(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Full pool: a third lease must wait and time out.
-	if _, err := pool.Lease(); err != mtm.ErrLeaseTimeout {
+	if _, err := pool.Lease(context.Background()); !errors.Is(err, mtm.ErrLeaseTimeout) {
 		t.Fatalf("lease on full pool: %v, want ErrLeaseTimeout", err)
 	}
 	// A concurrent release unblocks a waiting lease before its timeout.
@@ -165,13 +167,13 @@ func TestThreadPoolLeaseReleaseAndTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool2 := pm2.ThreadPool()
-	a1, _ := pool2.Lease()
-	a2, _ := pool2.Lease()
+	a1, _ := pool2.Lease(context.Background())
+	a2, _ := pool2.Lease(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)
 		pool2.Release(a1)
 	}()
-	a3, err := pool2.Lease()
+	a3, err := pool2.Lease(context.Background())
 	if err != nil {
 		t.Fatalf("lease after concurrent release: %v", err)
 	}
@@ -201,5 +203,53 @@ func TestPMapAndPUnmap(t *testing.T) {
 	}
 	if err := pm.PUnmap(addr); err == nil {
 		t.Fatal("double unmap must fail")
+	}
+}
+
+func TestAtomicBatchSingleTransaction(t *testing.T) {
+	pm := testPM(t)
+	a, _, err := pm.Static("t.batch", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]func(tx *mtm.Tx) error, 8)
+	for i := range fns {
+		i := i
+		fns[i] = func(tx *mtm.Tx) error {
+			tx.StoreU64(a.Add(int64(i)*8), uint64(i+1))
+			return nil
+		}
+	}
+	before := pm.TM().Snapshot().Commits
+	if err := pm.AtomicBatch(fns); err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.TM().Snapshot().Commits - before; got != 1 {
+		t.Fatalf("batch of 8 fns cost %d commits, want 1", got)
+	}
+	mem := pm.Memory()
+	for i := int64(0); i < 8; i++ {
+		if got := mem.LoadU64(a.Add(i * 8)); got != uint64(i+1) {
+			t.Fatalf("word %d = %d, want %d", i, got, i+1)
+		}
+	}
+	// An empty batch is a no-op, not an error.
+	if err := pm.AtomicBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A failing fn aborts the whole batch and releases the lease.
+	boom := errors.New("boom")
+	fns[3] = func(tx *mtm.Tx) error {
+		tx.StoreU64(a, 999)
+		return boom
+	}
+	if err := pm.AtomicBatch(fns); !errors.Is(err, boom) {
+		t.Fatalf("failing batch: %v, want boom", err)
+	}
+	if got := mem.LoadU64(a); got != 1 {
+		t.Fatalf("aborted batch leaked word 0 = %d, want 1", got)
+	}
+	if got := pm.TM().LiveThreads(); got != 0 {
+		t.Fatalf("live threads after AtomicBatch calls = %d, want 0", got)
 	}
 }

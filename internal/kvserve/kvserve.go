@@ -6,20 +6,31 @@
 //
 // The wire protocol is line-oriented:
 //
-//	SET <key> <value>   -> OK
-//	GET <key>           -> VALUE <value> | MISSING
-//	DEL <key>           -> OK | MISSING
-//	COUNT               -> COUNT <n>
-//	STATS               -> STATS key=value ... (telemetry snapshot)
-//	PING                -> PONG
-//	QUIT                -> BYE (closes the connection)
+//	SET <key> <value>         -> OK
+//	GET <key>                 -> VALUE <value> | MISSING
+//	DEL <key>                 -> OK | MISSING
+//	MSET <k> <v> [<k> <v>...] -> OK (one transaction; values without spaces)
+//	MDEL <key> [<key> ...]    -> DELETED <n> (one transaction)
+//	COUNT                     -> COUNT <n>
+//	STATS                     -> STATS key=value ... (telemetry snapshot)
+//	PING                      -> PONG
+//	QUIT                      -> BYE (closes the connection)
 //
 // Every acknowledged SET/DEL is durable before the reply is written:
 // the B+ tree update commits in a durable memory transaction.
+//
+// Clients that pipeline (send several request lines without waiting for
+// replies) are served transparently in batches: buffered lines are
+// dispatched concurrently across a small set of transaction threads —
+// partitioned by key hash, so commands on the same key keep their order —
+// and the replies are written back in request order. With group commit
+// enabled the whole batch shares durability fences.
 package kvserve
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -85,12 +96,19 @@ const (
 	MaxValueLen = 56 << 10
 )
 
+// Protocol size-limit sentinels, matchable with errors.Is; the root
+// mnemosyne package re-exports them.
+var (
+	ErrKeyTooLong   = errors.New("kvserve: key too long")
+	ErrValueTooLong = errors.New("kvserve: value too long")
+)
+
 func encodeKV(key, value string) ([]byte, error) {
 	if len(key) > MaxKeyLen {
-		return nil, fmt.Errorf("kvserve: key of %d bytes exceeds %d", len(key), MaxKeyLen)
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(key), MaxKeyLen)
 	}
 	if len(value) > MaxValueLen {
-		return nil, fmt.Errorf("kvserve: value of %d bytes exceeds %d", len(value), MaxValueLen)
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(value), MaxValueLen)
 	}
 	out := make([]byte, 2+len(key)+len(value))
 	out[0] = byte(len(key))
@@ -153,7 +171,7 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			th, err := pool.Lease()
+			th, err := pool.Lease(context.Background())
 			if err != nil {
 				telErrs.Inc()
 				fmt.Fprintf(conn, "ERROR %v\n", err)
@@ -184,33 +202,221 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Batch-dispatch tuning: how many pipelined lines one round serves, and
+// how many transaction threads (session thread included) a session may
+// spread a batch across.
+const (
+	maxBatch        = 128
+	batchPartitions = 4
+)
+
+// errLineTooLong marks a request line over the 64 KB cap — a client
+// protocol error, not a silent disconnect.
+var errLineTooLong = errors.New("kvserve: line too long")
+
+// session is one connection's execution state: the leased protocol
+// thread plus worker threads created lazily for concurrent batch
+// dispatch and kept for the life of the connection.
+type session struct {
+	s       *Server
+	th      *mtm.Thread
+	workers []*mtm.Thread
+	threads []*mtm.Thread // cached [th, workers...]
+}
+
 func (s *Server) session(conn net.Conn, th *mtm.Thread) {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	sess := &session{s: s, th: th}
+	defer sess.closeWorkers()
+	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	for sc.Scan() {
-		line := sc.Text()
-		reply := s.dispatch(th, line)
-		fmt.Fprintln(w, reply)
+	batch := make([]string, 0, maxBatch)
+	for {
+		// One blocking read, then drain whatever a pipelining client
+		// already has buffered: a request-per-reply client always sees a
+		// batch of one.
+		line, err := readLine(r)
+		if err == errLineTooLong {
+			s.lineTooLong(conn, w)
+			return
+		}
+		if err != nil {
+			return
+		}
+		batch = append(batch[:0], line)
+		for len(batch) < maxBatch && bufferedLine(r) {
+			more, err := readLine(r)
+			if err != nil {
+				break
+			}
+			batch = append(batch, more)
+		}
+		replies, quit := s.dispatchBatch(sess, batch)
+		for _, reply := range replies {
+			fmt.Fprintln(w, reply)
+		}
 		w.Flush()
-		if reply == "BYE" {
+		if quit {
 			return
 		}
 	}
-	// A line over the scanner cap is a client protocol error, not a
-	// silent disconnect: answer it and count it. The scanner cannot
-	// resynchronize mid-line, so the connection still ends here.
-	if errors.Is(sc.Err(), bufio.ErrTooLong) {
-		telErrs.Inc()
-		fmt.Fprintln(w, "ERROR line too long")
-		w.Flush()
-		// Drain the rest of the oversized line: closing with unread
-		// bytes queued sends an RST that can destroy the error reply
-		// before the client reads it.
-		conn.SetReadDeadline(time.Now().Add(time.Second))
-		io.Copy(io.Discard, conn)
+}
+
+// readLine reads one protocol line: up to the reader's buffer size,
+// newline-terminated, with a final unterminated line at EOF still
+// delivered (Scanner semantics, kept across the pipelining rewrite).
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadSlice('\n')
+	switch {
+	case err == bufio.ErrBufferFull:
+		return "", errLineTooLong
+	case err != nil && len(s) == 0:
+		return "", err
 	}
+	line := strings.TrimSuffix(string(s), "\n")
+	return strings.TrimSuffix(line, "\r"), nil
+}
+
+// bufferedLine reports whether a complete line is already buffered, so
+// reading it cannot block.
+func bufferedLine(r *bufio.Reader) bool {
+	if r.Buffered() == 0 {
+		return false
+	}
+	b, _ := r.Peek(r.Buffered())
+	return bytes.IndexByte(b, '\n') >= 0
+}
+
+// lineTooLong answers an oversized request line and ends the session;
+// the reader cannot resynchronize mid-line.
+func (s *Server) lineTooLong(conn net.Conn, w *bufio.Writer) {
+	telErrs.Inc()
+	fmt.Fprintln(w, "ERROR line too long")
+	w.Flush()
+	// Drain the rest of the oversized line: closing with unread bytes
+	// queued sends an RST that can destroy the error reply before the
+	// client reads it.
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	io.Copy(io.Discard, conn)
+}
+
+// dispatchBatch serves one batch of pipelined lines, returning replies
+// in request order. Keyed single-key commands spread across the
+// session's worker threads partitioned by key hash — same key, same
+// thread, so per-key order is preserved; everything else (COUNT, STATS,
+// MSET, QUIT, parse errors) is a barrier: queued keyed work completes
+// first, then the command runs alone on the session thread.
+func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
+	replies := make([]string, len(lines))
+	if len(lines) == 1 {
+		replies[0] = s.dispatch(sess.th, lines[0])
+		return replies, replies[0] == "BYE"
+	}
+	threads := sess.batchThreads(len(lines))
+	pending := make([][]int, len(threads))
+	flush := func() {
+		total := 0
+		for _, idxs := range pending {
+			total += len(idxs)
+		}
+		if total == 0 {
+			return
+		}
+		if total <= 2 || len(threads) == 1 {
+			// Not worth goroutine coordination.
+			for _, idxs := range pending {
+				for _, i := range idxs {
+					replies[i] = s.dispatch(sess.th, lines[i])
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			for p := 1; p < len(threads); p++ {
+				if len(pending[p]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for _, i := range pending[p] {
+						replies[i] = s.dispatch(threads[p], lines[i])
+					}
+				}(p)
+			}
+			for _, i := range pending[0] {
+				replies[i] = s.dispatch(sess.th, lines[i])
+			}
+			wg.Wait()
+		}
+		for p := range pending {
+			pending[p] = pending[p][:0]
+		}
+	}
+	for i, line := range lines {
+		if key, keyed := batchKey(line); keyed && len(threads) > 1 {
+			p := int(s.hash(key) % uint64(len(threads)))
+			pending[p] = append(pending[p], i)
+			continue
+		}
+		flush()
+		replies[i] = s.dispatch(sess.th, line)
+		if replies[i] == "BYE" {
+			// Lines pipelined after QUIT are dropped unanswered.
+			return replies[:i+1], true
+		}
+	}
+	flush()
+	return replies, false
+}
+
+// batchKey classifies a line for batch partitioning: single-key commands
+// can run concurrently keyed by hash, anything else is a barrier.
+func batchKey(line string) (key string, keyed bool) {
+	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		if len(fields) == 3 {
+			return fields[1], true
+		}
+	case "GET", "DEL":
+		if len(fields) == 2 {
+			return fields[1], true
+		}
+	}
+	return "", false
+}
+
+// batchThreads returns the thread set for a batch: the session thread
+// plus up to batchPartitions-1 workers, created on first large batch and
+// reused for the connection's life. Small batches are not worth the
+// coordination; an exhausted thread pool degrades the session to
+// whatever workers it already holds (possibly none) rather than failing.
+func (sess *session) batchThreads(batchLen int) []*mtm.Thread {
+	if batchLen < 8 {
+		if len(sess.threads) == 0 {
+			sess.threads = append(sess.threads, sess.th)
+		}
+		return sess.threads[:1]
+	}
+	for len(sess.workers) < batchPartitions-1 {
+		th, err := sess.s.pm.TM().NewThread()
+		if err != nil {
+			break
+		}
+		sess.workers = append(sess.workers, th)
+	}
+	sess.threads = append(sess.threads[:0], sess.th)
+	sess.threads = append(sess.threads, sess.workers...)
+	return sess.threads
+}
+
+// closeWorkers releases the session's batch workers on disconnect. A
+// failed Close quarantines that slot; nothing to do about it here.
+func (sess *session) closeWorkers() {
+	for _, th := range sess.workers {
+		th.Close()
+	}
+	sess.workers = nil
 }
 
 // dispatch times and traces one protocol command around handle.
@@ -313,6 +519,10 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 			return "ERROR " + err.Error()
 		}
 		return "OK"
+	case "MSET":
+		return s.handleMSet(th, line)
+	case "MDEL":
+		return s.handleMDel(th, line)
 	case "COUNT":
 		n := 0
 		err := th.Atomic(func(tx *mtm.Tx) error {
@@ -328,6 +538,76 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 	default:
 		return "ERROR unknown command"
 	}
+}
+
+// handleMSet stores every pair in one durable transaction: one log
+// append and one fence (or one group-commit epoch membership) for the
+// whole set, and either all pairs commit or none do. Keys and values are
+// whitespace-delimited, so MSET values cannot contain spaces.
+func (s *Server) handleMSet(th *mtm.Thread, line string) string {
+	args := strings.Fields(line)[1:]
+	if len(args) == 0 || len(args)%2 != 0 {
+		return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
+	}
+	recs := make([][]byte, 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		rec, err := encodeKV(args[i], args[i+1])
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		recs = append(recs, rec)
+	}
+	err := th.Atomic(func(tx *mtm.Tx) error {
+		for i, rec := range recs {
+			if err := s.tree.Put(tx, s.hash(args[2*i]), rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	return "OK"
+}
+
+// handleMDel deletes every named key in one durable transaction,
+// reporting how many were present. Missing keys (and hash collisions
+// holding a different key's record) are skipped, not errors.
+func (s *Server) handleMDel(th *mtm.Thread, line string) string {
+	keys := strings.Fields(line)[1:]
+	if len(keys) == 0 {
+		return "ERROR usage: MDEL <key> [<key> ...]"
+	}
+	deleted := 0
+	err := th.Atomic(func(tx *mtm.Tx) error {
+		deleted = 0 // conflict retries rerun the closure
+		for _, key := range keys {
+			raw, err := s.tree.Get(tx, s.hash(key))
+			if err == pds.ErrNotFound {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			k, _, err := decodeKV(raw)
+			if err != nil {
+				return err
+			}
+			if k != key {
+				continue // hash collision with another key
+			}
+			if err := s.tree.Delete(tx, s.hash(key)); err != nil {
+				return err
+			}
+			deleted++
+		}
+		return nil
+	})
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	return fmt.Sprintf("DELETED %d", deleted)
 }
 
 // stats renders one line of key=value pairs from the live stack: the
@@ -350,6 +630,13 @@ func (s *Server) stats() string {
 	add("fences", dev.Fences)
 	add("log_appends", uint64(reg["rawl_appends_total"]))
 	add("log_bytes", uint64(reg["rawl_append_payload_bytes_total"]))
+	add("gc_epochs", uint64(reg["mtm_group_commit_epochs_total"]))
+	add("gc_members", uint64(reg["mtm_group_commit_members_total"]))
+	fpc := 0.0
+	if tm.Commits > 0 {
+		fpc = float64(dev.Fences) / float64(tm.Commits)
+	}
+	fmt.Fprintf(&b, " fences_per_commit=%.2f", fpc)
 	add("requests", telReqLat.Count())
 	fmt.Fprintf(&b, " req_p50_us=%.1f req_p99_us=%.1f",
 		telReqLat.Quantile(0.50)/1e3, telReqLat.Quantile(0.99)/1e3)

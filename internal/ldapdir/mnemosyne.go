@@ -1,6 +1,7 @@
 package ldapdir
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -108,7 +109,15 @@ func (b *MnemosyneBackend) Descs() *DescTable { return b.descs }
 // thread for the session's lifetime and returns it at Session.Close, so
 // session churn does not consume log slots cumulatively.
 func (b *MnemosyneBackend) Session() (Session, error) {
-	th, err := b.tm.LeaseThread(b.LeaseTimeout)
+	var th *mtm.Thread
+	var err error
+	if b.LeaseTimeout <= 0 {
+		th, err = b.tm.NewThread() // no wait: fail fast when full
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), b.LeaseTimeout)
+		th, err = b.tm.Lease(ctx)
+		cancel()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,7 @@ type truncJob struct {
 // the asynchronous-truncation optimization measured in Figure 6.
 type logManager struct {
 	tm      *TM
-	jobs    chan truncJob
+	jobs    chan []truncJob
 	quit    chan struct{}
 	halted  atomic.Bool
 	pending atomic.Int64
@@ -31,7 +31,7 @@ type logManager struct {
 }
 
 func newLogManager(tm *TM) *logManager {
-	m := &logManager{tm: tm, jobs: make(chan truncJob, 4096), quit: make(chan struct{})}
+	m := &logManager{tm: tm, jobs: make(chan []truncJob, 4096), quit: make(chan struct{})}
 	m.wg.Add(1)
 	go m.run()
 	return m
@@ -44,20 +44,54 @@ func (m *logManager) run() {
 		select {
 		case <-m.quit:
 			return
-		case job, ok := <-m.jobs:
+		case batch, ok := <-m.jobs:
 			if !ok {
 				return
 			}
-			for _, line := range job.lines {
-				mem.Flush(line)
+			// Opportunistic coalescing: fold whatever else is already
+			// queued into this round, amortizing the two fences below.
+			// Batches are appended whole, never split — a group-commit
+			// epoch's jobs must truncate under one fence pair, or a
+			// crash could observe part of an epoch truncated while
+			// another member's in-place data is still volatile.
+			for len(batch) < 256 {
+				select {
+				case more, ok := <-m.jobs:
+					if !ok {
+						m.process(mem, batch)
+						return
+					}
+					batch = append(batch, more...)
+					continue
+				default:
+				}
+				break
 			}
-			mem.Fence()
-			// The data is durable; the redo records up to pos are
-			// no longer needed.
-			job.t.log.TruncateTo(mem, job.pos)
-			job.t.pendingTrunc.Add(-1)
-			m.pending.Add(-1)
+			m.process(mem, batch)
 		}
+	}
+}
+
+// process makes every job's in-place data durable under one fence, then
+// truncates all their logs with deferred head updates covered by a
+// single trailing fence (freed log space must not be reused before the
+// new heads are durable).
+func (m *logManager) process(mem pmem.Memory, batch []truncJob) {
+	for _, job := range batch {
+		for _, line := range job.lines {
+			mem.Flush(line)
+		}
+	}
+	mem.Fence()
+	// The data is durable; the redo records up to each pos are no
+	// longer needed.
+	for _, job := range batch {
+		job.t.log.TruncateToDeferred(mem, job.pos)
+	}
+	mem.Fence()
+	for _, job := range batch {
+		job.t.pendingTrunc.Add(-1)
+		m.pending.Add(-1)
 	}
 }
 
@@ -79,9 +113,18 @@ func (m *logManager) isHalted() bool { return m.halted.Load() }
 // is the backpressure the paper notes: "program threads may stall until
 // there is free log space."
 func (m *logManager) submit(job truncJob) {
-	job.t.pendingTrunc.Add(1)
-	m.pending.Add(1)
-	m.jobs <- job
+	m.submitBatch([]truncJob{job})
+}
+
+// submitBatch enqueues a group of jobs that must truncate together under
+// one fence pair (a group-commit epoch). The batch travels as a single
+// channel element, so the manager can never split it.
+func (m *logManager) submitBatch(batch []truncJob) {
+	for _, job := range batch {
+		job.t.pendingTrunc.Add(1)
+	}
+	m.pending.Add(int64(len(batch)))
+	m.jobs <- batch
 }
 
 // drain waits until every submitted job has completed.

@@ -1,0 +1,319 @@
+package mtm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/rawl"
+	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// Group-commit metrics: epochs, their population, and the fences their
+// leaders issue on behalf of whole epochs. fences/members is the fence
+// amortization the coordinator exists to buy.
+var (
+	telGCEpochs = telemetry.NewCounter("mtm_group_commit_epochs_total",
+		"group-commit epochs flushed")
+	telGCMembers = telemetry.NewCounter("mtm_group_commit_members_total",
+		"transactions made durable through group-commit epochs")
+	telGCFences = telemetry.NewCounter("mtm_group_commit_fences_total",
+		"device fences issued by epoch leaders covering all members")
+	telGCSize = telemetry.NewHistogram("mtm_group_commit_epoch_size",
+		"members per flushed group-commit epoch")
+	telGCWait = telemetry.NewHistogram("mtm_group_commit_wait_ns",
+		"member latency from epoch enqueue to completion, ns (sampled 1-in-16)")
+)
+
+// pendingCommit is one validated transaction enqueued on a commit epoch.
+// It is embedded in Thread so enqueueing allocates nothing.
+type pendingCommit struct {
+	tx  *Tx
+	ts  uint64 // commit timestamp, assigned in enqueue order
+	err error  // set by the leader when the member could not be logged
+}
+
+// epoch is one group of transactions made durable by a single covering
+// fence. Epochs form a chain through prev/done, so they flush strictly in
+// order; the chain wait doubles as natural batching under load.
+type epoch struct {
+	id      uint64
+	members []*pendingCommit
+	sealed  bool          // no further members may join
+	full    chan struct{} // closed when the batch cap seals the epoch
+	done    chan struct{} // closed when every member is durable
+	prev    chan struct{} // previous epoch's done channel (nil for the first)
+}
+
+// groupCommitter coalesces the durability fences of concurrent
+// transactions. A committing transaction publishes its write set, takes a
+// commit timestamp, and enqueues on the current epoch; the first member
+// becomes the leader and, after the previous epoch finishes and an
+// optional gathering window passes, streams every member's redo record
+// into that member's own thread log and issues one FenceGroup covering
+// them all. Members park on the epoch's done channel, which transfers
+// ownership of their memory views to the leader for the flush.
+type groupCommitter struct {
+	tm *TM
+
+	mu       sync.Mutex
+	cur      *epoch
+	nextID   uint64
+	lastDone chan struct{}
+
+	// flushEpoch scratch, reused across epochs. Epochs flush strictly
+	// serially (each leader waits for the previous epoch's done), so a
+	// single set is safe.
+	live  []*pendingCommit
+	peers []*scm.Context
+}
+
+func newGroupCommitter(tm *TM) *groupCommitter {
+	return &groupCommitter{tm: tm}
+}
+
+// commit makes tx durable through a group-commit epoch. Called with the
+// transaction validated and its locks held; on return the transaction is
+// durable (or pc.err-failed and rolled back by the caller via finish).
+func (gc *groupCommitter) commit(tx *Tx) error {
+	t := tx.t
+	// This transaction has arrived: stop counting it toward the leader's
+	// "more members are coming" heuristic.
+	tx.endWriting()
+	timed := t.latSeq&15 == 1
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+
+	gc.mu.Lock()
+	e := gc.cur
+	if e == nil {
+		gc.nextID++
+		e = &epoch{
+			id:   gc.nextID,
+			full: make(chan struct{}),
+			done: make(chan struct{}),
+			prev: gc.lastDone,
+		}
+		gc.lastDone = e.done
+		gc.cur = e
+	}
+	pc := &t.pending
+	pc.tx = tx
+	// The commit timestamp is taken in enqueue order under gc.mu.
+	// Conflicting transactions serialize through lock release (which
+	// happens only after an epoch's fence), so timestamp order agrees
+	// with the serialization order recovery must replay.
+	pc.ts = gc.tm.clock.Add(1)
+	pc.err = nil
+	e.members = append(e.members, pc)
+	leader := len(e.members) == 1
+	if len(e.members) >= gc.tm.cfg.GroupCommitBatch && !e.sealed {
+		e.sealed = true
+		gc.cur = nil
+		close(e.full)
+	}
+	gc.mu.Unlock()
+
+	if leader {
+		gc.lead(e)
+	} else {
+		<-e.done
+	}
+	if timed {
+		telGCWait.Observe(time.Since(start).Nanoseconds())
+	}
+	return gc.finish(pc)
+}
+
+// lead runs the epoch leader protocol: wait for the previous epoch, let
+// an optional gathering window pass while other writers are still
+// producing, seal the epoch, flush it, and wake the members.
+func (gc *groupCommitter) lead(e *epoch) {
+	if e.prev != nil {
+		<-e.prev
+	}
+	if w := gc.tm.cfg.GroupCommitWait; w > 0 {
+		// Yield once before sealing: on a saturated scheduler the run
+		// queue holds the other committers, and letting them run walks
+		// them straight onto this epoch (a joining member parks, handing
+		// the processor back). An idle system has an empty run queue and
+		// pays essentially nothing, keeping solitary commits at
+		// single-operation latency.
+		runtime.Gosched()
+		// Gathering window: worth a timed wait only when transactions
+		// are still in flight and might yet arrive.
+		if gc.tm.activeWriters.Load() > 0 {
+			timer := time.NewTimer(w)
+			select {
+			case <-e.full:
+			case <-timer.C:
+			}
+			timer.Stop()
+		}
+	}
+	gc.mu.Lock()
+	if gc.cur == e {
+		gc.cur = nil
+	}
+	if !e.sealed {
+		e.sealed = true
+		close(e.full)
+	}
+	members := e.members
+	gc.mu.Unlock()
+
+	gc.flushEpoch(e.id, members)
+	close(e.done)
+}
+
+// flushEpoch makes every member durable under one covering fence and
+// releases their locks. Crash atomicity: every record carries the epoch
+// id and the member count, and recovery replays an epoch only when all
+// its records are present — so a crash before the fence rolls back every
+// member, and the fence makes all of them durable at once.
+func (gc *groupCommitter) flushEpoch(id uint64, members []*pendingCommit) {
+	tm := gc.tm
+
+	// Exclude oversized members up front: once any record streams with
+	// the epoch's member count, a later append failure would poison the
+	// whole epoch at recovery.
+	live := gc.live[:0]
+	for _, pc := range members {
+		if need := int64(5 + 2*len(pc.tx.writes)); need > pc.tx.t.log.MaxRecordWords() {
+			pc.err = fmt.Errorf("mtm: transaction of %d writes overflows the thread log (%d payload words, max %d)",
+				len(pc.tx.writes), need, pc.tx.t.log.MaxRecordWords())
+			continue
+		}
+		live = append(live, pc)
+	}
+	gc.live = live
+	if len(live) == 0 {
+		return
+	}
+	n := uint64(len(live))
+
+	// Stream each member's redo record into its own thread log. Members
+	// are parked on the epoch's done channel, so the leader temporarily
+	// owns their memory views; the enqueue under gc.mu and the done
+	// broadcast order the handoff both ways.
+	for _, pc := range live {
+		tx := pc.tx
+		rec := tx.recBuf[:0]
+		rec = append(rec, tagRedoGroup, pc.ts, id, n, uint64(len(tx.writes)))
+		for _, w := range tx.writes {
+			rec = append(rec, uint64(w.addr), w.val)
+		}
+		tx.recBuf = rec
+		tx.t.appendGroupRecord(rec)
+	}
+
+	// One fence covers every member's appended records: the epoch's
+	// durability point.
+	leaderMem := live[0].tx.t.mem
+	peers := gc.peers[:0]
+	for _, pc := range live[1:] {
+		peers = append(peers, pc.tx.t.mem.Context())
+	}
+	gc.peers = peers
+	leaderMem.Context().FenceGroup(peers...)
+	telGCFences.Inc()
+
+	// Write the new values back in place — strictly after the fence, so
+	// a crash can never persist in-place data whose log record is lost.
+	for _, pc := range live {
+		pc.tx.writeBack()
+	}
+
+	if tm.mgr != nil {
+		// Asynchronous truncation: the epoch's jobs travel as one batch
+		// that the manager flushes under one fence and truncates
+		// together, so a crash cannot observe part of an epoch truncated
+		// while another member's in-place data is still volatile.
+		batch := make([]truncJob, 0, len(live))
+		for _, pc := range live {
+			t := pc.tx.t
+			lines := append([]pmem.Addr(nil), pc.tx.distinctLines(pc.tx.writes)...)
+			batch = append(batch, truncJob{t: t, pos: t.logPos, lines: lines})
+		}
+		tm.mgr.submitBatch(batch)
+	} else {
+		// Synchronous truncation: flush every member's written lines,
+		// fence once for the whole epoch, then truncate every member log
+		// with deferred head updates under one trailing fence (freed log
+		// space must not be reused before the new heads are durable).
+		if !tm.cfg.WriteThroughWriteback {
+			for _, pc := range live {
+				for _, line := range pc.tx.distinctLines(pc.tx.writes) {
+					pc.tx.t.mem.Flush(line)
+				}
+			}
+		}
+		leaderMem.Context().FenceGroup(peers...)
+		telGCFences.Inc()
+		for _, pc := range live {
+			pc.tx.t.log.TruncateAllDeferred()
+		}
+		leaderMem.Context().FenceGroup(peers...)
+		telGCFences.Inc()
+	}
+
+	// Release every member's locks with its commit timestamp. From here
+	// conflicting transactions can proceed; their timestamps will be
+	// higher than every member's.
+	for _, pc := range live {
+		for _, le := range pc.tx.locks {
+			tm.lockAt(le.idx).Store(pc.ts)
+		}
+	}
+
+	telGCEpochs.Inc()
+	telGCMembers.Add(n)
+	telGCSize.Observe(int64(n))
+}
+
+// finish completes a member's commit on its own goroutine after the
+// epoch's done broadcast: post-commit cleanup on success, full rollback
+// when the leader could not log it.
+func (gc *groupCommitter) finish(pc *pendingCommit) error {
+	tx := pc.tx
+	if pc.err != nil {
+		tx.rollback()
+		return pc.err
+	}
+	tx.runDeferredFrees()
+	tx.clearScratch()
+	gc.tm.stats.Commits.Add(1)
+	telCommits.Inc()
+	return nil
+}
+
+// appendGroupRecord appends a size-prechecked epoch record, riding out
+// transient fullness (asynchronous truncation lag). Unlike appendRecord
+// it cannot fail: capacity overflow was excluded by flushEpoch's
+// pre-check, so the record always fits once the consumer catches up.
+func (t *Thread) appendGroupRecord(rec []uint64) {
+	for {
+		pos, err := t.log.Append(rec)
+		if err == nil {
+			t.logPos = pos
+			return
+		}
+		if err != rawl.ErrLogFull {
+			panic(fmt.Sprintf("mtm: group append: %v", err))
+		}
+		if t.tm.mgr == nil {
+			// Synchronous group mode truncates every log per epoch, so
+			// the log is empty here and a prechecked record fits; this
+			// branch is defensive.
+			t.log.Flush()
+			t.log.TruncateAll()
+			continue
+		}
+		runtime.Gosched()
+	}
+}

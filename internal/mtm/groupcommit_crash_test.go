@@ -1,0 +1,178 @@
+package mtm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// Group-commit crash exploration. The epoch protocol's gathering runs on
+// goroutine scheduling, which a crash-point replay cannot reproduce, so
+// the workload drives the coordinator's flush path directly from one
+// goroutine: each epoch enqueues several manually-built transactions and
+// hands them to flushEpoch — the identical durability code path a leader
+// runs — keeping every replay's persistence-event sequence bitwise
+// identical.
+
+const (
+	gcCrashEpochs  = 5 // epochs committed by the workload
+	gcCrashMembers = 3 // transactions per epoch
+	gcCrashWords   = 4 // words written per member
+	gcCrashStride  = 8 // member stripes: member k owns words [k*stride, k*stride+words)
+)
+
+// gcVal is the value member k writes to its j-th word during epoch e.
+// Every epoch rewrites the same stripes, so a stale or partial replay is
+// visible as a mixed image no epoch prefix can produce.
+func gcVal(e, k, j int) uint64 {
+	return uint64(e)*1_000_000 + uint64(k)*1_000 + uint64(j) + 1
+}
+
+// gcApplyEpochs is the expected image after exactly m whole epochs.
+func gcApplyEpochs(m int) [gcCrashMembers * gcCrashStride]uint64 {
+	var img [gcCrashMembers * gcCrashStride]uint64
+	if m == 0 {
+		return img
+	}
+	for k := 0; k < gcCrashMembers; k++ {
+		for j := 0; j < gcCrashWords; j++ {
+			img[k*gcCrashStride+j] = gcVal(m, k, j)
+		}
+	}
+	return img
+}
+
+// TestCrashPointsGroupCommit explores every crash point of a group-commit
+// workload and checks epoch atomicity: after recovery the data region
+// equals the result of applying exactly the first m whole epochs, where m
+// is the acknowledged epoch count or one more (the epoch whose covering
+// fence the crash straddled). A partial epoch — one member's writes
+// applied without its peers' — matches no whole-epoch image and fails,
+// as does a lost acknowledged epoch or a surviving unacknowledged one.
+func TestCrashPointsGroupCommit(t *testing.T) {
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		acked := 0
+		cfg := Config{Slots: gcCrashMembers, LogWords: 256, GroupCommit: true}
+
+		openAll := func() (*region.Runtime, *TM, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, nil, pmem.Nil, err
+			}
+			tm, err := Open(rt, "gccrash", cfg)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			ptr, _, err := rt.Static("mtm.gccrash.data", 8)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			mem := rt.NewMemory()
+			base := pmem.Addr(mem.LoadU64(ptr))
+			if base == pmem.Nil {
+				base, err = rt.PMapAt(ptr, scm.PageSize, 0)
+				if err != nil {
+					rt.Close()
+					return nil, nil, pmem.Nil, err
+				}
+			}
+			return rt, tm, base, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				_, tm, base, err := openAll()
+				if err != nil {
+					return err
+				}
+				threads := make([]*Thread, gcCrashMembers)
+				for k := range threads {
+					if threads[k], err = tm.NewThread(); err != nil {
+						return err
+					}
+				}
+				members := make([]*pendingCommit, 0, gcCrashMembers)
+				for e := 1; e <= gcCrashEpochs; e++ {
+					members = members[:0]
+					for k, th := range threads {
+						tx := &th.tx
+						tx.begin()
+						for j := 0; j < gcCrashWords; j++ {
+							tx.write(base.Add(int64(k*gcCrashStride+j)*8), gcVal(e, k, j))
+						}
+						if !tx.validate() {
+							return fmt.Errorf("epoch %d member %d failed validation", e, k)
+						}
+						tx.endWriting()
+						pc := &th.pending
+						pc.tx, pc.ts, pc.err = tx, tm.clock.Add(1), nil
+						members = append(members, pc)
+					}
+					tm.gc.flushEpoch(uint64(e), members)
+					for k, pc := range members {
+						if err := tm.gc.finish(pc); err != nil {
+							return fmt.Errorf("epoch %d member %d: %w", e, k, err)
+						}
+					}
+					acked = e
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, tm, base, err := openAll()
+				if err != nil {
+					return fmt.Errorf("stack not reopenable after %d acked epochs: %w", acked, err)
+				}
+				defer rt.Close()
+				defer tm.Close()
+				if base == pmem.Nil {
+					if acked > 0 {
+						return fmt.Errorf("data region lost after %d acked epochs", acked)
+					}
+					return nil
+				}
+				mem := rt.NewMemory()
+				var img [gcCrashMembers * gcCrashStride]uint64
+				for i := range img {
+					img[i] = mem.LoadU64(base.Add(int64(i) * 8))
+				}
+				for _, m := range []int{acked, acked + 1} {
+					if m > gcCrashEpochs {
+						continue
+					}
+					if img == gcApplyEpochs(m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("post-recovery image matches neither %d nor %d whole epochs (partial epoch?)", acked, acked+1)
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("group-commit epoch atomicity failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("group commit: %s", rep)
+}

@@ -1,6 +1,7 @@
 package mtm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -125,7 +126,7 @@ func TestLeaseThreadTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer th.Close()
-	if _, err := e.tm.LeaseThread(20 * time.Millisecond); err != ErrLeaseTimeout {
+	if _, err := e.tm.LeaseThread(20 * time.Millisecond); !errors.Is(err, ErrLeaseTimeout) {
 		t.Fatalf("lease on full TM: %v, want ErrLeaseTimeout", err)
 	}
 	// Non-positive timeout degenerates to NewThread's immediate error.

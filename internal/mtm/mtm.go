@@ -69,6 +69,7 @@ const (
 	tagRedo       = 1 // ts, n, then n (addr,val) pairs
 	tagUndoWrite  = 2 // addr, oldVal
 	tagUndoCommit = 3 // ts
+	tagRedoGroup  = 4 // ts, epoch, members, n, then n (addr,val) pairs
 
 	// Lock table: 2^20 entries of one word each (8 MB volatile).
 	lockBits  = 20
@@ -99,6 +100,18 @@ type Config struct {
 	// WriteThroughWriteback is an ablation: write values back with
 	// streaming writes at commit instead of store+flush per line.
 	WriteThroughWriteback bool
+	// GroupCommit coalesces the durability fences of concurrent
+	// transactions: committing transactions enqueue on a commit epoch
+	// and the first member (the leader) issues one fence covering the
+	// whole epoch. Requires redo logging (the default).
+	GroupCommit bool
+	// GroupCommitWait bounds how long an epoch leader waits for more
+	// members while other writers are active; an idle system never
+	// waits. Zero selects 50µs; negative disables the wait entirely.
+	GroupCommitWait time.Duration
+	// GroupCommitBatch caps members per epoch (a full epoch flushes
+	// immediately). Zero selects 64.
+	GroupCommitBatch int
 	// Heap optionally attaches a persistent heap so transactions can
 	// allocate with Tx.PMalloc / free with Tx.PFree.
 	Heap *pheap.Heap
@@ -120,6 +133,18 @@ func (c *Config) fill() error {
 	if c.UndoLogging && c.AsyncTruncation {
 		return errors.New("mtm: undo logging does not support async truncation")
 	}
+	if c.UndoLogging && c.GroupCommit {
+		return errors.New("mtm: group commit requires redo logging")
+	}
+	if c.GroupCommitWait == 0 {
+		c.GroupCommitWait = 50 * time.Microsecond
+	}
+	if c.GroupCommitBatch == 0 {
+		c.GroupCommitBatch = 64
+	}
+	if c.GroupCommitBatch < 1 || c.GroupCommitBatch > 4096 {
+		return fmt.Errorf("mtm: group-commit batch %d out of range", c.GroupCommitBatch)
+	}
 	return nil
 }
 
@@ -130,6 +155,9 @@ type RecoveryStats struct {
 	Replayed int
 	// Undone counts uncommitted transactions rolled back (undo mode).
 	Undone int
+	// EpochsRolledBack counts group-commit member records dropped
+	// because their epoch was incomplete at the crash.
+	EpochsRolledBack int
 	// Duration is the total replay time.
 	Duration time.Duration
 }
@@ -161,6 +189,13 @@ type TM struct {
 	slotAvail chan struct{}
 
 	mgr *logManager
+	gc  *groupCommitter
+
+	// activeWriters counts transactions in flight — begun and not yet
+	// enqueued on an epoch, rolled back, or finished read-only; epoch
+	// leaders consult it to decide whether waiting for more members is
+	// worthwhile. Zero means an idle system, where waiting buys nothing.
+	activeWriters atomic.Int64
 
 	stats Stats
 
@@ -224,6 +259,9 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 			if cfg.AsyncTruncation {
 				tm.mgr = newLogManager(tm)
 			}
+			if cfg.GroupCommit {
+				tm.gc = newGroupCommitter(tm)
+			}
 			return tm, nil
 		}
 		slots := int(mem.LoadU64(base.Add(hdrSlotsOff)))
@@ -238,6 +276,9 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 
 	if cfg.AsyncTruncation {
 		tm.mgr = newLogManager(tm)
+	}
+	if cfg.GroupCommit {
+		tm.gc = newGroupCommitter(tm)
 	}
 	return tm, nil
 }
@@ -342,13 +383,25 @@ func (tm *TM) lockAt(i uint32) *atomic.Uint64 { return &tm.locks[i] }
 // recover replays the per-thread logs. Redo records of committed
 // transactions are replayed in global timestamp order; undo records of
 // uncommitted transactions (undo mode) are rolled back in reverse order.
+// Group-commit records carry their epoch id and member count, and are
+// replayed only when every record of the epoch survived: a crash before
+// the epoch's covering fence loses at least one member's record (per the
+// tornbit protocol, a torn record does not count as present), which rolls
+// the entire epoch back — no member of an unfenced epoch can have reached
+// in-place memory, since write-back strictly follows the fence.
 func (tm *TM) recover(mem pmem.Memory) error {
 	start := time.Now()
 	type committed struct {
-		ts  uint64
-		rec []uint64
+		ts    uint64
+		pairs []uint64 // n (addr,val) pairs, flattened
 	}
 	var redo []committed
+	type groupRec struct {
+		ts, epoch, members uint64
+		pairs              []uint64
+	}
+	var groups []groupRec
+	epochCount := make(map[uint64]uint64)
 	var maxTs uint64
 
 	for i := 0; i < tm.cfg.Slots; i++ {
@@ -373,7 +426,24 @@ func (tm *TM) recover(mem pmem.Memory) error {
 				if uint64(len(r)) < 3+2*n {
 					continue
 				}
-				redo = append(redo, committed{ts: ts, rec: r})
+				redo = append(redo, committed{ts: ts, pairs: r[3 : 3+2*n]})
+				if ts > maxTs {
+					maxTs = ts
+				}
+			case tagRedoGroup:
+				// [tag, ts, epoch, members, n, addr1, val1, ...]
+				if len(r) < 5 {
+					continue
+				}
+				ts, ep, members, n := r[1], r[2], r[3], r[4]
+				if members == 0 || uint64(len(r)) < 5+2*n {
+					continue
+				}
+				groups = append(groups, groupRec{ts: ts, epoch: ep, members: members, pairs: r[5 : 5+2*n]})
+				epochCount[ep]++
+				// Advance the clock past every observed timestamp, even a
+				// rolled-back epoch's: its members' timestamps must not
+				// be minted again.
 				if ts > maxTs {
 					maxTs = ts
 				}
@@ -403,11 +473,22 @@ func (tm *TM) recover(mem pmem.Memory) error {
 		_ = log
 	}
 
+	// Admit only complete epochs; incomplete ones are the crash's
+	// rollback and their records are simply dropped (the logs were
+	// truncated above).
+	for _, g := range groups {
+		if epochCount[g.epoch] == g.members {
+			redo = append(redo, committed{ts: g.ts, pairs: g.pairs})
+		} else {
+			tm.recovery.EpochsRolledBack++
+		}
+	}
+
 	sort.Slice(redo, func(i, j int) bool { return redo[i].ts < redo[j].ts })
 	for _, c := range redo {
-		n := c.rec[2]
+		n := uint64(len(c.pairs) / 2)
 		for k := uint64(0); k < n; k++ {
-			mem.WTStoreU64(pmem.Addr(c.rec[3+2*k]), c.rec[4+2*k])
+			mem.WTStoreU64(pmem.Addr(c.pairs[2*k]), c.pairs[2*k+1])
 		}
 		tm.recovery.Replayed++
 		if telemetry.TraceEnabled() {

@@ -223,7 +223,7 @@ func TestAsyncRecoveryReplaysCommitted(t *testing.T) {
 // newBlockedManager returns a manager whose goroutine never processes
 // jobs, keeping logs full of committed records.
 func newBlockedManager(tm *TM) *logManager {
-	m := &logManager{tm: tm, jobs: make(chan truncJob, 4096)}
+	m := &logManager{tm: tm, jobs: make(chan []truncJob, 4096)}
 	// no goroutine: jobs pile up
 	return m
 }

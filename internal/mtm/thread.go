@@ -1,6 +1,7 @@
 package mtm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -86,6 +87,11 @@ type Thread struct {
 	// clobber the next lease's log head).
 	pendingTrunc atomic.Int64
 
+	// pending is this thread's group-commit enqueue slot, embedded so
+	// joining an epoch allocates nothing. Valid only between the
+	// coordinator's enqueue and the epoch's done broadcast.
+	pending pendingCommit
+
 	tx     Tx
 	rng    *rand.Rand
 	latSeq uint64 // transaction count for latency-histogram sampling
@@ -167,30 +173,25 @@ func (tm *TM) NewThread() (*Thread, error) {
 	return tm.bindSlot(slot)
 }
 
-// LeaseThread is NewThread with a bounded wait: when every slot is leased
-// it blocks until a Thread.Close frees one or the timeout elapses
-// (ErrLeaseTimeout). A non-positive timeout degenerates to NewThread.
-func (tm *TM) LeaseThread(timeout time.Duration) (*Thread, error) {
+// Lease is NewThread with a context-bounded wait: when every slot is
+// leased it blocks until a Thread.Close frees one or ctx is cancelled.
+// On cancellation the error matches both ErrLeaseTimeout and ctx.Err()
+// under errors.Is.
+func (tm *TM) Lease(ctx context.Context) (*Thread, error) {
 	tm.slotMu.Lock()
 	if slot, ok := tm.takeSlotLocked(); ok {
 		tm.slotMu.Unlock()
 		return tm.bindSlot(slot)
 	}
-	if timeout <= 0 {
-		tm.slotMu.Unlock()
-		return nil, ErrTooManyThreads
-	}
 	telLeaseWaits.Inc()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	for {
 		ch := tm.slotAvail
 		tm.slotMu.Unlock()
 		select {
 		case <-ch:
-		case <-timer.C:
+		case <-ctx.Done():
 			telLeaseTimeouts.Inc()
-			return nil, ErrLeaseTimeout
+			return nil, fmt.Errorf("%w: %w", ErrLeaseTimeout, ctx.Err())
 		}
 		tm.slotMu.Lock()
 		if slot, ok := tm.takeSlotLocked(); ok {
@@ -198,6 +199,19 @@ func (tm *TM) LeaseThread(timeout time.Duration) (*Thread, error) {
 			return tm.bindSlot(slot)
 		}
 	}
+}
+
+// LeaseThread is NewThread with a bounded wait, expressed as a bare
+// timeout. A non-positive timeout degenerates to NewThread.
+//
+// Deprecated: use Lease with a context carrying the deadline.
+func (tm *TM) LeaseThread(timeout time.Duration) (*Thread, error) {
+	if timeout <= 0 {
+		return tm.NewThread()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return tm.Lease(ctx)
 }
 
 // Close retires the thread and returns its log slot for reuse. The
@@ -333,6 +347,12 @@ type Tx struct {
 	allocs     []pmem.Addr  // blocks allocated this tx, freed on abort
 	frees      []pmem.Addr  // scratch slots to free at commit
 
+	// writing is set (group-commit mode only) while this transaction is
+	// counted in TM.activeWriters — from begin until it enqueues on an
+	// epoch, rolls back, or commits read-only. Epoch leaders use the
+	// count to decide whether a gathering wait can pay off.
+	writing bool
+
 	scratchStart int64 // thread scratch cursor at begin, for clearing
 }
 
@@ -392,6 +412,21 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 	}
 }
 
+// AtomicBatch runs every fn inside one transaction on this thread: one
+// log append, one durability fence (or one group-commit epoch) for the
+// whole batch. The batch is atomic as a unit — all fns commit together,
+// and an error from any fn aborts them all.
+func (t *Thread) AtomicBatch(fns []func(tx *Tx) error) error {
+	return t.Atomic(func(tx *Tx) error {
+		for _, fn := range fns {
+			if err := fn(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 type conflictErr struct{}
 
 func (conflictErr) Error() string { return "mtm: transaction conflict" }
@@ -432,7 +467,27 @@ func (t *Thread) attempt(fn func(tx *Tx) error) (err error) {
 	return tx.commit()
 }
 
+// endWriting removes the transaction from the active-writer count. Safe
+// to call more than once; a no-op outside group-commit mode.
+func (tx *Tx) endWriting() {
+	if tx.writing {
+		tx.writing = false
+		tx.t.tm.activeWriters.Add(-1)
+	}
+}
+
 func (tx *Tx) begin() {
+	tx.endWriting() // defensive: a leaked count would stall epoch leaders
+	if tx.t.tm.gc != nil {
+		// Count this transaction in flight for the whole attempt: epoch
+		// leaders gather only while other transactions might still
+		// arrive, and a transaction anywhere between begin and its
+		// commit enqueue is exactly such an arrival — including during
+		// its read phase, which is where a preempted goroutine usually
+		// sits on a loaded machine.
+		tx.writing = true
+		tx.t.tm.activeWriters.Add(1)
+	}
 	tx.rv = tx.t.tm.clock.Load()
 	tx.writes = tx.writes[:0]
 	tx.reads = tx.reads[:0]
@@ -455,6 +510,7 @@ func (tx *Tx) abort() {
 // restored to their pre-acquisition versions.
 func (tx *Tx) rollback() {
 	t := tx.t
+	tx.endWriting()
 	if t.tm.cfg.UndoLogging && len(tx.undoWrites) > 0 {
 		for i := len(tx.undoWrites) - 1; i >= 0; i-- {
 			u := tx.undoWrites[i]
@@ -602,6 +658,7 @@ func (tx *Tx) commit() error {
 		return tx.commitUndo()
 	}
 	if len(tx.writes) == 0 {
+		tx.endWriting()
 		tm.stats.ReadOnly.Add(1)
 		telReadOnly.Inc()
 		tx.releaseLocksNoCommit()
@@ -610,6 +667,13 @@ func (tx *Tx) commit() error {
 	if !tx.validate() {
 		tx.rollback()
 		return conflictErr{}
+	}
+
+	// Group-commit mode: hand the validated transaction to the epoch
+	// coordinator, which logs it, covers it with a shared fence, and
+	// releases its locks.
+	if tm.gc != nil {
+		return tm.gc.commit(tx)
 	}
 
 	// The global timestamp counter, "incremented at every transaction
@@ -632,24 +696,7 @@ func (tx *Tx) commit() error {
 	t.log.Flush()
 
 	// Write the new values back in place.
-	if tm.cfg.WriteThroughWriteback {
-		for _, w := range tx.writes {
-			t.mem.WTStoreU64(w.addr, w.val)
-		}
-	} else {
-		// Write back with one dirty-line registration per line: writes
-		// are in program order, so runs over one cache line are common
-		// (bulk value bytes).
-		var lastLine pmem.Addr = ^pmem.Addr(0)
-		for _, w := range tx.writes {
-			if line := w.addr &^ (scm.LineSize - 1); line == lastLine {
-				t.mem.StoreU64InDirtyLine(w.addr, w.val)
-			} else {
-				t.mem.StoreU64(w.addr, w.val)
-				lastLine = line
-			}
-		}
-	}
+	tx.writeBack()
 
 	if tm.mgr != nil {
 		// Asynchronous truncation: the log manager flushes the
@@ -680,6 +727,32 @@ func (tx *Tx) commit() error {
 	tm.stats.Commits.Add(1)
 	telCommits.Inc()
 	return nil
+}
+
+// writeBack stores the redo write set in place. Must run strictly after
+// the fence that made the log record durable: a crash before write-back
+// replays the record; a crash during it leaves only values the record
+// reproduces.
+func (tx *Tx) writeBack() {
+	t := tx.t
+	if t.tm.cfg.WriteThroughWriteback {
+		for _, w := range tx.writes {
+			t.mem.WTStoreU64(w.addr, w.val)
+		}
+		return
+	}
+	// Write back with one dirty-line registration per line: writes are
+	// in program order, so runs over one cache line are common (bulk
+	// value bytes).
+	var lastLine pmem.Addr = ^pmem.Addr(0)
+	for _, w := range tx.writes {
+		if line := w.addr &^ (scm.LineSize - 1); line == lastLine {
+			t.mem.StoreU64InDirtyLine(w.addr, w.val)
+		} else {
+			t.mem.StoreU64(w.addr, w.val)
+			lastLine = line
+		}
+	}
 }
 
 // runDeferredFrees executes the frees deferred to commit. The transaction

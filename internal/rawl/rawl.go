@@ -309,6 +309,30 @@ func (l *Log) TruncateTo(mem pmem.Memory, pos Pos) {
 	}
 }
 
+// TruncateAllDeferred is TruncateAll without the trailing fence: the head
+// update sits in the producer's write-combining buffer until the caller's
+// next Fence. Group commit truncates every member log this way and covers
+// all the updates with one fence. Until that fence, a crash simply
+// re-replays the still-present records, which is idempotent.
+func (l *Log) TruncateAllDeferred() {
+	l.mem.WTStoreU64(l.base.Add(hdrHeadOff), packHead(l.tail, l.phase, l.tornPos))
+	telTruncations.Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvLogTruncate, uint64(l.base), 0, 0)
+	}
+}
+
+// TruncateToDeferred is TruncateTo without the trailing fence. The caller
+// must fence mem before the producer's freed space is reused — the async
+// truncation manager batches several of these under one covering fence.
+func (l *Log) TruncateToDeferred(mem pmem.Memory, pos Pos) {
+	mem.WTStoreU64(l.base.Add(hdrHeadOff), packHead(pos.idx, pos.phase, l.tornPos))
+	telTruncations.Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvLogTruncate, uint64(l.base), 0, 0)
+	}
+}
+
 // TornPos reports the current torn-bit position.
 func (l *Log) TornPos() uint { return l.tornPos }
 

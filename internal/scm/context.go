@@ -237,6 +237,55 @@ func (c *Context) Fence() {
 	c.inOp--
 }
 
+// FenceGroup drains this context's write-combining buffer and every
+// peer's with a single fence, making all their prior streaming writes
+// durable at once. It is the device-level primitive behind group commit:
+// one mfence on the leader's hardware thread orders the combined stream,
+// so only the leader's fence count advances while every member's pending
+// data is charged against bandwidth. Callers must own every peer context
+// for the duration of the call (group-commit members are parked on the
+// epoch's completion channel, which transfers ownership to the leader).
+func (c *Context) FenceGroup(peers ...*Context) {
+	c.inOp++
+	pending := len(c.wc)
+	drained := c.wcBytes
+	for _, p := range peers {
+		pending += len(p.wc)
+		drained += p.wcBytes
+	}
+	// The probe event carries the combined pending count and fires before
+	// any buffer is cleared, so crash policies still see every member's
+	// undrained words.
+	if pb := c.dev.probeP(); pb != nil {
+		kind := ProbeFence
+		if pending > 0 {
+			kind = ProbeDrain
+		}
+		pb.Event(kind, c.id, -1, pending)
+	}
+	c.dev.checkAlive()
+	c.wc = c.wc[:0]
+	c.wcBytes = 0
+	for _, p := range peers {
+		p.wc = p.wc[:0]
+		p.wcBytes = 0
+	}
+	d := c.dev.cfg.WriteLatency
+	if drained > 0 && c.dev.cfg.WriteBandwidth > 0 {
+		d += time.Duration(float64(drained) / c.dev.cfg.WriteBandwidth * 1e9)
+	}
+	c.delay(d)
+	c.t.fences++
+	c.publish()
+	for _, p := range peers {
+		p.publish()
+	}
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.EvFence, c.id, uint64(drained), uint64(len(peers)))
+	}
+	c.inOp--
+}
+
 // Load copies n = len(buf) bytes starting at off into buf. Byte-granular
 // access is assembled from atomic word loads.
 func (c *Context) Load(buf []byte, off int64) {

@@ -74,6 +74,21 @@ type Thread = mtm.Thread
 // Tx is an executing durable memory transaction.
 type Tx = mtm.Tx
 
+// ThreadPool leases transaction threads against the instance's Threads
+// bound (PM.ThreadPool).
+type ThreadPool = core.ThreadPool
+
+// TM is the durable-transaction system (PM.TM), for callers that need
+// thread leasing or recovery state below the PM convenience surface.
+type TM = mtm.TM
+
+// TMConfig configures a transaction system opened directly over a region
+// runtime (servers embedding their own stack use core.Config instead).
+type TMConfig = mtm.Config
+
+// TMStats is a point-in-time snapshot of transaction-system counters.
+type TMStats = mtm.StatsSnapshot
+
 // Allocator is a persistent-heap handle (pmalloc/pfree).
 type Allocator = pheap.Allocator
 

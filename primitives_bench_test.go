@@ -8,6 +8,7 @@ package mnemosyne_test
 import (
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 
 	mnemosyne "repro"
@@ -16,16 +17,20 @@ import (
 
 func benchPM(b *testing.B) *mnemosyne.PM {
 	b.Helper()
+	return benchPMConfig(b, mnemosyne.Config{})
+}
+
+func benchPMConfig(b *testing.B, cfg mnemosyne.Config) *mnemosyne.PM {
+	b.Helper()
 	dir, err := os.MkdirTemp("", "mnprim-*")
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { os.RemoveAll(dir) })
-	pm, err := mnemosyne.Open(mnemosyne.Config{
-		Dir:            dir,
-		DeviceSize:     256 << 20,
-		EmulateLatency: true,
-	})
+	cfg.Dir = dir
+	cfg.DeviceSize = 256 << 20
+	cfg.EmulateLatency = true
+	pm, err := mnemosyne.Open(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -117,6 +122,61 @@ func BenchmarkTxCommit(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(words) * 8)
+		})
+	}
+}
+
+// BenchmarkGroupCommit measures concurrent small commits with and without
+// the group-commit coordinator. Each iteration is one round of 8
+// goroutines committing one single-word transaction each; the reported
+// fences/commit metric is the device-fence amortization the epoch
+// coordinator buys (solo sync commits cost 3 fences apiece).
+func BenchmarkGroupCommit(b *testing.B) {
+	const workers = 8
+	for _, mode := range []struct {
+		name  string
+		group bool
+	}{
+		{"solo", false},
+		{"group", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pm := benchPMConfig(b, mnemosyne.Config{GroupCommit: mode.group})
+			addrs := make([]mnemosyne.Addr, workers)
+			threads := make([]*mnemosyne.Thread, workers)
+			for w := 0; w < workers; w++ {
+				a, _, err := pm.Static(fmt.Sprintf("prim.gc.%d", w), 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				addrs[w] = a
+				th, err := pm.NewThread()
+				if err != nil {
+					b.Fatal(err)
+				}
+				threads[w] = th
+			}
+			startFences := pm.Device().Snapshot().Fences
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						_ = threads[w].Atomic(func(tx *mnemosyne.Tx) error {
+							tx.StoreU64(addrs[w], tx.LoadU64(addrs[w])+1)
+							return nil
+						})
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			fences := pm.Device().Snapshot().Fences - startFences
+			if n := int64(b.N) * workers; n > 0 {
+				b.ReportMetric(float64(fences)/float64(n), "fences/commit")
+			}
 		})
 	}
 }
