@@ -263,3 +263,30 @@ func runAblation(b *testing.B, variant string) {
 	b.ReportMetric(float64(last.WriteLatency.Nanoseconds()), "ns/write")
 	b.ReportMetric(last.UpdatesPerSec, "updates/s")
 }
+
+// BenchmarkReadMostly compares the slot-free snapshot-read path against
+// the leased-Atomic baseline on a 95/5 GET/SET B+ tree mix, across the
+// concurrency ladder, with Slots=32. The paper-comparable number is
+// ops/s: past the slot bound the baseline serializes on thread leases
+// while View readers keep scaling.
+func BenchmarkReadMostly(b *testing.B) {
+	for _, mode := range []string{"atomic", "view"} {
+		for _, g := range []int{1, 8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/%dg", mode, g), func(b *testing.B) {
+				var last bench.ReadMostlyRow
+				for i := 0; i < b.N; i++ {
+					row, err := bench.RunReadMostlyCell(bench.ReadMostlyOpts{
+						Options: spinOpts(), Mode: mode, Goroutines: g, OpsPerG: 500,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = row
+				}
+				b.ReportMetric(last.OpsPerSec, "ops/s")
+				b.ReportMetric(last.FencesPerOp, "fences/op")
+				b.ReportMetric(last.LeasesPerOp, "leases/op")
+			})
+		}
+	}
+}

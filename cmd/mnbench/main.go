@@ -146,7 +146,7 @@ func run(exp string) error {
 		for _, e := range []string{
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
-			"groupcommit",
+			"groupcommit", "readmostly",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -173,8 +173,10 @@ func run(exp string) error {
 		return ablation()
 	case "groupcommit":
 		return groupCommit()
+	case "readmostly":
+		return readMostly()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly all)")
 	}
 }
 
@@ -382,6 +384,25 @@ func groupCommit() error {
 			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit)
 		csvOut("groupcommit", "mode,goroutines,updates_per_sec,fences_per_commit",
 			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit)
+	}
+	return nil
+}
+
+func readMostly() error {
+	header("Read-mostly: slot-free snapshot reads vs leased-Atomic baseline (95/5 GET/SET)")
+	fmt.Printf("%-8s %10s %14s %14s %14s\n", "Mode", "Goroutines", "Ops/s", "Fences/op", "Leases/op")
+	rows, err := bench.RunReadMostly(bench.ReadMostlyOpts{
+		Options: baseOptions(),
+		OpsPerG: scale(2000),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %14.0f %14.2f %14.2f\n",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerOp, r.LeasesPerOp)
+		csvOut("readmostly", "mode,goroutines,ops_per_sec,fences_per_op,leases_per_op",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerOp, r.LeasesPerOp)
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+package mnemosyne_test
+
+import (
+	"fmt"
+	"os"
+
+	mnemosyne "repro"
+)
+
+// examplePM opens a throwaway in-memory instance for the examples.
+func examplePM() (*mnemosyne.PM, func()) {
+	dir, err := os.MkdirTemp("", "mnemosyne-example")
+	if err != nil {
+		panic(err)
+	}
+	pm, err := mnemosyne.Open(mnemosyne.Config{Dir: dir, DeviceSize: 64 << 20})
+	if err != nil {
+		os.RemoveAll(dir)
+		panic(err)
+	}
+	return pm, func() {
+		pm.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// A durable transaction on a leased thread: all stores inside fn become
+// durable atomically when fn returns nil.
+func ExamplePM_Atomic() {
+	pm, cleanup := examplePM()
+	defer cleanup()
+
+	counter, _, err := pm.Static("example.counter", 8)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := pm.Atomic(func(tx *mnemosyne.Tx) error {
+			tx.StoreU64(counter, tx.LoadU64(counter)+1)
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(pm.Memory().LoadU64(counter))
+	// Output: 3
+}
+
+// A snapshot read transaction: loads observe one consistent committed
+// snapshot, with no thread lease, no log record and no fence. Tx and
+// ReadTx both implement Reader, so read-side helpers work inside either.
+func ExamplePM_View() {
+	pm, cleanup := examplePM()
+	defer cleanup()
+
+	pair, _, err := pm.Static("example.pair", 16)
+	if err != nil {
+		panic(err)
+	}
+	if err := pm.Atomic(func(tx *mnemosyne.Tx) error {
+		tx.StoreU64(pair, 40)
+		tx.StoreU64(pair.Add(8), 2)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	sum := func(r mnemosyne.Reader) uint64 { // any Reader: Tx or ReadTx
+		return r.LoadU64(pair) + r.LoadU64(pair.Add(8))
+	}
+	err = pm.View(func(r *mnemosyne.ReadTx) error {
+		fmt.Println(sum(r))
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: 42
+}
+
+// A batch of operations in one transaction: one lease, one log append and
+// one durability fence for the whole batch. All fns commit or abort as a
+// unit.
+func ExamplePM_AtomicBatch() {
+	pm, cleanup := examplePM()
+	defer cleanup()
+
+	slots, _, err := pm.Static("example.slots", 4*8)
+	if err != nil {
+		panic(err)
+	}
+	var fns []func(tx *mnemosyne.Tx) error
+	for i := 0; i < 4; i++ {
+		i := i
+		fns = append(fns, func(tx *mnemosyne.Tx) error {
+			tx.StoreU64(slots.Add(int64(i)*8), uint64(i*i))
+			return nil
+		})
+	}
+	if err := pm.AtomicBatch(fns); err != nil {
+		panic(err)
+	}
+	err = pm.View(func(r *mnemosyne.ReadTx) error {
+		for i := 0; i < 4; i++ {
+			fmt.Println(r.LoadU64(slots.Add(int64(i) * 8)))
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// 0
+	// 1
+	// 4
+	// 9
+}

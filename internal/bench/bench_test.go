@@ -118,6 +118,34 @@ func TestReincarnationKernel(t *testing.T) {
 	}
 }
 
+func TestReadMostlyKernel(t *testing.T) {
+	rows, err := RunReadMostly(ReadMostlyOpts{
+		Options: quick(), GoroutineSweep: []int{1, 4}, OpsPerG: 100, Keys: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("row: %+v", r)
+		}
+		switch r.Mode {
+		case "atomic":
+			if r.LeasesPerOp < 0.9 {
+				t.Fatalf("atomic baseline should lease per op: %+v", r)
+			}
+		case "view":
+			// ~5% of ops are writes; only those lease.
+			if r.LeasesPerOp > 0.5 {
+				t.Fatalf("view mode should barely lease: %+v", r)
+			}
+		}
+	}
+}
+
 func TestAblationKernels(t *testing.T) {
 	for _, v := range AblationVariants {
 		row, err := RunAblation(v, 64, quick())

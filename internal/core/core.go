@@ -346,6 +346,17 @@ func (pm *PM) AtomicBatch(fns []func(tx *mtm.Tx) error) error {
 	return th.AtomicBatch(fns)
 }
 
+// View runs fn as a slot-free snapshot read transaction — the read-only
+// counterpart of Atomic. Every load inside fn observes one consistent
+// committed snapshot. A View takes no thread lease, writes no log record
+// and issues no fence, so it succeeds even when every transaction thread
+// is leased, and any number of Views run concurrently. fn may be retried
+// on conflict with concurrent commits and must not write persistent
+// memory.
+func (pm *PM) View(fn func(r *mtm.ReadTx) error) error {
+	return pm.tm.View(fn)
+}
+
 // Allocator returns a persistent-heap allocator handle (pmalloc/pfree)
 // for non-transactional allocation.
 func (pm *PM) Allocator() *pheap.Allocator { return pm.heap.NewAllocator() }

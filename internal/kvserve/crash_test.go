@@ -89,8 +89,9 @@ func TestCrashPointsKVServe(t *testing.T) {
 				if err != nil {
 					return err
 				}
+				sess := &session{s: s, th: th}
 				for i, cmd := range kvScript {
-					if reply := s.handle(th, cmd); strings.HasPrefix(reply, "ERROR") {
+					if reply := s.handle(sess, th, cmd); strings.HasPrefix(reply, "ERROR") {
 						return fmt.Errorf("%q: %s", cmd, reply)
 					}
 					done = i + 1
@@ -111,6 +112,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 				if err != nil {
 					return err
 				}
+				sess := &session{s: s, th: th}
 				if err := th.Atomic(func(tx *mtm.Tx) error {
 					return s.tree.CheckInvariants(tx)
 				}); err != nil {
@@ -126,7 +128,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 					want := kvStateAfter(m)
 					diff := ""
 					for _, k := range kvKeys() {
-						reply := s.handle(th, "GET "+k)
+						reply := s.handle(sess, th, "GET "+k)
 						wantReply := "MISSING"
 						if v, ok := want[k]; ok {
 							wantReply = "VALUE " + v
@@ -137,7 +139,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 						}
 					}
 					if diff == "" {
-						if reply := s.handle(th, "COUNT"); reply != fmt.Sprintf("COUNT %d", len(want)) {
+						if reply := s.handle(sess, th, "COUNT"); reply != fmt.Sprintf("COUNT %d", len(want)) {
 							return fmt.Errorf("%s, want %d live keys", reply, len(want))
 						}
 						return nil

@@ -43,15 +43,22 @@ func FuzzKVProtocol(f *testing.F) {
 	f.Add("SET k " + strings.Repeat("v", 4096))
 	f.Add("UNKNOWN command here")
 
+	sess := &session{s: s, th: th}
 	f.Fuzz(func(t *testing.T, line string) {
-		reply := s.handle(th, line)
+		reply := s.handle(sess, th, line)
 		if reply == "" {
 			t.Fatalf("empty reply to %q", line)
 		}
-		if strings.ContainsAny(reply, "\n\r") {
+		// MGET is the one command whose reply spans lines: exactly one
+		// per requested key. Everything else answers a single line.
+		if fields := strings.Fields(line); len(fields) > 1 && strings.ToUpper(fields[0]) == "MGET" {
+			if !strings.HasPrefix(reply, "ERROR") && strings.Count(reply, "\n") != len(fields)-2 {
+				t.Fatalf("MGET %d keys answered %d lines: %q", len(fields)-1, strings.Count(reply, "\n")+1, reply)
+			}
+		} else if strings.ContainsAny(reply, "\n\r") {
 			t.Fatalf("multi-line reply to %q: %q", line, reply)
 		}
-		if got := s.handle(th, "PING"); got != "PONG" {
+		if got := s.handle(sess, th, "PING"); got != "PONG" {
 			t.Fatalf("server wedged after %q: PING answered %q", line, got)
 		}
 	})

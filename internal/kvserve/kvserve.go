@@ -8,6 +8,7 @@
 //
 //	SET <key> <value>         -> OK
 //	GET <key>                 -> VALUE <value> | MISSING
+//	MGET <key> [<key> ...]    -> VALUE <v> | MISSING per key (one snapshot)
 //	DEL <key>                 -> OK | MISSING
 //	MSET <k> <v> [<k> <v>...] -> OK (one transaction; values without spaces)
 //	MDEL <key> [<key> ...]    -> DELETED <n> (one transaction)
@@ -17,13 +18,18 @@
 //	QUIT                      -> BYE (closes the connection)
 //
 // Every acknowledged SET/DEL is durable before the reply is written:
-// the B+ tree update commits in a durable memory transaction.
+// the B+ tree update commits in a durable memory transaction. Reads
+// (GET/MGET/COUNT) are served on slot-free snapshot read transactions:
+// no thread lease, no log record, no fence, so a read-only connection
+// consumes no transaction slot and unbounded readers run in parallel
+// with writers.
 //
 // Clients that pipeline (send several request lines without waiting for
 // replies) are served transparently in batches: buffered lines are
-// dispatched concurrently across a small set of transaction threads —
-// partitioned by key hash, so commands on the same key keep their order —
-// and the replies are written back in request order. With group commit
+// dispatched concurrently across a small set of partitions — keyed by
+// hash, so commands on the same key keep their order — and the replies
+// are written back in request order. Write-carrying batches spread over
+// transaction threads; read-only batches need none. With group commit
 // enabled the whole batch shares durability fences.
 package kvserve
 
@@ -56,6 +62,13 @@ type Server struct {
 	pm   *core.PM
 	tree *pds.BPTree
 	hash func(string) uint64 // hashKey, overridable by collision tests
+	pool *core.ThreadPool
+
+	// ctx is the server's lifecycle context: every thread lease a session
+	// takes is bounded by it, so Close unblocks sessions queued on a full
+	// slot pool instead of hanging shutdown behind them.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -72,7 +85,16 @@ func New(pm *core.PM) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{pm: pm, tree: pds.NewBPTree(root), hash: hashKey, conns: make(map[net.Conn]bool)}, nil
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		pm:     pm,
+		tree:   pds.NewBPTree(root),
+		hash:   hashKey,
+		pool:   pm.ThreadPool(),
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]bool),
+	}, nil
 }
 
 // hashKey maps a string key into the tree's key space (FNV-1a). The full
@@ -129,17 +151,16 @@ func decodeKV(b []byte) (key, value string, err error) {
 	return string(b[2 : 2+n]), string(b[2+n:]), nil
 }
 
-// Serve accepts connections until Close. Each connection leases a
-// transaction thread from the instance's pool for the life of the
-// session and releases it on disconnect, so the Threads bound caps
-// concurrent connections only — cumulative connections are unlimited,
-// and a burst beyond the bound queues (up to the lease timeout) instead
-// of erroring.
+// Serve accepts connections until Close. Sessions lease transaction
+// threads lazily — on the first write command, not at connect — so
+// read-only connections take no thread at all and the Threads bound caps
+// concurrently-writing connections only. A burst of writers beyond the
+// bound queues for slots (up to the lease timeout or server shutdown)
+// instead of erroring.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
-	pool := s.pm.ThreadPool()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -160,9 +181,6 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = true
 		s.mu.Unlock()
 		s.wg.Add(1)
-		// The lease happens on the session goroutine: a full pool must
-		// not stall the accept loop, and concurrent arrivals then queue
-		// for slots concurrently.
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -171,14 +189,7 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			th, err := pool.Lease(context.Background())
-			if err != nil {
-				telErrs.Inc()
-				fmt.Fprintf(conn, "ERROR %v\n", err)
-				return
-			}
-			defer pool.Release(th)
-			s.session(conn, th)
+			s.session(conn)
 		}()
 	}
 }
@@ -186,6 +197,8 @@ func (s *Server) Serve(l net.Listener) error {
 // Close stops accepting, disconnects active sessions, and waits for them
 // to finish their in-flight command (every acknowledged update is durable
 // before its reply, so a shutdown never loses acknowledged data).
+// Cancelling the lifecycle context unblocks any session still queued on
+// a full thread pool, so shutdown cannot hang behind leasing sessions.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -194,6 +207,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -214,19 +228,38 @@ const (
 // protocol error, not a silent disconnect.
 var errLineTooLong = errors.New("kvserve: line too long")
 
-// session is one connection's execution state: the leased protocol
-// thread plus worker threads created lazily for concurrent batch
-// dispatch and kept for the life of the connection.
+// session is one connection's execution state. All threads are lazy: the
+// protocol thread is leased on the session's first write command (a
+// read-only session — GET/MGET/COUNT/STATS — never leases at all, since
+// snapshot Views need no thread), and batch workers are created on the
+// first large batch containing writes. Leased threads are kept for the
+// life of the connection and released on disconnect.
 type session struct {
 	s       *Server
-	th      *mtm.Thread
+	th      *mtm.Thread // write thread, nil until the first write command
 	workers []*mtm.Thread
 	threads []*mtm.Thread // cached [th, workers...]
 }
 
-func (s *Server) session(conn net.Conn, th *mtm.Thread) {
-	sess := &session{s: s, th: th}
-	defer sess.closeWorkers()
+// writer returns the session's transaction thread, leasing it on first
+// use. The lease is bounded by the server's lifecycle context, so server
+// shutdown unblocks a writer queued on a full pool. Only the session
+// goroutine calls writer; batch partition goroutines receive their
+// threads explicitly.
+func (sess *session) writer() (*mtm.Thread, error) {
+	if sess.th == nil {
+		th, err := sess.s.pool.Lease(sess.s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		sess.th = th
+	}
+	return sess.th, nil
+}
+
+func (s *Server) session(conn net.Conn) {
+	sess := &session{s: s}
+	defer sess.closeThreads()
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
@@ -301,19 +334,49 @@ func (s *Server) lineTooLong(conn net.Conn, w *bufio.Writer) {
 }
 
 // dispatchBatch serves one batch of pipelined lines, returning replies
-// in request order. Keyed single-key commands spread across the
-// session's worker threads partitioned by key hash — same key, same
-// thread, so per-key order is preserved; everything else (COUNT, STATS,
-// MSET, QUIT, parse errors) is a barrier: queued keyed work completes
-// first, then the command runs alone on the session thread.
+// in request order. Keyed single-key commands spread across partition
+// goroutines by key hash — same key, same partition, so per-key order is
+// preserved. Keyed reads (GET) run on snapshot Views and need no thread;
+// a batch containing keyed writes (SET/DEL) materializes per-partition
+// transaction threads first. Everything else (COUNT, STATS, MSET, QUIT,
+// parse errors) is a barrier: queued keyed work completes first, then
+// the command runs alone on the session goroutine.
 func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 	replies := make([]string, len(lines))
 	if len(lines) == 1 {
-		replies[0] = s.dispatch(sess.th, lines[0])
+		replies[0] = s.dispatch(sess, nil, lines[0])
 		return replies, replies[0] == "BYE"
 	}
-	threads := sess.batchThreads(len(lines))
-	pending := make([][]int, len(threads))
+
+	// A batch with keyed writes partitions across real transaction
+	// threads; a read-only batch partitions across thread-less Views.
+	hasWrite := false
+	for _, line := range lines {
+		if _, kind := batchKey(line); kind == lineWrite {
+			hasWrite = true
+			break
+		}
+	}
+	var threads []*mtm.Thread
+	nparts := 1
+	if len(lines) >= 8 {
+		nparts = batchPartitions
+	}
+	if hasWrite {
+		threads = sess.batchThreads(len(lines))
+		nparts = len(threads)
+		if nparts == 0 {
+			nparts = 1 // pool exhausted: serial on the session goroutine
+		}
+	}
+	thOf := func(p int) *mtm.Thread {
+		if p < len(threads) {
+			return threads[p]
+		}
+		return nil
+	}
+
+	pending := make([][]int, nparts)
 	flush := func() {
 		total := 0
 		for _, idxs := range pending {
@@ -322,16 +385,16 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 		if total == 0 {
 			return
 		}
-		if total <= 2 || len(threads) == 1 {
+		if total <= 2 || nparts == 1 {
 			// Not worth goroutine coordination.
 			for _, idxs := range pending {
 				for _, i := range idxs {
-					replies[i] = s.dispatch(sess.th, lines[i])
+					replies[i] = s.dispatch(sess, thOf(0), lines[i])
 				}
 			}
 		} else {
 			var wg sync.WaitGroup
-			for p := 1; p < len(threads); p++ {
+			for p := 1; p < nparts; p++ {
 				if len(pending[p]) == 0 {
 					continue
 				}
@@ -339,12 +402,12 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 				go func(p int) {
 					defer wg.Done()
 					for _, i := range pending[p] {
-						replies[i] = s.dispatch(threads[p], lines[i])
+						replies[i] = s.dispatch(sess, thOf(p), lines[i])
 					}
 				}(p)
 			}
 			for _, i := range pending[0] {
-				replies[i] = s.dispatch(sess.th, lines[i])
+				replies[i] = s.dispatch(sess, thOf(0), lines[i])
 			}
 			wg.Wait()
 		}
@@ -353,13 +416,13 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 		}
 	}
 	for i, line := range lines {
-		if key, keyed := batchKey(line); keyed && len(threads) > 1 {
-			p := int(s.hash(key) % uint64(len(threads)))
+		if key, kind := batchKey(line); kind != lineBarrier && nparts > 1 {
+			p := int(s.hash(key) % uint64(nparts))
 			pending[p] = append(pending[p], i)
 			continue
 		}
 		flush()
-		replies[i] = s.dispatch(sess.th, line)
+		replies[i] = s.dispatch(sess, nil, line)
 		if replies[i] == "BYE" {
 			// Lines pipelined after QUIT are dropped unanswered.
 			return replies[:i+1], true
@@ -369,33 +432,46 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 	return replies, false
 }
 
+// Line classes for batch partitioning.
+const (
+	lineBarrier = iota // runs alone on the session goroutine
+	lineRead           // keyed single-key read: partitioned, no thread
+	lineWrite          // keyed single-key write: partitioned, needs a thread
+)
+
 // batchKey classifies a line for batch partitioning: single-key commands
 // can run concurrently keyed by hash, anything else is a barrier.
-func batchKey(line string) (key string, keyed bool) {
+func batchKey(line string) (key string, kind int) {
 	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
 	switch strings.ToUpper(fields[0]) {
 	case "SET":
 		if len(fields) == 3 {
-			return fields[1], true
+			return fields[1], lineWrite
 		}
-	case "GET", "DEL":
+	case "DEL":
 		if len(fields) == 2 {
-			return fields[1], true
+			return fields[1], lineWrite
+		}
+	case "GET":
+		if len(fields) == 2 {
+			return fields[1], lineRead
 		}
 	}
-	return "", false
+	return "", lineBarrier
 }
 
-// batchThreads returns the thread set for a batch: the session thread
-// plus up to batchPartitions-1 workers, created on first large batch and
-// reused for the connection's life. Small batches are not worth the
-// coordination; an exhausted thread pool degrades the session to
-// whatever workers it already holds (possibly none) rather than failing.
+// batchThreads returns the thread set for a write-carrying batch: the
+// session's write thread plus up to batchPartitions-1 workers, created
+// on first large batch and reused for the connection's life. Small
+// batches are not worth the coordination; an exhausted thread pool
+// degrades the session to whatever threads it already holds (possibly
+// none) rather than failing.
 func (sess *session) batchThreads(batchLen int) []*mtm.Thread {
+	if _, err := sess.writer(); err != nil {
+		return nil
+	}
 	if batchLen < 8 {
-		if len(sess.threads) == 0 {
-			sess.threads = append(sess.threads, sess.th)
-		}
+		sess.threads = append(sess.threads[:0], sess.th)
 		return sess.threads[:1]
 	}
 	for len(sess.workers) < batchPartitions-1 {
@@ -410,19 +486,27 @@ func (sess *session) batchThreads(batchLen int) []*mtm.Thread {
 	return sess.threads
 }
 
-// closeWorkers releases the session's batch workers on disconnect. A
-// failed Close quarantines that slot; nothing to do about it here.
-func (sess *session) closeWorkers() {
+// closeThreads releases the session's write thread and batch workers on
+// disconnect. A failed Close quarantines that slot; nothing to do about
+// it here.
+func (sess *session) closeThreads() {
+	if sess.th != nil {
+		sess.th.Close()
+		sess.th = nil
+	}
 	for _, th := range sess.workers {
 		th.Close()
 	}
 	sess.workers = nil
 }
 
-// dispatch times and traces one protocol command around handle.
-func (s *Server) dispatch(th *mtm.Thread, line string) string {
+// dispatch times and traces one protocol command around handle. th is
+// the transaction thread a batch partition assigned, or nil — handle
+// serves reads through thread-less Views and leases the session's write
+// thread on demand for writes.
+func (s *Server) dispatch(sess *session, th *mtm.Thread, line string) string {
 	start := time.Now()
-	reply := s.handle(th, line)
+	reply := s.handle(sess, th, line)
 	lat := time.Since(start).Nanoseconds()
 	telReqs.Inc()
 	telReqLat.Observe(lat)
@@ -430,12 +514,44 @@ func (s *Server) dispatch(th *mtm.Thread, line string) string {
 		telErrs.Inc()
 	}
 	if telemetry.TraceEnabled() {
-		telemetry.Emit(telemetry.EvRequest, th.ID(), uint64(lat), uint64(len(line)))
+		var tid uint64
+		if th != nil {
+			tid = th.ID()
+		}
+		telemetry.Emit(telemetry.EvRequest, tid, uint64(lat), uint64(len(line)))
 	}
 	return reply
 }
 
-func (s *Server) handle(th *mtm.Thread, line string) string {
+// writeThread resolves the transaction thread for a write command: the
+// batch-assigned thread when the partition has one, else the session's
+// lazily-leased write thread. Only the session goroutine reaches the
+// nil-thread path (single lines and barriers), so writer stays race-free.
+func (sess *session) writeThread(th *mtm.Thread) (*mtm.Thread, error) {
+	if th != nil {
+		return th, nil
+	}
+	return sess.writer()
+}
+
+// lookup reads one key through any Reader — a snapshot ReadTx or a
+// writing Tx — resolving hash collisions against the stored full key.
+func (s *Server) lookup(r mtm.Reader, key string) (string, error) {
+	raw, err := s.tree.Get(r, s.hash(key))
+	if err != nil {
+		return "", err
+	}
+	k, v, err := decodeKV(raw)
+	if err != nil {
+		return "", err
+	}
+	if k != key {
+		return "", pds.ErrNotFound // hash collision with another key
+	}
+	return v, nil
+}
+
+func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
@@ -457,6 +573,10 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 		if err != nil {
 			return "ERROR " + err.Error()
 		}
+		th, err := sess.writeThread(th)
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
 		err = th.Atomic(func(tx *mtm.Tx) error {
 			return s.tree.Put(tx, s.hash(key), rec)
 		})
@@ -469,17 +589,10 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 			return "ERROR usage: GET <key>"
 		}
 		var value string
-		err := th.Atomic(func(tx *mtm.Tx) error {
-			raw, err := s.tree.Get(tx, s.hash(fields[1]))
+		err := s.pm.View(func(r *mtm.ReadTx) error {
+			v, err := s.lookup(r, fields[1])
 			if err != nil {
 				return err
-			}
-			k, v, err := decodeKV(raw)
-			if err != nil {
-				return err
-			}
-			if k != fields[1] {
-				return pds.ErrNotFound // hash collision with another key
 			}
 			value = v
 			return nil
@@ -491,11 +604,17 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 			return "ERROR " + err.Error()
 		}
 		return "VALUE " + value
+	case "MGET":
+		return s.handleMGet(line)
 	case "DEL":
 		if len(fields) != 2 {
 			return "ERROR usage: DEL <key>"
 		}
-		err := th.Atomic(func(tx *mtm.Tx) error {
+		th, err := sess.writeThread(th)
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		err = th.Atomic(func(tx *mtm.Tx) error {
 			// Load and compare the stored key before deleting: the
 			// tree is keyed by hash, and deleting on a collision
 			// would destroy a different key's record.
@@ -520,13 +639,13 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 		}
 		return "OK"
 	case "MSET":
-		return s.handleMSet(th, line)
+		return s.handleMSet(sess, th, line)
 	case "MDEL":
-		return s.handleMDel(th, line)
+		return s.handleMDel(sess, th, line)
 	case "COUNT":
 		n := 0
-		err := th.Atomic(func(tx *mtm.Tx) error {
-			n = s.tree.Len(tx)
+		err := s.pm.View(func(r *mtm.ReadTx) error {
+			n = s.tree.Len(r)
 			return nil
 		})
 		if err != nil {
@@ -540,11 +659,40 @@ func (s *Server) handle(th *mtm.Thread, line string) string {
 	}
 }
 
+// handleMGet answers every key from one snapshot: all the VALUE/MISSING
+// lines reflect the same committed state, with no thread lease and no
+// fence. One reply line per key, in request order.
+func (s *Server) handleMGet(line string) string {
+	keys := strings.Fields(line)[1:]
+	if len(keys) == 0 {
+		return "ERROR usage: MGET <key> [<key> ...]"
+	}
+	outs := make([]string, len(keys))
+	err := s.pm.View(func(r *mtm.ReadTx) error {
+		for i, key := range keys {
+			v, err := s.lookup(r, key)
+			if err == pds.ErrNotFound {
+				outs[i] = "MISSING"
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			outs[i] = "VALUE " + v
+		}
+		return nil
+	})
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	return strings.Join(outs, "\n")
+}
+
 // handleMSet stores every pair in one durable transaction: one log
 // append and one fence (or one group-commit epoch membership) for the
 // whole set, and either all pairs commit or none do. Keys and values are
 // whitespace-delimited, so MSET values cannot contain spaces.
-func (s *Server) handleMSet(th *mtm.Thread, line string) string {
+func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string) string {
 	args := strings.Fields(line)[1:]
 	if len(args) == 0 || len(args)%2 != 0 {
 		return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
@@ -557,7 +705,11 @@ func (s *Server) handleMSet(th *mtm.Thread, line string) string {
 		}
 		recs = append(recs, rec)
 	}
-	err := th.Atomic(func(tx *mtm.Tx) error {
+	th, err := sess.writeThread(th)
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	err = th.Atomic(func(tx *mtm.Tx) error {
 		for i, rec := range recs {
 			if err := s.tree.Put(tx, s.hash(args[2*i]), rec); err != nil {
 				return err
@@ -574,13 +726,17 @@ func (s *Server) handleMSet(th *mtm.Thread, line string) string {
 // handleMDel deletes every named key in one durable transaction,
 // reporting how many were present. Missing keys (and hash collisions
 // holding a different key's record) are skipped, not errors.
-func (s *Server) handleMDel(th *mtm.Thread, line string) string {
+func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string) string {
 	keys := strings.Fields(line)[1:]
 	if len(keys) == 0 {
 		return "ERROR usage: MDEL <key> [<key> ...]"
 	}
+	th, err := sess.writeThread(th)
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
 	deleted := 0
-	err := th.Atomic(func(tx *mtm.Tx) error {
+	err = th.Atomic(func(tx *mtm.Tx) error {
 		deleted = 0 // conflict retries rerun the closure
 		for _, key := range keys {
 			raw, err := s.tree.Get(tx, s.hash(key))
@@ -632,6 +788,11 @@ func (s *Server) stats() string {
 	add("log_bytes", uint64(reg["rawl_append_payload_bytes_total"]))
 	add("gc_epochs", uint64(reg["mtm_group_commit_epochs_total"]))
 	add("gc_members", uint64(reg["mtm_group_commit_members_total"]))
+	add("views", tm.Views)
+	add("readtx_started", uint64(reg["mtm_readtx_started_total"]))
+	add("readtx_retries", uint64(reg["mtm_readtx_retries_total"]))
+	add("readtx_extends", uint64(reg["mtm_readtx_extends_total"]))
+	add("thread_leases", uint64(reg["mtm_thread_leases_total"]))
 	fpc := 0.0
 	if tm.Commits > 0 {
 		fpc = float64(dev.Fences) / float64(tm.Commits)

@@ -1,0 +1,115 @@
+package kvserve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestReadOnlySessionZeroLeases proves the slot-free read path end to
+// end over the wire: a GET/MGET/COUNT/STATS-only connection performs
+// zero thread leases and zero durability fences — reads ride snapshot
+// Views, never the transaction log.
+func TestReadOnlySessionZeroLeases(t *testing.T) {
+	_, pm, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+
+	// Seed data on a writing connection, fully acknowledged before the
+	// baselines are sampled.
+	w := dial(t, addr)
+	for i := 0; i < 8; i++ {
+		if got := w.cmd(t, fmt.Sprintf("SET rk%d rv%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d -> %q", i, got)
+		}
+	}
+	if got := w.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+	w.conn.Close()
+
+	leases0 := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"])
+	fences0 := pm.Device().Snapshot().Fences
+	readtx0 := uint64(telemetry.Default.Snapshot()["mtm_readtx_started_total"])
+
+	r := dial(t, addr)
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("VALUE rv%d", i)
+		if got := r.cmd(t, fmt.Sprintf("GET rk%d", i)); got != want {
+			t.Fatalf("GET rk%d -> %q, want %q", i, got, want)
+		}
+	}
+	if got := r.cmd(t, "GET nosuch"); got != "MISSING" {
+		t.Fatalf("GET nosuch -> %q", got)
+	}
+	// MGET answers one line per key from one snapshot.
+	fmt.Fprintln(r.conn, "MGET rk0 nosuch rk7")
+	for i, want := range []string{"VALUE rv0", "MISSING", "VALUE rv7"} {
+		line, err := r.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimRight(line, "\n"); got != want {
+			t.Fatalf("MGET line %d -> %q, want %q", i, got, want)
+		}
+	}
+	if got := r.cmd(t, "COUNT"); got != "COUNT 8" {
+		t.Fatalf("COUNT -> %q", got)
+	}
+	if got := r.cmd(t, "STATS"); !strings.HasPrefix(got, "STATS ") {
+		t.Fatalf("STATS -> %q", got)
+	}
+
+	if d := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"]) - leases0; d != 0 {
+		t.Errorf("read-only session performed %d thread leases, want 0", d)
+	}
+	if d := pm.Device().Snapshot().Fences - fences0; d != 0 {
+		t.Errorf("read-only session issued %d fences, want 0", d)
+	}
+	if d := uint64(telemetry.Default.Snapshot()["mtm_readtx_started_total"]) - readtx0; d == 0 {
+		t.Error("no snapshot read transactions recorded; reads did not take the View path")
+	}
+}
+
+// TestCloseUnblocksFullPool is the regression test for shutdown hanging
+// behind thread leasing: with every slot held and the lease timeout far
+// in the future, a writer queued on the full pool must be unblocked by
+// Close cancelling the server's lifecycle context.
+func TestCloseUnblocksFullPool(t *testing.T) {
+	srv, _, addr := startServer(t, core.Config{
+		Dir:          t.TempDir(),
+		DeviceSize:   64 << 20,
+		Threads:      1,
+		LeaseTimeout: 10 * time.Minute,
+	})
+
+	// holder takes the only slot with its first write and keeps it for
+	// the connection's life.
+	holder := dial(t, addr)
+	if got := holder.cmd(t, "SET held 1"); got != "OK" {
+		t.Fatalf("SET -> %q", got)
+	}
+
+	// blocked queues on the full pool; without the lifecycle context its
+	// lease would wait out the 10-minute timeout.
+	blocked := dial(t, addr)
+	if _, err := fmt.Fprintln(blocked.conn, "SET queued 2"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the session reach Lease
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung behind a session queued on the full thread pool")
+	}
+	holder.conn.Close()
+	blocked.conn.Close()
+}

@@ -29,8 +29,9 @@ type MnemosyneBackend struct {
 	tree  *pds.AVL
 	descs *DescTable
 
-	// LeaseTimeout bounds how long Session waits for a transaction
-	// thread when every log slot is leased. Zero means don't wait.
+	// LeaseTimeout bounds how long a session's first update waits for a
+	// transaction thread when every log slot is leased. Zero means don't
+	// wait. Searches never lease, so it only gates writers.
 	LeaseTimeout time.Duration
 }
 
@@ -105,23 +106,13 @@ func (b *MnemosyneBackend) Name() string { return "back-mnemosyne" }
 // Descs exposes the description table (tests).
 func (b *MnemosyneBackend) Descs() *DescTable { return b.descs }
 
-// Session implements Backend: each worker leases its own transaction
-// thread for the session's lifetime and returns it at Session.Close, so
-// session churn does not consume log slots cumulatively.
+// Session implements Backend. The transaction thread is lazy: it is
+// leased on the session's first update (Add/Delete) and returned at
+// Session.Close, so a search-only session — served entirely on slot-free
+// snapshot reads — never takes a log slot at all, and session churn does
+// not consume slots cumulatively.
 func (b *MnemosyneBackend) Session() (Session, error) {
-	var th *mtm.Thread
-	var err error
-	if b.LeaseTimeout <= 0 {
-		th, err = b.tm.NewThread() // no wait: fail fast when full
-	} else {
-		ctx, cancel := context.WithTimeout(context.Background(), b.LeaseTimeout)
-		th, err = b.tm.Lease(ctx)
-		cancel()
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &mnemosyneSession{b: b, th: th}, nil
+	return &mnemosyneSession{b: b}, nil
 }
 
 // Close implements Backend.
@@ -129,11 +120,42 @@ func (b *MnemosyneBackend) Close() error { return nil }
 
 type mnemosyneSession struct {
 	b  *MnemosyneBackend
-	th *mtm.Thread
+	th *mtm.Thread // write thread, nil until the first update
 }
 
-// Close releases the session's transaction thread back to the slot pool.
-func (s *mnemosyneSession) Close() error { return s.th.Close() }
+// writer returns the session's transaction thread, leasing it on first
+// use under the backend's LeaseTimeout (zero or negative: fail fast when
+// every slot is taken).
+func (s *mnemosyneSession) writer() (*mtm.Thread, error) {
+	if s.th != nil {
+		return s.th, nil
+	}
+	var th *mtm.Thread
+	var err error
+	if s.b.LeaseTimeout <= 0 {
+		th, err = s.b.tm.NewThread() // no wait: fail fast when full
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), s.b.LeaseTimeout)
+		th, err = s.b.tm.Lease(ctx)
+		cancel()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.th = th
+	return th, nil
+}
+
+// Close releases the session's transaction thread, if one was ever
+// leased, back to the slot pool.
+func (s *mnemosyneSession) Close() error {
+	if s.th == nil {
+		return nil
+	}
+	th := s.th
+	s.th = nil
+	return th.Close()
+}
 
 // Add updates the persistent AVL cache in one durable transaction — the
 // paper's four atomic blocks collapse to one here because Go's API wraps
@@ -144,15 +166,22 @@ func (s *mnemosyneSession) Add(e *Entry) error {
 		s.b.descs.Resolve(a.Name)
 	}
 	enc := e.Encode()
-	return s.th.Atomic(func(tx *mtm.Tx) error {
+	th, err := s.writer()
+	if err != nil {
+		return err
+	}
+	return th.Atomic(func(tx *mtm.Tx) error {
 		return s.b.tree.Put(tx, []byte(e.DN), enc)
 	})
 }
 
+// Search reads the cache on a slot-free snapshot: no thread lease, no
+// log record, no fence, so unbounded concurrent searches run in parallel
+// with directory updates.
 func (s *mnemosyneSession) Search(dn string) (*Entry, error) {
 	var buf []byte
-	err := s.th.Atomic(func(tx *mtm.Tx) error {
-		v, err := s.b.tree.Get(tx, []byte(dn))
+	err := s.b.tm.View(func(r *mtm.ReadTx) error {
+		v, err := s.b.tree.Get(r, []byte(dn))
 		if err != nil {
 			return err
 		}
@@ -178,7 +207,11 @@ func (s *mnemosyneSession) Search(dn string) (*Entry, error) {
 }
 
 func (s *mnemosyneSession) Delete(dn string) error {
-	err := s.th.Atomic(func(tx *mtm.Tx) error {
+	th, err := s.writer()
+	if err != nil {
+		return err
+	}
+	err = th.Atomic(func(tx *mtm.Tx) error {
 		return s.b.tree.Delete(tx, []byte(dn))
 	})
 	if err == pds.ErrNotFound {

@@ -1,0 +1,57 @@
+package ldapdir
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSearchOnlySessionZeroLeases asserts a search-only back-mnemosyne
+// session takes no transaction thread at all: sessions lease lazily on
+// their first update, and Search rides slot-free snapshot reads, so a
+// reader burst performs zero leases and zero durability fences.
+func TestSearchOnlySessionZeroLeases(t *testing.T) {
+	dev, _, b := newMnemosyneBackend(t, 1)
+	wsess, err := b.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := wsess.Add(TemplateEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wsess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	leases0 := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"])
+	fences0 := dev.Snapshot().Fences
+
+	rsess, err := b.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e, err := rsess.Search(TemplateEntry(i).DN)
+		if err != nil {
+			t.Fatalf("Search %d: %v", i, err)
+		}
+		if e.DN != TemplateEntry(i).DN {
+			t.Fatalf("Search %d returned DN %q", i, e.DN)
+		}
+	}
+	if _, err := rsess.Search("cn=nosuch,dc=example,dc=com"); err != ErrNoSuchEntry {
+		t.Fatalf("Search missing: %v, want ErrNoSuchEntry", err)
+	}
+	if err := rsess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"]) - leases0; d != 0 {
+		t.Errorf("search-only session leased %d threads, want 0", d)
+	}
+	if d := dev.Snapshot().Fences - fences0; d != 0 {
+		t.Errorf("search-only session issued %d fences, want 0", d)
+	}
+}

@@ -38,6 +38,7 @@ package mtm
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -191,6 +192,12 @@ type TM struct {
 	mgr *logManager
 	gc  *groupCommitter
 
+	// readers pools ReadTx contexts for View. Pooling matters beyond
+	// allocation cost: each ReadTx owns a region.Mem whose device context
+	// registers with the emulator for the device's lifetime, so minting
+	// one per View would grow the context table without bound.
+	readers sync.Pool
+
 	// activeWriters counts transactions in flight — begun and not yet
 	// enqueued on an epoch, rolled back, or finished read-only; epoch
 	// leaders consult it to decide whether waiting for more members is
@@ -207,11 +214,12 @@ type Stats struct {
 	Commits  atomic.Uint64
 	Aborts   atomic.Uint64
 	ReadOnly atomic.Uint64
+	Views    atomic.Uint64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
-	Commits, Aborts, ReadOnly uint64
+	Commits, Aborts, ReadOnly, Views uint64
 }
 
 // Open creates or reopens a transaction system named name. The name keys a
@@ -226,6 +234,13 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 	tm.locks = make([]atomic.Uint64, lockCount)
 	tm.threads = make(map[int]*Thread)
 	tm.slotAvail = make(chan struct{})
+	tm.readers.New = func() any {
+		return &ReadTx{
+			tm:  tm,
+			mem: rt.NewMemory(),
+			rng: rand.New(rand.NewSource(readTxSeed.Add(1))),
+		}
+	}
 	tm.logBytes = (rawl.Size(cfg.LogWords) + scm.PageSize - 1) &^ (scm.PageSize - 1)
 	tm.slotSize = tm.logBytes + scm.PageSize
 
@@ -308,6 +323,7 @@ func (tm *TM) Snapshot() StatsSnapshot {
 		Commits:  tm.stats.Commits.Load(),
 		Aborts:   tm.stats.Aborts.Load(),
 		ReadOnly: tm.stats.ReadOnly.Load(),
+		Views:    tm.stats.Views.Load(),
 	}
 }
 

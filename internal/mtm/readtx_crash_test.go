@@ -1,0 +1,166 @@
+package mtm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// TestCrashPointsSnapshotReads explores every crash point of a
+// group-commit workload and checks the reader's isolation contract on
+// both sides of the crash: a View taken after each acknowledged epoch
+// observes exactly that whole epoch's image, and a View taken over the
+// recovered state observes a whole-epoch image too — never a partially
+// committed or partially recovered epoch. The workload reuses the
+// group-commit crash driver (gcVal stripes) so any mixed image is
+// distinguishable from every whole-epoch prefix.
+func TestCrashPointsSnapshotReads(t *testing.T) {
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		acked := 0
+		cfg := Config{Slots: gcCrashMembers, LogWords: 256, GroupCommit: true}
+
+		openAll := func() (*region.Runtime, *TM, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, nil, pmem.Nil, err
+			}
+			tm, err := Open(rt, "snapread", cfg)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			ptr, _, err := rt.Static("mtm.snapread.data", 8)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			mem := rt.NewMemory()
+			base := pmem.Addr(mem.LoadU64(ptr))
+			if base == pmem.Nil {
+				base, err = rt.PMapAt(ptr, scm.PageSize, 0)
+				if err != nil {
+					rt.Close()
+					return nil, nil, pmem.Nil, err
+				}
+			}
+			return rt, tm, base, nil
+		}
+
+		// viewImage snapshots the whole data stripe in one View.
+		viewImage := func(tm *TM, base pmem.Addr) ([gcCrashMembers * gcCrashStride]uint64, error) {
+			var img [gcCrashMembers * gcCrashStride]uint64
+			err := tm.View(func(r *ReadTx) error {
+				for i := range img {
+					img[i] = r.LoadU64(base.Add(int64(i) * 8))
+				}
+				return nil
+			})
+			return img, err
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				_, tm, base, err := openAll()
+				if err != nil {
+					return err
+				}
+				threads := make([]*Thread, gcCrashMembers)
+				for k := range threads {
+					if threads[k], err = tm.NewThread(); err != nil {
+						return err
+					}
+				}
+				members := make([]*pendingCommit, 0, gcCrashMembers)
+				for e := 1; e <= gcCrashEpochs; e++ {
+					members = members[:0]
+					for k, th := range threads {
+						tx := &th.tx
+						tx.begin()
+						for j := 0; j < gcCrashWords; j++ {
+							tx.write(base.Add(int64(k*gcCrashStride+j)*8), gcVal(e, k, j))
+						}
+						if !tx.validate() {
+							return fmt.Errorf("epoch %d member %d failed validation", e, k)
+						}
+						tx.endWriting()
+						pc := &th.pending
+						pc.tx, pc.ts, pc.err = tx, tm.clock.Add(1), nil
+						members = append(members, pc)
+					}
+					tm.gc.flushEpoch(uint64(e), members)
+					for k, pc := range members {
+						if err := tm.gc.finish(pc); err != nil {
+							return fmt.Errorf("epoch %d member %d: %w", e, k, err)
+						}
+					}
+					acked = e
+					// Isolation oracle, pre-crash: a snapshot taken now sees
+					// exactly the e whole epochs acknowledged so far.
+					img, err := viewImage(tm, base)
+					if err != nil {
+						return fmt.Errorf("epoch %d view: %w", e, err)
+					}
+					if img != gcApplyEpochs(e) {
+						return fmt.Errorf("view after epoch %d observed a non-whole-epoch image", e)
+					}
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, tm, base, err := openAll()
+				if err != nil {
+					return fmt.Errorf("stack not reopenable after %d acked epochs: %w", acked, err)
+				}
+				defer rt.Close()
+				defer tm.Close()
+				if base == pmem.Nil {
+					if acked > 0 {
+						return fmt.Errorf("data region lost after %d acked epochs", acked)
+					}
+					return nil
+				}
+				// Isolation oracle, post-recovery: the first snapshot over
+				// recovered state is a whole-epoch image — recovery never
+				// exposes a half-replayed epoch to readers.
+				img, err := viewImage(tm, base)
+				if err != nil {
+					return fmt.Errorf("post-recovery view after %d acked epochs: %w", acked, err)
+				}
+				for _, m := range []int{acked, acked + 1} {
+					if m > gcCrashEpochs {
+						continue
+					}
+					if img == gcApplyEpochs(m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("post-recovery snapshot matches neither %d nor %d whole epochs (partial epoch visible to readers?)", acked, acked+1)
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("snapshot-read isolation failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("snapshot reads: %s", rep)
+}

@@ -34,7 +34,7 @@ const (
 // (pmem.Nil there means an empty tree).
 func NewAVL(rootPtr pmem.Addr) *AVL { return &AVL{rootPtr: rootPtr} }
 
-func avlKey(tx *mtm.Tx, node pmem.Addr) []byte {
+func avlKey(tx mtm.Reader, node pmem.Addr) []byte {
 	n := int64(tx.LoadU64(node.Add(avlKlenOff)))
 	k := make([]byte, n)
 	if n > 0 {
@@ -43,7 +43,7 @@ func avlKey(tx *mtm.Tx, node pmem.Addr) []byte {
 	return k
 }
 
-func avlHeight(tx *mtm.Tx, node pmem.Addr) int64 {
+func avlHeight(tx mtm.Reader, node pmem.Addr) int64 {
 	if node == pmem.Nil {
 		return 0
 	}
@@ -65,7 +65,7 @@ func avlFix(tx *mtm.Tx, node pmem.Addr) {
 	}
 }
 
-func avlBalance(tx *mtm.Tx, node pmem.Addr) int64 {
+func avlBalance(tx mtm.Reader, node pmem.Addr) int64 {
 	l := avlHeight(tx, pmem.Addr(tx.LoadU64(node.Add(avlLeftOff))))
 	r := avlHeight(tx, pmem.Addr(tx.LoadU64(node.Add(avlRightOff))))
 	return l - r
@@ -178,7 +178,7 @@ func (t *AVL) put(tx *mtm.Tx, link pmem.Addr, key, val []byte) (grew bool, err e
 }
 
 // Get returns a copy of the value for key.
-func (t *AVL) Get(tx *mtm.Tx, key []byte) ([]byte, error) {
+func (t *AVL) Get(tx mtm.Reader, key []byte) ([]byte, error) {
 	node := pmem.Addr(tx.LoadU64(t.rootPtr))
 	for node != pmem.Nil {
 		switch cmp := bytes.Compare(key, avlKey(tx, node)); {
@@ -274,12 +274,28 @@ func avlUnlinkMin(tx *mtm.Tx, link pmem.Addr) (pmem.Addr, error) {
 	return min, nil
 }
 
+// Contains reports whether key is present without copying its value.
+func (t *AVL) Contains(tx mtm.Reader, key []byte) bool {
+	node := pmem.Addr(tx.LoadU64(t.rootPtr))
+	for node != pmem.Nil {
+		switch cmp := bytes.Compare(key, avlKey(tx, node)); {
+		case cmp == 0:
+			return true
+		case cmp < 0:
+			node = pmem.Addr(tx.LoadU64(node.Add(avlLeftOff)))
+		default:
+			node = pmem.Addr(tx.LoadU64(node.Add(avlRightOff)))
+		}
+	}
+	return false
+}
+
 // Len counts the entries (O(n), for tests).
-func (t *AVL) Len(tx *mtm.Tx) int {
+func (t *AVL) Len(tx mtm.Reader) int {
 	return avlCount(tx, pmem.Addr(tx.LoadU64(t.rootPtr)))
 }
 
-func avlCount(tx *mtm.Tx, node pmem.Addr) int {
+func avlCount(tx mtm.Reader, node pmem.Addr) int {
 	if node == pmem.Nil {
 		return 0
 	}
@@ -288,14 +304,14 @@ func avlCount(tx *mtm.Tx, node pmem.Addr) int {
 }
 
 // Height returns the tree height (for invariant tests).
-func (t *AVL) Height(tx *mtm.Tx) int64 {
+func (t *AVL) Height(tx mtm.Reader) int64 {
 	return avlHeight(tx, pmem.Addr(tx.LoadU64(t.rootPtr)))
 }
 
 // CheckInvariants walks the tree verifying AVL balance, height fields and
 // key ordering; it returns false on any violation (used by property
 // tests).
-func (t *AVL) CheckInvariants(tx *mtm.Tx) bool {
+func (t *AVL) CheckInvariants(tx mtm.Reader) bool {
 	ok := true
 	var walk func(node pmem.Addr, lo, hi []byte) int64
 	walk = func(node pmem.Addr, lo, hi []byte) int64 {

@@ -44,7 +44,7 @@ const (
 // (pmem.Nil there means an empty tree).
 func NewBPTree(rootPtr pmem.Addr) *BPTree { return &BPTree{rootPtr: rootPtr} }
 
-func bpMeta(tx *mtm.Tx, n pmem.Addr) (nkeys int, leaf bool) {
+func bpMeta(tx mtm.Reader, n pmem.Addr) (nkeys int, leaf bool) {
 	m := tx.LoadU64(n.Add(bpMetaOff))
 	return int(m >> 1), m&1 != 0
 }
@@ -57,7 +57,7 @@ func bpSetMeta(tx *mtm.Tx, n pmem.Addr, nkeys int, leaf bool) {
 	tx.StoreU64(n.Add(bpMetaOff), m)
 }
 
-func bpKey(tx *mtm.Tx, n pmem.Addr, i int) uint64 {
+func bpKey(tx mtm.Reader, n pmem.Addr, i int) uint64 {
 	return tx.LoadU64(n.Add(bpKeysOff + int64(i)*8))
 }
 
@@ -65,7 +65,7 @@ func bpSetKey(tx *mtm.Tx, n pmem.Addr, i int, k uint64) {
 	tx.StoreU64(n.Add(bpKeysOff+int64(i)*8), k)
 }
 
-func bpPtr(tx *mtm.Tx, n pmem.Addr, i int) pmem.Addr {
+func bpPtr(tx mtm.Reader, n pmem.Addr, i int) pmem.Addr {
 	return pmem.Addr(tx.LoadU64(n.Add(bpPtrsOff + int64(i)*8)))
 }
 
@@ -84,7 +84,7 @@ func bpNewNode(tx *mtm.Tx, leaf bool) (pmem.Addr, error) {
 }
 
 // bpSearch returns the index of the first key >= k, in [0, nkeys].
-func bpSearch(tx *mtm.Tx, n pmem.Addr, nkeys int, k uint64) int {
+func bpSearch(tx mtm.Reader, n pmem.Addr, nkeys int, k uint64) int {
 	lo, hi := 0, nkeys
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -230,7 +230,7 @@ func (t *BPTree) splitInner(tx *mtm.Tx, n pmem.Addr, nkeys int) (uint64, pmem.Ad
 }
 
 // Get returns a copy of the value for key.
-func (t *BPTree) Get(tx *mtm.Tx, key uint64) ([]byte, error) {
+func (t *BPTree) Get(tx mtm.Reader, key uint64) ([]byte, error) {
 	n := pmem.Addr(tx.LoadU64(t.rootPtr))
 	if n == pmem.Nil {
 		return nil, ErrNotFound
@@ -420,9 +420,28 @@ func (t *BPTree) fixChild(tx *mtm.Tx, n pmem.Addr, ci int) error {
 	return tx.FreeBlock(right)
 }
 
+// Contains reports whether key is present without copying its value.
+func (t *BPTree) Contains(tx mtm.Reader, key uint64) bool {
+	n := pmem.Addr(tx.LoadU64(t.rootPtr))
+	if n == pmem.Nil {
+		return false
+	}
+	for {
+		nkeys, leaf := bpMeta(tx, n)
+		i := bpSearch(tx, n, nkeys, key)
+		if leaf {
+			return i < nkeys && bpKey(tx, n, i) == key
+		}
+		if i < nkeys && bpKey(tx, n, i) == key {
+			i++
+		}
+		n = bpPtr(tx, n, i)
+	}
+}
+
 // Scan calls fn for every key >= from in ascending order until fn returns
 // false, following the leaf chain.
-func (t *BPTree) Scan(tx *mtm.Tx, from uint64, fn func(key uint64, val []byte) bool) {
+func (t *BPTree) Scan(tx mtm.Reader, from uint64, fn func(key uint64, val []byte) bool) {
 	n := pmem.Addr(tx.LoadU64(t.rootPtr))
 	if n == pmem.Nil {
 		return
@@ -452,7 +471,7 @@ func (t *BPTree) Scan(tx *mtm.Tx, from uint64, fn func(key uint64, val []byte) b
 // CheckInvariants verifies key ordering within and across nodes and that
 // inner separators route correctly. Returns an error describing the first
 // violation (used by property tests).
-func (t *BPTree) CheckInvariants(tx *mtm.Tx) error {
+func (t *BPTree) CheckInvariants(tx mtm.Reader) error {
 	root := pmem.Addr(tx.LoadU64(t.rootPtr))
 	if root == pmem.Nil {
 		return nil
@@ -504,7 +523,7 @@ func (t *BPTree) CheckInvariants(tx *mtm.Tx) error {
 var errBPStop = errors.New("stop")
 
 // Len counts entries via a full scan (for tests).
-func (t *BPTree) Len(tx *mtm.Tx) int {
+func (t *BPTree) Len(tx mtm.Reader) int {
 	n := 0
 	t.Scan(tx, 0, func(uint64, []byte) bool { n++; return true })
 	return n

@@ -98,8 +98,9 @@ func CreateHashTable(th *mtm.Thread, rootPtr pmem.Addr, nbuckets int) (*HashTabl
 }
 
 // OpenHashTable attaches to the hash table whose address is stored at
-// rootPtr.
-func OpenHashTable(tx *mtm.Tx, rootPtr pmem.Addr) (*HashTable, error) {
+// rootPtr. Opening only reads, so it works inside a snapshot View as well
+// as a writing transaction.
+func OpenHashTable(tx mtm.Reader, rootPtr pmem.Addr) (*HashTable, error) {
 	base := pmem.Addr(tx.LoadU64(rootPtr))
 	if base == pmem.Nil {
 		return nil, errors.New("pds: nil hash table root")
@@ -113,13 +114,13 @@ func OpenHashTable(tx *mtm.Tx, rootPtr pmem.Addr) (*HashTable, error) {
 // Base returns the table's block address.
 func (h *HashTable) Base() pmem.Addr { return h.base }
 
-func (h *HashTable) bucket(tx *mtm.Tx, key uint64) pmem.Addr {
+func (h *HashTable) bucket(tx mtm.Reader, key uint64) pmem.Addr {
 	n := tx.LoadU64(h.base.Add(htBucketsOff))
 	return h.base.Add(htTableOff + int64(hash64(key)%n)*8)
 }
 
 // countCell returns the count shard for a key's bucket.
-func (h *HashTable) countCell(tx *mtm.Tx, key uint64) pmem.Addr {
+func (h *HashTable) countCell(tx mtm.Reader, key uint64) pmem.Addr {
 	n := tx.LoadU64(h.base.Add(htBucketsOff))
 	return h.base.Add(htCountOff + int64(hash64(key)%n%htCountCells)*8)
 }
@@ -155,7 +156,7 @@ func (h *HashTable) Put(tx *mtm.Tx, key uint64, val []byte) error {
 }
 
 // Get returns a copy of the value for key.
-func (h *HashTable) Get(tx *mtm.Tx, key uint64) ([]byte, error) {
+func (h *HashTable) Get(tx mtm.Reader, key uint64) ([]byte, error) {
 	node := pmem.Addr(tx.LoadU64(h.bucket(tx, key)))
 	for node != pmem.Nil {
 		if tx.LoadU64(node.Add(entKeyOff)) == key {
@@ -202,8 +203,20 @@ func (h *HashTable) unlink(tx *mtm.Tx, link pmem.Addr, key uint64) (bool, error)
 	}
 }
 
+// Contains reports whether key is present without copying its value.
+func (h *HashTable) Contains(tx mtm.Reader, key uint64) bool {
+	node := pmem.Addr(tx.LoadU64(h.bucket(tx, key)))
+	for node != pmem.Nil {
+		if tx.LoadU64(node.Add(entKeyOff)) == key {
+			return true
+		}
+		node = pmem.Addr(tx.LoadU64(node.Add(entNextOff)))
+	}
+	return false
+}
+
 // Len returns the number of entries by summing the count shards.
-func (h *HashTable) Len(tx *mtm.Tx) int64 {
+func (h *HashTable) Len(tx mtm.Reader) int64 {
 	var n int64
 	for c := 0; c < htCountCells; c++ {
 		n += int64(tx.LoadU64(h.base.Add(htCountOff + int64(c)*8)))

@@ -34,8 +34,9 @@ func writeValue(tx *mtm.Tx, val []byte) (pmem.Addr, error) {
 	return blk, nil
 }
 
-// readValue copies a value block's contents.
-func readValue(tx *mtm.Tx, blk pmem.Addr) []byte {
+// readValue copies a value block's contents. It needs only Reader, so it
+// runs inside both writing transactions and snapshot Views.
+func readValue(tx mtm.Reader, blk pmem.Addr) []byte {
 	n := int64(tx.LoadU64(blk))
 	out := make([]byte, n)
 	if n > 0 {

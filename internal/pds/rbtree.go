@@ -43,15 +43,17 @@ const (
 // rootPtr (pmem.Nil there means an empty tree).
 func NewRBTree(rootPtr pmem.Addr) *RBTree { return &RBTree{rootPtr: rootPtr} }
 
-func (t *RBTree) root(tx *mtm.Tx) pmem.Addr { return pmem.Addr(tx.LoadU64(t.rootPtr)) }
+func (t *RBTree) root(tx mtm.Reader) pmem.Addr { return pmem.Addr(tx.LoadU64(t.rootPtr)) }
 
-func rbLeft(tx *mtm.Tx, n pmem.Addr) pmem.Addr   { return pmem.Addr(tx.LoadU64(n.Add(rbLeftOff))) }
-func rbRight(tx *mtm.Tx, n pmem.Addr) pmem.Addr  { return pmem.Addr(tx.LoadU64(n.Add(rbRightOff))) }
-func rbParent(tx *mtm.Tx, n pmem.Addr) pmem.Addr { return pmem.Addr(tx.LoadU64(n.Add(rbParentOff))) }
-func rbKey(tx *mtm.Tx, n pmem.Addr) uint64       { return tx.LoadU64(n.Add(rbKeyOff)) }
+func rbLeft(tx mtm.Reader, n pmem.Addr) pmem.Addr  { return pmem.Addr(tx.LoadU64(n.Add(rbLeftOff))) }
+func rbRight(tx mtm.Reader, n pmem.Addr) pmem.Addr { return pmem.Addr(tx.LoadU64(n.Add(rbRightOff))) }
+func rbParent(tx mtm.Reader, n pmem.Addr) pmem.Addr {
+	return pmem.Addr(tx.LoadU64(n.Add(rbParentOff)))
+}
+func rbKey(tx mtm.Reader, n pmem.Addr) uint64 { return tx.LoadU64(n.Add(rbKeyOff)) }
 
 // rbColor treats nil as black, per the red-black convention.
-func rbColor(tx *mtm.Tx, n pmem.Addr) uint64 {
+func rbColor(tx mtm.Reader, n pmem.Addr) uint64 {
 	if n == pmem.Nil {
 		return rbBlack
 	}
@@ -75,7 +77,7 @@ func (t *RBTree) setChild(tx *mtm.Tx, parent pmem.Addr, side int, child pmem.Add
 	}
 }
 
-func (t *RBTree) sideOf(tx *mtm.Tx, parent, child pmem.Addr) int {
+func (t *RBTree) sideOf(tx mtm.Reader, parent, child pmem.Addr) int {
 	if rbLeft(tx, parent) == child {
 		return 0
 	}
@@ -199,7 +201,7 @@ func (t *RBTree) insertFixup(tx *mtm.Tx, z pmem.Addr) {
 }
 
 // Get copies the payload for key into a fresh slice.
-func (t *RBTree) Get(tx *mtm.Tx, key uint64) ([]byte, error) {
+func (t *RBTree) Get(tx mtm.Reader, key uint64) ([]byte, error) {
 	n := t.root(tx)
 	for n != pmem.Nil {
 		k := rbKey(tx, n)
@@ -279,7 +281,7 @@ func (t *RBTree) transplant(tx *mtm.Tx, u, v pmem.Addr) {
 	}
 }
 
-func (t *RBTree) minimum(tx *mtm.Tx, n pmem.Addr) pmem.Addr {
+func (t *RBTree) minimum(tx mtm.Reader, n pmem.Addr) pmem.Addr {
 	for rbLeft(tx, n) != pmem.Nil {
 		n = rbLeft(tx, n)
 	}
@@ -362,7 +364,7 @@ func (t *RBTree) deleteFixup(tx *mtm.Tx, x, xParent pmem.Addr) {
 
 // InOrder visits every (key, payload) in ascending key order until fn
 // returns false. The serializer baseline uses this traversal.
-func (t *RBTree) InOrder(tx *mtm.Tx, fn func(key uint64, payload []byte) bool) {
+func (t *RBTree) InOrder(tx mtm.Reader, fn func(key uint64, payload []byte) bool) {
 	payload := make([]byte, RBPayload)
 	var walk func(n pmem.Addr) bool
 	walk = func(n pmem.Addr) bool {
@@ -381,8 +383,25 @@ func (t *RBTree) InOrder(tx *mtm.Tx, fn func(key uint64, payload []byte) bool) {
 	walk(t.root(tx))
 }
 
+// Contains reports whether key is present without copying its payload.
+func (t *RBTree) Contains(tx mtm.Reader, key uint64) bool {
+	n := t.root(tx)
+	for n != pmem.Nil {
+		k := rbKey(tx, n)
+		switch {
+		case key == k:
+			return true
+		case key < k:
+			n = rbLeft(tx, n)
+		default:
+			n = rbRight(tx, n)
+		}
+	}
+	return false
+}
+
 // Len counts the entries (O(n), for tests).
-func (t *RBTree) Len(tx *mtm.Tx) int {
+func (t *RBTree) Len(tx mtm.Reader) int {
 	n := 0
 	t.InOrder(tx, func(uint64, []byte) bool { n++; return true })
 	return n
@@ -390,7 +409,7 @@ func (t *RBTree) Len(tx *mtm.Tx) int {
 
 // CheckInvariants verifies the red-black properties: binary order, no red
 // node with a red child, and equal black heights on every path.
-func (t *RBTree) CheckInvariants(tx *mtm.Tx) error {
+func (t *RBTree) CheckInvariants(tx mtm.Reader) error {
 	root := t.root(tx)
 	if root == pmem.Nil {
 		return nil

@@ -38,17 +38,12 @@ func (s *MnemosyneStore) Session() (Session, error) {
 	return &mnSession{s: s, th: th}, nil
 }
 
-// Count implements Store. The counting thread is leased and released, so
-// repeated counts do not consume log slots cumulatively.
+// Count implements Store on a slot-free snapshot read: no thread, no log
+// slot, no fence, so counting never contends with writers for slots.
 func (s *MnemosyneStore) Count() (int, error) {
-	th, err := s.tm.NewThread()
-	if err != nil {
-		return 0, err
-	}
-	defer th.Close()
 	n := 0
-	err = th.Atomic(func(tx *mtm.Tx) error {
-		n = s.tree.Len(tx)
+	err := s.tm.View(func(r *mtm.ReadTx) error {
+		n = s.tree.Len(r)
 		return nil
 	})
 	return n, err
@@ -79,10 +74,12 @@ func (ss *mnSession) Delete(key uint64) error {
 	return err
 }
 
+// Get reads through a slot-free snapshot: the session's write thread is
+// not involved, so concurrent readers never serialize on it.
 func (ss *mnSession) Get(key uint64) ([]byte, error) {
 	var out []byte
-	err := ss.th.Atomic(func(tx *mtm.Tx) error {
-		v, err := ss.s.tree.Get(tx, key)
+	err := ss.s.tm.View(func(r *mtm.ReadTx) error {
+		v, err := ss.s.tree.Get(r, key)
 		if err != nil {
 			return err
 		}

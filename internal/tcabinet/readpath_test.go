@@ -1,0 +1,55 @@
+package tcabinet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestReadOpsZeroLeases asserts the converted store's pure-read entry
+// points — Count and Session.Get — run on slot-free snapshot reads:
+// across a burst of reads, zero transaction threads are leased and zero
+// durability fences are issued.
+func TestReadOpsZeroLeases(t *testing.T) {
+	dev, _, s := newMnemosyne(t)
+	sess, err := s.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := sess.Put(uint64(i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	leases0 := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"])
+	fences0 := dev.Snapshot().Fences
+
+	for i := 0; i < 100; i++ {
+		v, err := sess.Get(uint64(i))
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("val-%d", i); string(v) != want {
+			t.Fatalf("Get %d = %q, want %q", i, v, want)
+		}
+	}
+	if _, err := sess.Get(1 << 40); err != ErrNotFound {
+		t.Fatalf("Get missing: %v, want ErrNotFound", err)
+	}
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("Count = %d, want 100", n)
+	}
+
+	if d := uint64(telemetry.Default.Snapshot()["mtm_thread_leases_total"]) - leases0; d != 0 {
+		t.Errorf("read-only ops leased %d threads, want 0", d)
+	}
+	if d := dev.Snapshot().Fences - fences0; d != 0 {
+		t.Errorf("read-only ops issued %d fences, want 0", d)
+	}
+}

@@ -74,6 +74,21 @@ type Thread = mtm.Thread
 // Tx is an executing durable memory transaction.
 type Tx = mtm.Tx
 
+// ReadTx is an executing slot-free snapshot read transaction (TM.View /
+// PM.View): optimistic reads against the commit clock with no thread
+// lease, no log record and no fence, so unbounded readers run in
+// parallel with writers.
+type ReadTx = mtm.ReadTx
+
+// Reader is the transactional read interface implemented by both Tx and
+// ReadTx. Read-side code written against Reader runs identically inside
+// Atomic and View.
+type Reader = mtm.Reader
+
+// Writer is the full transactional interface — Reader plus transactional
+// stores — implemented by Tx only.
+type Writer = mtm.Writer
+
 // ThreadPool leases transaction threads against the instance's Threads
 // bound (PM.ThreadPool).
 type ThreadPool = core.ThreadPool

@@ -1,7 +1,6 @@
 package mnemosyne
 
 import (
-	"repro/internal/mtm"
 	"repro/internal/pds"
 )
 
@@ -33,8 +32,9 @@ func CreateHashTable(th *Thread, rootPtr Addr, nbuckets int) (*HashTable, error)
 	return pds.CreateHashTable(th, rootPtr, nbuckets)
 }
 
-// OpenHashTable attaches to the hash table rooted at rootPtr.
-func OpenHashTable(tx *mtm.Tx, rootPtr Addr) (*HashTable, error) {
+// OpenHashTable attaches to the hash table rooted at rootPtr. Any Reader
+// works: a writing Tx or a snapshot ReadTx.
+func OpenHashTable(tx Reader, rootPtr Addr) (*HashTable, error) {
 	return pds.OpenHashTable(tx, rootPtr)
 }
 
