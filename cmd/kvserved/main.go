@@ -6,7 +6,8 @@
 //
 //	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
 //	         [-group-commit] [-group-commit-wait 50µs] [-metrics-addr :9090]
-//	         [-trace]
+//	         [-trace] [-attribution] [-slow-threshold 50ms]
+//	         [-latency-sample-rate 16]
 //
 // Protocol (line-oriented; try it with `nc localhost 7070`):
 //
@@ -20,6 +21,14 @@
 // GET /metrics, expvar on /debug/vars, pprof under /debug/pprof/ and —
 // with -trace — a Chrome trace_event dump of recent persistence events
 // on GET /trace (load it in chrome://tracing or Perfetto).
+//
+// Phase attribution (-attribution, on by default) records per-phase
+// latency histograms for every stage of a request — parse, exec, lease
+// wait, transaction body, validate, log append, fence, write-back,
+// truncate — and arms the slow-commit flight recorder: any request slower
+// than -slow-threshold is captured as a full span tree, served on
+// /debug/mnemosyne/slow (and `pmctl slow`). -slow-threshold 0 disarms
+// the recorder.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kvserve"
@@ -48,12 +58,26 @@ var (
 	groupCommit = flag.Bool("group-commit", false, "coalesce durability fences across concurrent commits")
 	gcWait      = flag.Duration("group-commit-wait", 0, "epoch leader's gathering window while writers are active (0 = default 50µs, negative disables)")
 	gcBatch     = flag.Int("group-commit-batch", 0, "max transactions per commit epoch (0 = default 64)")
+	attribution = flag.Bool("attribution", true, "record per-phase latency histograms and fence counters")
+	slowThresh  = flag.Duration("slow-threshold", 50*time.Millisecond, "capture span trees of requests slower than this in the flight recorder (0 disables)")
+	slowKeep    = flag.Int("slow-keep", 8, "slowest captures retained by the flight recorder")
+	latSample   = flag.Int("latency-sample-rate", 0, "sample commit/abort latency 1-in-N (0 = default 16; 1 with -attribution)")
 )
 
 func main() {
 	flag.Parse()
 	if *traceOn {
 		telemetry.DefaultTracer.Enable()
+	}
+	sample := *latSample
+	if *attribution {
+		telemetry.EnableAttribution()
+		if sample == 0 {
+			sample = 1 // attribution wants every commit in the histograms
+		}
+	}
+	if *slowThresh > 0 {
+		telemetry.DefaultRecorder.Configure(*slowThresh, *slowKeep, 10*time.Minute)
 	}
 	pm, err := core.Open(core.Config{
 		DevicePath:     *image,
@@ -63,9 +87,10 @@ func main() {
 		Threads:        *threads,
 		LeaseTimeout:   *leaseWait,
 
-		GroupCommit:      *groupCommit,
-		GroupCommitWait:  *gcWait,
-		GroupCommitBatch: *gcBatch,
+		GroupCommit:       *groupCommit,
+		GroupCommitWait:   *gcWait,
+		GroupCommitBatch:  *gcBatch,
+		LatencySampleRate: sample,
 	})
 	if err != nil {
 		log.Fatalf("kvserved: open persistent memory: %v", err)

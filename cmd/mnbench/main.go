@@ -11,6 +11,12 @@
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
 // for a quick functional pass, and -quick shrinks the workloads.
+//
+// -json writes a versioned results document (schema version, git commit,
+// result rows, telemetry snapshot, per-phase latency summaries from
+// -attribution, on by default). Snapshots checked in as BENCH_<n>.json at
+// the repo root form the perf trajectory that cmd/perfgate compares in
+// CI. -trace writes a Chrome trace_event JSON of the run's span ring.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -26,11 +33,13 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
-	noSpin   = flag.Bool("nospin", false, "disable emulated write delays")
-	ops      = flag.Int("ops", 0, "override ops per thread for microbenchmarks")
-	csvDir   = flag.String("csv", "", "also write per-experiment CSV files into this directory")
-	jsonPath = flag.String("json", "", "write all rows plus a telemetry snapshot as JSON to this file")
+	quick       = flag.Bool("quick", false, "shrink workloads for a fast pass")
+	noSpin      = flag.Bool("nospin", false, "disable emulated write delays")
+	ops         = flag.Int("ops", 0, "override ops per thread for microbenchmarks")
+	csvDir      = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	jsonPath    = flag.String("json", "", "write all rows plus a telemetry snapshot as JSON to this file")
+	attribution = flag.Bool("attribution", true, "record per-phase latency histograms (adds phase summaries to -json)")
+	tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of the run's span/event ring to this file")
 )
 
 // csvOut appends one row to <csvDir>/<name>.csv, creating it with the
@@ -84,18 +93,51 @@ func jsonCollect(name, header string, cols ...interface{}) {
 	jsonRows = append(jsonRows, row)
 }
 
+// benchSchemaVersion versions the -json document layout; perfgate refuses
+// to compare documents with mismatched schemas.
+const benchSchemaVersion = 1
+
+// gitCommit resolves the commit the binary was run against, for the
+// versioned perf trajectory: `git rev-parse` first, the GIT_COMMIT
+// environment variable as the CI fallback, "unknown" otherwise.
+func gitCommit() string {
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	if s := os.Getenv("GIT_COMMIT"); s != "" {
+		return s
+	}
+	return "unknown"
+}
+
 // writeJSON dumps the collected rows plus a snapshot of the telemetry
 // registry (counters, gauges and latency quantiles accumulated by the
-// stack while the experiments ran), so a results file carries both the
-// paper-level numbers and the low-level persistence activity behind them.
+// stack while the experiments ran) and the per-phase attribution
+// summaries, so a results file carries the paper-level numbers, the
+// low-level persistence activity behind them, and where the time went.
+// The document is versioned and stamped with the git commit: snapshots
+// checked in as BENCH_<n>.json form the repo's perf trajectory, and
+// cmd/perfgate compares two of them.
 func writeJSON() error {
 	if *jsonPath == "" {
 		return nil
 	}
 	out := struct {
-		Rows      []map[string]interface{} `json:"rows"`
-		Telemetry map[string]float64       `json:"telemetry"`
-	}{jsonRows, telemetry.Default.Snapshot()}
+		SchemaVersion int                               `json:"schema_version"`
+		GitCommit     string                            `json:"git_commit"`
+		GeneratedAt   string                            `json:"generated_at"`
+		Quick         bool                              `json:"quick"`
+		NoSpin        bool                              `json:"nospin"`
+		Rows          []map[string]interface{}          `json:"rows"`
+		Telemetry     map[string]float64                `json:"telemetry"`
+		Phases        map[string]telemetry.PhaseSummary `json:"phases"`
+	}{
+		benchSchemaVersion, gitCommit(), time.Now().UTC().Format(time.RFC3339),
+		*quick, *noSpin, jsonRows, telemetry.Default.Snapshot(),
+		telemetry.PhaseSummaries(),
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -104,7 +146,13 @@ func writeJSON() error {
 }
 
 func baseOptions() bench.Options {
-	return bench.Options{Spin: !*noSpin}
+	o := bench.Options{Spin: !*noSpin}
+	if *attribution {
+		// Attribution runs want every commit in the histograms, not the
+		// default 1-in-16 latency sample.
+		o.LatencySampleRate = 1
+	}
+	return o
 }
 
 func scale(n int) int {
@@ -121,6 +169,12 @@ var valueSizes = []int{8, 64, 256, 1024, 2048, 4096}
 
 func main() {
 	flag.Parse()
+	if *attribution {
+		telemetry.EnableAttribution()
+	}
+	if *tracePath != "" {
+		telemetry.DefaultTracer.Enable()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
@@ -137,6 +191,19 @@ func main() {
 	if err := writeJSON(); err != nil {
 		fmt.Fprintf(os.Stderr, "mnbench: json: %v\n", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = telemetry.DefaultTracer.WriteChromeJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnbench: trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+// Command perfgate compares two mnbench -json documents — a committed
+// BENCH_<n>.json baseline and a freshly generated candidate — and fails
+// (exit 1) when the candidate regresses the perf trajectory:
+//
+//   - any phase's p50 latency grows more than 20% over the baseline
+//     (with an absolute slack of 5µs, so nanosecond-scale phases don't
+//     gate on noise; phases under 100 observations in either run are
+//     skipped)
+//   - fences per committed transaction (the sum of the commit path's
+//     per-phase fence counters over mtm_commits_total) grows more than
+//     20% plus an absolute slack of 0.05
+//
+// Usage:
+//
+//	perfgate -baseline BENCH_1.json -current bench.json [-pct 20]
+//
+// Both documents must carry the same schema_version; perfgate refuses to
+// compare across schema changes. CI runs it against the latest checked-in
+// BENCH_<n>.json, so a PR that slows a commit phase or adds fences to the
+// commit path fails visibly instead of silently bending the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+var (
+	baselinePath = flag.String("baseline", "", "baseline mnbench -json document (e.g. BENCH_1.json)")
+	currentPath  = flag.String("current", "", "candidate mnbench -json document to gate")
+	pct          = flag.Float64("pct", 20, "relative regression threshold, percent")
+	slackNs      = flag.Float64("slack-ns", 5000, "absolute p50 slack in nanoseconds; growth below this never gates")
+	minCount     = flag.Int("min-count", 100, "skip phases with fewer observations than this in either run")
+)
+
+type phaseSummary struct {
+	Count  uint64  `json:"count"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	Fences uint64  `json:"fences"`
+}
+
+type benchDoc struct {
+	SchemaVersion int                     `json:"schema_version"`
+	GitCommit     string                  `json:"git_commit"`
+	Telemetry     map[string]float64      `json:"telemetry"`
+	Phases        map[string]phaseSummary `json:"phases"`
+}
+
+func load(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d benchDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: not a versioned mnbench document (no schema_version)", path)
+	}
+	return &d, nil
+}
+
+// fencesPerCommit aggregates the per-phase fence counters into one
+// trajectory number. Phase counters (not the scm device gauges, which are
+// only registered by the core stack) make this deterministic across bench
+// environments: every counted fence is one CountPhaseFence call on the
+// commit or truncation path.
+func fencesPerCommit(d *benchDoc) (float64, bool) {
+	commits := d.Telemetry["mtm_commits_total"]
+	if commits <= 0 {
+		return 0, false
+	}
+	var fences uint64
+	for _, p := range d.Phases {
+		fences += p.Fences
+	}
+	return float64(fences) / commits, true
+}
+
+func main() {
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: pass -baseline and -current")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	if base.SchemaVersion != cur.SchemaVersion {
+		fmt.Fprintf(os.Stderr, "perfgate: schema mismatch: baseline v%d vs current v%d\n",
+			base.SchemaVersion, cur.SchemaVersion)
+		os.Exit(2)
+	}
+	fmt.Printf("perfgate: baseline %s (%s) vs current %s (%s)\n",
+		*baselinePath, base.GitCommit, *currentPath, cur.GitCommit)
+
+	failed := false
+	for name, b := range base.Phases {
+		c, ok := cur.Phases[name]
+		if !ok || b.Count < uint64(*minCount) || c.Count < uint64(*minCount) {
+			continue
+		}
+		if b.P50Ns <= 0 {
+			continue
+		}
+		growth := (c.P50Ns - b.P50Ns) / b.P50Ns * 100
+		if growth > *pct && c.P50Ns-b.P50Ns > *slackNs {
+			fmt.Printf("FAIL phase %-14s p50 %8.0fns -> %8.0fns (%+.0f%%, limit %+.0f%%)\n",
+				name, b.P50Ns, c.P50Ns, growth, *pct)
+			failed = true
+		} else {
+			fmt.Printf("ok   phase %-14s p50 %8.0fns -> %8.0fns (%+.0f%%)\n",
+				name, b.P50Ns, c.P50Ns, growth)
+		}
+	}
+
+	bf, bok := fencesPerCommit(base)
+	cf, cok := fencesPerCommit(cur)
+	if bok && cok && bf > 0 {
+		growth := (cf - bf) / bf * 100
+		if growth > *pct && cf-bf > 0.05 {
+			fmt.Printf("FAIL fences/commit %.3f -> %.3f (%+.0f%%, limit %+.0f%%)\n", bf, cf, growth, *pct)
+			failed = true
+		} else {
+			fmt.Printf("ok   fences/commit %.3f -> %.3f (%+.0f%%)\n", bf, cf, growth)
+		}
+	}
+
+	if failed {
+		fmt.Println("perfgate: REGRESSION — commit-phase latency or fence trajectory got worse")
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: green")
+}

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap|stats>
+//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap|stats|slow>
 //
 // `stats` prints the telemetry registry in Prometheus text format. With
 // -metrics-url it instead scrapes a live server's /metrics endpoint
 // (e.g. a kvserved started with -metrics-addr), so the same subcommand
 // works against both an offline image and a running process.
+//
+// `slow` fetches a live server's slow-commit flight recorder (the
+// /debug/mnemosyne/slow endpoint, derived from -metrics-url) and prints
+// each captured request or transaction as an indented span tree with
+// per-phase durations. Requires -metrics-url.
 //
 // The image and backing directory are opened read-mostly; pmctl performs
 // the same boot reconstruction a restarting process would, so it also
@@ -17,11 +22,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/pheap"
@@ -68,7 +75,74 @@ func scrape(url string) error {
 	return err
 }
 
+// slowEndpoint derives the flight-recorder URL from the metrics URL, so
+// the one -metrics-url flag addresses both endpoints.
+func slowEndpoint(metricsURL string) string {
+	return strings.TrimSuffix(metricsURL, "/metrics") + "/debug/mnemosyne/slow"
+}
+
+// runSlow fetches and pretty-prints the slow-commit flight recorder of a
+// live server: one indented span tree per captured slow root span.
+func runSlow() error {
+	if *metricsURL == "" {
+		return fmt.Errorf("slow: pass -metrics-url (e.g. http://localhost:9090/metrics)")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(slowEndpoint(*metricsURL))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s", slowEndpoint(*metricsURL), resp.Status)
+	}
+	var dump struct {
+		ThresholdNs int64                 `json:"threshold_ns"`
+		WindowNs    int64                 `json:"window_ns"`
+		Keep        int                   `json:"keep"`
+		Entries     []telemetry.SlowEntry `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return err
+	}
+	if dump.ThresholdNs == 0 {
+		fmt.Println("flight recorder disarmed (server started with -slow-threshold 0)")
+		return nil
+	}
+	fmt.Printf("flight recorder: threshold %v, window %v, keeping %d slowest; %d captured\n",
+		time.Duration(dump.ThresholdNs), time.Duration(dump.WindowNs), dump.Keep, len(dump.Entries))
+	for i, e := range dump.Entries {
+		fmt.Printf("\n#%d %s %v tid=%d captured %s\n",
+			i+1, e.Phase, time.Duration(e.DurNs), e.TID, e.CapturedAt.Format(time.RFC3339))
+		children := make(map[uint64][]telemetry.SpanView)
+		for _, sp := range e.Spans {
+			if sp.ID != e.Root {
+				children[sp.Parent] = append(children[sp.Parent], sp)
+			}
+		}
+		var walk func(id uint64, startNs int64, depth int)
+		walk = func(id uint64, startNs int64, depth int) {
+			for _, sp := range children[id] {
+				fmt.Printf("  %s%-12s %10v  +%v\n", strings.Repeat("  ", depth),
+					sp.Phase, time.Duration(sp.DurNs), time.Duration(sp.StartNs-startNs))
+				walk(sp.ID, startNs, depth+1)
+			}
+		}
+		for _, sp := range e.Spans {
+			if sp.ID == e.Root {
+				fmt.Printf("  %-12s %10v\n", sp.Phase, time.Duration(sp.DurNs))
+				walk(e.Root, sp.StartNs, 1)
+				break
+			}
+		}
+	}
+	return nil
+}
+
 func run(cmd string) error {
+	if cmd == "slow" {
+		return runSlow()
+	}
 	if cmd == "stats" && *metricsURL != "" {
 		return scrape(*metricsURL)
 	}
@@ -125,7 +199,7 @@ func run(cmd string) error {
 		// the image offline is itself the recovery being measured.
 		return telemetry.Default.WritePrometheus(os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want info, regions, statics, heap or stats)", cmd)
+		return fmt.Errorf("unknown command %q (want info, regions, statics, heap, stats or slow)", cmd)
 	}
 	return nil
 }

@@ -45,6 +45,9 @@ type Options struct {
 	GroupCommitWait time.Duration
 	// GroupCommitBatch caps members per commit epoch.
 	GroupCommitBatch int
+	// LatencySampleRate samples latency observations 1-in-N (default 16;
+	// 1 records every transaction, for phase attribution runs).
+	LatencySampleRate int
 }
 
 func (o *Options) fill() {
@@ -118,6 +121,7 @@ func NewEnv(o Options) (*Env, error) {
 		GroupCommit:           o.GroupCommit,
 		GroupCommitWait:       o.GroupCommitWait,
 		GroupCommitBatch:      o.GroupCommitBatch,
+		LatencySampleRate:     o.LatencySampleRate,
 	})
 	if err != nil {
 		return nil, err

@@ -73,6 +73,10 @@ type Config struct {
 	GroupCommitWait time.Duration
 	// GroupCommitBatch caps members per commit epoch (default 64).
 	GroupCommitBatch int
+	// LatencySampleRate samples commit/abort latency observations 1-in-N
+	// (default 16; 1 records every transaction — what phase attribution
+	// wants). Rounded up to a power of two.
+	LatencySampleRate int
 }
 
 func (c *Config) fill() {
@@ -165,12 +169,13 @@ func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 	}
 
 	pm.tm, err = mtm.Open(rt, "core", mtm.Config{
-		Heap:             pm.heap,
-		Slots:            cfg.Threads,
-		AsyncTruncation:  cfg.AsyncTruncation,
-		GroupCommit:      cfg.GroupCommit,
-		GroupCommitWait:  cfg.GroupCommitWait,
-		GroupCommitBatch: cfg.GroupCommitBatch,
+		Heap:              pm.heap,
+		Slots:             cfg.Threads,
+		AsyncTruncation:   cfg.AsyncTruncation,
+		GroupCommit:       cfg.GroupCommit,
+		GroupCommitWait:   cfg.GroupCommitWait,
+		GroupCommitBatch:  cfg.GroupCommitBatch,
+		LatencySampleRate: cfg.LatencySampleRate,
 	})
 	if err != nil {
 		return nil, err
@@ -355,6 +360,13 @@ func (pm *PM) AtomicBatch(fns []func(tx *mtm.Tx) error) error {
 // memory.
 func (pm *PM) View(fn func(r *mtm.ReadTx) error) error {
 	return pm.tm.View(fn)
+}
+
+// ViewSpanned is View with an explicit parent span id: the snapshot read
+// is attributed (as a "view" phase span) under the caller's span when
+// tracing or attribution is enabled. Parent 0 is equivalent to View.
+func (pm *PM) ViewSpanned(parent uint64, fn func(r *mtm.ReadTx) error) error {
+	return pm.tm.ViewSpanned(parent, fn)
 }
 
 // Allocator returns a persistent-heap allocator handle (pmalloc/pfree)

@@ -91,7 +91,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 				}
 				sess := &session{s: s, th: th}
 				for i, cmd := range kvScript {
-					if reply := s.handle(sess, th, cmd); strings.HasPrefix(reply, "ERROR") {
+					if reply := s.handle(sess, th, cmd, 0); strings.HasPrefix(reply, "ERROR") {
 						return fmt.Errorf("%q: %s", cmd, reply)
 					}
 					done = i + 1
@@ -128,7 +128,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 					want := kvStateAfter(m)
 					diff := ""
 					for _, k := range kvKeys() {
-						reply := s.handle(sess, th, "GET "+k)
+						reply := s.handle(sess, th, "GET "+k, 0)
 						wantReply := "MISSING"
 						if v, ok := want[k]; ok {
 							wantReply = "VALUE " + v
@@ -139,7 +139,7 @@ func TestCrashPointsKVServe(t *testing.T) {
 						}
 					}
 					if diff == "" {
-						if reply := s.handle(sess, th, "COUNT"); reply != fmt.Sprintf("COUNT %d", len(want)) {
+						if reply := s.handle(sess, th, "COUNT", 0); reply != fmt.Sprintf("COUNT %d", len(want)) {
 							return fmt.Errorf("%s, want %d live keys", reply, len(want))
 						}
 						return nil

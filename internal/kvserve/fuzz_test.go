@@ -45,7 +45,7 @@ func FuzzKVProtocol(f *testing.F) {
 
 	sess := &session{s: s, th: th}
 	f.Fuzz(func(t *testing.T, line string) {
-		reply := s.handle(sess, th, line)
+		reply := s.handle(sess, th, line, 0)
 		if reply == "" {
 			t.Fatalf("empty reply to %q", line)
 		}
@@ -58,7 +58,7 @@ func FuzzKVProtocol(f *testing.F) {
 		} else if strings.ContainsAny(reply, "\n\r") {
 			t.Fatalf("multi-line reply to %q: %q", line, reply)
 		}
-		if got := s.handle(sess, th, "PING"); got != "PONG" {
+		if got := s.handle(sess, th, "PING", 0); got != "PONG" {
 			t.Fatalf("server wedged after %q: PING answered %q", line, got)
 		}
 	})

@@ -505,22 +505,38 @@ func (sess *session) closeThreads() {
 // serves reads through thread-less Views and leases the session's write
 // thread on demand for writes.
 func (s *Server) dispatch(sess *session, th *mtm.Thread, line string) string {
+	var tid uint64
+	if th != nil {
+		tid = th.ID()
+	}
+	// The request span is a root (parent 0): when it outlasts the flight
+	// recorder's threshold, the whole tree under it — parse, exec, txn and
+	// its commit phases — is captured as one slow entry.
+	req := telemetry.SpanBegin(telemetry.PhaseRequest, tid, 0)
 	start := time.Now()
-	reply := s.handle(sess, th, line)
+	reply := s.handle(sess, th, line, req.ID)
 	lat := time.Since(start).Nanoseconds()
+	req.End()
 	telReqs.Inc()
 	telReqLat.Observe(lat)
 	if strings.HasPrefix(reply, "ERROR") {
 		telErrs.Inc()
 	}
 	if telemetry.TraceEnabled() {
-		var tid uint64
-		if th != nil {
-			tid = th.ID()
-		}
 		telemetry.Emit(telemetry.EvRequest, tid, uint64(lat), uint64(len(line)))
 	}
 	return reply
+}
+
+// atomicSpanned runs a durable transaction with its span parented under
+// the request's exec span, so commit-phase attribution hangs off the
+// request tree. The parent is cleared afterwards: the thread outlives the
+// request, and a later unattributed transaction must not inherit it.
+func atomicSpanned(th *mtm.Thread, parent uint64, fn func(tx *mtm.Tx) error) error {
+	th.SetSpanParent(parent)
+	err := th.Atomic(fn)
+	th.SetSpanParent(0)
+	return err
 }
 
 // writeThread resolves the transaction thread for a write command: the
@@ -551,9 +567,14 @@ func (s *Server) lookup(r mtm.Reader, key string) (string, error) {
 	return v, nil
 }
 
-func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
+func (s *Server) handle(sess *session, th *mtm.Thread, line string, req uint64) string {
+	parse := telemetry.SpanBegin(telemetry.PhaseParse, 0, req)
 	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
-	switch strings.ToUpper(fields[0]) {
+	cmd := strings.ToUpper(fields[0])
+	parse.End()
+	exec := telemetry.SpanBegin(telemetry.PhaseExec, 0, req)
+	defer exec.End()
+	switch cmd {
 	case "PING":
 		return "PONG"
 	case "QUIT":
@@ -577,7 +598,7 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 		if err != nil {
 			return "ERROR " + err.Error()
 		}
-		err = th.Atomic(func(tx *mtm.Tx) error {
+		err = atomicSpanned(th, exec.ID, func(tx *mtm.Tx) error {
 			return s.tree.Put(tx, s.hash(key), rec)
 		})
 		if err != nil {
@@ -589,7 +610,7 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 			return "ERROR usage: GET <key>"
 		}
 		var value string
-		err := s.pm.View(func(r *mtm.ReadTx) error {
+		err := s.pm.ViewSpanned(exec.ID, func(r *mtm.ReadTx) error {
 			v, err := s.lookup(r, fields[1])
 			if err != nil {
 				return err
@@ -605,7 +626,7 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 		}
 		return "VALUE " + value
 	case "MGET":
-		return s.handleMGet(line)
+		return s.handleMGet(line, exec.ID)
 	case "DEL":
 		if len(fields) != 2 {
 			return "ERROR usage: DEL <key>"
@@ -614,7 +635,7 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 		if err != nil {
 			return "ERROR " + err.Error()
 		}
-		err = th.Atomic(func(tx *mtm.Tx) error {
+		err = atomicSpanned(th, exec.ID, func(tx *mtm.Tx) error {
 			// Load and compare the stored key before deleting: the
 			// tree is keyed by hash, and deleting on a collision
 			// would destroy a different key's record.
@@ -639,12 +660,12 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 		}
 		return "OK"
 	case "MSET":
-		return s.handleMSet(sess, th, line)
+		return s.handleMSet(sess, th, line, exec.ID)
 	case "MDEL":
-		return s.handleMDel(sess, th, line)
+		return s.handleMDel(sess, th, line, exec.ID)
 	case "COUNT":
 		n := 0
-		err := s.pm.View(func(r *mtm.ReadTx) error {
+		err := s.pm.ViewSpanned(exec.ID, func(r *mtm.ReadTx) error {
 			n = s.tree.Len(r)
 			return nil
 		})
@@ -662,13 +683,13 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string) string {
 // handleMGet answers every key from one snapshot: all the VALUE/MISSING
 // lines reflect the same committed state, with no thread lease and no
 // fence. One reply line per key, in request order.
-func (s *Server) handleMGet(line string) string {
+func (s *Server) handleMGet(line string, parent uint64) string {
 	keys := strings.Fields(line)[1:]
 	if len(keys) == 0 {
 		return "ERROR usage: MGET <key> [<key> ...]"
 	}
 	outs := make([]string, len(keys))
-	err := s.pm.View(func(r *mtm.ReadTx) error {
+	err := s.pm.ViewSpanned(parent, func(r *mtm.ReadTx) error {
 		for i, key := range keys {
 			v, err := s.lookup(r, key)
 			if err == pds.ErrNotFound {
@@ -692,7 +713,7 @@ func (s *Server) handleMGet(line string) string {
 // append and one fence (or one group-commit epoch membership) for the
 // whole set, and either all pairs commit or none do. Keys and values are
 // whitespace-delimited, so MSET values cannot contain spaces.
-func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string) string {
+func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string, parent uint64) string {
 	args := strings.Fields(line)[1:]
 	if len(args) == 0 || len(args)%2 != 0 {
 		return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
@@ -709,7 +730,7 @@ func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string) string {
 	if err != nil {
 		return "ERROR " + err.Error()
 	}
-	err = th.Atomic(func(tx *mtm.Tx) error {
+	err = atomicSpanned(th, parent, func(tx *mtm.Tx) error {
 		for i, rec := range recs {
 			if err := s.tree.Put(tx, s.hash(args[2*i]), rec); err != nil {
 				return err
@@ -726,7 +747,7 @@ func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string) string {
 // handleMDel deletes every named key in one durable transaction,
 // reporting how many were present. Missing keys (and hash collisions
 // holding a different key's record) are skipped, not errors.
-func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string) string {
+func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string, parent uint64) string {
 	keys := strings.Fields(line)[1:]
 	if len(keys) == 0 {
 		return "ERROR usage: MDEL <key> [<key> ...]"
@@ -736,7 +757,7 @@ func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string) string {
 		return "ERROR " + err.Error()
 	}
 	deleted := 0
-	err = th.Atomic(func(tx *mtm.Tx) error {
+	err = atomicSpanned(th, parent, func(tx *mtm.Tx) error {
 		deleted = 0 // conflict retries rerun the closure
 		for _, key := range keys {
 			raw, err := s.tree.Get(tx, s.hash(key))
@@ -793,6 +814,8 @@ func (s *Server) stats() string {
 	add("readtx_retries", uint64(reg["mtm_readtx_retries_total"]))
 	add("readtx_extends", uint64(reg["mtm_readtx_extends_total"]))
 	add("thread_leases", uint64(reg["mtm_thread_leases_total"]))
+	add("latency_sample_rate", uint64(s.pm.TM().LatencySampleRate()))
+	add("slow_captures", uint64(reg["telemetry_slow_captures_total"]))
 	fpc := 0.0
 	if tm.Commits > 0 {
 		fpc = float64(dev.Fences) / float64(tm.Commits)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/pmem"
 	"repro/internal/rawl"
+	"repro/internal/telemetry"
 )
 
 // truncJob asks the log manager to make one committed transaction's
@@ -77,18 +78,22 @@ func (m *logManager) run() {
 // single trailing fence (freed log space must not be reused before the
 // new heads are durable).
 func (m *logManager) process(mem pmem.Memory, batch []truncJob) {
+	sp := telemetry.SpanBegin(telemetry.PhaseAsyncTrunc, 0, 0)
+	defer sp.End()
 	for _, job := range batch {
 		for _, line := range job.lines {
 			mem.Flush(line)
 		}
 	}
 	mem.Fence()
+	telemetry.CountPhaseFence(telemetry.PhaseAsyncTrunc)
 	// The data is durable; the redo records up to each pos are no
 	// longer needed.
 	for _, job := range batch {
 		job.t.log.TruncateToDeferred(mem, job.pos)
 	}
 	mem.Fence()
+	telemetry.CountPhaseFence(telemetry.PhaseAsyncTrunc)
 	for _, job := range batch {
 		job.t.pendingTrunc.Add(-1)
 		m.pending.Add(-1)

@@ -25,7 +25,7 @@ var (
 	telGCSize = telemetry.NewHistogram("mtm_group_commit_epoch_size",
 		"members per flushed group-commit epoch")
 	telGCWait = telemetry.NewHistogram("mtm_group_commit_wait_ns",
-		"member latency from epoch enqueue to completion, ns (sampled 1-in-16)")
+		"member latency from epoch enqueue to completion, ns (sampled 1-in-mtm_latency_sample_rate)")
 )
 
 // pendingCommit is one validated transaction enqueued on a commit epoch.
@@ -83,11 +83,15 @@ func (gc *groupCommitter) commit(tx *Tx) error {
 	// This transaction has arrived: stop counting it toward the leader's
 	// "more members are coming" heuristic.
 	tx.endWriting()
-	timed := t.latSeq&15 == 1
+	timed := t.tm.sampleLatency(t.latSeq)
 	var start time.Time
 	if timed {
 		start = time.Now()
 	}
+	// The enqueue span covers everything from joining the epoch to the
+	// done broadcast: for a member that is the wait, for the leader it
+	// encloses the lead span.
+	enq := telemetry.SpanBegin(telemetry.PhaseGCEnqueue, t.id, t.txnSpan)
 
 	gc.mu.Lock()
 	e := gc.cur
@@ -120,10 +124,13 @@ func (gc *groupCommitter) commit(tx *Tx) error {
 	gc.mu.Unlock()
 
 	if leader {
+		lead := telemetry.SpanBegin(telemetry.PhaseGCLead, t.id, t.txnSpan)
 		gc.lead(e)
+		lead.End()
 	} else {
 		<-e.done
 	}
+	enq.End()
 	if timed {
 		telGCWait.Observe(time.Since(start).Nanoseconds())
 	}
@@ -196,6 +203,8 @@ func (gc *groupCommitter) flushEpoch(id uint64, members []*pendingCommit) {
 		return
 	}
 	n := uint64(len(live))
+	flushSp := telemetry.SpanBegin(telemetry.PhaseGCFlush, live[0].tx.t.id, live[0].tx.t.txnSpan)
+	defer flushSp.End()
 
 	// Stream each member's redo record into its own thread log. Members
 	// are parked on the epoch's done channel, so the leader temporarily
@@ -222,6 +231,7 @@ func (gc *groupCommitter) flushEpoch(id uint64, members []*pendingCommit) {
 	gc.peers = peers
 	leaderMem.Context().FenceGroup(peers...)
 	telGCFences.Inc()
+	telemetry.CountPhaseFence(telemetry.PhaseLogFence)
 
 	// Write the new values back in place — strictly after the fence, so
 	// a crash can never persist in-place data whose log record is lost.
@@ -255,11 +265,13 @@ func (gc *groupCommitter) flushEpoch(id uint64, members []*pendingCommit) {
 		}
 		leaderMem.Context().FenceGroup(peers...)
 		telGCFences.Inc()
+		telemetry.CountPhaseFence(telemetry.PhaseTruncate)
 		for _, pc := range live {
 			pc.tx.t.log.TruncateAllDeferred()
 		}
 		leaderMem.Context().FenceGroup(peers...)
 		telGCFences.Inc()
+		telemetry.CountPhaseFence(telemetry.PhaseTruncate)
 	}
 
 	// Release every member's locks with its commit timestamp. From here

@@ -63,6 +63,22 @@ var (
 		"duration of the most recent log replay at open, ns")
 )
 
+// telLatencySampleRate publishes the latency-histogram sampling rate so
+// the exposition layer is no longer opaque about it: a consumer dividing
+// histogram counts by commit counts can correct for the sampling. The
+// most recently opened TM wins, matching the Sampled-gauge convention.
+var telLatencySampleRate = telemetry.NewGauge("mtm_latency_sample_rate",
+	"1-in-N sampling rate of the mtm latency histograms (commit/abort/group-commit wait)")
+
+// sampleLatency reports whether the seq'th transaction on a thread should
+// feed the latency histograms. Rate 1 (mask 0) times everything.
+func (tm *TM) sampleLatency(seq uint64) bool {
+	return tm.latMask == 0 || seq&tm.latMask == 1
+}
+
+// LatencySampleRate returns the configured 1-in-N histogram sampling rate.
+func (tm *TM) LatencySampleRate() int { return tm.cfg.LatencySampleRate }
+
 const (
 	tmMagic = 0x4d4e4d544d303031 // "MNMTM001"
 
@@ -116,6 +132,11 @@ type Config struct {
 	// Heap optionally attaches a persistent heap so transactions can
 	// allocate with Tx.PMalloc / free with Tx.PFree.
 	Heap *pheap.Heap
+	// LatencySampleRate samples the commit/abort/group-wait latency
+	// histograms 1-in-N (rounded up to a power of two). Zero selects 16,
+	// the historical default; 1 times every transaction, which
+	// attribution runs use. Counters are always exact regardless.
+	LatencySampleRate int
 }
 
 func (c *Config) fill() error {
@@ -146,6 +167,18 @@ func (c *Config) fill() error {
 	if c.GroupCommitBatch < 1 || c.GroupCommitBatch > 4096 {
 		return fmt.Errorf("mtm: group-commit batch %d out of range", c.GroupCommitBatch)
 	}
+	if c.LatencySampleRate == 0 {
+		c.LatencySampleRate = 16
+	}
+	if c.LatencySampleRate < 1 || c.LatencySampleRate > 1<<20 {
+		return fmt.Errorf("mtm: latency sample rate %d out of range", c.LatencySampleRate)
+	}
+	// Round up to a power of two so sampling is a mask test.
+	r := 1
+	for r < c.LatencySampleRate {
+		r <<= 1
+	}
+	c.LatencySampleRate = r
 	return nil
 }
 
@@ -178,6 +211,11 @@ type TM struct {
 
 	clock atomic.Uint64
 	locks []atomic.Uint64
+
+	// latMask drives latency-histogram sampling: a transaction is timed
+	// when latSeq&latMask == latMask. Rate 1 gives mask 0 (every
+	// transaction); the default rate 16 gives mask 15.
+	latMask uint64
 
 	// Thread-slot leasing state. Slots are leased to live threads and
 	// recycled through freeSlots when a thread closes; threads is the
@@ -231,6 +269,8 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 		return nil, err
 	}
 	tm := &TM{rt: rt, cfg: cfg}
+	tm.latMask = uint64(cfg.LatencySampleRate - 1)
+	telLatencySampleRate.Set(int64(cfg.LatencySampleRate))
 	tm.locks = make([]atomic.Uint64, lockCount)
 	tm.threads = make(map[int]*Thread)
 	tm.slotAvail = make(chan struct{})

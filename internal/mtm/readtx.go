@@ -90,6 +90,16 @@ var readTxSeed atomic.Int64
 // leased, and GET-style read paths built on it perform zero leases and
 // zero fences.
 func (tm *TM) View(fn func(r *ReadTx) error) error {
+	return tm.ViewSpanned(0, fn)
+}
+
+// ViewSpanned is View with an explicit parent span: the snapshot read is
+// attributed (PhaseView) as a child of parent when span tracing is on.
+// Request handlers pass their request span so GET latency decomposes in
+// the flight recorder; parent 0 is equivalent to View.
+func (tm *TM) ViewSpanned(parent uint64, fn func(r *ReadTx) error) error {
+	sp := telemetry.SpanBegin(telemetry.PhaseView, 0, parent)
+	defer sp.End()
 	r := tm.readers.Get().(*ReadTx)
 	defer tm.readers.Put(r)
 	telReadTxStarted.Inc()

@@ -1,0 +1,157 @@
+package mtm
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+	"repro/internal/telemetry"
+)
+
+// cutAt is an scm probe that freezes the device at the n-th persistence
+// event and unwinds with PowerFailure, like a crashpoint trigger but
+// usable mid-test without the full explorer.
+type cutAt struct {
+	dev *scm.Device
+	n   int
+}
+
+func (p *cutAt) Event(kind scm.ProbeKind, ctx uint64, off int64, n int) {
+	if p.n == 0 {
+		p.dev.PowerCut()
+		panic(scm.PowerFailure{})
+	}
+	p.n--
+}
+
+// TestSpanPairingAcrossPowerCut cuts power in the middle of a commit and
+// checks the span contract the flight recorder depends on: a crash may
+// leave dangling span *begins* (the transaction never finished), but
+// never a dangling *end* — every span_end event in the trace ring must
+// pair with a begin of the same phase, including across the reattach.
+func TestSpanPairingAcrossPowerCut(t *testing.T) {
+	telemetry.EnableAttribution()
+	telemetry.DefaultTracer.Enable()
+	t.Cleanup(func() {
+		telemetry.DisableAttribution()
+		telemetry.DefaultTracer.Disable()
+	})
+	mark := telemetry.SpanBegin(telemetry.PhaseTxn, 0, 0)
+	floor := mark.ID
+	mark.End()
+
+	dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	openAll := func() (*region.Runtime, *TM, pmem.Addr) {
+		rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := Open(rt, "spancrash", Config{Slots: 2, LogWords: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptr, _, err := rt.Static("mtm.spancrash.data", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := rt.NewMemory()
+		base := pmem.Addr(mem.LoadU64(ptr))
+		if base == pmem.Nil {
+			if base, err = rt.PMapAt(ptr, scm.PageSize, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt, tm, base
+	}
+
+	runTxs := func(tm *TM, base pmem.Addr, seed uint64, n int) {
+		th, err := tm.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			err := th.Atomic(func(tx *Tx) error {
+				for j := int64(0); j < 4; j++ {
+					tx.StoreU64(base.Add(j*8), seed+uint64(i))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	_, tm, base := openAll()
+	runTxs(tm, base, 100, 4)
+
+	// Cut power a few persistence events into the next commit. The
+	// PowerFailure panic unwinds through the commit's span scopes while
+	// every durable mutation traps, so End() calls that run during the
+	// unwind may emit, and span scopes the panic skipped may not.
+	dev.SetProbe(&cutAt{dev: dev, n: 2})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(scm.PowerFailure); !ok {
+					panic(r)
+				}
+			}
+		}()
+		th, err := tm.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = th.Atomic(func(tx *Tx) error {
+			for j := int64(0); j < 4; j++ {
+				tx.StoreU64(base.Add(j*8), 999)
+			}
+			return nil
+		})
+		t.Fatal("power cut did not interrupt the commit")
+	}()
+	dev.SetProbe(nil)
+	dev.CrashMidOp(scm.KeepAll{})
+
+	// Reattach over the crashed image and commit again: recovery and the
+	// new transactions must keep emitting well-formed spans.
+	_, tm2, base2 := openAll()
+	runTxs(tm2, base2, 200, 4)
+
+	begins := map[uint64]telemetry.Phase{}
+	type end struct {
+		id uint64
+		ph telemetry.Phase
+	}
+	var ends []end
+	for _, e := range telemetry.DefaultTracer.Events() {
+		id := e.A >> 8
+		if id <= floor {
+			continue // spans from earlier tests in this process
+		}
+		switch e.Kind {
+		case telemetry.EvSpanBegin:
+			begins[id] = telemetry.Phase(e.A & 0xff)
+		case telemetry.EvSpanEnd:
+			ends = append(ends, end{id, telemetry.Phase(e.A & 0xff)})
+		}
+	}
+	if len(ends) == 0 {
+		t.Fatal("no span ends recorded at all")
+	}
+	for _, e := range ends {
+		ph, ok := begins[e.id]
+		if !ok {
+			t.Fatalf("span %d (%v) ended without a begin: a power cut left a dangling end", e.id, e.ph)
+		}
+		if ph != e.ph {
+			t.Fatalf("span %d began as %v but ended as %v", e.id, ph, e.ph)
+		}
+	}
+}

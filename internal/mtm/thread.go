@@ -28,9 +28,9 @@ var (
 	telReadOnly = telemetry.NewCounter("mtm_readonly_total",
 		"transactions that committed without writes")
 	telCommitLat = telemetry.NewHistogram("mtm_commit_latency_ns",
-		"end-to-end Atomic() latency to durable commit, including retries, ns")
+		"end-to-end Atomic() latency to durable commit, including retries, ns (sampled 1-in-mtm_latency_sample_rate)")
 	telAbortLat = telemetry.NewHistogram("mtm_abort_latency_ns",
-		"latency of attempts that ended in a conflict abort, ns")
+		"latency of attempts that ended in a conflict abort, ns (sampled 1-in-mtm_latency_sample_rate)")
 )
 
 // Thread-lifecycle metrics. A lease is any successful slot binding
@@ -95,7 +95,19 @@ type Thread struct {
 	tx     Tx
 	rng    *rand.Rand
 	latSeq uint64 // transaction count for latency-histogram sampling
+
+	// spanParent is the caller-supplied parent span id for the next
+	// Atomic's root span (a request span in kvserve); txnSpan is the live
+	// Atomic root span id, the parent of every commit-phase span.
+	spanParent uint64
+	txnSpan    uint64
 }
+
+// SetSpanParent links the thread's next transactions under an enclosing
+// telemetry span (a server request, say), so a slow-commit capture shows
+// the transaction inside the request that issued it. Zero unlinks. The
+// value persists until replaced; callers set it per request.
+func (t *Thread) SetSpanParent(id uint64) { t.spanParent = id }
 
 // takeSlotLocked pops a recycled slot if one is available, preferring
 // reuse over minting a never-used slot. Caller holds slotMu.
@@ -184,6 +196,8 @@ func (tm *TM) Lease(ctx context.Context) (*Thread, error) {
 		return tm.bindSlot(slot)
 	}
 	telLeaseWaits.Inc()
+	wait := telemetry.SpanBegin(telemetry.PhaseLeaseWait, 0, 0)
+	defer wait.End()
 	for {
 		ch := tm.slotAvail
 		tm.slotMu.Unlock()
@@ -362,12 +376,15 @@ type Tx struct {
 // error aborts and rolls back. Conflicts with concurrent transactions
 // retry automatically with randomized backoff.
 func (t *Thread) Atomic(fn func(tx *Tx) error) error {
-	// The latency histograms sample one transaction in sixteen: two clock
-	// reads cost as much as the rest of a read-only commit, and the
-	// distribution doesn't need every data point. Counters stay exact.
-	// Tracing forces timing so every trace event carries a real latency.
+	// The latency histograms sample one transaction in N (default 16,
+	// Config.LatencySampleRate): two clock reads cost as much as the rest
+	// of a read-only commit, and the distribution doesn't need every data
+	// point. Counters stay exact. Tracing forces timing so every trace
+	// event carries a real latency.
 	t.latSeq++
-	timed := t.latSeq&15 == 1 || telemetry.TraceEnabled()
+	timed := t.tm.sampleLatency(t.latSeq) || telemetry.TraceEnabled()
+	root := telemetry.SpanBegin(telemetry.PhaseTxn, t.id, t.spanParent)
+	t.txnSpan = root.ID
 	var start time.Time
 	if timed {
 		start = time.Now()
@@ -387,9 +404,13 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 					telemetry.Emit(telemetry.EvTxnCommit, t.id, uint64(lat), uint64(len(t.tx.writes)))
 				}
 			}
+			t.txnSpan = 0
+			root.End()
 			return nil
 		}
 		if _, isConflict := err.(conflictErr); !isConflict {
+			t.txnSpan = 0
+			root.End()
 			return err
 		}
 		t.tm.stats.Aborts.Add(1)
@@ -447,7 +468,12 @@ func spinFor(d time.Duration) {
 func (t *Thread) attempt(fn func(tx *Tx) error) (err error) {
 	tx := &t.tx
 	tx.begin()
+	// The body span covers the user closure: read/write-set tracking and
+	// encounter-time lock acquisition happen inside it. End is
+	// idempotent, so the deferred close only fires on a panic unwind.
+	body := telemetry.SpanBegin(telemetry.PhaseBody, t.id, t.txnSpan)
 	defer func() {
+		body.End()
 		if r := recover(); r != nil {
 			tx.rollback()
 			switch v := r.(type) {
@@ -464,6 +490,7 @@ func (t *Thread) attempt(fn func(tx *Tx) error) (err error) {
 		tx.rollback()
 		return err
 	}
+	body.End()
 	return tx.commit()
 }
 
@@ -644,6 +671,7 @@ func (tx *Tx) undoStore(a pmem.Addr, v uint64) {
 		panic(txFailure{err})
 	}
 	t.log.Flush() // the extra fence, per write
+	telemetry.CountPhaseFence(telemetry.PhaseLogFence)
 	t.mem.StoreU64(a, v)
 	tx.undoWrites = append(tx.undoWrites, writeEntry{addr: a, val: old})
 }
@@ -664,7 +692,10 @@ func (tx *Tx) commit() error {
 		tx.releaseLocksNoCommit()
 		return nil
 	}
-	if !tx.validate() {
+	validate := telemetry.SpanBegin(telemetry.PhaseValidate, t.id, t.txnSpan)
+	ok := tx.validate()
+	validate.End()
+	if !ok {
 		tx.rollback()
 		return conflictErr{}
 	}
@@ -682,6 +713,7 @@ func (tx *Tx) commit() error {
 
 	// Write-ahead redo log: [tag, ts, n, (addr,val)...], one record,
 	// one flush. This fence is where durability happens.
+	appendSp := telemetry.SpanBegin(telemetry.PhaseLogAppend, t.id, t.txnSpan)
 	rec := tx.recBuf[:0]
 	rec = append(rec, tagRedo, ts, uint64(len(tx.writes)))
 	for _, w := range tx.writes {
@@ -689,15 +721,23 @@ func (tx *Tx) commit() error {
 	}
 	tx.recBuf = rec
 	if err := t.appendRecord(rec); err != nil {
+		appendSp.End()
 		tx.rollback()
 		return err
 	}
 	pos := t.logPos
+	appendSp.End()
+	fenceSp := telemetry.SpanBegin(telemetry.PhaseLogFence, t.id, t.txnSpan)
 	t.log.Flush()
+	telemetry.CountPhaseFence(telemetry.PhaseLogFence)
+	fenceSp.End()
 
 	// Write the new values back in place.
+	wbSp := telemetry.SpanBegin(telemetry.PhaseWriteBack, t.id, t.txnSpan)
 	tx.writeBack()
+	wbSp.End()
 
+	truncSp := telemetry.SpanBegin(telemetry.PhaseTruncate, t.id, t.txnSpan)
 	if tm.mgr != nil {
 		// Asynchronous truncation: the log manager flushes the
 		// modified lines and truncates later; commit latency excludes
@@ -714,8 +754,10 @@ func (tx *Tx) commit() error {
 			}
 		}
 		t.mem.Fence()
+		telemetry.CountPhaseFence(telemetry.PhaseTruncate)
 		t.log.TruncateAll()
 	}
+	truncSp.End()
 
 	// Release locks with the commit timestamp as the new version.
 	for _, le := range tx.locks {
@@ -788,12 +830,14 @@ func (tx *Tx) commitUndo() error {
 		t.mem.Flush(line)
 	}
 	t.mem.Fence()
+	telemetry.CountPhaseFence(telemetry.PhaseWriteBack)
 	ts := tm.clock.Add(1)
 	if err := t.appendRecord([]uint64{tagUndoCommit, ts}); err != nil {
 		tx.rollback()
 		return err
 	}
 	t.log.Flush()
+	telemetry.CountPhaseFence(telemetry.PhaseLogFence)
 	t.log.TruncateAll()
 	for _, le := range tx.locks {
 		t.tm.lockAt(le.idx).Store(ts)
@@ -834,6 +878,7 @@ func (t *Thread) appendRecord(rec []uint64) error {
 		}
 		if t.tm.mgr == nil {
 			t.log.Flush()
+			telemetry.CountPhaseFence(telemetry.PhaseTruncate)
 			t.log.TruncateAll()
 			continue
 		}

@@ -67,6 +67,8 @@ func (a *Allocator) PMalloc(size int64, ptr pmem.Addr) (pmem.Addr, error) {
 	if !ptr.IsPersistent() {
 		return pmem.Nil, fmt.Errorf("pheap: pmalloc destination %v is not persistent", ptr)
 	}
+	sp := telemetry.SpanBegin(telemetry.PhaseAlloc, uint64(a.idx), 0)
+	defer sp.End()
 	block, err := a.smallOrLargeAlloc(size, ptr)
 	if err == nil {
 		telAllocs.Inc()
@@ -93,6 +95,8 @@ func (a *Allocator) PFree(ptr pmem.Addr) error {
 	if !ptr.IsPersistent() {
 		return fmt.Errorf("pheap: pfree of non-persistent pointer %v", ptr)
 	}
+	sp := telemetry.SpanBegin(telemetry.PhaseFree, uint64(a.idx), 0)
+	defer sp.End()
 	a.lane.mu.Lock()
 	defer a.lane.mu.Unlock()
 	block := pmem.Addr(a.lane.mem.LoadU64(ptr))

@@ -285,12 +285,18 @@ func (l *Log) emitWord(payload uint64) {
 // Flush blocks until all prior appends are durable: the paper's log_flush,
 // a single fence. This is the entire durability protocol — no commit
 // record, no checksum.
-func (l *Log) Flush() { l.mem.Fence() }
+func (l *Log) Flush() {
+	sp := telemetry.SpanBegin(telemetry.PhaseRawlFlush, uint64(l.base), 0)
+	l.mem.Fence()
+	sp.End()
+}
 
 // TruncateAll drops every record in the log (the paper's log_truncate),
 // durably, with a single-variable update of the packed head state.
 // Producer-side call.
 func (l *Log) TruncateAll() {
+	sp := telemetry.SpanBegin(telemetry.PhaseRawlTrunc, uint64(l.base), 0)
+	defer sp.End()
 	pmem.StoreDurable(l.mem, l.base.Add(hdrHeadOff), packHead(l.tail, l.phase, l.tornPos))
 	telTruncations.Inc()
 	if telemetry.TraceEnabled() {
@@ -302,6 +308,8 @@ func (l *Log) TruncateAll() {
 // Append returned pos. The consumer passes its own Memory, keeping the
 // producer's write-combining buffer out of the consumer's fence.
 func (l *Log) TruncateTo(mem pmem.Memory, pos Pos) {
+	sp := telemetry.SpanBegin(telemetry.PhaseRawlTrunc, uint64(l.base), 0)
+	defer sp.End()
 	pmem.StoreDurable(mem, l.base.Add(hdrHeadOff), packHead(pos.idx, pos.phase, l.tornPos))
 	telTruncations.Inc()
 	if telemetry.TraceEnabled() {

@@ -212,6 +212,8 @@ func (c *Context) FlushRange(off, n int64) {
 // after movntq). The delay models waiting for outstanding writes plus the
 // bandwidth-limited streaming of the combined data.
 func (c *Context) Fence() {
+	sp := telemetry.SpanBegin(telemetry.PhaseFence, c.id, 0)
+	defer sp.End()
 	c.inOp++
 	if p := c.dev.probeP(); p != nil {
 		kind := ProbeFence
@@ -246,6 +248,8 @@ func (c *Context) Fence() {
 // for the duration of the call (group-commit members are parked on the
 // epoch's completion channel, which transfers ownership to the leader).
 func (c *Context) FenceGroup(peers ...*Context) {
+	sp := telemetry.SpanBegin(telemetry.PhaseFence, c.id, 0)
+	defer sp.End()
 	c.inOp++
 	pending := len(c.wc)
 	drained := c.wcBytes

@@ -11,10 +11,12 @@ import (
 
 // Handler returns an HTTP handler exposing the registry and tracer:
 //
-//	/metrics            Prometheus text exposition format
-//	/trace              Chrome trace_event JSON of the event ring
-//	/debug/vars         expvar JSON (includes the registry snapshot)
-//	/debug/pprof/...    runtime profiling endpoints
+//	/metrics               Prometheus text exposition format
+//	/trace                 Chrome trace_event JSON of the event ring
+//	/debug/mnemosyne/slow  slow-commit flight recorder dump (JSON;
+//	                       ?format=chrome for a trace_event document)
+//	/debug/vars            expvar JSON (includes the registry snapshot)
+//	/debug/pprof/...       runtime profiling endpoints
 func Handler(r *Registry, t *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -24,6 +26,14 @@ func Handler(r *Registry, t *Tracer) http.Handler {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = t.WriteChromeJSON(w)
+	})
+	mux.HandleFunc("/debug/mnemosyne/slow", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("format") == "chrome" {
+			_ = DefaultRecorder.WriteChromeJSON(w)
+			return
+		}
+		_ = DefaultRecorder.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

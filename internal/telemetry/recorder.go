@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var telSlowCaptured = NewCounter("telemetry_slow_captures_total",
+	"Transactions captured by the slow-commit flight recorder.")
+
+// SpanView is one span of a captured slow transaction, with the phase
+// rendered by name for direct JSON consumption.
+type SpanView struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent"`
+	Phase   string `json:"phase"`
+	TID     uint64 `json:"tid"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// SlowEntry is one captured slow transaction: the root span plus every
+// descendant the span ring still held at capture time.
+type SlowEntry struct {
+	Root       uint64     `json:"root"`
+	Phase      string     `json:"phase"`
+	TID        uint64     `json:"tid"`
+	DurNs      int64      `json:"dur_ns"`
+	StartNs    int64      `json:"start_ns"`
+	CapturedAt time.Time  `json:"captured_at"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// maxEntrySpans caps the tree captured per entry; a pathological fan-out
+// must not turn one capture into a megabyte of JSON.
+const maxEntrySpans = 1024
+
+// Recorder is the always-on slow-commit flight recorder: root spans whose
+// duration meets the threshold are captured with their full span tree,
+// and the N slowest within a sliding window are retained. The hot path
+// pays one comparison per root span; capture itself (a span-ring scan) is
+// paid only by transactions that were already slow.
+type Recorder struct {
+	thresholdNs atomic.Int64 // 0 = disarmed
+
+	mu      sync.Mutex
+	keep    int
+	window  time.Duration
+	entries []*SlowEntry
+}
+
+// DefaultRecorder is the process-wide flight recorder, disarmed until
+// Configure sets a threshold.
+var DefaultRecorder = &Recorder{keep: 8, window: 10 * time.Minute}
+
+// Configure arms the recorder: root spans lasting at least threshold are
+// captured, the keep slowest within the sliding window are retained.
+// keep <= 0 keeps the previous (default 8); window <= 0 keeps the
+// previous (default 10m). A non-positive threshold disarms the recorder.
+func (r *Recorder) Configure(threshold time.Duration, keep int, window time.Duration) {
+	r.mu.Lock()
+	if keep > 0 {
+		r.keep = keep
+		if len(r.entries) > keep {
+			sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].DurNs > r.entries[j].DurNs })
+			r.entries = r.entries[:keep]
+		}
+	}
+	if window > 0 {
+		r.window = window
+	}
+	r.mu.Unlock()
+	if threshold <= 0 {
+		r.thresholdNs.Store(0)
+		if r == DefaultRecorder {
+			spanStateClear(spanRecordBit)
+		}
+		return
+	}
+	phaseInit()
+	ensureSpanRing()
+	r.thresholdNs.Store(threshold.Nanoseconds())
+	if r == DefaultRecorder {
+		spanStateSet(spanRecordBit)
+	}
+}
+
+// Threshold returns the current capture threshold (0 = disarmed).
+func (r *Recorder) Threshold() time.Duration {
+	return time.Duration(r.thresholdNs.Load())
+}
+
+// offer is called by Span.End for every completed root span while the
+// recorder is armed. Fast path: one atomic load and one comparison.
+func (r *Recorder) offer(id uint64, ph Phase, tid uint64, start, end int64) {
+	th := r.thresholdNs.Load()
+	dur := end - start
+	if th <= 0 || dur < th {
+		return
+	}
+	r.capture(&SlowEntry{
+		Root:    id,
+		Phase:   ph.String(),
+		TID:     tid,
+		DurNs:   dur,
+		StartNs: start,
+	})
+}
+
+// capture reassembles the root's span tree from the span record ring and
+// inserts the entry, evicting expired entries and — when full — the
+// fastest retained one.
+func (r *Recorder) capture(e *SlowEntry) {
+	records := spanRingSnapshot()
+	children := make(map[uint64][]*SpanRecord)
+	var rootRec *SpanRecord
+	for i := range records {
+		rec := &records[i]
+		if rec.ID == e.Root {
+			rootRec = rec
+			continue
+		}
+		children[rec.Parent] = append(children[rec.Parent], rec)
+	}
+	add := func(rec *SpanRecord) {
+		e.Spans = append(e.Spans, SpanView{
+			ID: rec.ID, Parent: rec.Parent, Phase: rec.Phase.String(),
+			TID: rec.TID, StartNs: rec.Start, EndNs: rec.End,
+			DurNs: rec.End - rec.Start,
+		})
+	}
+	if rootRec != nil {
+		add(rootRec)
+	} else {
+		// The root's own record may have been overwritten (or raced) in
+		// the ring; synthesize it from the offer so the entry always has
+		// its root interval.
+		e.Spans = append(e.Spans, SpanView{
+			ID: e.Root, Phase: e.Phase, TID: e.TID,
+			StartNs: e.StartNs, EndNs: e.StartNs + e.DurNs, DurNs: e.DurNs,
+		})
+	}
+	// BFS over parent links: every included non-root span's parent is in
+	// the entry by construction, so the dump is always a well-formed tree.
+	queue := []uint64{e.Root}
+	for len(queue) > 0 && len(e.Spans) < maxEntrySpans {
+		id := queue[0]
+		queue = queue[1:]
+		for _, rec := range children[id] {
+			if len(e.Spans) >= maxEntrySpans {
+				break
+			}
+			add(rec)
+			queue = append(queue, rec.ID)
+		}
+	}
+	sort.Slice(e.Spans, func(i, j int) bool { return e.Spans[i].StartNs < e.Spans[j].StartNs })
+
+	// Stamp CapturedAt only now: tree reassembly above scans the whole
+	// span ring, and the sliding window should measure retention from the
+	// moment the entry lands, not from when the root span ended.
+	e.CapturedAt = time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(e.CapturedAt)
+	if len(r.entries) >= r.keep {
+		// Replace the fastest retained entry — but only if the newcomer
+		// is slower.
+		min := 0
+		for i, old := range r.entries {
+			if old.DurNs < r.entries[min].DurNs {
+				min = i
+			}
+		}
+		if r.entries[min].DurNs >= e.DurNs {
+			return
+		}
+		r.entries[min] = e
+	} else {
+		r.entries = append(r.entries, e)
+	}
+	telSlowCaptured.Inc()
+}
+
+// expireLocked drops entries captured before the sliding window.
+func (r *Recorder) expireLocked(now time.Time) {
+	if r.window <= 0 {
+		return
+	}
+	cutoff := now.Add(-r.window)
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.CapturedAt.After(cutoff) {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+}
+
+// Entries returns the retained slow transactions, slowest first.
+func (r *Recorder) Entries() []*SlowEntry {
+	r.mu.Lock()
+	r.expireLocked(time.Now())
+	out := make([]*SlowEntry, len(r.entries))
+	copy(out, r.entries)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurNs > out[j].DurNs })
+	return out
+}
+
+// WriteJSON dumps the recorder state as a JSON document — the payload of
+// the /debug/mnemosyne/slow endpoint and `pmctl slow`.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	entries := r.Entries()
+	if entries == nil {
+		entries = []*SlowEntry{}
+	}
+	r.mu.Lock()
+	window, keep := r.window, r.keep
+	r.mu.Unlock()
+	out := struct {
+		ThresholdNs int64        `json:"threshold_ns"`
+		WindowNs    int64        `json:"window_ns"`
+		Keep        int          `json:"keep"`
+		Entries     []*SlowEntry `json:"entries"`
+	}{r.thresholdNs.Load(), int64(window), keep, entries}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteChromeJSON renders the retained slow transactions as Chrome
+// trace_event complete ("X") events, one trace row per capture's root
+// span id, loadable at chrome://tracing or ui.perfetto.dev.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	entries := r.Entries()
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, e := range entries {
+		for _, sp := range e.Spans {
+			sep := ",\n"
+			if first {
+				sep = ""
+				first = false
+			}
+			if _, err := fmt.Fprintf(w,
+				"%s{\"name\":%q,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"span\":%d,\"parent\":%d,\"root\":%d}}",
+				sep, sp.Phase, sp.TID, float64(sp.StartNs)/1e3, float64(sp.DurNs)/1e3,
+				sp.ID, sp.Parent, e.Root); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// spanTestCleanup restores the global span state a test mutated.
+func spanTestCleanup(t *testing.T) {
+	t.Cleanup(func() {
+		DisableAttribution()
+		DefaultTracer.Disable()
+		DefaultRecorder.Configure(0, 0, 0)
+	})
+}
+
+func TestSpanDisabledIsZero(t *testing.T) {
+	if SpansOn() {
+		t.Skip("another test left span consumers enabled")
+	}
+	sp := SpanBegin(PhaseTxn, 1, 0)
+	if sp.ID != 0 {
+		t.Fatalf("disabled SpanBegin minted id %d, want zero span", sp.ID)
+	}
+	sp.End() // must be a no-op, not a panic
+}
+
+// TestSpanRingWraparound overfills the span record ring and checks that a
+// snapshot stays bounded and every surviving record is coherent — the
+// seqlock must hide torn slots, and wraparound must drop oldest-first.
+func TestSpanRingWraparound(t *testing.T) {
+	spanTestCleanup(t)
+	EnableAttribution()
+	mark := SpanBegin(PhaseTxn, 0, 0)
+	floor := mark.ID
+	mark.End()
+
+	const n = (1 << spanRingBits) + 2048
+	var last uint64
+	for i := 0; i < n; i++ {
+		sp := SpanBegin(PhaseLogFence, 7, 0)
+		last = sp.ID
+		sp.End()
+	}
+	recs := spanRingSnapshot()
+	if len(recs) > 1<<spanRingBits {
+		t.Fatalf("snapshot returned %d records, ring holds %d", len(recs), 1<<spanRingBits)
+	}
+	seen := map[uint64]bool{}
+	found := false
+	for _, r := range recs {
+		if r.ID == 0 {
+			t.Fatal("snapshot contains a zero-id record")
+		}
+		if r.End < r.Start {
+			t.Fatalf("record %d ends (%d) before it starts (%d)", r.ID, r.End, r.Start)
+		}
+		if r.ID > floor && seen[r.ID] {
+			t.Fatalf("span id %d appears twice in the ring", r.ID)
+		}
+		seen[r.ID] = true
+		if r.ID == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the most recent span was evicted before older ones")
+	}
+}
+
+// TestTraceRingWraparound overfills a small event ring: Events must return
+// at most the capacity, sorted, with only the newest entries surviving.
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable()
+	for i := 0; i < 100; i++ {
+		tr.Emit(EvFence, uint64(i), uint64(i), 0)
+	}
+	events := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("got %d events from a 16-slot ring", len(events))
+	}
+	for i, e := range events {
+		if i > 0 && e.TS < events[i-1].TS {
+			t.Fatal("events not sorted by timestamp")
+		}
+		if e.A < 100-16 {
+			t.Fatalf("event %d survived wraparound; oldest expected was %d", e.A, 100-16)
+		}
+	}
+}
+
+// TestConcurrentSpanPairing hammers begin/end from many goroutines with
+// the trace mirror, attribution and concurrent snapshots all on, and then
+// checks pairing: every span_end event has a matching span_begin with the
+// same phase. Run with -race this also exercises the seqlock paths.
+func TestConcurrentSpanPairing(t *testing.T) {
+	spanTestCleanup(t)
+	EnableAttribution()
+	DefaultTracer.Enable()
+	mark := SpanBegin(PhaseTxn, 0, 0)
+	floor := mark.ID
+	mark.End()
+
+	const goroutines, spansPerG = 8, 200
+	var wg, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent reader: snapshots must never tear
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range spanRingSnapshot() {
+				if r.End < r.Start {
+					t.Error("torn span record escaped the seqlock")
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansPerG; i++ {
+				root := SpanBegin(PhaseTxn, uint64(g), 0)
+				child := SpanBegin(PhaseLogFence, uint64(g), root.ID)
+				child.End()
+				child.End() // idempotent: second End must not double-record
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	begins := map[uint64]Phase{}
+	var ends []Event
+	for _, e := range DefaultTracer.Events() {
+		id := e.A >> 8
+		if id <= floor {
+			continue
+		}
+		switch e.Kind {
+		case EvSpanBegin:
+			begins[id] = Phase(e.A & 0xff)
+		case EvSpanEnd:
+			ends = append(ends, e)
+		}
+	}
+	wantEnds := goroutines * spansPerG * 2
+	if len(ends) != wantEnds {
+		t.Fatalf("got %d span_end events, want %d (double End leaked, or events lost)", len(ends), wantEnds)
+	}
+	for _, e := range ends {
+		id, ph := e.A>>8, Phase(e.A&0xff)
+		bp, ok := begins[id]
+		if !ok {
+			t.Fatalf("span %d ended without a begin", id)
+		}
+		if bp != ph {
+			t.Fatalf("span %d began as %v but ended as %v", id, bp, ph)
+		}
+	}
+}
+
+// TestRecorderCaptureAndEviction drives the recorder directly: slow roots
+// are captured with their trees, the keep cap retains the slowest, and a
+// faster newcomer cannot displace a slower capture.
+func TestRecorderCaptureAndEviction(t *testing.T) {
+	spanTestCleanup(t)
+	EnableAttribution() // feeds the span ring the recorder reassembles from
+	r := &Recorder{}
+	r.Configure(time.Microsecond, 2, time.Minute)
+
+	slowRoot := func(children int, dur time.Duration) uint64 {
+		root := SpanBegin(PhaseTxn, 3, 0)
+		for i := 0; i < children; i++ {
+			c := SpanBegin(PhaseLogFence, 3, root.ID)
+			c.End()
+		}
+		start := spanNow() - dur.Nanoseconds()
+		r.offer(root.ID, root.Phase, root.TID, start, spanNow())
+		id := root.ID
+		root.End()
+		return id
+	}
+
+	a := slowRoot(3, 10*time.Millisecond)
+	b := slowRoot(2, 30*time.Millisecond)
+	c := slowRoot(1, 20*time.Millisecond) // evicts a (10ms), not b
+	_ = slowRoot(0, time.Nanosecond)      // under threshold: ignored
+
+	entries := r.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (keep cap)", len(entries))
+	}
+	if entries[0].Root != b || entries[1].Root != c {
+		t.Fatalf("kept roots %d,%d; want slowest-first %d,%d", entries[0].Root, entries[1].Root, b, c)
+	}
+	for _, e := range entries {
+		if e.Root == a {
+			t.Fatal("fastest capture was not evicted")
+		}
+		ids := map[uint64]bool{e.Root: true}
+		for _, sp := range e.Spans {
+			if sp.ID != e.Root && !ids[sp.Parent] {
+				t.Fatalf("entry %d: span %d's parent %d not in the entry (not a tree)", e.Root, sp.ID, sp.Parent)
+			}
+			ids[sp.ID] = true
+		}
+	}
+	if entries[0].Spans == nil || len(entries[0].Spans) != 3 { // root + 2 children
+		t.Fatalf("slowest entry has %d spans, want 3", len(entries[0].Spans))
+	}
+}
+
+func TestRecorderWindowExpiry(t *testing.T) {
+	spanTestCleanup(t)
+	EnableAttribution()
+	r := &Recorder{}
+	r.Configure(time.Nanosecond, 4, 50*time.Millisecond)
+	sp := SpanBegin(PhaseTxn, 1, 0)
+	r.offer(sp.ID, sp.Phase, sp.TID, sp.Start-int64(time.Millisecond), spanNow())
+	sp.End()
+	if len(r.Entries()) != 1 {
+		t.Fatal("capture did not land")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := len(r.Entries()); got != 0 {
+		t.Fatalf("%d entries survived past the sliding window", got)
+	}
+}
+
+func TestRecorderDisarm(t *testing.T) {
+	spanTestCleanup(t)
+	r := &Recorder{}
+	r.Configure(time.Nanosecond, 4, time.Minute)
+	if r.Threshold() == 0 {
+		t.Fatal("configured recorder reports disarmed")
+	}
+	r.Configure(0, 0, 0)
+	if r.Threshold() != 0 {
+		t.Fatal("threshold 0 did not disarm")
+	}
+	r.offer(1, PhaseTxn, 0, 0, int64(time.Second))
+	if len(r.Entries()) != 0 {
+		t.Fatal("disarmed recorder captured a span")
+	}
+}

@@ -26,6 +26,8 @@ type Kind uint8
 //	EvAlloc          A=block address, B=size bytes
 //	EvFree           A=block address
 //	EvRequest        A=latency ns
+//	EvSpanBegin      A=span id<<8|phase, B=parent span id
+//	EvSpanEnd        A=span id<<8|phase, B=duration ns
 const (
 	EvNone Kind = iota
 	EvTxnBegin
@@ -40,6 +42,8 @@ const (
 	EvAlloc
 	EvFree
 	EvRequest
+	EvSpanBegin
+	EvSpanEnd
 	numKinds
 )
 
@@ -57,6 +61,8 @@ var kindNames = [numKinds]string{
 	EvAlloc:          "alloc",
 	EvFree:           "free",
 	EvRequest:        "request",
+	EvSpanBegin:      "span_begin",
+	EvSpanEnd:        "span_end",
 }
 
 // String returns the event kind's trace name.
@@ -121,6 +127,7 @@ func NewTracer(capacity int) *Tracer {
 var DefaultTracer = NewTracer(1 << 16)
 
 // Enable allocates the ring (first call) and turns event recording on.
+// Enabling the DefaultTracer also turns on span emission into its ring.
 func (t *Tracer) Enable() {
 	t.mu.Lock()
 	if t.slots == nil {
@@ -129,10 +136,18 @@ func (t *Tracer) Enable() {
 	}
 	t.mu.Unlock()
 	t.enabled.Store(true)
+	if t == DefaultTracer {
+		spanStateSet(spanTraceBit)
+	}
 }
 
 // Disable turns event recording off; recorded events remain readable.
-func (t *Tracer) Disable() { t.enabled.Store(false) }
+func (t *Tracer) Disable() {
+	t.enabled.Store(false)
+	if t == DefaultTracer {
+		spanStateClear(spanTraceBit)
+	}
+}
 
 // Enabled reports whether events are being recorded.
 func (t *Tracer) Enabled() bool { return t.enabled.Load() }
@@ -213,7 +228,17 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 		}
 		tsUS := float64(e.TS) / 1e3
 		var line string
-		if int(e.Kind) < len(durationKinds) && durationKinds[e.Kind] {
+		if e.Kind == EvSpanBegin || e.Kind == EvSpanEnd {
+			// Span events render as Chrome duration events, named by
+			// phase and nested per tid; A packs id<<8|phase.
+			ph := "B"
+			if e.Kind == EvSpanEnd {
+				ph = "E"
+			}
+			line = fmt.Sprintf(
+				"{\"name\":%q,\"ph\":%q,\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"span\":%d,\"b\":%d}}%s\n",
+				Phase(e.A&0xff).String(), ph, e.TID, tsUS, e.A>>8, e.B, sep)
+		} else if int(e.Kind) < len(durationKinds) && durationKinds[e.Kind] {
 			// A complete event spans [start, start+dur); e.TS is the end.
 			durUS := float64(e.A) / 1e3
 			start := tsUS - durUS
