@@ -5,9 +5,19 @@
 // Usage:
 //
 //	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
+//	         [-shards 4] [-recovery-workers 2]
 //	         [-group-commit] [-group-commit-wait 50µs] [-metrics-addr :9090]
 //	         [-trace] [-attribution] [-slow-threshold 50ms]
 //	         [-latency-sample-rate 16]
+//
+// With -shards N (N > 1) the store is N fully independent Mnemosyne
+// instances behind the same wire protocol: shard k's device lives at
+// <image>.shard<k> with region files under <dir>/shard-<k>, single-key
+// commands route by key hash, MGET/MSET/MDEL scatter-gather, and a
+// cross-shard MSET commits atomically through per-shard intent records.
+// Boot recovers shards concurrently, bounded by -recovery-workers
+// (default: one worker per shard). -shards 1 (the default) keeps the
+// classic single-instance layout, so existing images stay drop-in.
 //
 // Protocol (line-oriented; try it with `nc localhost 7070`):
 //
@@ -42,6 +52,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvserve"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -51,6 +62,8 @@ var (
 	dir         = flag.String("dir", ".", "region backing directory")
 	size        = flag.Int64("size", 256<<20, "device size in bytes")
 	emulate     = flag.Bool("emulate-latency", false, "spin-emulate PCM write latency")
+	shards      = flag.Int("shards", 1, "independent PM shards behind the front end (1 = classic single-instance layout)")
+	recWorkers  = flag.Int("recovery-workers", 0, "max shards recovering concurrently at boot (0 = one worker per shard)")
 	threads     = flag.Int("threads", 0, "concurrent transaction threads (0 = default 32); caps concurrent connections, not cumulative ones")
 	leaseWait   = flag.Duration("lease-timeout", 0, "how long a connection waits for a transaction thread when all are busy (0 = default 5s)")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (empty disables)")
@@ -79,7 +92,7 @@ func main() {
 	if *slowThresh > 0 {
 		telemetry.DefaultRecorder.Configure(*slowThresh, *slowKeep, 10*time.Minute)
 	}
-	pm, err := core.Open(core.Config{
+	cfg := core.Config{
 		DevicePath:     *image,
 		Dir:            *dir,
 		DeviceSize:     *size,
@@ -91,19 +104,43 @@ func main() {
 		GroupCommitWait:   *gcWait,
 		GroupCommitBatch:  *gcBatch,
 		LatencySampleRate: sample,
-	})
-	if err != nil {
-		log.Fatalf("kvserved: open persistent memory: %v", err)
 	}
-	srv, err := kvserve.New(pm)
-	if err != nil {
-		log.Fatalf("kvserved: %v", err)
+	var (
+		srv     *kvserve.Server
+		closeFn func() error
+	)
+	if *shards > 1 {
+		st, err := shard.Open(shard.Config{
+			Config:          cfg,
+			Shards:          *shards,
+			RecoveryWorkers: *recWorkers,
+		})
+		if err != nil {
+			log.Fatalf("kvserved: open sharded store: %v", err)
+		}
+		if srv, err = kvserve.NewSharded(st); err != nil {
+			log.Fatalf("kvserved: %v", err)
+		}
+		closeFn = st.Close
+	} else {
+		pm, err := core.Open(cfg)
+		if err != nil {
+			log.Fatalf("kvserved: open persistent memory: %v", err)
+		}
+		if srv, err = kvserve.New(pm); err != nil {
+			log.Fatalf("kvserved: %v", err)
+		}
+		closeFn = pm.Close
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("kvserved: listen: %v", err)
 	}
-	fmt.Printf("kvserved: serving durable KV on %s (image %s)\n", l.Addr(), *image)
+	if *shards > 1 {
+		fmt.Printf("kvserved: serving durable KV on %s (%d shards, image %s.shard<k>)\n", l.Addr(), *shards, *image)
+	} else {
+		fmt.Printf("kvserved: serving durable KV on %s (image %s)\n", l.Addr(), *image)
+	}
 	if *metricsAddr != "" {
 		_, bound, err := telemetry.Serve(*metricsAddr, telemetry.Default, telemetry.DefaultTracer)
 		if err != nil {
@@ -127,7 +164,7 @@ func main() {
 	if err := srv.Serve(l); err != nil {
 		log.Fatalf("kvserved: %v", err)
 	}
-	if err := pm.Close(); err != nil {
+	if err := closeFn(); err != nil {
 		log.Fatalf("kvserved: close: %v", err)
 	}
 }

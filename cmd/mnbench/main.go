@@ -6,7 +6,7 @@
 //	mnbench [flags] <experiment>...
 //
 // Experiments: table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7
-// reincarnation ablation groupcommit all
+// reincarnation ablation groupcommit readmostly sharded all
 //
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
@@ -213,7 +213,7 @@ func run(exp string) error {
 		for _, e := range []string{
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
-			"groupcommit", "readmostly",
+			"groupcommit", "readmostly", "sharded",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -242,8 +242,10 @@ func run(exp string) error {
 		return groupCommit()
 	case "readmostly":
 		return readMostly()
+	case "sharded":
+		return sharded()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded all)")
 	}
 }
 
@@ -470,6 +472,44 @@ func readMostly() error {
 			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerOp, r.LeasesPerOp)
 		csvOut("readmostly", "mode,goroutines,ops_per_sec,fences_per_op,leases_per_op",
 			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerOp, r.LeasesPerOp)
+	}
+	return nil
+}
+
+func sharded() error {
+	header("Sharded: write throughput vs shard count, recovery time vs heap size")
+	fmt.Printf("%-7s %10s %16s %12s %15s  %s\n", "Shards", "Goroutines", "Modeled ops/s", "Wall ops/s", "Fences/commit", "Commits/shard")
+	rows, err := bench.RunSharded(bench.ShardedOpts{
+		Options: baseOptions(),
+		OpsPerG: scale(400),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-7d %10d %16.0f %12.0f %15.2f  %v\n",
+			r.Shards, r.Goroutines, r.OpsPerSec, r.WallOpsPerSec, r.FencesPerCommit, r.ShardCommits)
+		csvOut("sharded", "shards,goroutines,ops_per_sec,wall_ops_per_sec,fences_per_commit",
+			r.Shards, r.Goroutines, r.OpsPerSec, r.WallOpsPerSec, r.FencesPerCommit)
+		for k, commits := range r.ShardCommits {
+			csvOut("sharded_pershard", "shards,shard,commits",
+				r.Shards, k, commits)
+		}
+	}
+
+	fmt.Printf("\n%-9s %7s %8s %14s %15s %16s\n", "Heap", "Shards", "Workers", "Reattach", "Per-shard sum", "Slowest shard")
+	recRows, err := bench.RunShardedRecovery(bench.ShardedRecoveryOpts{
+		Options: baseOptions(),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range recRows {
+		fmt.Printf("%6d MB %7d %8d %14v %15v %16v\n",
+			r.HeapMB, r.Shards, r.Workers, r.Recovery.Round(time.Microsecond),
+			r.ShardSum.Round(time.Microsecond), r.ShardMax.Round(time.Microsecond))
+		csvOut("sharded_recovery", "heap_mb,shards,workers,recovery_ns,shard_sum_ns,shard_max_ns",
+			r.HeapMB, r.Shards, r.Workers, r.Recovery.Nanoseconds(), r.ShardSum.Nanoseconds(), r.ShardMax.Nanoseconds())
 	}
 	return nil
 }

@@ -9,6 +9,16 @@
 //   - fences per committed transaction (the sum of the commit path's
 //     per-phase fence counters over mtm_commits_total) grows more than
 //     20% plus an absolute slack of 0.05
+//   - the sharded experiment's aggregate fences/commit (worst cell of
+//     the `sharded` rows) grows past the same thresholds
+//   - any matched sharded recovery cell (same heap size, shard count and
+//     worker mode in both documents) slows more than -rec-pct (default
+//     50%) plus -rec-slack-ms (default 25ms) — recovery is wall-clock
+//     and host-sensitive, so its gate is looser than the phase gates
+//
+// The sharded gates only engage when BOTH documents carry the rows, so
+// baselines generated before the sharded experiment existed still
+// compare cleanly.
 //
 // Usage:
 //
@@ -25,7 +35,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
+
+// sortedKeys returns the map's keys in stable order, so the gate report
+// is deterministic run to run.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 var (
 	baselinePath = flag.String("baseline", "", "baseline mnbench -json document (e.g. BENCH_1.json)")
@@ -33,6 +55,8 @@ var (
 	pct          = flag.Float64("pct", 20, "relative regression threshold, percent")
 	slackNs      = flag.Float64("slack-ns", 5000, "absolute p50 slack in nanoseconds; growth below this never gates")
 	minCount     = flag.Int("min-count", 100, "skip phases with fewer observations than this in either run")
+	recPct       = flag.Float64("rec-pct", 50, "relative regression threshold for sharded recovery cells, percent")
+	recSlackMs   = flag.Float64("rec-slack-ms", 25, "absolute sharded-recovery slack in milliseconds; growth below this never gates")
 )
 
 type phaseSummary struct {
@@ -44,10 +68,28 @@ type phaseSummary struct {
 }
 
 type benchDoc struct {
-	SchemaVersion int                     `json:"schema_version"`
-	GitCommit     string                  `json:"git_commit"`
-	Telemetry     map[string]float64      `json:"telemetry"`
-	Phases        map[string]phaseSummary `json:"phases"`
+	SchemaVersion int                      `json:"schema_version"`
+	GitCommit     string                   `json:"git_commit"`
+	Telemetry     map[string]float64       `json:"telemetry"`
+	Phases        map[string]phaseSummary  `json:"phases"`
+	Rows          []map[string]interface{} `json:"rows"`
+}
+
+// rows filters the document's result rows by experiment name.
+func (d *benchDoc) rows(experiment string) []map[string]interface{} {
+	var out []map[string]interface{}
+	for _, r := range d.Rows {
+		if r["experiment"] == experiment {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// num reads a numeric row column (JSON numbers decode as float64).
+func num(row map[string]interface{}, key string) (float64, bool) {
+	v, ok := row[key].(float64)
+	return v, ok
 }
 
 func load(path string) (*benchDoc, error) {
@@ -80,6 +122,39 @@ func fencesPerCommit(d *benchDoc) (float64, bool) {
 		fences += p.Fences
 	}
 	return float64(fences) / commits, true
+}
+
+// shardedFences aggregates the sharded experiment's fences/commit into
+// one trajectory number: the worst cell across the shard-count ladder.
+// Sharding's promise is that fences/commit stays flat as shards are
+// added, so the worst cell is the number a regression would bend.
+func shardedFences(d *benchDoc) (float64, bool) {
+	worst, ok := 0.0, false
+	for _, r := range d.rows("sharded") {
+		if f, has := num(r, "fences_per_commit"); has {
+			ok = true
+			if f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst, ok
+}
+
+// shardedRecovery indexes the sharded recovery sweep by configuration
+// cell, so only like-for-like cells (same heap, shards, workers) gate.
+func shardedRecovery(d *benchDoc) map[string]float64 {
+	cells := map[string]float64{}
+	for _, r := range d.rows("sharded_recovery") {
+		heap, ok1 := num(r, "heap_mb")
+		shards, ok2 := num(r, "shards")
+		workers, ok3 := num(r, "workers")
+		ns, ok4 := num(r, "recovery_ns")
+		if ok1 && ok2 && ok3 && ok4 {
+			cells[fmt.Sprintf("%gMB/%gsh/%gw", heap, shards, workers)] = ns
+		}
+	}
+	return cells
 }
 
 func main() {
@@ -135,6 +210,36 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("ok   fences/commit %.3f -> %.3f (%+.0f%%)\n", bf, cf, growth)
+		}
+	}
+
+	bsf, bok := shardedFences(base)
+	csf, cok := shardedFences(cur)
+	if bok && cok && bsf > 0 {
+		growth := (csf - bsf) / bsf * 100
+		if growth > *pct && csf-bsf > 0.05 {
+			fmt.Printf("FAIL sharded fences/commit %.3f -> %.3f (%+.0f%%, limit %+.0f%%)\n", bsf, csf, growth, *pct)
+			failed = true
+		} else {
+			fmt.Printf("ok   sharded fences/commit %.3f -> %.3f (%+.0f%%)\n", bsf, csf, growth)
+		}
+	}
+
+	brec, crec := shardedRecovery(base), shardedRecovery(cur)
+	for _, cell := range sortedKeys(brec) {
+		bns := brec[cell]
+		cns, ok := crec[cell]
+		if !ok || bns <= 0 {
+			continue
+		}
+		growth := (cns - bns) / bns * 100
+		if growth > *recPct && cns-bns > *recSlackMs*1e6 {
+			fmt.Printf("FAIL sharded recovery %-14s %8.1fms -> %8.1fms (%+.0f%%, limit %+.0f%%)\n",
+				cell, bns/1e6, cns/1e6, growth, *recPct)
+			failed = true
+		} else {
+			fmt.Printf("ok   sharded recovery %-14s %8.1fms -> %8.1fms (%+.0f%%)\n",
+				cell, bns/1e6, cns/1e6, growth)
 		}
 	}
 

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap|stats|slow>
+//	pmctl -image scm.img -dir ./regions [-size N] <info|regions|statics|heap|stats|shards|slow>
 //
 // `stats` prints the telemetry registry in Prometheus text format. With
 // -metrics-url it instead scrapes a live server's /metrics endpoint
 // (e.g. a kvserved started with -metrics-addr), so the same subcommand
 // works against both an offline image and a running process.
+//
+// `shards` scrapes the same endpoint and distills the sharded store's
+// per-shard dimensions into one table — commits, device fences,
+// fences/commit and last recovery time per shard — plus the cross-shard
+// intents resolved at the most recent attach. Requires -metrics-url
+// against a kvserved running with -shards > 1.
 //
 // `slow` fetches a live server's slow-commit flight recorder (the
 // /debug/mnemosyne/slow endpoint, derived from -metrics-url) and prints
@@ -28,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,6 +80,77 @@ func scrape(url string) error {
 	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
+}
+
+// scrapeValues fetches a live server's Prometheus endpoint into a
+// name → value map (samples only; HELP/TYPE lines are skipped).
+func scrapeValues(url string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, num, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		if err != nil {
+			continue
+		}
+		vals[name] = v
+	}
+	return vals, nil
+}
+
+// runShards scrapes a live sharded server and prints the per-shard
+// telemetry dimensions as one table.
+func runShards() error {
+	if *metricsURL == "" {
+		return fmt.Errorf("shards: pass -metrics-url (e.g. http://localhost:9090/metrics)")
+	}
+	vals, err := scrapeValues(*metricsURL)
+	if err != nil {
+		return err
+	}
+	n := int(vals["shard_count"])
+	if n == 0 {
+		return fmt.Errorf("shards: no shard_count in %s (server not started with -shards > 1?)", *metricsURL)
+	}
+	fmt.Printf("%d shards\n", n)
+	fmt.Printf("%-6s %12s %12s %14s %12s\n", "shard", "commits", "fences", "fences/commit", "recovery")
+	var commits, fences float64
+	for k := 0; k < n; k++ {
+		c := vals[fmt.Sprintf("shard%d_commits", k)]
+		f := vals[fmt.Sprintf("shard%d_fences", k)]
+		commits += c
+		fences += f
+		fmt.Printf("%-6d %12.0f %12.0f %14.2f %12v\n", k, c, f,
+			vals[fmt.Sprintf("shard%d_fences_per_commit", k)],
+			time.Duration(vals[fmt.Sprintf("shard%d_recovery_ns", k)]))
+	}
+	agg := 0.0
+	if commits > 0 {
+		agg = fences / commits
+	}
+	fmt.Printf("%-6s %12.0f %12.0f %14.2f\n", "total", commits, fences, agg)
+	fmt.Printf("cross-shard MSETs: %.0f started, %.0f aborted; last attach resolved %.0f commit(s), %.0f abort(s)\n",
+		vals["shard_xmsets_total"], vals["shard_xmset_aborts_total"],
+		vals["shard_recovered_xmset_commits"], vals["shard_recovered_xmset_aborts"])
+	return nil
 }
 
 // slowEndpoint derives the flight-recorder URL from the metrics URL, so
@@ -143,6 +221,9 @@ func run(cmd string) error {
 	if cmd == "slow" {
 		return runSlow()
 	}
+	if cmd == "shards" {
+		return runShards()
+	}
 	if cmd == "stats" && *metricsURL != "" {
 		return scrape(*metricsURL)
 	}
@@ -199,7 +280,7 @@ func run(cmd string) error {
 		// the image offline is itself the recovery being measured.
 		return telemetry.Default.WritePrometheus(os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want info, regions, statics, heap, stats or slow)", cmd)
+		return fmt.Errorf("unknown command %q (want info, regions, statics, heap, stats, shards or slow)", cmd)
 	}
 	return nil
 }

@@ -157,3 +157,54 @@ func TestAblationKernels(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedKernel(t *testing.T) {
+	rows, err := RunSharded(ShardedOpts{
+		Options: quick(), ShardSweep: []int{1, 2}, Goroutines: 4, OpsPerG: 50, Keys: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 || r.WallOpsPerSec <= 0 || r.FencesPerCommit <= 0 {
+			t.Fatalf("row: %+v", r)
+		}
+		if len(r.ShardCommits) != r.Shards {
+			t.Fatalf("row has %d shard commit cells for %d shards", len(r.ShardCommits), r.Shards)
+		}
+		for k, c := range r.ShardCommits {
+			if c == 0 {
+				t.Fatalf("%d shards: shard %d committed nothing", r.Shards, k)
+			}
+		}
+	}
+	// Splitting the same device-bound work over two shards must help the
+	// modeled (busiest-device) throughput.
+	if rows[1].OpsPerSec <= rows[0].OpsPerSec {
+		t.Fatalf("2 shards (%.0f modeled ops/s) not faster than 1 (%.0f)",
+			rows[1].OpsPerSec, rows[0].OpsPerSec)
+	}
+}
+
+func TestShardedRecoveryKernel(t *testing.T) {
+	rows, err := RunShardedRecovery(ShardedRecoveryOpts{
+		Options: quick(), Shards: 2, HeapSweepMB: []int64{4}, KeysPerMB: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recovery <= 0 || r.ShardMax <= 0 || r.ShardMax > r.Recovery {
+			t.Fatalf("row: %+v", r)
+		}
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 2 {
+		t.Fatalf("worker modes: %+v", rows)
+	}
+}

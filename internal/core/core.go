@@ -77,6 +77,13 @@ type Config struct {
 	// (default 16; 1 records every transaction — what phase attribution
 	// wants). Rounded up to a power of two.
 	LatencySampleRate int
+	// Shards is accepted for compatibility with the sharded front end's
+	// configuration (internal/shard embeds this Config). A core instance
+	// is always exactly one shard: 0 and 1 mean the same thing, and
+	// Open/Attach reject larger values — multi-shard stores are built
+	// with the shard package's Open, which derives one core.Config per
+	// shard from the embedded base.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -134,6 +141,9 @@ func Open(cfg Config) (*PM, error) {
 // it reincarnates).
 func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 	cfg.fill()
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("core: %d shards requested; a core instance is one shard — open multi-shard stores through the shard front end", cfg.Shards)
+	}
 	rt, err := region.Open(dev, region.Config{Dir: cfg.Dir})
 	if err != nil {
 		return nil, err

@@ -92,3 +92,57 @@ func (t *Trigger) Event(kind scm.ProbeKind, ctx uint64, off int64, n int) {
 // Seen reports how many events the trigger observed (excluding the one it
 // preempted).
 func (t *Trigger) Seen() int64 { return t.n }
+
+// MultiTrigger is Trigger generalized over several independent devices
+// (keyspace shards): one event counter spans them all in issue order,
+// and the power failure at event K cuts exactly the device that issued
+// event K — the other devices stay live, modeling one shard's power
+// domain failing while the rest keep committing. Bind attaches the
+// shared counter to each device. Like Trigger it assumes a
+// single-goroutine body.
+type MultiTrigger struct {
+	k int64
+
+	n     int64         // events seen so far, across all bound devices
+	Fired bool          // whether the power failure was injected
+	Kind  scm.ProbeKind // kind of the event the failure preempted
+	Dev   *scm.Device   // the device the failure landed on
+}
+
+// NewMultiTrigger returns a trigger that cuts power at global event k.
+func NewMultiTrigger(k int64) *MultiTrigger {
+	return &MultiTrigger{k: k}
+}
+
+// Bind returns the probe to install on dev, sharing the trigger's
+// counter with every other bound device.
+func (t *MultiTrigger) Bind(dev *scm.Device) scm.Probe {
+	return boundTrigger{t: t, dev: dev}
+}
+
+// Seen reports how many events the trigger observed (excluding the one
+// it preempted). Events issued by surviving devices after the cut are
+// not counted: the recording pass's numbering stops being comparable
+// once one device is frozen out of the sequence.
+func (t *MultiTrigger) Seen() int64 { return t.n }
+
+type boundTrigger struct {
+	t   *MultiTrigger
+	dev *scm.Device
+}
+
+// Event implements scm.Probe.
+func (b boundTrigger) Event(kind scm.ProbeKind, ctx uint64, off int64, n int) {
+	t := b.t
+	if t.Fired {
+		return
+	}
+	if t.n == t.k {
+		t.Fired = true
+		t.Kind = kind
+		t.Dev = b.dev
+		b.dev.PowerCut()
+		panic(scm.PowerFailure{})
+	}
+	t.n++
+}

@@ -229,3 +229,50 @@ func TestMaxFailuresStopsEarly(t *testing.T) {
 		t.Fatalf("collected %d failures, want exactly 1", len(rep.Failures))
 	}
 }
+
+// TestMultiTrigger pins the multi-device trigger contract: events from
+// every bound device share one global counter, the k-th event power-cuts
+// exactly the device that raised it (recording which), and the surviving
+// devices keep operating afterwards without tripping the trigger again.
+func TestMultiTrigger(t *testing.T) {
+	d0, d1 := openDev(t), openDev(t)
+	trig := NewMultiTrigger(2) // events 0,1 pass; event 2 cuts
+	d0.SetProbe(trig.Bind(d0))
+	d1.SetProbe(trig.Bind(d1))
+	defer d0.SetProbe(nil)
+	defer d1.SetProbe(nil)
+
+	c0, c1 := d0.NewContext(), d1.NewContext()
+	cut := func() (fired bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(scm.PowerFailure); !ok {
+					panic(r)
+				}
+				fired = true
+			}
+		}()
+		c0.StoreU64(0, 1)
+		c0.Flush(0) // event 0 on d0
+		c1.StoreU64(0, 2)
+		c1.Flush(0) // event 1 on d1
+		c1.Fence()  // event 2 on d1: the cut
+		return false
+	}()
+	if !cut {
+		t.Fatal("trigger never fired")
+	}
+	if !trig.Fired || trig.Dev != d1 || trig.Kind != scm.ProbeFence {
+		t.Fatalf("Fired=%v Dev==d1:%v Kind=%v, want fired fence on d1", trig.Fired, trig.Dev == d1, trig.Kind)
+	}
+	if !d1.IsPowerCut() || d0.IsPowerCut() {
+		t.Fatalf("IsPowerCut: d0=%v d1=%v, want only d1", d0.IsPowerCut(), d1.IsPowerCut())
+	}
+	// The survivor keeps working, and its events no longer count or trip.
+	c0.StoreU64(64, 3)
+	c0.Flush(64)
+	c0.Fence()
+	if got := trig.Seen(); got != 2 {
+		t.Fatalf("Seen() = %d after post-cut survivor events, want 2", got)
+	}
+}

@@ -22,10 +22,21 @@ type Run struct {
 	// Dev is the device the body runs against. The explorer installs its
 	// probes on it and crashes it.
 	Dev *scm.Device
+	// Devs, when non-empty, replaces Dev: the workload spans several
+	// independent devices (keyspace shards) and a crash point may land
+	// on any one of them. Events are counted globally across all devices
+	// in issue order, the power failure cuts exactly the device whose
+	// event the point preempts, and every device is rebooted under the
+	// crash policy before the oracle runs. A multi-device Body MAY
+	// recover scm.PowerFailure to keep operating the surviving devices
+	// (identify the dead one with Device.IsPowerCut); the cut device's
+	// freeze still guarantees the recovered path cannot alter its image.
+	Devs []*scm.Device
 	// Body executes the workload. It must be deterministic (single
 	// goroutine, fixed seeds, no map iteration): every replay must issue
 	// the identical persistence-event sequence. A power-failure panic
-	// unwinds through Body; it must not recover scm.PowerFailure.
+	// unwinds through Body; a single-device Body must not recover
+	// scm.PowerFailure.
 	Body func() error
 	// Check reopens the software stack over the device's surviving bytes
 	// and runs the layer's recovery oracle, returning an error when a
@@ -33,6 +44,14 @@ type Run struct {
 	// must cope with any prefix of Body's effects (track acknowledged
 	// progress in variables Body updates as it goes).
 	Check func() error
+}
+
+// devices returns the run's device set: Devs when present, else [Dev].
+func (r *Run) devices() []*scm.Device {
+	if len(r.Devs) > 0 {
+		return r.Devs
+	}
+	return []*scm.Device{r.Dev}
 }
 
 // Workload constructs identical Runs; the explorer calls it once for the
@@ -134,15 +153,21 @@ func Explore(w Workload, opt Options) (*Report, error) {
 		return nil, fmt.Errorf("crashpoint: workload setup: %w", err)
 	}
 	rec := &Recorder{}
-	run.Dev.SetProbe(rec)
+	for _, d := range run.devices() {
+		d.SetProbe(rec)
+	}
 	err = run.Body()
-	run.Dev.SetProbe(nil)
+	for _, d := range run.devices() {
+		d.SetProbe(nil)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("crashpoint: recording run failed: %w", err)
 	}
 	// The oracle must hold on the uninterrupted run, or every replay
 	// would report noise.
-	run.Dev.Crash(scm.KeepAll{})
+	for _, d := range run.devices() {
+		d.Crash(scm.KeepAll{})
+	}
 	if err := checkGuarded(run.Check); err != nil {
 		return nil, fmt.Errorf("crashpoint: oracle rejects the uninterrupted workload: %w", err)
 	}
@@ -187,25 +212,33 @@ func exploreOne(w Workload, k, events int64, pol NamedPolicy) (*Failure, error) 
 	if err != nil {
 		return nil, fmt.Errorf("crashpoint: workload setup: %w", err)
 	}
-	trig := NewTrigger(run.Dev, k)
-	run.Dev.SetProbe(trig)
+	devs := run.devices()
+	trig := NewMultiTrigger(k)
+	for _, d := range devs {
+		d.SetProbe(trig.Bind(d))
+	}
 	berr, interrupted := runGuarded(run.Body)
-	run.Dev.SetProbe(nil)
-	if !interrupted {
-		if berr != nil {
-			return nil, fmt.Errorf("crashpoint: point %d: workload failed before the crash: %w", k, berr)
-		}
-		if k < events {
-			return nil, fmt.Errorf(
-				"crashpoint: point %d never reached: replay saw only %d events where the recording saw %d (workload nondeterministic?)",
-				k, trig.Seen(), events)
-		}
+	for _, d := range devs {
+		d.SetProbe(nil)
+	}
+	if berr != nil {
+		// A multi-device body that recovers the power failure must still
+		// succeed on the surviving devices; any error is a workload bug,
+		// not an oracle finding.
+		return nil, fmt.Errorf("crashpoint: point %d: workload failed: %w", k, berr)
+	}
+	if !interrupted && !trig.Fired && k < events {
+		return nil, fmt.Errorf(
+			"crashpoint: point %d never reached: replay saw only %d events where the recording saw %d (workload nondeterministic?)",
+			k, trig.Seen(), events)
 	}
 	kind := "end"
 	if trig.Fired {
 		kind = trig.Kind.String()
 	}
-	run.Dev.CrashMidOp(pol.New())
+	for _, d := range devs {
+		d.CrashMidOp(pol.New())
+	}
 	if err := checkGuarded(run.Check); err != nil {
 		return &Failure{Point: k, Policy: pol.Name, Kind: kind, Err: err}, nil
 	}

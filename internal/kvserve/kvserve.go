@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mtm"
 	"repro/internal/pds"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -63,6 +64,13 @@ type Server struct {
 	tree *pds.BPTree
 	hash func(string) uint64 // hashKey, overridable by collision tests
 	pool *core.ThreadPool
+
+	// store, when non-nil, replaces pm/tree/pool: commands route across
+	// the sharded store's independent PM instances (NewSharded). Sharded
+	// sessions lease no threads of their own — every write leases inside
+	// its destination shard — so pipelined batches partition by key hash
+	// with no thread materialization.
+	store *shard.Store
 
 	// ctx is the server's lifecycle context: every thread lease a session
 	// takes is bounded by it, so Close unblocks sessions queued on a full
@@ -97,15 +105,29 @@ func New(pm *core.PM) (*Server, error) {
 	}, nil
 }
 
+// NewSharded builds a server over a sharded store: the same wire
+// protocol, with single-key commands routed to their key's shard and
+// MGET/MSET/MDEL scatter-gathered — cross-shard MSET atomically (see
+// internal/shard). Each shard keeps its state under its own
+// "kvserve.root" static, so a one-shard store serves a classic kvserve
+// image unchanged.
+func NewSharded(store *shard.Store) (*Server, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		store:  store,
+		hash:   hashKey,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]bool),
+	}, nil
+}
+
 // hashKey maps a string key into the tree's key space (FNV-1a). The full
-// key is stored with the value to detect collisions.
+// key is stored with the value to detect collisions. It is the same
+// function the shard front end routes with (shard.HashKey), so batch
+// partitions and shard routing agree.
 func hashKey(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
+	return shard.HashKey(s)
 }
 
 // Record and protocol size limits. The key length must fit the record
@@ -350,6 +372,8 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 
 	// A batch with keyed writes partitions across real transaction
 	// threads; a read-only batch partitions across thread-less Views.
+	// Sharded stores lease inside each destination shard instead, so
+	// their batches never materialize session threads.
 	hasWrite := false
 	for _, line := range lines {
 		if _, kind := batchKey(line); kind == lineWrite {
@@ -362,7 +386,7 @@ func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
 	if len(lines) >= 8 {
 		nparts = batchPartitions
 	}
-	if hasWrite {
+	if hasWrite && s.store == nil {
 		threads = sess.batchThreads(len(lines))
 		nparts = len(threads)
 		if nparts == 0 {
@@ -568,6 +592,9 @@ func (s *Server) lookup(r mtm.Reader, key string) (string, error) {
 }
 
 func (s *Server) handle(sess *session, th *mtm.Thread, line string, req uint64) string {
+	if s.store != nil {
+		return s.handleSharded(line, req)
+	}
 	parse := telemetry.SpanBegin(telemetry.PhaseParse, 0, req)
 	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
 	cmd := strings.ToUpper(fields[0])
@@ -785,6 +812,151 @@ func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string, parent u
 		return "ERROR " + err.Error()
 	}
 	return fmt.Sprintf("DELETED %d", deleted)
+}
+
+// handleSharded serves one command against the sharded store. The store
+// leases transaction threads per write inside the destination shard, so
+// the session contributes none; reads run on per-shard snapshot Views.
+func (s *Server) handleSharded(line string, req uint64) string {
+	parse := telemetry.SpanBegin(telemetry.PhaseParse, 0, req)
+	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	cmd := strings.ToUpper(fields[0])
+	parse.End()
+	exec := telemetry.SpanBegin(telemetry.PhaseExec, 0, req)
+	defer exec.End()
+	switch cmd {
+	case "PING":
+		return "PONG"
+	case "QUIT":
+		return "BYE"
+	case "SET":
+		if len(fields) != 3 {
+			return "ERROR usage: SET <key> <value>"
+		}
+		if err := s.store.Set(fields[1], fields[2]); err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERROR usage: GET <key>"
+		}
+		v, err := s.store.Get(fields[1])
+		if err == shard.ErrNotFound {
+			return "MISSING"
+		}
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "VALUE " + v
+	case "MGET":
+		keys := strings.Fields(line)[1:]
+		if len(keys) == 0 {
+			return "ERROR usage: MGET <key> [<key> ...]"
+		}
+		values, present, err := s.store.MGet(keys)
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		outs := make([]string, len(keys))
+		for i := range keys {
+			if present[i] {
+				outs[i] = "VALUE " + values[i]
+			} else {
+				outs[i] = "MISSING"
+			}
+		}
+		return strings.Join(outs, "\n")
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERROR usage: DEL <key>"
+		}
+		err := s.store.Del(fields[1])
+		if err == shard.ErrNotFound {
+			return "MISSING"
+		}
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "OK"
+	case "MSET":
+		args := strings.Fields(line)[1:]
+		if len(args) == 0 || len(args)%2 != 0 {
+			return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
+		}
+		keys := make([]string, 0, len(args)/2)
+		values := make([]string, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			keys = append(keys, args[i])
+			values = append(values, args[i+1])
+		}
+		if err := s.store.MSet(keys, values); err != nil {
+			return "ERROR " + err.Error()
+		}
+		return "OK"
+	case "MDEL":
+		keys := strings.Fields(line)[1:]
+		if len(keys) == 0 {
+			return "ERROR usage: MDEL <key> [<key> ...]"
+		}
+		n, err := s.store.MDel(keys)
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return fmt.Sprintf("DELETED %d", n)
+	case "COUNT":
+		n, err := s.store.Count()
+		if err != nil {
+			return "ERROR " + err.Error()
+		}
+		return fmt.Sprintf("COUNT %d", n)
+	case "STATS":
+		return s.statsSharded()
+	default:
+		return "ERROR unknown command"
+	}
+}
+
+// statsSharded renders the STATS line for a sharded store: the classic
+// aggregate fields summed across shards, the shard count, then per-shard
+// commit/fence/recovery dimensions (shard<k>_commits,
+// shard<k>_fences_per_commit, shard<k>_recovery_us).
+func (s *Server) statsSharded() string {
+	agg := s.store.Stats()
+	var b strings.Builder
+	b.WriteString("STATS")
+	add := func(k string, v uint64) { fmt.Fprintf(&b, " %s=%d", k, v) }
+	add("shards", uint64(s.store.NShards()))
+	add("commits", agg.Commits)
+	add("aborts", agg.Aborts)
+	add("stores", agg.Stores)
+	add("flushes", agg.Flushes)
+	add("fences", agg.Fences)
+	add("views", agg.Views)
+	fpc := 0.0
+	if agg.Commits > 0 {
+		fpc = float64(agg.Fences) / float64(agg.Commits)
+	}
+	fmt.Fprintf(&b, " fences_per_commit=%.2f", fpc)
+	rc, ra := s.store.RecoveredIntents()
+	add("recovered_xmset_commits", uint64(rc))
+	add("recovered_xmset_aborts", uint64(ra))
+	for k := 0; k < s.store.NShards(); k++ {
+		sh := s.store.Shard(k)
+		tm := sh.PM.TM().Snapshot()
+		dev := sh.PM.Device().Snapshot()
+		add(fmt.Sprintf("shard%d_commits", k), tm.Commits)
+		sfpc := 0.0
+		if tm.Commits > 0 {
+			sfpc = float64(dev.Fences) / float64(tm.Commits)
+		}
+		fmt.Fprintf(&b, " shard%d_fences_per_commit=%.2f", k, sfpc)
+		fmt.Fprintf(&b, " shard%d_recovery_us=%d", k, sh.RecoveryTime.Microseconds())
+	}
+	add("requests", telReqLat.Count())
+	fmt.Fprintf(&b, " req_p50_us=%.1f req_p99_us=%.1f",
+		telReqLat.Quantile(0.50)/1e3, telReqLat.Quantile(0.99)/1e3)
+	return b.String()
 }
 
 // stats renders one line of key=value pairs from the live stack: the

@@ -215,6 +215,30 @@ func (h *HashTable) Contains(tx mtm.Reader, key uint64) bool {
 	return false
 }
 
+// Scan visits every entry in bucket order (chain order within a bucket),
+// copying each value, until fn returns false. The visit order is
+// deterministic for a given table state but otherwise unspecified. Like
+// the other read paths it runs against any Reader — a snapshot View or a
+// writing transaction.
+func (h *HashTable) Scan(tx mtm.Reader, fn func(key uint64, val []byte) bool) {
+	nbuckets := int64(tx.LoadU64(h.base.Add(htBucketsOff)))
+	for b := int64(0); b < nbuckets; b++ {
+		node := pmem.Addr(tx.LoadU64(h.base.Add(htTableOff + b*8)))
+		for node != pmem.Nil {
+			key := tx.LoadU64(node.Add(entKeyOff))
+			n := int64(tx.LoadU64(node.Add(entLenOff)))
+			val := make([]byte, n)
+			if n > 0 {
+				tx.Load(val, node.Add(entValOff))
+			}
+			if !fn(key, val) {
+				return
+			}
+			node = pmem.Addr(tx.LoadU64(node.Add(entNextOff)))
+		}
+	}
+}
+
 // Len returns the number of entries by summing the count shards.
 func (h *HashTable) Len(tx mtm.Reader) int64 {
 	var n int64

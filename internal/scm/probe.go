@@ -111,6 +111,12 @@ func (PowerFailure) Error() string { return "scm: device is power-cut" }
 // cutting power, from a probe callback.
 func (d *Device) PowerCut() { d.powerCut = true }
 
+// IsPowerCut reports whether the device is frozen by a simulated power
+// failure. Multi-device workloads (keyspace shards) use it to learn which
+// device a crash-point trigger cut, so they can keep operating the
+// surviving devices while skipping the dead one.
+func (d *Device) IsPowerCut() bool { return d.powerCut }
+
 // checkAlive panics when the device is power-cut. Called at the head of
 // every mutating primitive, before any durable or bookkeeping state
 // changes.

@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crashpoint"
+	"repro/internal/mtm"
+	"repro/internal/scm"
+)
+
+// The sharded crash workload: a deterministic script of single-key SETs
+// and DELs on known shards plus cross-shard MSETs, driven against a
+// 3-shard store. The crash-point explorer cuts power inside exactly one
+// shard's flush path at every persistence event; the body catches the
+// power failure and keeps committing on the surviving shards, so the
+// oracle can assert (a) every shard independently recovers an
+// acked-prefix image and (b) a torn cross-shard MSET is all-or-nothing
+// across every shard.
+
+// crashOp kinds.
+const (
+	opSet = iota
+	opDel
+	opMSet
+)
+
+type crashOp struct {
+	kind int
+	keys []string
+	vals []string // opSet/opMSet values, parallel to keys
+}
+
+// apply folds the op into the expected key-value model.
+func (o crashOp) apply(model map[string]string) {
+	switch o.kind {
+	case opSet, opMSet:
+		for i, k := range o.keys {
+			model[k] = o.vals[i]
+		}
+	case opDel:
+		for _, k := range o.keys {
+			delete(model, k)
+		}
+	}
+}
+
+// run executes the op against the store.
+func (o crashOp) run(st *Store) error {
+	switch o.kind {
+	case opSet:
+		return st.Set(o.keys[0], o.vals[0])
+	case opDel:
+		err := st.Del(o.keys[0])
+		if errors.Is(err, ErrNotFound) {
+			return nil
+		}
+		return err
+	case opMSet:
+		return st.MSet(o.keys, o.vals)
+	}
+	return fmt.Errorf("bad op kind %d", o.kind)
+}
+
+// keyOnShard returns a key routing to shard k of n (deterministic probe
+// over the fixed FNV hash).
+func keyOnShard(prefix string, k, n int) string {
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("%s%d", prefix, i)
+		if int(HashKey(key)%uint64(n)) == k {
+			return key
+		}
+	}
+}
+
+// shardScript builds the deterministic op sequence for an n-shard store:
+// per-shard single-key traffic interleaved with cross-shard MSETs
+// (including one single-participant MSET, one rewrite of MSET keys and
+// one delete of an MSET key).
+func shardScript(n int) []crashOp {
+	k := func(prefix string, shard int) string { return keyOnShard(prefix, shard, n) }
+	all := make([]string, n)
+	allV, allV2 := make([]string, n), make([]string, n)
+	for i := 0; i < n; i++ {
+		all[i] = k("x", i)
+		allV[i] = fmt.Sprintf("cross-%d", i)
+		allV2[i] = fmt.Sprintf("cross2-%d", i)
+	}
+	return []crashOp{
+		{kind: opSet, keys: []string{k("a", 0)}, vals: []string{"a0"}},
+		{kind: opSet, keys: []string{k("b", 1)}, vals: []string{"b1"}},
+		{kind: opSet, keys: []string{k("c", 2)}, vals: []string{"c2"}},
+		{kind: opMSet, keys: all, vals: allV}, // spans every shard
+		{kind: opSet, keys: []string{k("a", 0)}, vals: []string{"a0-rewritten"}},
+		{kind: opDel, keys: []string{k("b", 1)}},
+		{kind: opMSet, keys: []string{all[0], all[n-1]}, vals: []string{allV2[0], allV2[n-1]}}, // two shards
+		{kind: opMSet, keys: []string{k("y", 1), k("z", 1)}, vals: []string{"y1", "z1"}},       // one shard: no intent protocol
+		{kind: opDel, keys: []string{all[1]}},
+		{kind: opSet, keys: []string{k("d", 2)}, vals: []string{"d2"}},
+	}
+}
+
+// scriptKeys is every key the script touches, in first-use order.
+func scriptKeys(script []crashOp) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, o := range script {
+		for _, k := range o.keys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// TestCrashPointsSharded explores crash points of the sharded store: the
+// power failure lands inside one shard's flush path while the body keeps
+// committing on the surviving shards. The oracle reattaches all shards
+// (sequentially — recovery itself is inside the explored determinism
+// envelope) and asserts the recovered image equals the acked op set with
+// at most the one in-flight op applied atomically — in particular, a
+// cross-shard MSET torn by the crash is either visible on every
+// participant shard or none.
+func TestCrashPointsSharded(t *testing.T) {
+	const nShards = 3
+	script := shardScript(nShards)
+
+	workload := func() (*crashpoint.Run, error) {
+		cfg := Config{
+			Config: core.Config{
+				DeviceSize: 8 << 20,
+				HeapSize:   256 << 10,
+				Threads:    2,
+			},
+			Shards:          nShards,
+			RecoveryWorkers: 1, // deterministic attach order
+		}
+		var err error
+		if cfg.Dir, err = os.MkdirTemp("", "shard-crash-*"); err != nil {
+			return nil, err
+		}
+		devs := make([]*scm.Device, nShards)
+		for i := range devs {
+			if devs[i], err = scm.Open(scm.Config{Size: cfg.DeviceSize, Mode: scm.DelayOff}); err != nil {
+				return nil, err
+			}
+		}
+		acked := make([]bool, len(script))
+		inflight := -1
+		return &crashpoint.Run{
+			Devs: devs,
+			Body: func() error {
+				st, err := Attach(devs, cfg)
+				if err != nil {
+					return err
+				}
+				dead := -1
+				for i, o := range script {
+					if dead >= 0 && opTouchesShard(st, o, dead) {
+						// The dead shard's slots may be wedged mid-unwind;
+						// route nothing at it. Survivor-only ops continue.
+						continue
+					}
+					err := runOpGuarded(st, o)
+					switch {
+					case err == nil:
+						acked[i] = true
+					case errors.Is(err, errPowerCut) && dead < 0:
+						inflight = i
+						for k, d := range devs {
+							if d.IsPowerCut() {
+								dead = k
+							}
+						}
+						if dead < 0 {
+							return fmt.Errorf("op %d power-cut but no device is frozen", i)
+						}
+					default:
+						return fmt.Errorf("op %d: %w", i, err)
+					}
+				}
+				return nil
+			},
+			Check: func() error {
+				defer os.RemoveAll(cfg.Dir)
+				st, err := Attach(devs, cfg)
+				if err != nil {
+					return fmt.Errorf("store not reopenable: %w", err)
+				}
+				defer st.Close()
+				// Every shard's tree invariants hold independently.
+				for k := 0; k < st.NShards(); k++ {
+					sh := st.Shard(k)
+					if err := sh.PM.View(func(r *mtm.ReadTx) error {
+						return sh.Tree.CheckInvariants(r)
+					}); err != nil {
+						return fmt.Errorf("shard %d B+ tree invariants: %w", k, err)
+					}
+					// Recovery resolves every cross-shard intent.
+					if err := sh.PM.View(func(r *mtm.ReadTx) error {
+						if stage := sh.openStage(r); stage != nil {
+							if n := stage.Len(r); n != 0 {
+								return fmt.Errorf("%d unresolved intents", n)
+							}
+						}
+						return nil
+					}); err != nil {
+						return fmt.Errorf("shard %d: %w", k, err)
+					}
+				}
+				// The recovered image matches the acked ops, with at most
+				// the in-flight op applied — atomically across shards.
+				stateA := foldScript(script, acked, -1)
+				stateB := stateA
+				if inflight >= 0 {
+					stateB = foldScript(script, acked, inflight)
+				}
+				diffA := diffState(st, script, stateA)
+				if diffA == "" {
+					return nil
+				}
+				if inflight < 0 {
+					return fmt.Errorf("recovered image does not match acked set (no op in flight): %s", diffA)
+				}
+				diffB := diffState(st, script, stateB)
+				if diffB == "" {
+					return nil
+				}
+				return fmt.Errorf("recovered image matches neither acked set (%s) nor acked+in-flight op %d (%s)",
+					diffA, inflight, diffB)
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("sharded durability oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	if rep.Points < 200 {
+		t.Errorf("only %d crash points enumerated; the sharded workload should expose at least 200", rep.Points)
+	}
+	t.Logf("sharded: %s", rep)
+}
+
+var errPowerCut = errors.New("power cut")
+
+// opTouchesShard reports whether any of the op's keys route to shard k.
+func opTouchesShard(st *Store, o crashOp, k int) bool {
+	for _, key := range o.keys {
+		if st.ShardOf(key) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// runOpGuarded executes one op, converting a PowerFailure panic (the
+// crash trigger, or a later touch of the frozen shard) into errPowerCut.
+func runOpGuarded(st *Store, o crashOp) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(scm.PowerFailure); ok {
+				err = errPowerCut
+				return
+			}
+			panic(r)
+		}
+	}()
+	return o.run(st)
+}
+
+// foldScript folds the acked ops (plus optionally the op at index extra)
+// into the expected model, in script order.
+func foldScript(script []crashOp, acked []bool, extra int) map[string]string {
+	model := map[string]string{}
+	for i, o := range script {
+		if acked[i] || i == extra {
+			o.apply(model)
+		}
+	}
+	return model
+}
+
+// diffState compares the store against the model over every script key,
+// returning "" on match or a description of the first difference.
+func diffState(st *Store, script []crashOp, model map[string]string) string {
+	for _, key := range scriptKeys(script) {
+		v, err := st.Get(key)
+		want, ok := model[key]
+		switch {
+		case err == nil && !ok:
+			return fmt.Sprintf("key %q: got %q, want missing", key, v)
+		case errors.Is(err, ErrNotFound) && ok:
+			return fmt.Sprintf("key %q: missing, want %q", key, want)
+		case err != nil && !errors.Is(err, ErrNotFound):
+			return fmt.Sprintf("key %q: %v", key, err)
+		case err == nil && v != want:
+			return fmt.Sprintf("key %q: got %q, want %q", key, v, want)
+		}
+	}
+	cnt, err := st.Count()
+	if err != nil {
+		return fmt.Sprintf("COUNT: %v", err)
+	}
+	if cnt != len(model) {
+		return fmt.Sprintf("COUNT = %d, want %d", cnt, len(model))
+	}
+	return ""
+}

@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Linearizability smoke test for the sharded KV front end.
+//
+// The spec is per-key sequential (an atomic register per key, ∅ before
+// the first write): single-key SET/GET are one-register ops, and a
+// cross-shard MSET/MGET contributes one component per touched key, every
+// component carrying the whole call's invocation/response interval — the
+// multi-key op enters each register's history atomically. Cross-key
+// isolation is deliberately NOT part of the spec: the shard design gives
+// cross-shard MSET all-or-nothing durability but no cross-shard
+// read isolation (see xstage.go), so only the per-key histories must
+// linearize.
+//
+// The checker is a per-key Wing–Gong-style search: every written value
+// is unique, so a history linearizes iff there is an order, consistent
+// with real time (an op whose response precedes another's invocation
+// comes first), in which each read returns the latest earlier write. The
+// search walks minimal ops with memoization on (done-set, register
+// value); histories are bounded (≤64 ops per key) to keep it exact.
+
+// linOp is one component of a recorded operation: a write installing val
+// at key, or a read that observed val (valMissing for MISSING).
+type linOp struct {
+	write    bool
+	val      string
+	inv, res int64
+}
+
+const valMissing = "∅"
+
+// linearizable reports whether one key's component history admits a
+// legal sequential order consistent with real time.
+func linearizable(ops []linOp) bool {
+	n := len(ops)
+	if n > 64 {
+		panic("history too long for bitmask search")
+	}
+	type state struct {
+		done uint64
+		val  string
+	}
+	seen := map[state]bool{}
+	var search func(done uint64, val string) bool
+	search = func(done uint64, val string) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		st := state{done, val}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			// i is minimal iff no other pending op completed before i was
+			// invoked — real time forces such an op to linearize first.
+			minimal := true
+			for j := 0; j < n; j++ {
+				if i != j && done&(1<<j) == 0 && ops[j].res < ops[i].inv {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if ops[i].write {
+				if search(done|1<<i, ops[i].val) {
+					return true
+				}
+			} else if ops[i].val == val {
+				if search(done|1<<i, val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return search(0, valMissing)
+}
+
+// TestLinearizableSmoke runs a bounded concurrent history of SET/GET and
+// cross-shard MSET/MGET over a small contended key set, then checks
+// every key's component history against the per-key sequential spec.
+func TestLinearizableSmoke(t *testing.T) {
+	workers, opsPer := 4, 24
+	if testing.Short() {
+		opsPer = 12
+	}
+	const nKeys = 8 // contended: every worker touches every key
+	st, err := Open(Config{
+		Config: core.Config{
+			Dir:        t.TempDir(),
+			DeviceSize: 16 << 20,
+			Threads:    workers + 2,
+		},
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("lin%d", i)
+	}
+
+	var clock atomic.Int64
+	var mu sync.Mutex
+	hist := map[string][]linOp{} // key -> component history
+
+	record := func(key string, op linOp) {
+		mu.Lock()
+		hist[key] = append(hist[key], op)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(90 + w)))
+			for j := 0; j < opsPer; j++ {
+				switch rng.Intn(4) {
+				case 0: // SET one key
+					key := keys[rng.Intn(nKeys)]
+					val := fmt.Sprintf("w%d.%d", w, j)
+					inv := clock.Add(1)
+					if err := st.Set(key, val); err != nil {
+						errs <- err
+						return
+					}
+					record(key, linOp{write: true, val: val, inv: inv, res: clock.Add(1)})
+				case 1: // MSET two distinct keys (usually cross-shard)
+					a, b := rng.Intn(nKeys), rng.Intn(nKeys)
+					if a == b {
+						b = (b + 1) % nKeys
+					}
+					va := fmt.Sprintf("w%d.%da", w, j)
+					vb := fmt.Sprintf("w%d.%db", w, j)
+					inv := clock.Add(1)
+					if err := st.MSet([]string{keys[a], keys[b]}, []string{va, vb}); err != nil {
+						errs <- err
+						return
+					}
+					res := clock.Add(1)
+					record(keys[a], linOp{write: true, val: va, inv: inv, res: res})
+					record(keys[b], linOp{write: true, val: vb, inv: inv, res: res})
+				case 2: // GET one key
+					key := keys[rng.Intn(nKeys)]
+					inv := clock.Add(1)
+					v, err := st.Get(key)
+					if err == ErrNotFound {
+						v = valMissing
+					} else if err != nil {
+						errs <- err
+						return
+					}
+					record(key, linOp{val: v, inv: inv, res: clock.Add(1)})
+				case 3: // MGET two keys
+					a, b := rng.Intn(nKeys), rng.Intn(nKeys)
+					if a == b {
+						b = (b + 1) % nKeys
+					}
+					inv := clock.Add(1)
+					vals, present, err := st.MGet([]string{keys[a], keys[b]})
+					if err != nil {
+						errs <- err
+						return
+					}
+					res := clock.Add(1)
+					for i, ki := range []int{a, b} {
+						v := valMissing
+						if present[i] {
+							v = vals[i]
+						}
+						record(keys[ki], linOp{val: v, inv: inv, res: res})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, key := range keys {
+		ops := hist[key]
+		if len(ops) > 64 {
+			t.Fatalf("key %s: %d ops exceeds the checker's bound; lower the scale", key, len(ops))
+		}
+		if !linearizable(ops) {
+			t.Errorf("key %s: history of %d ops is not linearizable", key, len(ops))
+			for _, op := range ops {
+				kind := "read "
+				if op.write {
+					kind = "write"
+				}
+				t.Logf("  %s %-12q [%d, %d]", kind, op.val, op.inv, op.res)
+			}
+		}
+	}
+}
+
+// TestLinearizableChecker sanity-checks the checker itself: it must
+// accept a legal interleaving and reject a stale and a future read.
+func TestLinearizableChecker(t *testing.T) {
+	w := func(v string, inv, res int64) linOp { return linOp{write: true, val: v, inv: inv, res: res} }
+	r := func(v string, inv, res int64) linOp { return linOp{val: v, inv: inv, res: res} }
+	cases := []struct {
+		name string
+		ops  []linOp
+		want bool
+	}{
+		{"empty", nil, true},
+		{"read initial missing", []linOp{r(valMissing, 1, 2)}, true},
+		{"read own write", []linOp{w("a", 1, 2), r("a", 3, 4)}, true},
+		{"concurrent read either", []linOp{w("a", 1, 4), r(valMissing, 2, 3)}, true},
+		{"stale read", []linOp{w("a", 1, 2), w("b", 3, 4), r("a", 5, 6)}, false},
+		{"future read", []linOp{r("a", 1, 2), w("a", 3, 4)}, false},
+		{"missing after write", []linOp{w("a", 1, 2), r(valMissing, 3, 4)}, false},
+		{"overlapping writes, both orders", []linOp{w("a", 1, 3), w("b", 2, 4), r("a", 5, 6)}, true},
+	}
+	for _, tc := range cases {
+		if got := linearizable(tc.ops); got != tc.want {
+			t.Errorf("%s: linearizable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mtm"
+	"repro/internal/pds"
+)
+
+// Record and protocol size limits, shared with kvserve's wire protocol
+// (the record format is identical, so a single-shard store reads a
+// pre-sharding kvserve image and vice versa).
+const (
+	// MaxKeyLen bounds keys (bytes); the length must fit the record
+	// header's two bytes.
+	MaxKeyLen = 4 << 10
+	// MaxValueLen bounds values (bytes).
+	MaxValueLen = 56 << 10
+)
+
+// Size-limit sentinels, matchable with errors.Is.
+var (
+	ErrKeyTooLong   = errors.New("shard: key too long")
+	ErrValueTooLong = errors.New("shard: value too long")
+)
+
+// ErrNotFound reports a lookup or delete of an absent key (an alias for
+// the persistent data structures' sentinel, so both match errors.Is).
+var ErrNotFound = pds.ErrNotFound
+
+// HashKey maps a string key into the tree's key space (FNV-1a) — the
+// same function kvserve partitions pipelined batches with, so a batch
+// partition and the shard it routes to agree. The full key is stored
+// with the value to detect collisions.
+func HashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EncodeKV builds a tree record: a two-byte key length, the key, then
+// the value.
+func EncodeKV(key, value string) ([]byte, error) {
+	if len(key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(key), MaxKeyLen)
+	}
+	if len(value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(value), MaxValueLen)
+	}
+	out := make([]byte, 2+len(key)+len(value))
+	out[0] = byte(len(key))
+	out[1] = byte(len(key) >> 8)
+	copy(out[2:], key)
+	copy(out[2+len(key):], value)
+	return out, nil
+}
+
+// DecodeKV splits a tree record back into key and value.
+func DecodeKV(b []byte) (key, value string, err error) {
+	if len(b) < 2 {
+		return "", "", errors.New("shard: short record")
+	}
+	n := int(b[0]) | int(b[1])<<8
+	if len(b) < 2+n {
+		return "", "", errors.New("shard: truncated record")
+	}
+	return string(b[2 : 2+n]), string(b[2+n:]), nil
+}
+
+// lookup reads one key on its shard through any Reader, resolving hash
+// collisions against the stored full key.
+func (st *Store) lookup(sh *Shard, r mtm.Reader, key string) (string, error) {
+	raw, err := sh.Tree.Get(r, st.hash(key))
+	if err != nil {
+		return "", err
+	}
+	k, v, err := DecodeKV(raw)
+	if err != nil {
+		return "", err
+	}
+	if k != key {
+		return "", ErrNotFound // hash collision with another key
+	}
+	return v, nil
+}
+
+// Set durably stores key=value on its shard.
+func (st *Store) Set(key, value string) error {
+	rec, err := EncodeKV(key, value)
+	if err != nil {
+		return err
+	}
+	sh := st.shards[st.ShardOf(key)]
+	return sh.PM.Atomic(func(tx *mtm.Tx) error {
+		return sh.Tree.Put(tx, st.hash(key), rec)
+	})
+}
+
+// Get reads key from a snapshot of its shard; ErrNotFound when absent.
+func (st *Store) Get(key string) (string, error) {
+	sh := st.shards[st.ShardOf(key)]
+	var value string
+	err := sh.PM.View(func(r *mtm.ReadTx) error {
+		v, err := st.lookup(sh, r, key)
+		if err != nil {
+			return err
+		}
+		value = v
+		return nil
+	})
+	return value, err
+}
+
+// Del durably deletes key from its shard; ErrNotFound when absent.
+func (st *Store) Del(key string) error {
+	sh := st.shards[st.ShardOf(key)]
+	return sh.PM.Atomic(func(tx *mtm.Tx) error {
+		// Compare the stored key before deleting: the tree is keyed by
+		// hash, and deleting on a collision would destroy a different
+		// key's record.
+		raw, err := sh.Tree.Get(tx, st.hash(key))
+		if err != nil {
+			return err
+		}
+		k, _, err := DecodeKV(raw)
+		if err != nil {
+			return err
+		}
+		if k != key {
+			return ErrNotFound
+		}
+		return sh.Tree.Delete(tx, st.hash(key))
+	})
+}
+
+// MGet reads every key, visiting the touched shards in ascending order
+// with one snapshot View per shard: values[i] and present[i] answer
+// keys[i], and all answers from the same shard reflect one committed
+// snapshot. (Across shards the snapshots are independent — the store
+// has no global clock to cut a cross-shard snapshot with.)
+func (st *Store) MGet(keys []string) (values []string, present []bool, err error) {
+	values = make([]string, len(keys))
+	present = make([]bool, len(keys))
+	parts := st.partition(keys)
+	for k, idxs := range parts {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := st.shards[k]
+		verr := sh.PM.View(func(r *mtm.ReadTx) error {
+			for _, i := range idxs {
+				v, err := st.lookup(sh, r, keys[i])
+				if err == ErrNotFound {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				values[i], present[i] = v, true
+			}
+			return nil
+		})
+		if verr != nil {
+			return nil, nil, verr
+		}
+	}
+	return values, present, nil
+}
+
+// MSet durably stores every keys[i]=values[i] pair, atomically across
+// all the shards it touches: after a crash at any instant, recovery
+// leaves either every pair applied or none. Pairs on one shard commit in
+// a single local transaction; pairs spanning shards run the cross-shard
+// intent protocol (xstage.go).
+func (st *Store) MSet(keys, values []string) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("shard: MSet with %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	recs := make([][]byte, len(keys))
+	for i := range keys {
+		rec, err := EncodeKV(keys[i], values[i])
+		if err != nil {
+			return err
+		}
+		recs[i] = rec
+	}
+	parts := st.partition(keys)
+	var mask uint64
+	participants := 0
+	for k, idxs := range parts {
+		if len(idxs) > 0 {
+			mask |= 1 << uint(k)
+			participants++
+		}
+	}
+	if participants == 1 {
+		// All pairs land on one shard: one ordinary durable transaction.
+		for k, idxs := range parts {
+			if len(idxs) == 0 {
+				continue
+			}
+			sh := st.shards[k]
+			return sh.PM.Atomic(func(tx *mtm.Tx) error {
+				for _, i := range idxs {
+					if err := sh.Tree.Put(tx, st.hash(keys[i]), recs[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+	return st.msetCross(parts, mask, keys, recs)
+}
+
+// MDel durably deletes every named key, one local transaction per
+// touched shard in ascending order, reporting how many were present.
+// Missing keys (and hash collisions holding a different key's record)
+// are skipped, not errors. Cross-shard MDEL is not atomic as a unit;
+// each shard's deletions are.
+func (st *Store) MDel(keys []string) (int, error) {
+	parts := st.partition(keys)
+	deleted := 0
+	for k, idxs := range parts {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := st.shards[k]
+		n := 0
+		err := sh.PM.Atomic(func(tx *mtm.Tx) error {
+			n = 0 // conflict retries rerun the closure
+			for _, i := range idxs {
+				raw, err := sh.Tree.Get(tx, st.hash(keys[i]))
+				if err == ErrNotFound {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				sk, _, err := DecodeKV(raw)
+				if err != nil {
+					return err
+				}
+				if sk != keys[i] {
+					continue // hash collision with another key
+				}
+				if err := sh.Tree.Delete(tx, st.hash(keys[i])); err != nil {
+					return err
+				}
+				n++
+			}
+			return nil
+		})
+		if err != nil {
+			return deleted, err
+		}
+		deleted += n
+	}
+	return deleted, nil
+}
+
+// Count sums the per-shard key counts, one snapshot per shard.
+func (st *Store) Count() (int, error) {
+	total := 0
+	for _, sh := range st.shards {
+		n := 0
+		err := sh.PM.View(func(r *mtm.ReadTx) error {
+			n = sh.Tree.Len(r)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// partition groups key indices by destination shard. The result is
+// indexed by shard, so iterating it visits shards in ascending order —
+// the deterministic order every multi-shard operation uses.
+func (st *Store) partition(keys []string) [][]int {
+	parts := make([][]int, len(st.shards))
+	for i, key := range keys {
+		k := st.ShardOf(key)
+		parts[k] = append(parts[k], i)
+	}
+	return parts
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/rawl"
 	"repro/internal/region"
 	"repro/internal/scm"
+	"repro/internal/shard"
 )
 
 // Config assembles a persistent-memory instance. See core.Config.
@@ -125,6 +126,26 @@ func Open(cfg Config) (*PM, error) { return core.Open(cfg) }
 // Attach rebuilds the stack over an existing device, e.g. after a
 // simulated crash.
 func Attach(dev *Device, cfg Config) (*PM, error) { return core.Attach(dev, cfg) }
+
+// ShardedConfig assembles a sharded store: N fully independent PM
+// instances behind one key-value front end. The embedded Config applies
+// per shard.
+type ShardedConfig = shard.Config
+
+// ShardedStore routes a key-value workload across independent PM shards,
+// with atomic cross-shard MSET and concurrent per-shard recovery.
+type ShardedStore = shard.Store
+
+// OpenSharded creates or reincarnates a sharded store. Shards: 0 or 1
+// opens a single instance laid out exactly like Open, so existing images
+// remain drop-in; larger counts add one full Mnemosyne stack per shard.
+func OpenSharded(cfg ShardedConfig) (*ShardedStore, error) { return shard.Open(cfg) }
+
+// AttachSharded rebuilds a sharded store over existing devices (one per
+// shard), e.g. after a simulated crash.
+func AttachSharded(devs []*Device, cfg ShardedConfig) (*ShardedStore, error) {
+	return shard.Attach(devs, cfg)
+}
 
 // StoreDurable atomically and durably updates a single persistent 64-bit
 // variable (a single-variable consistent update).
