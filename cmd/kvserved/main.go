@@ -7,6 +7,8 @@
 //	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
 //	         [-shards 4] [-recovery-workers 2]
 //	         [-group-commit] [-group-commit-wait 50µs] [-metrics-addr :9090]
+//	         [-commit-mode hybrid] [-hybrid-undo-max 16]
+//	         [-read-cache 65536] [-read-latency 100ns]
 //	         [-trace] [-attribution] [-slow-threshold 50ms]
 //	         [-latency-sample-rate 16]
 //
@@ -75,6 +77,10 @@ var (
 	slowThresh  = flag.Duration("slow-threshold", 50*time.Millisecond, "capture span trees of requests slower than this in the flight recorder (0 disables)")
 	slowKeep    = flag.Int("slow-keep", 8, "slowest captures retained by the flight recorder")
 	latSample   = flag.Int("latency-sample-rate", 0, "sample commit/abort latency 1-in-N (0 = default 16; 1 with -attribution)")
+	commitMode  = flag.String("commit-mode", "", `durable-commit protocol: "redo" (default), "undo" (in-place stores behind a persisted undo record, one fewer fence per commit), or "hybrid" (undo up to -hybrid-undo-max writes, redo above)`)
+	hybridMax   = flag.Int("hybrid-undo-max", 0, "hybrid mode's write-set threshold for the undo path (0 = default 16)")
+	readCache   = flag.Int("read-cache", 0, "words of volatile read-through cache over hot persistent words, per memory view (0 disables)")
+	readLatency = flag.Duration("read-latency", 0, "emulated extra PCM read latency per word load (0 = reads free, the paper's model)")
 )
 
 func main() {
@@ -104,6 +110,10 @@ func main() {
 		GroupCommitWait:   *gcWait,
 		GroupCommitBatch:  *gcBatch,
 		LatencySampleRate: sample,
+		CommitMode:        *commitMode,
+		HybridUndoMax:     *hybridMax,
+		ReadCacheWords:    *readCache,
+		ReadLatency:       *readLatency,
 	}
 	var (
 		srv     *kvserve.Server

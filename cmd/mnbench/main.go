@@ -6,7 +6,8 @@
 //	mnbench [flags] <experiment>...
 //
 // Experiments: table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7
-// reincarnation ablation groupcommit readmostly sharded all
+// reincarnation ablation groupcommit readmostly sharded hybrid readcache
+// all
 //
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
@@ -213,7 +214,7 @@ func run(exp string) error {
 		for _, e := range []string{
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
-			"groupcommit", "readmostly", "sharded",
+			"groupcommit", "readmostly", "sharded", "hybrid", "readcache",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -244,8 +245,12 @@ func run(exp string) error {
 		return readMostly()
 	case "sharded":
 		return sharded()
+	case "hybrid":
+		return hybrid()
+	case "readcache":
+		return readCache()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded hybrid readcache all)")
 	}
 }
 
@@ -510,6 +515,44 @@ func sharded() error {
 			r.ShardSum.Round(time.Microsecond), r.ShardMax.Round(time.Microsecond))
 		csvOut("sharded_recovery", "heap_mb,shards,workers,recovery_ns,shard_sum_ns,shard_max_ns",
 			r.HeapMB, r.Shards, r.Workers, r.Recovery.Nanoseconds(), r.ShardSum.Nanoseconds(), r.ShardMax.Nanoseconds())
+	}
+	return nil
+}
+
+func hybrid() error {
+	header("Commit modes: redo vs batched undo vs hybrid (fences per commit)")
+	fmt.Printf("%-8s %10s %14s %18s %10s\n", "Mode", "Goroutines", "Updates/s", "Fences/commit", "Undo%")
+	rows, err := bench.RunHybrid(bench.HybridOpts{
+		Options: baseOptions(),
+		TxPerG:  scale(400),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %14.0f %18.2f %9.0f%%\n",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit, r.UndoShare*100)
+		csvOut("hybrid", "mode,goroutines,updates_per_sec,fences_per_commit,undo_share",
+			r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit, r.UndoShare)
+	}
+	return nil
+}
+
+func readCache() error {
+	header("Read cache: snapshot reads with a volatile read-through cache (95/5 GET/SET)")
+	fmt.Printf("%-6s %10s %14s %10s\n", "Cache", "Goroutines", "Ops/s", "Hit rate")
+	rows, err := bench.RunReadCache(bench.ReadCacheOpts{
+		Options: baseOptions(),
+		OpsPerG: scale(2000),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-6s %10d %14.0f %9.1f%%\n",
+			r.Cache, r.Goroutines, r.OpsPerSec, r.HitRate*100)
+		csvOut("readcache", "cache,goroutines,ops_per_sec,hit_rate",
+			r.Cache, r.Goroutines, r.OpsPerSec, r.HitRate)
 	}
 	return nil
 }

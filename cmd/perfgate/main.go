@@ -11,14 +11,21 @@
 //     20% plus an absolute slack of 0.05
 //   - the sharded experiment's aggregate fences/commit (worst cell of
 //     the `sharded` rows) grows past the same thresholds
+//   - the hybrid experiment's undo-mode fences/commit at one goroutine
+//     grows past the same thresholds, and — as an in-document invariant —
+//     the candidate's undo mode must stay strictly below its redo mode
+//     (the head-to-head the batched undo protocol exists to win)
+//   - the read-cache experiment's worst cache-on hit rate drops more than
+//     0.10 absolute (an invalidation or sizing regression)
 //   - any matched sharded recovery cell (same heap size, shard count and
 //     worker mode in both documents) slows more than -rec-pct (default
 //     50%) plus -rec-slack-ms (default 25ms) — recovery is wall-clock
 //     and host-sensitive, so its gate is looser than the phase gates
 //
-// The sharded gates only engage when BOTH documents carry the rows, so
-// baselines generated before the sharded experiment existed still
-// compare cleanly.
+// The sharded, hybrid and read-cache trajectory gates only engage when
+// BOTH documents carry the rows, so baselines generated before those
+// experiments existed still compare cleanly (the undo-vs-redo invariant
+// needs only the candidate).
 //
 // Usage:
 //
@@ -141,6 +148,42 @@ func shardedFences(d *benchDoc) (float64, bool) {
 	return worst, ok
 }
 
+// hybridModeFences extracts the hybrid experiment's fences/commit for
+// one commit mode at the 1-goroutine cell — the single-writer ordering
+// cost each protocol pays, free of group or concurrency effects.
+func hybridModeFences(d *benchDoc, mode string) (float64, bool) {
+	for _, r := range d.rows("hybrid") {
+		if r["mode"] != mode {
+			continue
+		}
+		if g, ok := num(r, "goroutines"); !ok || g != 1 {
+			continue
+		}
+		if f, ok := num(r, "fences_per_commit"); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// readCacheHitRate returns the worst cache-on cell's hit rate — the
+// number an invalidation or sizing regression would sink.
+func readCacheHitRate(d *benchDoc) (float64, bool) {
+	worst, ok := 1.0, false
+	for _, r := range d.rows("readcache") {
+		if r["cache"] != "on" {
+			continue
+		}
+		if h, has := num(r, "hit_rate"); has {
+			ok = true
+			if h < worst {
+				worst = h
+			}
+		}
+	}
+	return worst, ok
+}
+
 // shardedRecovery indexes the sharded recovery sweep by configuration
 // cell, so only like-for-like cells (same heap, shards, workers) gate.
 func shardedRecovery(d *benchDoc) map[string]float64 {
@@ -222,6 +265,42 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("ok   sharded fences/commit %.3f -> %.3f (%+.0f%%)\n", bsf, csf, growth)
+		}
+	}
+
+	bhf, bok := hybridModeFences(base, "undo")
+	chf, cok := hybridModeFences(cur, "undo")
+	if bok && cok && bhf > 0 {
+		growth := (chf - bhf) / bhf * 100
+		if growth > *pct && chf-bhf > 0.05 {
+			fmt.Printf("FAIL undo fences/commit %.3f -> %.3f (%+.0f%%, limit %+.0f%%)\n", bhf, chf, growth, *pct)
+			failed = true
+		} else {
+			fmt.Printf("ok   undo fences/commit %.3f -> %.3f (%+.0f%%)\n", bhf, chf, growth)
+		}
+	}
+	// In-document invariant rather than a trajectory: the undo path must
+	// keep beating sync redo at one goroutine in the candidate itself —
+	// the head-to-head the undo protocol exists to win.
+	if cu, uok := hybridModeFences(cur, "undo"); uok {
+		if cr, rok := hybridModeFences(cur, "redo"); rok {
+			if cu >= cr {
+				fmt.Printf("FAIL hybrid head-to-head: undo %.3f fences/commit not below redo %.3f\n", cu, cr)
+				failed = true
+			} else {
+				fmt.Printf("ok   hybrid head-to-head: undo %.3f fences/commit below redo %.3f\n", cu, cr)
+			}
+		}
+	}
+
+	bhr, bok := readCacheHitRate(base)
+	chr, cok := readCacheHitRate(cur)
+	if bok && cok {
+		if drop := bhr - chr; drop > 0.10 {
+			fmt.Printf("FAIL readcache hit rate %.2f -> %.2f (dropped %.2f, limit 0.10)\n", bhr, chr, drop)
+			failed = true
+		} else {
+			fmt.Printf("ok   readcache hit rate %.2f -> %.2f\n", bhr, chr)
 		}
 	}
 

@@ -146,6 +146,67 @@ func TestReadMostlyKernel(t *testing.T) {
 	}
 }
 
+func TestHybridKernel(t *testing.T) {
+	rows, err := RunHybrid(HybridOpts{
+		Options: quick(), GoroutineSweep: []int{1}, TxPerG: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byMode := map[string]HybridRow{}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 || r.FencesPerCommit <= 0 {
+			t.Fatalf("row: %+v", r)
+		}
+		byMode[r.Mode] = r
+	}
+	// The acceptance head-to-head: at one goroutine the undo path issues
+	// fewer device fences per commit than sync redo, and hybrid (whose
+	// 4-word write sets fall under the threshold) rides the undo path.
+	if byMode["undo"].FencesPerCommit >= byMode["redo"].FencesPerCommit {
+		t.Fatalf("undo %.2f fences/commit not below redo %.2f",
+			byMode["undo"].FencesPerCommit, byMode["redo"].FencesPerCommit)
+	}
+	if byMode["hybrid"].UndoShare < 0.9 {
+		t.Fatalf("hybrid undo share = %.2f, want ~1 for 4-word txs", byMode["hybrid"].UndoShare)
+	}
+	if byMode["redo"].UndoShare != 0 {
+		t.Fatalf("redo mode took the undo path: %+v", byMode["redo"])
+	}
+}
+
+func TestReadCacheKernel(t *testing.T) {
+	rows, err := RunReadCache(ReadCacheOpts{
+		Options: quick(), GoroutineSweep: []int{1, 4}, OpsPerG: 100, Keys: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("row: %+v", r)
+		}
+		switch r.Cache {
+		case "off":
+			if r.HitRate != 0 {
+				t.Fatalf("cache off but hit rate %.2f: %+v", r.HitRate, r)
+			}
+		case "on":
+			// 64 hot keys over a 2000-op warm run: the tree's upper
+			// levels alone must hit well over half the time.
+			if r.HitRate < 0.3 {
+				t.Fatalf("cache on but hit rate only %.2f: %+v", r.HitRate, r)
+			}
+		}
+	}
+}
+
 func TestAblationKernels(t *testing.T) {
 	for _, v := range AblationVariants {
 		row, err := RunAblation(v, 64, quick())

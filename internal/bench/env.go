@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/mtm"
@@ -48,6 +49,17 @@ type Options struct {
 	// LatencySampleRate samples latency observations 1-in-N (default 16;
 	// 1 records every transaction, for phase attribution runs).
 	LatencySampleRate int
+	// CommitMode selects the durable-commit protocol: "redo" (default),
+	// "undo", or "hybrid" (see mtm.Config.CommitMode).
+	CommitMode string
+	// HybridUndoMax is hybrid mode's write-set threshold (default 16).
+	HybridUndoMax int
+	// ReadCacheWords sizes the volatile read-through cache per memory
+	// view (0 disables).
+	ReadCacheWords int
+	// ReadLatency is the emulated extra PCM read latency per word load
+	// (default 0: reads free, the paper's model).
+	ReadLatency time.Duration
 }
 
 func (o *Options) fill() {
@@ -91,6 +103,7 @@ func NewEnv(o Options) (*Env, error) {
 	dev, err := scm.Open(scm.Config{
 		Size:         o.DeviceSize,
 		WriteLatency: o.WriteLatency,
+		ReadLatency:  o.ReadLatency,
 		Mode:         o.mode(),
 	})
 	if err != nil {
@@ -122,6 +135,9 @@ func NewEnv(o Options) (*Env, error) {
 		GroupCommitWait:       o.GroupCommitWait,
 		GroupCommitBatch:      o.GroupCommitBatch,
 		LatencySampleRate:     o.LatencySampleRate,
+		CommitMode:            o.CommitMode,
+		HybridUndoMax:         o.HybridUndoMax,
+		ReadCacheWords:        o.ReadCacheWords,
 	})
 	if err != nil {
 		return nil, err
@@ -135,11 +151,17 @@ func (e *Env) Root(name string) (pmem.Addr, error) {
 	return a, err
 }
 
-// Close tears the stack down and removes the backing directory.
+// Close tears the stack down and removes the backing directory. It ends
+// with a forced GC so the env's device and heap (hundreds of MB) are
+// reclaimed at the cell boundary: left to the pacer, they die mid-way
+// through the NEXT cell's measured window, and on a 1-CPU host that GC —
+// plus the cold pages every allocation faults in until then — shows up
+// as multi-× noise in whichever cell it lands on.
 func (e *Env) Close() {
 	e.TM.Close()
 	_ = e.RT.Close()
 	_ = os.RemoveAll(e.dir)
+	runtime.GC()
 }
 
 // fmtDur prints a duration in microseconds with two decimals.

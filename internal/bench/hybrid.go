@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mtm"
+	"repro/internal/pmem"
+)
+
+// Commit-mode experiment: identical small-write workloads committed
+// through the redo protocol (log, fence, write back, fence, truncate,
+// fence), the batched undo protocol (undo record, fence, in-place
+// stores, marker, fence) and the hybrid split. The figure of merit is
+// device fences per committed transaction — the ordering points each
+// protocol pays — next to the throughput they buy. At one goroutine the
+// undo path must come in below redo: that single-writer fence saving is
+// the reason the mode exists.
+
+// HybridOpts configures the experiment.
+type HybridOpts struct {
+	Options
+	// Modes are the commit modes to sweep (default redo, undo, hybrid).
+	Modes []string
+	// GoroutineSweep is the concurrency ladder (default 1, 8).
+	GoroutineSweep []int
+	// TxPerG is transactions per goroutine (default 400).
+	TxPerG int
+	// WritesPerTx is word stores per transaction (default 4 — under the
+	// default hybrid threshold, so hybrid takes the undo path here).
+	WritesPerTx int
+}
+
+func (o *HybridOpts) fill() {
+	if len(o.Modes) == 0 {
+		o.Modes = []string{"redo", "undo", "hybrid"}
+	}
+	if len(o.GoroutineSweep) == 0 {
+		o.GoroutineSweep = []int{1, 8}
+	}
+	if o.TxPerG == 0 {
+		o.TxPerG = 400
+	}
+	if o.WritesPerTx == 0 {
+		o.WritesPerTx = 4
+	}
+}
+
+// HybridRow is one (mode, goroutines) measurement.
+type HybridRow struct {
+	Mode            string
+	Goroutines      int
+	OpsPerSec       float64
+	FencesPerCommit float64
+	// UndoShare is the fraction of commits that took the undo path —
+	// 1.0 in undo mode, 0.0 in redo, the threshold split in hybrid.
+	UndoShare float64
+}
+
+func (r HybridRow) String() string {
+	return fmt.Sprintf("%-8s %2d goroutines: %9.0f ops/s, %5.2f fences/commit, %4.0f%% undo",
+		r.Mode, r.Goroutines, r.OpsPerSec, r.FencesPerCommit, r.UndoShare*100)
+}
+
+// RunHybrid sweeps the commit modes over the goroutine ladder.
+func RunHybrid(o HybridOpts) ([]HybridRow, error) {
+	o.fill()
+	var rows []HybridRow
+	for _, mode := range o.Modes {
+		for _, g := range o.GoroutineSweep {
+			row, err := RunHybridCell(o, mode, g)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunHybridCell measures one (mode, goroutines) cell on a fresh stack.
+func RunHybridCell(o HybridOpts, mode string, goroutines int) (HybridRow, error) {
+	o.fill()
+	opts := o.Options
+	opts.CommitMode = mode
+	env, err := NewEnv(opts)
+	if err != nil {
+		return HybridRow{}, err
+	}
+	defer env.Close()
+
+	// One private word span per goroutine: the experiment measures the
+	// commit protocols' fence counts, not lock conflicts.
+	span := int64(o.WritesPerTx)
+	base := make([]pmem.Addr, goroutines)
+	for g := range base {
+		ptr, _, err := env.RT.Static(fmt.Sprintf("hybrid.%d", g), 8)
+		if err != nil {
+			return HybridRow{}, err
+		}
+		a, err := env.RT.PMapAt(ptr, span*8, 0)
+		if err != nil {
+			return HybridRow{}, err
+		}
+		base[g] = a
+	}
+
+	startFences := env.Dev.Snapshot().Fences
+	startCommits := env.TM.Snapshot().Commits
+	startUndo := mtm.UndoCommits()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th, err := env.TM.NewThread()
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer th.Close()
+			addr := base[g]
+			for n := 0; n < o.TxPerG; n++ {
+				err := th.Atomic(func(tx *mtm.Tx) error {
+					for w := int64(0); w < span; w++ {
+						tx.StoreU64(addr.Add(w*8), uint64(n)+uint64(w))
+					}
+					return nil
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return HybridRow{}, err
+	default:
+	}
+
+	env.TM.Drain()
+	commits := env.TM.Snapshot().Commits - startCommits
+	fences := env.Dev.Snapshot().Fences - startFences
+	undo := mtm.UndoCommits() - startUndo
+	fpc, share := 0.0, 0.0
+	if commits > 0 {
+		fpc = float64(fences) / float64(commits)
+		share = float64(undo) / float64(commits)
+	}
+	return HybridRow{
+		Mode:            mode,
+		Goroutines:      goroutines,
+		OpsPerSec:       float64(goroutines*o.TxPerG) / elapsed.Seconds(),
+		FencesPerCommit: fpc,
+		UndoShare:       share,
+	}, nil
+}

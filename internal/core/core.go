@@ -77,6 +77,23 @@ type Config struct {
 	// (default 16; 1 records every transaction — what phase attribution
 	// wants). Rounded up to a power of two.
 	LatencySampleRate int
+	// CommitMode selects the durable-commit protocol: "redo" (default),
+	// "undo" (in-place stores guarded by a persisted undo record — one
+	// fewer fence per commit), or "hybrid" (undo for write sets up to
+	// HybridUndoMax, redo above). Undo modes require synchronous
+	// truncation. See mtm.Config.CommitMode.
+	CommitMode string
+	// HybridUndoMax is hybrid mode's write-set threshold (default 16).
+	HybridUndoMax int
+	// ReadCacheWords sizes the volatile read-through cache of hot
+	// persistent words, per memory view (0 disables). Cached hits skip
+	// the emulated SCM read path; coherence comes from the versioned
+	// transaction locks.
+	ReadCacheWords int
+	// ReadLatency is the emulated extra PCM read latency charged on word
+	// loads (default 0: reads are free, the paper's model). Set alongside
+	// ReadCacheWords to make read-cache experiments meaningful.
+	ReadLatency time.Duration
 	// Shards is accepted for compatibility with the sharded front end's
 	// configuration (internal/shard embeds this Config). A core instance
 	// is always exactly one shard: 0 and 1 mean the same thing, and
@@ -128,6 +145,7 @@ func Open(cfg Config) (*PM, error) {
 		Size:         cfg.DeviceSize,
 		Path:         cfg.DevicePath,
 		WriteLatency: cfg.WriteLatency,
+		ReadLatency:  cfg.ReadLatency,
 		Mode:         mode,
 	})
 	if err != nil {
@@ -186,6 +204,9 @@ func Attach(dev *scm.Device, cfg Config) (*PM, error) {
 		GroupCommitWait:   cfg.GroupCommitWait,
 		GroupCommitBatch:  cfg.GroupCommitBatch,
 		LatencySampleRate: cfg.LatencySampleRate,
+		CommitMode:        cfg.CommitMode,
+		HybridUndoMax:     cfg.HybridUndoMax,
+		ReadCacheWords:    cfg.ReadCacheWords,
 	})
 	if err != nil {
 		return nil, err

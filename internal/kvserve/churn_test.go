@@ -69,6 +69,37 @@ func TestDelCollision(t *testing.T) {
 	}
 }
 
+// TestSetCollision pins the SET clobber fix: with a hash that maps
+// every key to one tree slot, SET of a second key must answer ERROR and
+// leave the first key's record intact — the old hash-only put silently
+// destroyed it and answered OK. Overwriting the same key still works.
+func TestSetCollision(t *testing.T) {
+	srv, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	srv.hash = func(string) uint64 { return 42 }
+	c := dial(t, addr)
+	if got := c.cmd(t, "SET alpha one"); got != "OK" {
+		t.Fatalf("SET alpha -> %q", got)
+	}
+	if got := c.cmd(t, "SET beta two"); !strings.HasPrefix(got, "ERROR hash collision") {
+		t.Fatalf("SET of colliding key -> %q, want ERROR hash collision", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE one" {
+		t.Fatalf("GET alpha after colliding SET -> %q", got)
+	}
+	if got := c.cmd(t, "MSET beta x"); !strings.HasPrefix(got, "ERROR hash collision") {
+		t.Fatalf("MSET of colliding key -> %q, want ERROR hash collision", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE one" {
+		t.Fatalf("GET alpha after colliding MSET -> %q", got)
+	}
+	if got := c.cmd(t, "SET alpha updated"); got != "OK" {
+		t.Fatalf("same-key SET update -> %q", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE updated" {
+		t.Fatalf("GET alpha after update -> %q", got)
+	}
+}
+
 // TestLineTooLong sends a command line beyond the scanner cap and
 // expects an explicit protocol error, not a silent disconnect.
 func TestLineTooLong(t *testing.T) {

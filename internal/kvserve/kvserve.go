@@ -574,6 +574,31 @@ func (sess *session) writeThread(th *mtm.Thread) (*mtm.Thread, error) {
 	return sess.writer()
 }
 
+// errHashCollision reports a SET whose key hashes onto a slot already
+// holding a different key's record; the put is refused instead of
+// silently destroying the colliding key's data.
+var errHashCollision = errors.New("hash collision with a different stored key")
+
+// checkedPut stores rec at key's tree slot after comparing the stored
+// full key: overwriting the same key is the normal update, overwriting
+// a colliding key would destroy its record.
+func (s *Server) checkedPut(tx *mtm.Tx, key string, rec []byte) error {
+	h := s.hash(key)
+	raw, err := s.tree.Get(tx, h)
+	if err == nil {
+		k, _, derr := decodeKV(raw)
+		if derr != nil {
+			return derr
+		}
+		if k != key {
+			return fmt.Errorf("%w: %q vs stored %q", errHashCollision, key, k)
+		}
+	} else if err != pds.ErrNotFound {
+		return err
+	}
+	return s.tree.Put(tx, h, rec)
+}
+
 // lookup reads one key through any Reader — a snapshot ReadTx or a
 // writing Tx — resolving hash collisions against the stored full key.
 func (s *Server) lookup(r mtm.Reader, key string) (string, error) {
@@ -626,7 +651,7 @@ func (s *Server) handle(sess *session, th *mtm.Thread, line string, req uint64) 
 			return "ERROR " + err.Error()
 		}
 		err = atomicSpanned(th, exec.ID, func(tx *mtm.Tx) error {
-			return s.tree.Put(tx, s.hash(key), rec)
+			return s.checkedPut(tx, key, rec)
 		})
 		if err != nil {
 			return "ERROR " + err.Error()
@@ -759,7 +784,7 @@ func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string, parent u
 	}
 	err = atomicSpanned(th, parent, func(tx *mtm.Tx) error {
 		for i, rec := range recs {
-			if err := s.tree.Put(tx, s.hash(args[2*i]), rec); err != nil {
+			if err := s.checkedPut(tx, args[2*i], rec); err != nil {
 				return err
 			}
 		}

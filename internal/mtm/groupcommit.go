@@ -301,6 +301,7 @@ func (gc *groupCommitter) finish(pc *pendingCommit) error {
 	tx.clearScratch()
 	gc.tm.stats.Commits.Add(1)
 	telCommits.Inc()
+	telRedoCommits.Inc()
 	return nil
 }
 

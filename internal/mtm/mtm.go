@@ -87,6 +87,7 @@ const (
 	tagUndoWrite  = 2 // addr, oldVal
 	tagUndoCommit = 3 // ts
 	tagRedoGroup  = 4 // ts, epoch, members, n, then n (addr,val) pairs
+	tagUndoBatch  = 5 // n, then n (addr,oldVal) pairs — one whole write set
 
 	// Lock table: 2^20 entries of one word each (8 MB volatile).
 	lockBits  = 20
@@ -114,6 +115,33 @@ type Config struct {
 	// UndoLogging selects the undo-logging ablation: old values are
 	// logged and fenced before each in-place write.
 	UndoLogging bool
+	// CommitMode selects how writing transactions reach durability:
+	//
+	//	"" or "redo" — the paper's write-ahead redo logging (default).
+	//	"undo"       — every transaction commits through a batched undo
+	//	               record: the whole old-value set is logged and
+	//	               fenced once (the single ordering point), the new
+	//	               values are stored in place, and a commit marker
+	//	               fenced behind them. Two fences instead of redo's
+	//	               three, at the cost of in-place stores on the
+	//	               critical path.
+	//	"hybrid"     — small write sets (at most HybridUndoMax words)
+	//	               take the undo path; larger ones keep redo logging
+	//	               and, when configured, group commit.
+	//
+	// Unlike the UndoLogging ablation there is no per-write fence: the
+	// batched record preserves redo's one-ordering-point structure.
+	// Undo and hybrid modes require synchronous truncation (a committed
+	// redo record must never outlive its locks, or replay could clobber
+	// a later in-place undo commit).
+	CommitMode string
+	// HybridUndoMax is the largest write set (in words) that commits
+	// through the undo path in hybrid mode. Zero selects 16.
+	HybridUndoMax int
+	// ReadCacheWords sizes the per-thread (and per-pooled-reader)
+	// volatile read-through cache of persistent words, validated against
+	// the versioned lock words. Zero disables the cache.
+	ReadCacheWords int
 	// WriteThroughWriteback is an ablation: write values back with
 	// streaming writes at commit instead of store+flush per line.
 	WriteThroughWriteback bool
@@ -139,6 +167,27 @@ type Config struct {
 	LatencySampleRate int
 }
 
+// commitMode is Config.CommitMode parsed to a branch-friendly enum.
+type commitMode int
+
+const (
+	modeRedo commitMode = iota
+	modeUndo
+	modeHybrid
+)
+
+func parseCommitMode(s string) (commitMode, error) {
+	switch s {
+	case "", "redo":
+		return modeRedo, nil
+	case "undo":
+		return modeUndo, nil
+	case "hybrid":
+		return modeHybrid, nil
+	}
+	return modeRedo, fmt.Errorf("mtm: unknown commit mode %q (want redo, undo or hybrid)", s)
+}
+
 func (c *Config) fill() error {
 	if c.Slots == 0 {
 		c.Slots = 32
@@ -157,6 +206,33 @@ func (c *Config) fill() error {
 	}
 	if c.UndoLogging && c.GroupCommit {
 		return errors.New("mtm: group commit requires redo logging")
+	}
+	mode, err := parseCommitMode(c.CommitMode)
+	if err != nil {
+		return err
+	}
+	if mode != modeRedo {
+		if c.AsyncTruncation {
+			// The undo path's safety argument depends on every committed
+			// redo record being durably truncated before its locks
+			// release; asynchronous truncation breaks exactly that.
+			return errors.New("mtm: undo commit modes require synchronous truncation")
+		}
+		if c.UndoLogging {
+			return errors.New("mtm: commit mode conflicts with the UndoLogging ablation")
+		}
+	}
+	if mode == modeUndo && c.GroupCommit {
+		return errors.New(`mtm: group commit requires redo records; use CommitMode "hybrid"`)
+	}
+	if c.HybridUndoMax == 0 {
+		c.HybridUndoMax = 16
+	}
+	if c.HybridUndoMax < 1 || c.HybridUndoMax > 1<<16 {
+		return fmt.Errorf("mtm: hybrid undo threshold %d out of range", c.HybridUndoMax)
+	}
+	if c.ReadCacheWords < 0 || c.ReadCacheWords > 1<<24 {
+		return fmt.Errorf("mtm: read cache size %d words out of range", c.ReadCacheWords)
 	}
 	if c.GroupCommitWait == 0 {
 		c.GroupCommitWait = 50 * time.Microsecond
@@ -202,8 +278,9 @@ const scratchSlots = scm.PageSize / 8
 
 // TM is a durable transaction system over a region runtime.
 type TM struct {
-	rt  *region.Runtime
-	cfg Config
+	rt   *region.Runtime
+	cfg  Config
+	mode commitMode // parsed Config.CommitMode
 
 	base     pmem.Addr // TM region: header page + per-thread slots
 	logBytes int64     // log portion of a slot
@@ -268,16 +345,26 @@ func Open(rt *region.Runtime, name string, cfg Config) (*TM, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	// Opening (and recovering) a transaction system restarts its commit
+	// clock and may replay words outside the lock protocol, so any pooled
+	// read-cache slab from before this point must not serve hits.
+	rt.InvalidateReadCaches()
 	tm := &TM{rt: rt, cfg: cfg}
+	tm.mode, _ = parseCommitMode(cfg.CommitMode) // validated by fill
 	tm.latMask = uint64(cfg.LatencySampleRate - 1)
 	telLatencySampleRate.Set(int64(cfg.LatencySampleRate))
 	tm.locks = make([]atomic.Uint64, lockCount)
 	tm.threads = make(map[int]*Thread)
 	tm.slotAvail = make(chan struct{})
 	tm.readers.New = func() any {
+		// No read cache here: View attaches a slab from the runtime free
+		// list per snapshot and releases it on return, so cache warmth
+		// lives in the free list rather than dying with pool entries
+		// (sync.Pool empties on GC, and drops puts outright under -race).
+		mem := rt.NewMemory()
 		return &ReadTx{
 			tm:  tm,
-			mem: rt.NewMemory(),
+			mem: mem,
 			rng: rand.New(rand.NewSource(readTxSeed.Add(1))),
 		}
 	}
@@ -465,9 +552,14 @@ func (tm *TM) recover(mem pmem.Memory) error {
 		if err != nil {
 			return fmt.Errorf("mtm: slot %d: %w", i, err)
 		}
-		// In undo mode, identify the suffix of writes with no commit
-		// record and roll them back in reverse.
+		// In the undo modes, identify the suffix of old-value records
+		// with no commit record and roll them back in reverse. The
+		// per-write ablation leaves tagUndoWrite records; the batched
+		// commit mode leaves at most one tagUndoBatch record (a thread
+		// runs one transaction at a time, and every committed batch is
+		// terminated by a tagUndoCommit marker).
 		var pendingUndo [][]uint64
+		var pendingBatch [][]uint64
 		for _, r := range recs {
 			if len(r) < 1 {
 				continue
@@ -507,8 +599,16 @@ func (tm *TM) recover(mem pmem.Memory) error {
 				if len(r) == 3 {
 					pendingUndo = append(pendingUndo, r)
 				}
-			case tagUndoCommit: // [tag, ts]
+			case tagUndoBatch: // [tag, n, addr1, old1, ..., addrN, oldN]
+				if len(r) < 2 {
+					continue
+				}
+				if n := r[1]; uint64(len(r)) >= 2+2*n {
+					pendingBatch = append(pendingBatch, r[:2+2*n])
+				}
+			case tagUndoCommit: // [tag, ts] — terminates both undo flavors
 				pendingUndo = pendingUndo[:0]
+				pendingBatch = pendingBatch[:0]
 				if len(r) == 2 && r[1] > maxTs {
 					maxTs = r[1]
 				}
@@ -521,8 +621,21 @@ func (tm *TM) recover(mem pmem.Memory) error {
 			r := pendingUndo[j]
 			mem.WTStoreU64(pmem.Addr(r[1]), r[2])
 		}
-		if len(pendingUndo) > 0 {
-			tm.recovery.Undone++
+		// A torn undo apply — the batch record fenced, the in-place
+		// stores interrupted — rolls back exactly: every address reverts
+		// to its logged old value, in reverse write order.
+		for j := len(pendingBatch) - 1; j >= 0; j-- {
+			r := pendingBatch[j]
+			n := r[1]
+			for k := int64(n) - 1; k >= 0; k-- {
+				mem.WTStoreU64(pmem.Addr(r[2+2*k]), r[3+2*k])
+			}
+		}
+		if len(pendingUndo) > 0 || len(pendingBatch) > 0 {
+			tm.recovery.Undone += len(pendingBatch)
+			if len(pendingUndo) > 0 {
+				tm.recovery.Undone++
+			}
 			mem.Fence()
 		}
 		log.TruncateAll()

@@ -101,7 +101,10 @@ func (tm *TM) ViewSpanned(parent uint64, fn func(r *ReadTx) error) error {
 	sp := telemetry.SpanBegin(telemetry.PhaseView, 0, parent)
 	defer sp.End()
 	r := tm.readers.Get().(*ReadTx)
-	defer tm.readers.Put(r)
+	if tm.cfg.ReadCacheWords > 0 {
+		r.mem.EnableReadCache(tm.cfg.ReadCacheWords)
+	}
+	defer tm.putReader(r)
 	telReadTxStarted.Inc()
 	backoff := time.Microsecond
 	for {
@@ -121,6 +124,28 @@ func (tm *TM) ViewSpanned(parent uint64, fn func(r *ReadTx) error) error {
 			backoff *= 2
 		}
 	}
+}
+
+// maxPooledReadCap bounds the read-set capacity a pooled ReadTx may
+// retain. A single large scan would otherwise pin its grown reads slice
+// in the sync.Pool for the pool entry's lifetime — memory that nothing
+// ever shrinks. Oversized read sets are dropped on put; the next View
+// through that entry simply regrows from empty.
+const maxPooledReadCap = 4096
+
+// putReader returns a reader to the pool, capping what it retains. The
+// read-cache slab goes back to the runtime free list rather than riding
+// along: a pooled ReadTx can be discarded at any GC (and randomly under
+// the race detector), and a slab lost with it takes its accumulated
+// warmth — the very thing the cache trades memory for. In the free list
+// the slab survives the reader and the next View resumes on it warm.
+func (tm *TM) putReader(r *ReadTx) {
+	if cap(r.reads) > maxPooledReadCap {
+		r.reads = nil
+	}
+	r.mem.FlushCacheStats()
+	r.mem.ReleaseReadCache()
+	tm.readers.Put(r)
 }
 
 // attempt runs fn once over a fresh snapshot, translating conflict panics
@@ -153,9 +178,16 @@ func (r *ReadTx) read(a pmem.Addr) uint64 {
 	if w&lockedBit != 0 {
 		panic(conflict{})
 	}
-	v := r.mem.LoadU64(a)
-	if l.Load() != w {
-		panic(conflict{})
+	// Read-through cache: a tag match against the version just sampled
+	// proves the cached value is what the device load would return, so
+	// both the load and the lock recheck are skipped.
+	v, hit := r.mem.CacheLoadU64(a, w)
+	if !hit {
+		v = r.mem.LoadU64(a)
+		if l.Load() != w {
+			panic(conflict{})
+		}
+		r.mem.CacheFill(a, w, v)
 	}
 	if w > r.rv {
 		r.extend()

@@ -52,6 +52,26 @@ var (
 		"deferred frees that failed after the transaction was already durable")
 )
 
+// Commit-mode attribution: how many durable commits took the batched undo
+// path versus redo logging. Together with the per-phase fence counters
+// (undo_log/undo_apply vs log_fence/truncate) this publishes the
+// undo-vs-redo head-to-head the hybrid mode is built on.
+var (
+	telUndoCommits = telemetry.NewCounter("mtm_undo_commits_total",
+		"transactions committed through the batched undo path")
+	telRedoCommits = telemetry.NewCounter("mtm_redo_commits_total",
+		"transactions committed through redo logging (solo or group commit)")
+)
+
+// UndoCommits returns the process-wide count of transactions committed
+// through the undo path; RedoCommits its redo counterpart. Benchmarks
+// diff them around a run to report the hybrid split.
+func UndoCommits() uint64 { return telUndoCommits.Value() }
+
+// RedoCommits returns the process-wide count of transactions committed
+// through redo logging (solo or group commit).
+func RedoCommits() uint64 { return telRedoCommits.Value() }
+
 // ErrTooManyThreads reports that every per-thread log slot is taken.
 var ErrTooManyThreads = errors.New("mtm: out of log slots")
 
@@ -95,6 +115,15 @@ type Thread struct {
 	tx     Tx
 	rng    *rand.Rand
 	latSeq uint64 // transaction count for latency-histogram sampling
+
+	// forceUndo routes the next commits through the batched undo path
+	// regardless of the hybrid size threshold; set for the duration of an
+	// AtomicUndo call.
+	forceUndo bool
+	// undoDirty records that committed undo batch/marker records are
+	// still in the log (truncation is amortized); Close truncates them
+	// before the empty-log handoff check.
+	undoDirty bool
 
 	// spanParent is the caller-supplied parent span id for the next
 	// Atomic's root span (a request span in kvserve); txnSpan is the live
@@ -141,6 +170,9 @@ func (tm *TM) releaseSlot(slot int) {
 // reports the bug instead of replaying another thread's state.
 func (tm *TM) bindSlot(slot int) (*Thread, error) {
 	mem := tm.rt.NewMemory()
+	if tm.cfg.ReadCacheWords > 0 {
+		mem.EnableReadCache(tm.cfg.ReadCacheWords)
+	}
 	log, recs, err := rawl.Open(mem, tm.slotAddr(slot))
 	if err != nil {
 		return nil, err
@@ -246,6 +278,8 @@ func (t *Thread) Close() error {
 		return err
 	}
 	t.tm = nil
+	t.mem.FlushCacheStats()
+	t.mem.ReleaseReadCache()
 	tm.slotMu.Lock()
 	delete(tm.threads, t.slot)
 	tm.slotMu.Unlock()
@@ -258,6 +292,14 @@ func (t *Thread) Close() error {
 // closeCheck establishes the empty-log handoff invariants.
 func (t *Thread) closeCheck() error {
 	tm := t.tm
+	if t.undoDirty {
+		// Batched undo commits truncate lazily; everything still in the
+		// log is committed (each batch is terminated by its marker), so
+		// the handoff truncation drops only inert records.
+		t.log.TruncateAll()
+		telemetry.CountPhaseFence(telemetry.PhaseTruncate)
+		t.undoDirty = false
+	}
 	if tm.mgr != nil {
 		for t.pendingTrunc.Load() > 0 && !tm.mgr.isHalted() {
 			runtime.Gosched()
@@ -433,6 +475,28 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 	}
 }
 
+// AtomicUndo is Atomic with the commit forced through the batched undo
+// path, regardless of Config.CommitMode and the hybrid size threshold:
+// the old-value set is logged behind one ordering fence, the new values
+// stored in place, and a commit marker fenced behind them. Callers use it
+// for transactions they know are small and latency-critical.
+//
+// The undo path's crash-safety argument requires synchronous truncation
+// (a committed redo record must never outlive its locks), so AtomicUndo
+// fails on a TM opened with AsyncTruncation; it also conflicts with the
+// per-write UndoLogging ablation.
+func (t *Thread) AtomicUndo(fn func(tx *Tx) error) error {
+	if t.tm.cfg.UndoLogging {
+		return errors.New("mtm: AtomicUndo conflicts with the UndoLogging ablation")
+	}
+	if t.tm.mgr != nil {
+		return errors.New("mtm: AtomicUndo requires synchronous truncation")
+	}
+	t.forceUndo = true
+	defer func() { t.forceUndo = false }()
+	return t.Atomic(fn)
+}
+
 // AtomicBatch runs every fn inside one transaction on this thread: one
 // log append, one durability fence (or one group-commit epoch) for the
 // whole batch. The batch is atomic as a unit — all fns commit together,
@@ -586,9 +650,16 @@ func (tx *Tx) read(a pmem.Addr) uint64 {
 		}
 		tx.abort()
 	}
-	v := tx.t.mem.LoadU64(a)
-	if l.Load() != w {
-		tx.abort()
+	// Read-through cache: an entry tagged with the version just sampled
+	// is provably current (no commit moved the covering lock since the
+	// fill), so the device load and the lock recheck are both skipped.
+	v, hit := tx.t.mem.CacheLoadU64(a, w)
+	if !hit {
+		v = tx.t.mem.LoadU64(a)
+		if l.Load() != w {
+			tx.abort()
+		}
+		tx.t.mem.CacheFill(a, w, v)
 	}
 	if w > tx.rv {
 		tx.extend()
@@ -700,6 +771,14 @@ func (tx *Tx) commit() error {
 		return conflictErr{}
 	}
 
+	// Undo commit path: forced by AtomicUndo, selected by CommitMode
+	// "undo", or chosen in hybrid mode for write sets small enough that
+	// in-place stores beat streaming a redo record — as long as the
+	// whole batch plus its marker fits the log at all.
+	if tx.useUndoPath() {
+		return tx.commitHybrid()
+	}
+
 	// Group-commit mode: hand the validated transaction to the epoch
 	// coordinator, which logs it, covers it with a shared fence, and
 	// releases its locks.
@@ -768,6 +847,113 @@ func (tx *Tx) commit() error {
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
 	telCommits.Inc()
+	telRedoCommits.Inc()
+	return nil
+}
+
+// useUndoPath reports whether this validated writing transaction commits
+// through the batched undo path: forced by AtomicUndo, selected by
+// CommitMode "undo", or chosen in hybrid mode for small write sets. A
+// write set whose batch record plus commit marker cannot fit even an
+// empty log always falls back to redo (which splits across truncations).
+func (tx *Tx) useUndoPath() bool {
+	t := tx.t
+	tm := t.tm
+	switch {
+	case tm.cfg.UndoLogging || tm.mgr != nil:
+		return false
+	case t.forceUndo:
+	case tm.mode == modeUndo:
+	case tm.mode == modeHybrid && len(tx.writes) <= tm.cfg.HybridUndoMax:
+	default:
+		return false
+	}
+	return tx.undoNeedWords() <= t.log.Capacity()-1
+}
+
+// undoNeedWords is the log space one batched undo commit consumes: the
+// [tag, n, (addr,old)...] batch record plus the [tag, ts] marker.
+func (tx *Tx) undoNeedWords() int64 {
+	return rawl.RecordWords(int64(2+2*len(tx.writes))) + rawl.RecordWords(2)
+}
+
+// commitHybrid commits a validated transaction through the batched undo
+// path. Unlike the per-write UndoLogging ablation it keeps redo's
+// one-ordering-point structure: the whole old-value set is streamed as a
+// single record and fenced once before any in-place store, then the new
+// values are stored in place (each line flushed, synchronously durable),
+// and a commit marker is fenced behind them — the commit point. Two
+// fences against sync redo's three (log fence, write-back fence,
+// truncation fence).
+//
+// Truncation is amortized: committed batches are inert at recovery (the
+// marker terminates them), so the log truncates only when the next commit
+// would not fit, spreading the truncation fence over many commits.
+func (tx *Tx) commitHybrid() error {
+	t := tx.t
+	tm := t.tm
+	tx.endWriting() // this commit does not join an epoch
+
+	need := tx.undoNeedWords()
+	if need > t.log.FreeWords() {
+		// Everything still in the log is a committed batch or marker;
+		// dropping them loses nothing.
+		truncSp := telemetry.SpanBegin(telemetry.PhaseTruncate, t.id, t.txnSpan)
+		t.log.TruncateAll()
+		telemetry.CountPhaseFence(telemetry.PhaseTruncate)
+		truncSp.End()
+	}
+
+	// Old-value batch: one record, one flush — the single ordering point
+	// that must precede every in-place store.
+	undoSp := telemetry.SpanBegin(telemetry.PhaseUndoLog, t.id, t.txnSpan)
+	rec := tx.recBuf[:0]
+	rec = append(rec, tagUndoBatch, uint64(len(tx.writes)))
+	for _, w := range tx.writes {
+		rec = append(rec, uint64(w.addr), t.mem.LoadU64(w.addr))
+	}
+	tx.recBuf = rec
+	if _, err := t.log.Append(rec); err != nil {
+		undoSp.End()
+		tx.rollback()
+		return fmt.Errorf("mtm: undo batch append: %w", err)
+	}
+	t.log.Flush()
+	telemetry.CountPhaseFence(telemetry.PhaseUndoLog)
+	undoSp.End()
+
+	// In-place stores with their line flushes, then the commit marker
+	// behind the second fence: the commit point. No abort is possible
+	// past the ordering fence — a crash anywhere in here rolls back
+	// exactly, by applying the batch record in reverse.
+	applySp := telemetry.SpanBegin(telemetry.PhaseUndoApply, t.id, t.txnSpan)
+	tx.writeBack()
+	if !tm.cfg.WriteThroughWriteback {
+		for _, line := range tx.distinctLines(tx.writes) {
+			t.mem.Flush(line)
+		}
+	}
+	ts := tm.clock.Add(1)
+	if _, err := t.log.Append([]uint64{tagUndoCommit, ts}); err != nil {
+		// The precheck reserved space for the marker; failing here would
+		// strand an unterminated batch over already-stored data.
+		panic(fmt.Sprintf("mtm: undo commit marker append: %v", err))
+	}
+	t.log.Flush()
+	telemetry.CountPhaseFence(telemetry.PhaseUndoApply)
+	applySp.End()
+	t.undoDirty = true
+
+	// Release locks with the commit timestamp as the new version.
+	for _, le := range tx.locks {
+		tm.lockAt(le.idx).Store(ts)
+	}
+
+	tx.runDeferredFrees()
+	tx.clearScratch()
+	tm.stats.Commits.Add(1)
+	telCommits.Inc()
+	telUndoCommits.Inc()
 	return nil
 }
 
@@ -846,6 +1032,7 @@ func (tx *Tx) commitUndo() error {
 	tx.clearScratch()
 	tm.stats.Commits.Add(1)
 	telCommits.Inc()
+	telUndoCommits.Inc()
 	return nil
 }
 

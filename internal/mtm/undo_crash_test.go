@@ -1,0 +1,148 @@
+package mtm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// TestCrashPointsUndo explores every crash point of a hybrid-mode
+// workload where small transactions commit through the batched undo path
+// and larger ones through redo, interleaved on one thread. The oracle is
+// the same acked-prefix contract as TestCrashPointsMTM, which for the
+// undo path pins both directions of its atomicity:
+//
+//   - torn undo apply: a crash between the batch record's ordering fence
+//     and the commit marker's fence leaves some in-place stores durable;
+//     recovery must roll every one of them back to the logged old values
+//     (image == acked txs, exactly);
+//   - committed undo survives: once the marker fenced, recovery must not
+//     roll the batch back, and no redo replay may clobber the in-place
+//     data (image == acked+1 txs when the crash straddled the marker).
+//
+// The hybrid split (threshold 4 against write sets of 3–5 words) makes
+// the exploration alternate undo and redo commits in one log, covering
+// the mixed-log recovery scan and the amortized-truncation states.
+func TestCrashPointsUndo(t *testing.T) {
+	const txs = 8
+	workload := func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 4 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		acked := 0
+		cfg := Config{Slots: 2, LogWords: 256, CommitMode: "hybrid", HybridUndoMax: 4}
+
+		openAll := func() (*region.Runtime, *TM, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, nil, pmem.Nil, err
+			}
+			tm, err := Open(rt, "undocrash", cfg)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			ptr, _, err := rt.Static("mtm.undocrash.data", 8)
+			if err != nil {
+				rt.Close()
+				return nil, nil, pmem.Nil, err
+			}
+			mem := rt.NewMemory()
+			base := pmem.Addr(mem.LoadU64(ptr))
+			if base == pmem.Nil {
+				base, err = rt.PMapAt(ptr, scm.PageSize, 0)
+				if err != nil {
+					rt.Close()
+					return nil, nil, pmem.Nil, err
+				}
+			}
+			return rt, tm, base, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				_, tm, base, err := openAll()
+				if err != nil {
+					return err
+				}
+				th, err := tm.NewThread()
+				if err != nil {
+					return err
+				}
+				for i := 0; i < txs; i++ {
+					writes := txWrites(i)
+					idxs := make([]int64, 0, len(writes))
+					for idx := range writes {
+						idxs = append(idxs, idx)
+					}
+					for a := 1; a < len(idxs); a++ {
+						for b := a; b > 0 && idxs[b] < idxs[b-1]; b-- {
+							idxs[b], idxs[b-1] = idxs[b-1], idxs[b]
+						}
+					}
+					err := th.Atomic(func(tx *Tx) error {
+						for _, idx := range idxs {
+							tx.StoreU64(base.Add(idx*8), writes[idx])
+						}
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					acked = i + 1
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, tm, base, err := openAll()
+				if err != nil {
+					return fmt.Errorf("stack not reopenable after %d acked txs: %w", acked, err)
+				}
+				defer rt.Close()
+				defer tm.Close()
+				if base == pmem.Nil {
+					if acked > 0 {
+						return fmt.Errorf("data region lost after %d acked txs", acked)
+					}
+					return nil
+				}
+				mem := rt.NewMemory()
+				var img [64]uint64
+				for i := int64(0); i < 64; i++ {
+					img[i] = mem.LoadU64(base.Add(i * 8))
+				}
+				for _, m := range []int{acked, acked + 1} {
+					if m > txs {
+						continue
+					}
+					if img == applyTxs(m) {
+						return nil
+					}
+				}
+				return fmt.Errorf("post-recovery image matches neither %d nor %d applied txs (torn undo apply not rolled back exactly?)", acked, acked+1)
+			},
+		}, nil
+	}
+
+	rep, err := crashpoint.Explore(workload, crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("undo-path visibility oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("undo: %s", rep)
+}

@@ -203,6 +203,13 @@ func recordWords(k int64) int64 {
 	return (bits + 62) / 63
 }
 
+// RecordWords returns the buffer words a record of k payload words will
+// consume. Callers that must append a sequence of records without an
+// intervening truncation (mtm's batched undo commit appends an old-value
+// record and, after its in-place stores, a commit marker) use it to
+// precheck that the whole sequence fits in the free space.
+func RecordWords(k int64) int64 { return recordWords(k) }
+
 // MaxRecordWords returns the largest record payload (in words) this log
 // can hold.
 func (l *Log) MaxRecordWords() int64 {

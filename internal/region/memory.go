@@ -15,6 +15,13 @@ type Mem struct {
 	rt  *Runtime
 	ctx *scm.Context
 	tlb *Region
+
+	// Optional direct-mapped read-through cache (see readcache.go). nil
+	// unless EnableReadCache was called; private to the owner goroutine.
+	cache       []cacheEntry
+	cacheMask   uint64
+	cacheHits   uint32
+	cacheMisses uint32
 }
 
 var _ pmem.Memory = (*Mem)(nil)

@@ -1,0 +1,190 @@
+package region
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/telemetry"
+)
+
+// Read-through cache metrics, aggregated over every Mem in the process.
+// The owner goroutine tallies into plain per-Mem counters and flushes them
+// here in batches, so the hot read path never executes an atomic add.
+var (
+	telReadCacheHits = telemetry.NewCounter("region_readcache_hits_total",
+		"word loads served from the volatile read-through cache")
+	telReadCacheMisses = telemetry.NewCounter("region_readcache_misses_total",
+		"word loads that missed the read-through cache and hit the device")
+)
+
+// cacheStatsBatch is how many hit/miss events accumulate Mem-side before
+// they are flushed to the global counters.
+const cacheStatsBatch = 1 << 10
+
+// cacheEntry is one direct-mapped slot of the read-through cache. A zero
+// addr (pmem.Nil is never a cacheable persistent word) marks an empty
+// slot. tag is the version the caller observed on the word's covering
+// lock when the entry was filled: the entry is served only while the lock
+// still carries exactly that version, so any committed write to the
+// word's lock stripe invalidates it for free.
+type cacheEntry struct {
+	addr pmem.Addr
+	tag  uint64
+	val  uint64
+}
+
+// EnableReadCache attaches a direct-mapped volatile cache of persistent
+// words to this memory view. words is rounded up to a power of two;
+// words <= 0 disables the cache. The cache is private to the Mem's owner
+// goroutine and holds no locks.
+//
+// The cache is not consulted by LoadU64 itself: plain loads cannot know
+// which version of the word they saw. Callers that validate loads against
+// a versioned lock word (the transaction read paths) use CacheLoadU64 and
+// CacheFill, passing the observed lock version as the entry tag.
+func (m *Mem) EnableReadCache(words int) {
+	if words <= 0 {
+		m.ReleaseReadCache()
+		return
+	}
+	n := 1
+	for n < words {
+		n <<= 1
+	}
+	// Reuse a recycled slab of the right size. A slab released under the
+	// current cache generation carries only entries the versioned-lock
+	// validation still guards — no matter which Mem filled them — so its
+	// contents survive as a warm start. A slab from an older generation
+	// predates a transaction-system reopen (restarted commit clock,
+	// recovery writing words outside the lock protocol) and is cleared.
+	if sl, ok := m.rt.takeSlab(n); ok {
+		m.cache = sl.s
+		if sl.gen != m.rt.cacheGen.Load() {
+			for i := range m.cache {
+				m.cache[i] = cacheEntry{}
+			}
+		}
+	} else {
+		m.cache = make([]cacheEntry, n)
+	}
+	m.cacheMask = uint64(n - 1)
+}
+
+// maxPooledSlabs caps the runtime's slab free list. The list holds one
+// slab per recently closed caching Mem, so its natural size is the peak
+// thread-lease concurrency; the cap only bounds pathological churn.
+const maxPooledSlabs = 64
+
+// takeSlab pops a recycled slab of exactly n entries, searching the few
+// list entries for a size match (one runtime normally has one size).
+func (rt *Runtime) takeSlab(n int) (cacheSlab, bool) {
+	rt.cacheMu.Lock()
+	defer rt.cacheMu.Unlock()
+	for i := len(rt.cacheSlabs) - 1; i >= 0; i-- {
+		if len(rt.cacheSlabs[i].s) == n {
+			sl := rt.cacheSlabs[i]
+			last := len(rt.cacheSlabs) - 1
+			rt.cacheSlabs[i] = rt.cacheSlabs[last]
+			rt.cacheSlabs[last] = cacheSlab{}
+			rt.cacheSlabs = rt.cacheSlabs[:last]
+			return sl, true
+		}
+	}
+	return cacheSlab{}, false
+}
+
+// putSlab returns a slab to the free list, dropping it when full.
+func (rt *Runtime) putSlab(sl cacheSlab) {
+	rt.cacheMu.Lock()
+	if len(rt.cacheSlabs) < maxPooledSlabs {
+		rt.cacheSlabs = append(rt.cacheSlabs, sl)
+	}
+	rt.cacheMu.Unlock()
+}
+
+// cacheSlab is a pooled cache allocation, stamped with the runtime cache
+// generation current when it was released.
+type cacheSlab struct {
+	gen uint64
+	s   []cacheEntry
+}
+
+// ReleaseReadCache detaches the cache and returns its slab to the
+// runtime's pool for the next short-lived Mem (leased threads bind a
+// fresh Mem per lease; without recycling, every lease would allocate and
+// abandon a multi-megabyte slab, and the resulting GC pressure dwarfs
+// what the cache saves). Callers flush stats first if they care.
+func (m *Mem) ReleaseReadCache() {
+	if m.cache != nil {
+		m.rt.putSlab(cacheSlab{gen: m.rt.cacheGen.Load(), s: m.cache})
+		m.cache = nil
+	}
+	m.cacheMask = 0
+}
+
+// InvalidateReadCaches retires the contents of every pooled read-cache
+// slab: slabs released before the call are cleared on their next reuse.
+// Transaction systems call it when (re)opening, because a reopen restarts
+// the commit clock and replays recovery writes outside the lock protocol,
+// so a stale (addr, version) pair could otherwise validate against an
+// unrelated version of the word. Caches currently attached to live Mems
+// are unaffected; they belong to transaction systems already running.
+func (rt *Runtime) InvalidateReadCaches() { rt.cacheGen.Add(1) }
+
+// ReadCacheEnabled reports whether EnableReadCache attached a cache.
+func (m *Mem) ReadCacheEnabled() bool { return m.cache != nil }
+
+// cacheSlot maps a word address to its direct-mapped slot.
+func (m *Mem) cacheSlot(a pmem.Addr) *cacheEntry {
+	return &m.cache[(uint64(a)>>3)&m.cacheMask]
+}
+
+// CacheLoadU64 serves the word at a from the cache when the entry's tag
+// matches tag — the version the caller just sampled, unlocked, on the
+// word's covering lock. A matching tag proves no transaction committed a
+// write through that lock since the entry was filled (versions only ever
+// advance at commit, and in-place mutation happens only while the lock is
+// held), so the cached value is exactly what a device load would return.
+func (m *Mem) CacheLoadU64(a pmem.Addr, tag uint64) (uint64, bool) {
+	if m.cache == nil {
+		return 0, false
+	}
+	e := m.cacheSlot(a)
+	if e.addr == a && e.tag == tag {
+		m.cacheHits++
+		if m.cacheHits >= cacheStatsBatch {
+			telReadCacheHits.Add(uint64(m.cacheHits))
+			m.cacheHits = 0
+		}
+		return e.val, true
+	}
+	m.cacheMisses++
+	if m.cacheMisses >= cacheStatsBatch {
+		telReadCacheMisses.Add(uint64(m.cacheMisses))
+		m.cacheMisses = 0
+	}
+	return 0, false
+}
+
+// CacheFill records a validated (lock version, value) pair for the word
+// at a. The caller must have confirmed the pair is consistent: the lock
+// covering a held version tag both before and after the device load that
+// produced val.
+func (m *Mem) CacheFill(a pmem.Addr, tag, val uint64) {
+	if m.cache == nil {
+		return
+	}
+	*m.cacheSlot(a) = cacheEntry{addr: a, tag: tag, val: val}
+}
+
+// FlushCacheStats publishes any batched hit/miss tallies to the global
+// telemetry counters. Callers invoke it when a Mem goes idle (thread
+// close, reader pool return) so short runs still report accurate totals.
+func (m *Mem) FlushCacheStats() {
+	if m.cacheHits > 0 {
+		telReadCacheHits.Add(uint64(m.cacheHits))
+		m.cacheHits = 0
+	}
+	if m.cacheMisses > 0 {
+		telReadCacheMisses.Add(uint64(m.cacheMisses))
+		m.cacheMisses = 0
+	}
+}

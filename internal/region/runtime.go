@@ -143,6 +143,16 @@ type Runtime struct {
 
 	static *Region
 	stats  OpenStats
+
+	// cacheSlabs recycles read-through cache slabs across short-lived Mems
+	// (leased transaction threads bind a fresh Mem per lease); without it,
+	// every lease allocates and abandons a slab of ReadCacheWords entries.
+	// A plain capped free list, not a sync.Pool: the GC empties pools, and
+	// a lease that then cold-allocates megabytes mid-workload costs more
+	// than the cache saves. cacheGen guards reuse: see Mem.EnableReadCache.
+	cacheMu    sync.Mutex
+	cacheSlabs []cacheSlab
+	cacheGen   atomic.Uint64
 }
 
 // Open boots the region manager on the device and reincarnates the

@@ -113,6 +113,9 @@ func (c *Context) LoadU64(off int64) uint64 {
 	if !align8(off) {
 		panic("scm: unaligned LoadU64")
 	}
+	if c.dev.cfg.ReadLatency > 0 {
+		c.delay(c.dev.cfg.ReadLatency)
+	}
 	return c.dev.loadWord(off)
 }
 

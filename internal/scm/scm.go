@@ -74,6 +74,11 @@ type Config struct {
 	// WriteLatency is the extra latency of a PCM write over DRAM.
 	// Zero selects DefaultWriteLatency; use Mode=DelayOff to disable.
 	WriteLatency time.Duration
+	// ReadLatency is the extra latency of a PCM read over DRAM, charged
+	// on every word load. The paper's model treats reads as free (§6.1),
+	// so zero keeps them free; read-cache experiments set it to expose
+	// how much locality a DRAM cache in front of the device buys.
+	ReadLatency time.Duration
 	// WriteBandwidth caps sequential streaming writes, in bytes/second.
 	// Zero selects DefaultWriteBandwidth.
 	WriteBandwidth float64

@@ -25,6 +25,12 @@ var (
 	ErrValueTooLong = errors.New("shard: value too long")
 )
 
+// ErrHashCollision reports a write whose key hashes onto a slot already
+// holding a DIFFERENT key's record. The tree is keyed by hash(key), so
+// an unchecked put would silently destroy the colliding key's data; the
+// store refuses instead. Matchable with errors.Is.
+var ErrHashCollision = errors.New("shard: hash collision with a different stored key")
+
 // ErrNotFound reports a lookup or delete of an absent key (an alias for
 // the persistent data structures' sentinel, so both match errors.Is).
 var ErrNotFound = pds.ErrNotFound
@@ -88,6 +94,38 @@ func (st *Store) lookup(sh *Shard, r mtm.Reader, key string) (string, error) {
 	return v, nil
 }
 
+// checkCollision fails with ErrHashCollision when key's slot already
+// holds a different key's record; an absent or same-key slot is fine.
+func (st *Store) checkCollision(sh *Shard, r mtm.Reader, key string) error {
+	h := st.hash(key)
+	raw, err := sh.Tree.Get(r, h)
+	if err == ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	k, _, derr := DecodeKV(raw)
+	if derr != nil {
+		return derr
+	}
+	if k != key {
+		return fmt.Errorf("%w: %q and stored %q share hash %#x", ErrHashCollision, key, k, h)
+	}
+	return nil
+}
+
+// checkedPut stores rec at key's slot after comparing the stored full
+// key: overwriting the same key is the normal update, overwriting a
+// colliding key would destroy its record, so that fails with
+// ErrHashCollision and the transaction aborts untouched.
+func (st *Store) checkedPut(sh *Shard, tx *mtm.Tx, key string, rec []byte) error {
+	if err := st.checkCollision(sh, tx, key); err != nil {
+		return err
+	}
+	return sh.Tree.Put(tx, st.hash(key), rec)
+}
+
 // Set durably stores key=value on its shard.
 func (st *Store) Set(key, value string) error {
 	rec, err := EncodeKV(key, value)
@@ -96,7 +134,7 @@ func (st *Store) Set(key, value string) error {
 	}
 	sh := st.shards[st.ShardOf(key)]
 	return sh.PM.Atomic(func(tx *mtm.Tx) error {
-		return sh.Tree.Put(tx, st.hash(key), rec)
+		return st.checkedPut(sh, tx, key, rec)
 	})
 }
 
@@ -209,7 +247,7 @@ func (st *Store) MSet(keys, values []string) error {
 			sh := st.shards[k]
 			return sh.PM.Atomic(func(tx *mtm.Tx) error {
 				for _, i := range idxs {
-					if err := sh.Tree.Put(tx, st.hash(keys[i]), recs[i]); err != nil {
+					if err := st.checkedPut(sh, tx, keys[i], recs[i]); err != nil {
 						return err
 					}
 				}

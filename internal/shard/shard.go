@@ -129,8 +129,9 @@ type Store struct {
 }
 
 var (
-	telXMSets = telemetry.NewCounter("shard_xmsets_total", "Cross-shard MSET transactions started (two or more participant shards).")
-	telXAbort = telemetry.NewCounter("shard_xmset_aborts_total", "Cross-shard MSET transactions aborted before the prepare point.")
+	telXMSets          = telemetry.NewCounter("shard_xmsets_total", "Cross-shard MSET transactions started (two or more participant shards).")
+	telXAbort          = telemetry.NewCounter("shard_xmset_aborts_total", "Cross-shard MSET transactions aborted before the prepare point.")
+	telXCollisionSkips = telemetry.NewCounter("shard_xmset_collision_skips_total", "Cross-shard MSET pairs skipped at apply or roll-forward because a different key took the slot after the prepare (hash collision).")
 )
 
 // Open creates or reincarnates a sharded store: one device per shard,

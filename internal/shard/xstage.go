@@ -239,6 +239,14 @@ func (st *Store) msetCross(parts [][]int, mask uint64, keys []string, recs [][]b
 			blob := encodeIntent(statePrepared, mask, shardRecs)
 			err, cut = powerGuard(func() error {
 				return sh.PM.Atomic(func(tx *mtm.Tx) error {
+					// Collisions are detected here, before the commit
+					// point, so the whole MSET aborts cleanly instead of
+					// clobbering (or skipping) the colliding key later.
+					for _, i := range idxs {
+						if cerr := st.checkCollision(sh, tx, keys[i]); cerr != nil {
+							return cerr
+						}
+					}
 					return stage.Put(tx, xid, blob)
 				})
 			})
@@ -271,9 +279,22 @@ func (st *Store) msetCross(parts [][]int, mask uint64, keys []string, recs [][]b
 			continue
 		}
 		sh, stage := st.shards[k], stages[k]
+		skipped := 0
 		err, cut := powerGuard(func() error {
 			return sh.PM.Atomic(func(tx *mtm.Tx) error {
+				skipped = 0 // conflict retries rerun the closure
 				for _, i := range idxs {
+					// Past the commit point a collision (a racing write
+					// landed a colliding key after our prepare) cannot
+					// abort the MSET anymore; skip the pair rather than
+					// destroy the newer record, and count the skip.
+					if cerr := st.checkCollision(sh, tx, keys[i]); cerr != nil {
+						if errors.Is(cerr, ErrHashCollision) {
+							skipped++
+							continue
+						}
+						return cerr
+					}
 					if err := sh.Tree.Put(tx, st.hash(keys[i]), recs[i]); err != nil {
 						return err
 					}
@@ -281,6 +302,9 @@ func (st *Store) msetCross(parts [][]int, mask uint64, keys []string, recs [][]b
 				return stage.Put(tx, xid, encodeIntent(stateApplied, mask, nil))
 			})
 		})
+		if err == nil && !cut && skipped > 0 {
+			telXCollisionSkips.Add(uint64(skipped))
+		}
 		if cut {
 			anyCut = true
 			continue
@@ -397,7 +421,9 @@ func (st *Store) resolveIntents() (commits, aborts int, err error) {
 					continue
 				}
 				sh := st.shards[k]
+				skipped := 0
 				if err := sh.PM.Atomic(func(tx *mtm.Tx) error {
+					skipped = 0 // conflict retries rerun the closure
 					stage, serr := pds.OpenHashTable(tx, sh.stageRoot)
 					if serr != nil {
 						return serr
@@ -407,6 +433,16 @@ func (st *Store) resolveIntents() (commits, aborts int, err error) {
 						if derr != nil {
 							return derr
 						}
+						// Recovery must finish: a pair whose slot a
+						// different key took since the prepare is skipped
+						// and counted, never clobbered and never fatal.
+						if cerr := st.checkCollision(sh, tx, key); cerr != nil {
+							if errors.Is(cerr, ErrHashCollision) {
+								skipped++
+								continue
+							}
+							return cerr
+						}
 						if perr := sh.Tree.Put(tx, st.hash(key), rec); perr != nil {
 							return perr
 						}
@@ -414,6 +450,9 @@ func (st *Store) resolveIntents() (commits, aborts int, err error) {
 					return stage.Put(tx, xid, encodeIntent(stateApplied, it.mask, nil))
 				}); err != nil {
 					return commits, aborts, fmt.Errorf("shard %d: roll-forward xid %d: %w", k, xid, err)
+				}
+				if skipped > 0 {
+					telXCollisionSkips.Add(uint64(skipped))
 				}
 			}
 		} else {

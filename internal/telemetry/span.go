@@ -36,6 +36,8 @@ const (
 	PhaseFence            // scm: fence, incl. write-combining drain
 	PhaseRawlFlush        // rawl: explicit log flush
 	PhaseRawlTrunc        // rawl: log truncation (head rewrite)
+	PhaseUndoLog          // mtm: undo mode, old-value batch append + ordering fence
+	PhaseUndoApply        // mtm: undo mode, in-place stores + commit marker fence
 	NumPhases
 )
 
@@ -62,6 +64,8 @@ var phaseNames = [NumPhases]string{
 	PhaseFence:      "scm_fence",
 	PhaseRawlFlush:  "rawl_flush",
 	PhaseRawlTrunc:  "rawl_truncate",
+	PhaseUndoLog:    "undo_log",
+	PhaseUndoApply:  "undo_apply",
 }
 
 // String returns the phase's attribution name.

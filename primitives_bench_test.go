@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	mnemosyne "repro"
 	"repro/internal/rawl"
@@ -177,6 +178,99 @@ func BenchmarkGroupCommit(b *testing.B) {
 			if n := int64(b.N) * workers; n > 0 {
 				b.ReportMetric(float64(fences)/float64(n), "fences/commit")
 			}
+		})
+	}
+}
+
+// BenchmarkHybridCommit measures one small durable transaction under
+// each commit protocol: redo (3 fences/commit), batched undo (2), and
+// hybrid (undo under the threshold). The fences/commit metric is the
+// single-writer ordering saving the undo path exists for.
+func BenchmarkHybridCommit(b *testing.B) {
+	for _, mode := range []string{"redo", "undo", "hybrid"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := mnemosyne.Config{}
+			if mode != "redo" {
+				cfg.CommitMode = mode
+			}
+			pm := benchPMConfig(b, cfg)
+			region, err := pm.PMap(1 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			th, err := pm.NewThread()
+			if err != nil {
+				b.Fatal(err)
+			}
+			startFences := pm.Device().Snapshot().Fences
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+					for w := int64(0); w < 4; w++ {
+						tx.StoreU64(region.Add(w*8), uint64(i))
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			fences := pm.Device().Snapshot().Fences - startFences
+			if b.N > 0 {
+				b.ReportMetric(float64(fences)/float64(b.N), "fences/commit")
+			}
+		})
+	}
+}
+
+// BenchmarkReadCache measures snapshot-View word reads with and without
+// the volatile read-through cache, under an emulated PCM read latency so
+// hits have something to skip.
+func BenchmarkReadCache(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		words int
+	}{
+		{"off", 0},
+		{"on", 1 << 12},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pm := benchPMConfig(b, mnemosyne.Config{
+				ReadCacheWords: mode.words,
+				ReadLatency:    100 * time.Nanosecond,
+			})
+			region, err := pm.PMap(1 << 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Seed a small hot set.
+			th, err := pm.NewThread()
+			if err != nil {
+				b.Fatal(err)
+			}
+			const words = 256
+			if err := th.Atomic(func(tx *mnemosyne.Tx) error {
+				for w := int64(0); w < words; w++ {
+					tx.StoreU64(region.Add(w*8), uint64(w))
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pm.View(func(r *mnemosyne.ReadTx) error {
+					for w := int64(0); w < words; w++ {
+						if got := r.LoadU64(region.Add(w * 8)); got != uint64(w) {
+							return fmt.Errorf("word %d = %d", w, got)
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(words * 8)
 		})
 	}
 }
