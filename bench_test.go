@@ -290,3 +290,29 @@ func BenchmarkReadMostly(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRESPServe measures the redis-protocol serving surface end to
+// end: pipelined RESP clients over TCP driving the command engine with a
+// 50/50 GET/SET mix (binary values, hashes, EX deadlines). The
+// paper-comparable number is ops/s; fences/commit shows how the window
+// amortizes durability.
+func BenchmarkRESPServe(b *testing.B) {
+	for _, window := range []int{1, 32} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			var last bench.RESPRow
+			for i := 0; i < b.N; i++ {
+				opts := spinOpts()
+				opts.GroupCommit = true
+				row, err := bench.RunRESP(bench.RESPOpts{
+					Options: opts, Window: window, OpsPerClient: 500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(last.OpsPerSec, "ops/s")
+			b.ReportMetric(last.FencesPerCommit, "fences/commit")
+		})
+	}
+}

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	kvserved [-addr :7070] [-image scm.img] [-dir ./pmem] [-size 256MiB]
-//	         [-shards 4] [-recovery-workers 2]
+//	kvserved [-addr :7070] [-resp-addr :6379] [-image scm.img] [-dir ./pmem]
+//	         [-size 256MiB] [-shards 4] [-recovery-workers 2]
 //	         [-group-commit] [-group-commit-wait 50µs] [-metrics-addr :9090]
 //	         [-commit-mode hybrid] [-hybrid-undo-max 16]
 //	         [-read-cache 65536] [-read-latency 100ns]
@@ -28,6 +28,13 @@
 //
 // Pipelined clients (several request lines in flight) are answered in
 // order; with -group-commit their transactions share durability fences.
+//
+// With -resp-addr the same store is additionally served over RESP2 (the
+// redis wire protocol): `redis-cli -p 6379` then SET/GET/DEL/MSET/MGET,
+// hashes (HSET/HGET/HDEL/HLEN/HGETALL) and crash-safe TTLs (SET ... EX,
+// EXPIRE/PEXPIRE/TTL/PTTL/PERSIST). RESP bulk strings are binary-safe,
+// so values may contain spaces and arbitrary bytes; every acknowledged
+// write is durable before its reply on either transport.
 //
 // With -metrics-addr the server also exposes Prometheus metrics on
 // GET /metrics, expvar on /debug/vars, pprof under /debug/pprof/ and —
@@ -60,6 +67,7 @@ import (
 
 var (
 	addr        = flag.String("addr", ":7070", "listen address")
+	respAddr    = flag.String("resp-addr", "", "additionally serve the RESP2 (redis) protocol on this address (empty disables); try `redis-cli -p <port>`")
 	image       = flag.String("image", "scm.img", "SCM device image file")
 	dir         = flag.String("dir", ".", "region backing directory")
 	size        = flag.Int64("size", 256<<20, "device size in bytes")
@@ -157,6 +165,18 @@ func main() {
 			log.Fatalf("kvserved: metrics listener: %v", err)
 		}
 		fmt.Printf("kvserved: telemetry on http://%s/metrics\n", bound)
+	}
+	if *respAddr != "" {
+		rl, err := net.Listen("tcp", *respAddr)
+		if err != nil {
+			log.Fatalf("kvserved: RESP listener: %v", err)
+		}
+		fmt.Printf("kvserved: serving RESP2 (redis protocol) on %s\n", rl.Addr())
+		go func() {
+			if err := srv.ServeRESP(rl); err != nil {
+				log.Fatalf("kvserved: resp: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)

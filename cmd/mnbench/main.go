@@ -7,7 +7,7 @@
 //
 // Experiments: table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7
 // reincarnation ablation groupcommit readmostly sharded hybrid readcache
-// all
+// resp all
 //
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
@@ -215,6 +215,7 @@ func run(exp string) error {
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
 			"groupcommit", "readmostly", "sharded", "hybrid", "readcache",
+			"resp",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -249,8 +250,10 @@ func run(exp string) error {
 		return hybrid()
 	case "readcache":
 		return readCache()
+	case "resp":
+		return respServe()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded hybrid readcache all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded hybrid readcache resp all)")
 	}
 }
 
@@ -553,6 +556,28 @@ func readCache() error {
 			r.Cache, r.Goroutines, r.OpsPerSec, r.HitRate*100)
 		csvOut("readcache", "cache,goroutines,ops_per_sec,hit_rate",
 			r.Cache, r.Goroutines, r.OpsPerSec, r.HitRate)
+	}
+	return nil
+}
+
+func respServe() error {
+	header("RESP serving surface: pipelined redis-protocol clients over TCP (50/50 GET/SET, binary values, hashes, TTLs)")
+	fmt.Printf("%-8s %8s %14s %18s\n", "Clients", "Window", "Ops/s", "Fences/commit")
+	o := baseOptions()
+	o.GroupCommit = true // concurrent sessions share commit epochs, as kvserved runs
+	for _, window := range []int{1, 8, 32} {
+		row, err := bench.RunRESP(bench.RESPOpts{
+			Options:      o,
+			Window:       window,
+			OpsPerClient: scale(2000),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %8d %14.0f %18.2f\n",
+			row.Clients, row.Window, row.OpsPerSec, row.FencesPerCommit)
+		csvOut("resp", "clients,window,ops_per_sec,fences_per_commit",
+			row.Clients, row.Window, row.OpsPerSec, row.FencesPerCommit)
 	}
 	return nil
 }

@@ -269,3 +269,18 @@ func TestShardedRecoveryKernel(t *testing.T) {
 		t.Fatalf("worker modes: %+v", rows)
 	}
 }
+
+func TestRESPKernel(t *testing.T) {
+	row, err := RunRESP(RESPOpts{
+		Options: quick(), Clients: 2, Window: 8, OpsPerClient: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OpsPerSec <= 0 {
+		t.Fatalf("RESP row: %+v", row)
+	}
+	if row.FencesPerCommit <= 0 {
+		t.Fatalf("no commits observed: %+v", row)
+	}
+}

@@ -1,0 +1,198 @@
+package kvserve
+
+import (
+	"bytes"
+
+	"repro/internal/mtm"
+	"repro/internal/shard"
+)
+
+// Hash commands (HSET/HGET/HDEL/HLEN/HGETALL) store a field→value map
+// in a single RecHash tree record: small hashes in one slot, updated by
+// read-modify-write inside the key's durable transaction. An expired
+// hash behaves exactly like an absent key — writes start a fresh hash
+// with no TTL, reads answer empty — and a live hash keeps its expiry
+// deadline across field updates (redis semantics: only SET clears a
+// TTL, other write commands preserve it).
+
+// loadHash reads key's hash fields inside a transaction or view.
+// ok=false means logically absent (missing, collision, or expired);
+// a live record of the wrong type fails with ErrWrongType.
+func (c *call) loadHash(n *node, r mtm.Reader, key string) (rec shard.Record, fields []shard.HashField, ok bool, err error) {
+	rec, ok, err = c.record(n, r, key)
+	if err != nil || !ok {
+		return shard.Record{}, nil, false, err
+	}
+	if rec.Type != shard.RecHash {
+		return shard.Record{}, nil, false, shard.ErrWrongType
+	}
+	fields, err = shard.DecodeHashFields(rec.Value)
+	if err != nil {
+		return shard.Record{}, nil, false, err
+	}
+	return rec, fields, true, nil
+}
+
+func cmdHSet(c *call) Reply {
+	if (len(c.args)-2)%2 != 0 {
+		return errReply("usage: " + registry["HSET"].usage)
+	}
+	key := c.str(1)
+	if err := checkKeySize(key); err != nil {
+		return errfReply(err)
+	}
+	added := int64(0)
+	err := c.update(key, func(n *node, tx *mtm.Tx) error {
+		added = 0 // conflict retries rerun the closure
+		rec, fields, ok, err := c.loadHash(n, tx, key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			rec = shard.Record{Key: key, Type: shard.RecHash}
+			fields = nil
+		}
+		for i := 2; i < len(c.args); i += 2 {
+			name, value := c.args[i], c.args[i+1]
+			found := false
+			for j := range fields {
+				if bytes.Equal(fields[j].Name, name) {
+					fields[j].Value = value
+					found = true
+					break
+				}
+			}
+			if !found {
+				fields = append(fields, shard.HashField{Name: name, Value: value})
+				added++
+			}
+		}
+		payload := shard.EncodeHashFields(fields)
+		if err := checkValueSize(len(payload)); err != nil {
+			return err
+		}
+		rec.Value = payload
+		enc, err := shard.EncodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		return c.s.putRecord(n, tx, key, enc)
+	})
+	if err != nil {
+		return errfReply(err)
+	}
+	return intReply(added)
+}
+
+func cmdHGet(c *call) Reply {
+	key := c.str(1)
+	var out Reply
+	err := c.view(key, func(n *node, r mtm.Reader) error {
+		_, fields, ok, err := c.loadHash(n, r, key)
+		if err != nil {
+			return err
+		}
+		out = nilReply()
+		if !ok {
+			return nil
+		}
+		for _, f := range fields {
+			if bytes.Equal(f.Name, c.args[2]) {
+				out = bulkReply(append([]byte(nil), f.Value...))
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return errfReply(err)
+	}
+	return out
+}
+
+// cmdHDel removes named fields, deleting the record outright when the
+// last field goes — an empty hash does not exist, so HLEN after a full
+// HDEL answers 0 and the tree slot is reclaimed.
+func cmdHDel(c *call) Reply {
+	key := c.str(1)
+	removed := int64(0)
+	err := c.update(key, func(n *node, tx *mtm.Tx) error {
+		removed = 0 // conflict retries rerun the closure
+		rec, fields, ok, err := c.loadHash(n, tx, key)
+		if err != nil || !ok {
+			return err
+		}
+		kept := fields[:0]
+		for _, f := range fields {
+			del := false
+			for _, name := range c.args[2:] {
+				if bytes.Equal(f.Name, name) {
+					del = true
+					break
+				}
+			}
+			if del {
+				removed++
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if removed == 0 {
+			return nil
+		}
+		if len(kept) == 0 {
+			return n.tree.Delete(tx, c.s.hash(key))
+		}
+		rec.Value = shard.EncodeHashFields(kept)
+		enc, err := shard.EncodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		return c.s.putRecord(n, tx, key, enc)
+	})
+	if err != nil {
+		return errfReply(err)
+	}
+	return intReply(removed)
+}
+
+func cmdHLen(c *call) Reply {
+	key := c.str(1)
+	count := int64(0)
+	err := c.view(key, func(n *node, r mtm.Reader) error {
+		_, fields, ok, err := c.loadHash(n, r, key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			count = int64(len(fields))
+		}
+		return nil
+	})
+	if err != nil {
+		return errfReply(err)
+	}
+	return intReply(count)
+}
+
+func cmdHGetAll(c *call) Reply {
+	key := c.str(1)
+	var elems []Reply
+	err := c.view(key, func(n *node, r mtm.Reader) error {
+		_, fields, ok, err := c.loadHash(n, r, key)
+		if err != nil || !ok {
+			return err
+		}
+		elems = make([]Reply, 0, 2*len(fields))
+		for _, f := range fields {
+			elems = append(elems,
+				bulkReply(append([]byte(nil), f.Name...)),
+				bulkReply(append([]byte(nil), f.Value...)))
+		}
+		return nil
+	})
+	if err != nil {
+		return errfReply(err)
+	}
+	return arrayReply(elems)
+}

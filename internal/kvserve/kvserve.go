@@ -4,33 +4,45 @@
 // configuration) built directly on persistent memory with no database
 // underneath.
 //
-// The wire protocol is line-oriented:
+// The server is a transport-agnostic command engine: a registry maps
+// verbs to handlers (with arity contracts and read/write classification
+// for the pipeline partitioner), and two wire front ends dispatch into
+// it — the original line protocol, and RESP2 (ServeRESP) for stock redis
+// clients. Values are typed records: plain strings, hashes
+// (HSET/HGET/HDEL/HLEN/HGETALL), and either may carry a crash-safe
+// expiry deadline (SET ... EX, EXPIRE/TTL/PERSIST) registered on a
+// persistent timer wheel and committed in the same durable transaction
+// as the value.
+//
+// The line protocol is unchanged:
 //
 //	SET <key> <value>         -> OK
 //	GET <key>                 -> VALUE <value> | MISSING
 //	MGET <key> [<key> ...]    -> VALUE <v> | MISSING per key (one snapshot)
 //	DEL <key>                 -> OK | MISSING
-//	MSET <k> <v> [<k> <v>...] -> OK (one transaction; values without spaces)
+//	MSET <k> <v> [<k> <v>...] -> OK (one transaction; values without spaces —
+//	                             the odd-argument error says so; RESP bulk
+//	                             strings carry arbitrary bytes)
 //	MDEL <key> [<key> ...]    -> DELETED <n> (one transaction)
 //	COUNT                     -> COUNT <n>
 //	STATS                     -> STATS key=value ... (telemetry snapshot)
 //	PING                      -> PONG
 //	QUIT                      -> BYE (closes the connection)
 //
-// Every acknowledged SET/DEL is durable before the reply is written:
-// the B+ tree update commits in a durable memory transaction. Reads
-// (GET/MGET/COUNT) are served on slot-free snapshot read transactions:
-// no thread lease, no log record, no fence, so a read-only connection
-// consumes no transaction slot and unbounded readers run in parallel
-// with writers.
+// Every acknowledged write is durable before the reply is written: the
+// B+ tree update commits in a durable memory transaction. Reads are
+// served on slot-free snapshot read transactions: no thread lease, no
+// log record, no fence, so a read-only connection consumes no
+// transaction slot and unbounded readers run in parallel with writers.
 //
-// Clients that pipeline (send several request lines without waiting for
-// replies) are served transparently in batches: buffered lines are
-// dispatched concurrently across a small set of partitions — keyed by
-// hash, so commands on the same key keep their order — and the replies
-// are written back in request order. Write-carrying batches spread over
-// transaction threads; read-only batches need none. With group commit
-// enabled the whole batch shares durability fences.
+// Clients that pipeline (send several requests without waiting for
+// replies) are served transparently in batches on either transport:
+// buffered commands are dispatched concurrently across a small set of
+// partitions — keyed by hash, so commands on the same key keep their
+// order — and the replies are written back in request order. Write-
+// carrying batches spread over transaction threads; read-only batches
+// need none. With group commit enabled the whole batch shares
+// durability fences.
 package kvserve
 
 import (
@@ -58,19 +70,27 @@ var (
 	telErrs   = telemetry.NewCounter("kvserve_errors_total", "Protocol commands answered with ERROR.")
 )
 
-// Server serves the protocol over a listener.
+// Server serves the command engine over one or more listeners (line
+// protocol via Serve, RESP2 via ServeRESP).
 type Server struct {
-	pm   *core.PM
-	tree *pds.BPTree
+	pm   *core.PM            // unsharded PM; nil when sharded
+	tree *pds.BPTree         // unsharded tree (crash harnesses reach in); nil when sharded
 	hash func(string) uint64 // hashKey, overridable by collision tests
-	pool *core.ThreadPool
+	pool *core.ThreadPool    // unsharded thread pool; nil when sharded
 
-	// store, when non-nil, replaces pm/tree/pool: commands route across
-	// the sharded store's independent PM instances (NewSharded). Sharded
-	// sessions lease no threads of their own — every write leases inside
-	// its destination shard — so pipelined batches partition by key hash
-	// with no thread materialization.
-	store *shard.Store
+	// store is the engine's storage backend: one node unsharded, N nodes
+	// over independent PM instances sharded. Handlers never fork on the
+	// distinction.
+	store store
+
+	// now is the expiry clock (UNIX nanoseconds); TTL crash tests replace
+	// it with a scripted clock for deterministic deadline exploration.
+	now func() int64
+
+	// reapCh carries lazy-reap hints (reads that saw an expired record)
+	// to the sweeper goroutine.
+	reapCh    chan reapItem
+	sweepOnce sync.Once
 
 	// ctx is the server's lifecycle context: every thread lease a session
 	// takes is bounded by it, so Close unblocks sessions queued on a full
@@ -78,48 +98,69 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]bool
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // New builds a server over an open persistent-memory instance; state
-// lives under the "kvserve.root" static, so a restarted server finds its
-// data again.
+// lives under the "kvserve.root" static (and TTL deadlines under
+// "kvserve.ttl"), so a restarted server finds its data again.
 func New(pm *core.PM) (*Server, error) {
 	root, _, err := pm.Static("kvserve.root", 8)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		pm:     pm,
 		tree:   pds.NewBPTree(root),
 		hash:   hashKey,
 		pool:   pm.ThreadPool(),
+		now:    func() int64 { return time.Now().UnixNano() },
+		reapCh: make(chan reapItem, 1024),
 		ctx:    ctx,
 		cancel: cancel,
 		conns:  make(map[net.Conn]bool),
-	}, nil
+	}
+	ls := &localStore{srv: s, n: node{pm: pm, tree: s.tree}}
+	if err := initTTLNode(&ls.n); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.store = ls
+	return s, nil
 }
 
-// NewSharded builds a server over a sharded store: the same wire
-// protocol, with single-key commands routed to their key's shard and
-// MGET/MSET/MDEL scatter-gathered — cross-shard MSET atomically (see
-// internal/shard). Each shard keeps its state under its own
-// "kvserve.root" static, so a one-shard store serves a classic kvserve
-// image unchanged.
-func NewSharded(store *shard.Store) (*Server, error) {
+// NewSharded builds a server over a sharded store: the same engine and
+// both wire protocols, with single-key commands routed to their key's
+// shard and MGET/MSET/MDEL scatter-gathered — cross-shard MSET
+// atomically (see internal/shard). Each shard keeps its state under its
+// own "kvserve.root" static, so a one-shard store serves a classic
+// kvserve image unchanged.
+func NewSharded(st *shard.Store) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		store:  store,
+	s := &Server{
 		hash:   hashKey,
+		now:    func() int64 { return time.Now().UnixNano() },
+		reapCh: make(chan reapItem, 1024),
 		ctx:    ctx,
 		cancel: cancel,
 		conns:  make(map[net.Conn]bool),
-	}, nil
+	}
+	ss := &shardStore{srv: s, st: st, nodes: make([]node, st.NShards())}
+	for k := 0; k < st.NShards(); k++ {
+		sh := st.Shard(k)
+		ss.nodes[k] = node{pm: sh.PM, tree: sh.Tree}
+		if err := initTTLNode(&ss.nodes[k]); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	s.store = ss
+	return s, nil
 }
 
 // hashKey maps a string key into the tree's key space (FNV-1a). The full
@@ -130,14 +171,15 @@ func hashKey(s string) uint64 {
 	return shard.HashKey(s)
 }
 
-// Record and protocol size limits. The key length must fit the record
-// header's two bytes; handle rejects oversized keys and values before
-// encodeKV runs, so encoding can never corrupt a header.
+// Record and protocol size limits, aliases of the shared record codec's
+// (internal/shard): the key length must fit the record header's two
+// bytes; handlers reject oversized keys and values before encoding runs,
+// so encoding can never corrupt a header.
 const (
-	// MaxKeyLen bounds SET/GET/DEL keys (bytes).
-	MaxKeyLen = 4 << 10
-	// MaxValueLen bounds SET values (bytes).
-	MaxValueLen = 56 << 10
+	// MaxKeyLen bounds keys (bytes).
+	MaxKeyLen = shard.MaxKeyLen
+	// MaxValueLen bounds values (bytes; a hash's whole encoded field set).
+	MaxValueLen = shard.MaxValueLen
 )
 
 // Protocol size-limit sentinels, matchable with errors.Is; the root
@@ -147,41 +189,30 @@ var (
 	ErrValueTooLong = errors.New("kvserve: value too long")
 )
 
-func encodeKV(key, value string) ([]byte, error) {
-	if len(key) > MaxKeyLen {
-		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(key), MaxKeyLen)
-	}
-	if len(value) > MaxValueLen {
-		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(value), MaxValueLen)
-	}
-	out := make([]byte, 2+len(key)+len(value))
-	out[0] = byte(len(key))
-	out[1] = byte(len(key) >> 8)
-	copy(out[2:], key)
-	copy(out[2+len(key):], value)
-	return out, nil
-}
-
-func decodeKV(b []byte) (key, value string, err error) {
-	if len(b) < 2 {
-		return "", "", errors.New("kvserve: short record")
-	}
-	n := int(b[0]) | int(b[1])<<8
-	if len(b) < 2+n {
-		return "", "", errors.New("kvserve: truncated record")
-	}
-	return string(b[2 : 2+n]), string(b[2+n:]), nil
-}
-
-// Serve accepts connections until Close. Sessions lease transaction
-// threads lazily — on the first write command, not at connect — so
-// read-only connections take no thread at all and the Threads bound caps
-// concurrently-writing connections only. A burst of writers beyond the
-// bound queues for slots (up to the lease timeout or server shutdown)
-// instead of erroring.
+// Serve accepts line-protocol connections until Close. Sessions lease
+// transaction threads lazily — on the first write command, not at
+// connect — so read-only connections take no thread at all and the
+// Threads bound caps concurrently-writing connections only. A burst of
+// writers beyond the bound queues for slots (up to the lease timeout or
+// server shutdown) instead of erroring.
 func (s *Server) Serve(l net.Listener) error {
+	return s.serveLoop(l, s.session)
+}
+
+// serveLoop is the accept loop both transports share. The first listener
+// also starts the TTL sweeper goroutine.
+func (s *Server) serveLoop(l net.Listener, serve func(net.Conn)) error {
 	s.mu.Lock()
-	s.listener = l
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listeners = append(s.listeners, l)
+	s.sweepOnce.Do(func() {
+		s.wg.Add(1)
+		go s.sweeper()
+	})
 	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
@@ -211,7 +242,7 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			s.session(conn)
+			serve(conn)
 		}()
 	}
 }
@@ -224,23 +255,26 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	l := s.listener
+	listeners := s.listeners
+	s.listeners = nil
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
 	s.cancel()
 	var err error
-	if l != nil {
-		err = l.Close()
+	for _, l := range listeners {
+		if cerr := l.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.wg.Wait()
 	return err
 }
 
-// Batch-dispatch tuning: how many pipelined lines one round serves, and
-// how many transaction threads (session thread included) a session may
-// spread a batch across.
+// Batch-dispatch tuning: how many pipelined commands one round serves,
+// and how many transaction threads (session thread included) a session
+// may spread a batch across.
 const (
 	maxBatch        = 128
 	batchPartitions = 4
@@ -252,10 +286,10 @@ var errLineTooLong = errors.New("kvserve: line too long")
 
 // session is one connection's execution state. All threads are lazy: the
 // protocol thread is leased on the session's first write command (a
-// read-only session — GET/MGET/COUNT/STATS — never leases at all, since
-// snapshot Views need no thread), and batch workers are created on the
-// first large batch containing writes. Leased threads are kept for the
-// life of the connection and released on disconnect.
+// read-only session never leases at all, since snapshot Views need no
+// thread), and batch workers are created on the first large batch
+// containing writes. Leased threads are kept for the life of the
+// connection and released on disconnect.
 type session struct {
 	s       *Server
 	th      *mtm.Thread // write thread, nil until the first write command
@@ -355,135 +389,6 @@ func (s *Server) lineTooLong(conn net.Conn, w *bufio.Writer) {
 	io.Copy(io.Discard, conn)
 }
 
-// dispatchBatch serves one batch of pipelined lines, returning replies
-// in request order. Keyed single-key commands spread across partition
-// goroutines by key hash — same key, same partition, so per-key order is
-// preserved. Keyed reads (GET) run on snapshot Views and need no thread;
-// a batch containing keyed writes (SET/DEL) materializes per-partition
-// transaction threads first. Everything else (COUNT, STATS, MSET, QUIT,
-// parse errors) is a barrier: queued keyed work completes first, then
-// the command runs alone on the session goroutine.
-func (s *Server) dispatchBatch(sess *session, lines []string) ([]string, bool) {
-	replies := make([]string, len(lines))
-	if len(lines) == 1 {
-		replies[0] = s.dispatch(sess, nil, lines[0])
-		return replies, replies[0] == "BYE"
-	}
-
-	// A batch with keyed writes partitions across real transaction
-	// threads; a read-only batch partitions across thread-less Views.
-	// Sharded stores lease inside each destination shard instead, so
-	// their batches never materialize session threads.
-	hasWrite := false
-	for _, line := range lines {
-		if _, kind := batchKey(line); kind == lineWrite {
-			hasWrite = true
-			break
-		}
-	}
-	var threads []*mtm.Thread
-	nparts := 1
-	if len(lines) >= 8 {
-		nparts = batchPartitions
-	}
-	if hasWrite && s.store == nil {
-		threads = sess.batchThreads(len(lines))
-		nparts = len(threads)
-		if nparts == 0 {
-			nparts = 1 // pool exhausted: serial on the session goroutine
-		}
-	}
-	thOf := func(p int) *mtm.Thread {
-		if p < len(threads) {
-			return threads[p]
-		}
-		return nil
-	}
-
-	pending := make([][]int, nparts)
-	flush := func() {
-		total := 0
-		for _, idxs := range pending {
-			total += len(idxs)
-		}
-		if total == 0 {
-			return
-		}
-		if total <= 2 || nparts == 1 {
-			// Not worth goroutine coordination.
-			for _, idxs := range pending {
-				for _, i := range idxs {
-					replies[i] = s.dispatch(sess, thOf(0), lines[i])
-				}
-			}
-		} else {
-			var wg sync.WaitGroup
-			for p := 1; p < nparts; p++ {
-				if len(pending[p]) == 0 {
-					continue
-				}
-				wg.Add(1)
-				go func(p int) {
-					defer wg.Done()
-					for _, i := range pending[p] {
-						replies[i] = s.dispatch(sess, thOf(p), lines[i])
-					}
-				}(p)
-			}
-			for _, i := range pending[0] {
-				replies[i] = s.dispatch(sess, thOf(0), lines[i])
-			}
-			wg.Wait()
-		}
-		for p := range pending {
-			pending[p] = pending[p][:0]
-		}
-	}
-	for i, line := range lines {
-		if key, kind := batchKey(line); kind != lineBarrier && nparts > 1 {
-			p := int(s.hash(key) % uint64(nparts))
-			pending[p] = append(pending[p], i)
-			continue
-		}
-		flush()
-		replies[i] = s.dispatch(sess, nil, line)
-		if replies[i] == "BYE" {
-			// Lines pipelined after QUIT are dropped unanswered.
-			return replies[:i+1], true
-		}
-	}
-	flush()
-	return replies, false
-}
-
-// Line classes for batch partitioning.
-const (
-	lineBarrier = iota // runs alone on the session goroutine
-	lineRead           // keyed single-key read: partitioned, no thread
-	lineWrite          // keyed single-key write: partitioned, needs a thread
-)
-
-// batchKey classifies a line for batch partitioning: single-key commands
-// can run concurrently keyed by hash, anything else is a barrier.
-func batchKey(line string) (key string, kind int) {
-	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
-	switch strings.ToUpper(fields[0]) {
-	case "SET":
-		if len(fields) == 3 {
-			return fields[1], lineWrite
-		}
-	case "DEL":
-		if len(fields) == 2 {
-			return fields[1], lineWrite
-		}
-	case "GET":
-		if len(fields) == 2 {
-			return fields[1], lineRead
-		}
-	}
-	return "", lineBarrier
-}
-
 // batchThreads returns the thread set for a write-carrying batch: the
 // session's write thread plus up to batchPartitions-1 workers, created
 // on first large batch and reused for the connection's life. Small
@@ -524,34 +429,6 @@ func (sess *session) closeThreads() {
 	sess.workers = nil
 }
 
-// dispatch times and traces one protocol command around handle. th is
-// the transaction thread a batch partition assigned, or nil — handle
-// serves reads through thread-less Views and leases the session's write
-// thread on demand for writes.
-func (s *Server) dispatch(sess *session, th *mtm.Thread, line string) string {
-	var tid uint64
-	if th != nil {
-		tid = th.ID()
-	}
-	// The request span is a root (parent 0): when it outlasts the flight
-	// recorder's threshold, the whole tree under it — parse, exec, txn and
-	// its commit phases — is captured as one slow entry.
-	req := telemetry.SpanBegin(telemetry.PhaseRequest, tid, 0)
-	start := time.Now()
-	reply := s.handle(sess, th, line, req.ID)
-	lat := time.Since(start).Nanoseconds()
-	req.End()
-	telReqs.Inc()
-	telReqLat.Observe(lat)
-	if strings.HasPrefix(reply, "ERROR") {
-		telErrs.Inc()
-	}
-	if telemetry.TraceEnabled() {
-		telemetry.Emit(telemetry.EvRequest, tid, uint64(lat), uint64(len(line)))
-	}
-	return reply
-}
-
 // atomicSpanned runs a durable transaction with its span parented under
 // the request's exec span, so commit-phase attribution hangs off the
 // request tree. The parent is cleared afterwards: the thread outlives the
@@ -566,460 +443,11 @@ func atomicSpanned(th *mtm.Thread, parent uint64, fn func(tx *mtm.Tx) error) err
 // writeThread resolves the transaction thread for a write command: the
 // batch-assigned thread when the partition has one, else the session's
 // lazily-leased write thread. Only the session goroutine reaches the
-// nil-thread path (single lines and barriers), so writer stays race-free.
+// nil-thread path (single commands and barriers), so writer stays
+// race-free.
 func (sess *session) writeThread(th *mtm.Thread) (*mtm.Thread, error) {
 	if th != nil {
 		return th, nil
 	}
 	return sess.writer()
-}
-
-// errHashCollision reports a SET whose key hashes onto a slot already
-// holding a different key's record; the put is refused instead of
-// silently destroying the colliding key's data.
-var errHashCollision = errors.New("hash collision with a different stored key")
-
-// checkedPut stores rec at key's tree slot after comparing the stored
-// full key: overwriting the same key is the normal update, overwriting
-// a colliding key would destroy its record.
-func (s *Server) checkedPut(tx *mtm.Tx, key string, rec []byte) error {
-	h := s.hash(key)
-	raw, err := s.tree.Get(tx, h)
-	if err == nil {
-		k, _, derr := decodeKV(raw)
-		if derr != nil {
-			return derr
-		}
-		if k != key {
-			return fmt.Errorf("%w: %q vs stored %q", errHashCollision, key, k)
-		}
-	} else if err != pds.ErrNotFound {
-		return err
-	}
-	return s.tree.Put(tx, h, rec)
-}
-
-// lookup reads one key through any Reader — a snapshot ReadTx or a
-// writing Tx — resolving hash collisions against the stored full key.
-func (s *Server) lookup(r mtm.Reader, key string) (string, error) {
-	raw, err := s.tree.Get(r, s.hash(key))
-	if err != nil {
-		return "", err
-	}
-	k, v, err := decodeKV(raw)
-	if err != nil {
-		return "", err
-	}
-	if k != key {
-		return "", pds.ErrNotFound // hash collision with another key
-	}
-	return v, nil
-}
-
-func (s *Server) handle(sess *session, th *mtm.Thread, line string, req uint64) string {
-	if s.store != nil {
-		return s.handleSharded(line, req)
-	}
-	parse := telemetry.SpanBegin(telemetry.PhaseParse, 0, req)
-	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
-	cmd := strings.ToUpper(fields[0])
-	parse.End()
-	exec := telemetry.SpanBegin(telemetry.PhaseExec, 0, req)
-	defer exec.End()
-	switch cmd {
-	case "PING":
-		return "PONG"
-	case "QUIT":
-		return "BYE"
-	case "SET":
-		if len(fields) != 3 {
-			return "ERROR usage: SET <key> <value>"
-		}
-		key, value := fields[1], fields[2]
-		if len(key) > MaxKeyLen {
-			return fmt.Sprintf("ERROR key too long (max %d bytes)", MaxKeyLen)
-		}
-		if len(value) > MaxValueLen {
-			return fmt.Sprintf("ERROR value too long (max %d bytes)", MaxValueLen)
-		}
-		rec, err := encodeKV(key, value)
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		th, err := sess.writeThread(th)
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		err = atomicSpanned(th, exec.ID, func(tx *mtm.Tx) error {
-			return s.checkedPut(tx, key, rec)
-		})
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "OK"
-	case "GET":
-		if len(fields) != 2 {
-			return "ERROR usage: GET <key>"
-		}
-		var value string
-		err := s.pm.ViewSpanned(exec.ID, func(r *mtm.ReadTx) error {
-			v, err := s.lookup(r, fields[1])
-			if err != nil {
-				return err
-			}
-			value = v
-			return nil
-		})
-		if err == pds.ErrNotFound {
-			return "MISSING"
-		}
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "VALUE " + value
-	case "MGET":
-		return s.handleMGet(line, exec.ID)
-	case "DEL":
-		if len(fields) != 2 {
-			return "ERROR usage: DEL <key>"
-		}
-		th, err := sess.writeThread(th)
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		err = atomicSpanned(th, exec.ID, func(tx *mtm.Tx) error {
-			// Load and compare the stored key before deleting: the
-			// tree is keyed by hash, and deleting on a collision
-			// would destroy a different key's record.
-			raw, err := s.tree.Get(tx, s.hash(fields[1]))
-			if err != nil {
-				return err
-			}
-			k, _, err := decodeKV(raw)
-			if err != nil {
-				return err
-			}
-			if k != fields[1] {
-				return pds.ErrNotFound // hash collision with another key
-			}
-			return s.tree.Delete(tx, s.hash(fields[1]))
-		})
-		if err == pds.ErrNotFound {
-			return "MISSING"
-		}
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "OK"
-	case "MSET":
-		return s.handleMSet(sess, th, line, exec.ID)
-	case "MDEL":
-		return s.handleMDel(sess, th, line, exec.ID)
-	case "COUNT":
-		n := 0
-		err := s.pm.ViewSpanned(exec.ID, func(r *mtm.ReadTx) error {
-			n = s.tree.Len(r)
-			return nil
-		})
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return fmt.Sprintf("COUNT %d", n)
-	case "STATS":
-		return s.stats()
-	default:
-		return "ERROR unknown command"
-	}
-}
-
-// handleMGet answers every key from one snapshot: all the VALUE/MISSING
-// lines reflect the same committed state, with no thread lease and no
-// fence. One reply line per key, in request order.
-func (s *Server) handleMGet(line string, parent uint64) string {
-	keys := strings.Fields(line)[1:]
-	if len(keys) == 0 {
-		return "ERROR usage: MGET <key> [<key> ...]"
-	}
-	outs := make([]string, len(keys))
-	err := s.pm.ViewSpanned(parent, func(r *mtm.ReadTx) error {
-		for i, key := range keys {
-			v, err := s.lookup(r, key)
-			if err == pds.ErrNotFound {
-				outs[i] = "MISSING"
-				continue
-			}
-			if err != nil {
-				return err
-			}
-			outs[i] = "VALUE " + v
-		}
-		return nil
-	})
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	return strings.Join(outs, "\n")
-}
-
-// handleMSet stores every pair in one durable transaction: one log
-// append and one fence (or one group-commit epoch membership) for the
-// whole set, and either all pairs commit or none do. Keys and values are
-// whitespace-delimited, so MSET values cannot contain spaces.
-func (s *Server) handleMSet(sess *session, th *mtm.Thread, line string, parent uint64) string {
-	args := strings.Fields(line)[1:]
-	if len(args) == 0 || len(args)%2 != 0 {
-		return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
-	}
-	recs := make([][]byte, 0, len(args)/2)
-	for i := 0; i < len(args); i += 2 {
-		rec, err := encodeKV(args[i], args[i+1])
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		recs = append(recs, rec)
-	}
-	th, err := sess.writeThread(th)
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	err = atomicSpanned(th, parent, func(tx *mtm.Tx) error {
-		for i, rec := range recs {
-			if err := s.checkedPut(tx, args[2*i], rec); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	return "OK"
-}
-
-// handleMDel deletes every named key in one durable transaction,
-// reporting how many were present. Missing keys (and hash collisions
-// holding a different key's record) are skipped, not errors.
-func (s *Server) handleMDel(sess *session, th *mtm.Thread, line string, parent uint64) string {
-	keys := strings.Fields(line)[1:]
-	if len(keys) == 0 {
-		return "ERROR usage: MDEL <key> [<key> ...]"
-	}
-	th, err := sess.writeThread(th)
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	deleted := 0
-	err = atomicSpanned(th, parent, func(tx *mtm.Tx) error {
-		deleted = 0 // conflict retries rerun the closure
-		for _, key := range keys {
-			raw, err := s.tree.Get(tx, s.hash(key))
-			if err == pds.ErrNotFound {
-				continue
-			}
-			if err != nil {
-				return err
-			}
-			k, _, err := decodeKV(raw)
-			if err != nil {
-				return err
-			}
-			if k != key {
-				continue // hash collision with another key
-			}
-			if err := s.tree.Delete(tx, s.hash(key)); err != nil {
-				return err
-			}
-			deleted++
-		}
-		return nil
-	})
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	return fmt.Sprintf("DELETED %d", deleted)
-}
-
-// handleSharded serves one command against the sharded store. The store
-// leases transaction threads per write inside the destination shard, so
-// the session contributes none; reads run on per-shard snapshot Views.
-func (s *Server) handleSharded(line string, req uint64) string {
-	parse := telemetry.SpanBegin(telemetry.PhaseParse, 0, req)
-	fields := strings.SplitN(strings.TrimSpace(line), " ", 3)
-	cmd := strings.ToUpper(fields[0])
-	parse.End()
-	exec := telemetry.SpanBegin(telemetry.PhaseExec, 0, req)
-	defer exec.End()
-	switch cmd {
-	case "PING":
-		return "PONG"
-	case "QUIT":
-		return "BYE"
-	case "SET":
-		if len(fields) != 3 {
-			return "ERROR usage: SET <key> <value>"
-		}
-		if err := s.store.Set(fields[1], fields[2]); err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "OK"
-	case "GET":
-		if len(fields) != 2 {
-			return "ERROR usage: GET <key>"
-		}
-		v, err := s.store.Get(fields[1])
-		if err == shard.ErrNotFound {
-			return "MISSING"
-		}
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "VALUE " + v
-	case "MGET":
-		keys := strings.Fields(line)[1:]
-		if len(keys) == 0 {
-			return "ERROR usage: MGET <key> [<key> ...]"
-		}
-		values, present, err := s.store.MGet(keys)
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		outs := make([]string, len(keys))
-		for i := range keys {
-			if present[i] {
-				outs[i] = "VALUE " + values[i]
-			} else {
-				outs[i] = "MISSING"
-			}
-		}
-		return strings.Join(outs, "\n")
-	case "DEL":
-		if len(fields) != 2 {
-			return "ERROR usage: DEL <key>"
-		}
-		err := s.store.Del(fields[1])
-		if err == shard.ErrNotFound {
-			return "MISSING"
-		}
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "OK"
-	case "MSET":
-		args := strings.Fields(line)[1:]
-		if len(args) == 0 || len(args)%2 != 0 {
-			return "ERROR usage: MSET <key> <value> [<key> <value> ...]"
-		}
-		keys := make([]string, 0, len(args)/2)
-		values := make([]string, 0, len(args)/2)
-		for i := 0; i < len(args); i += 2 {
-			keys = append(keys, args[i])
-			values = append(values, args[i+1])
-		}
-		if err := s.store.MSet(keys, values); err != nil {
-			return "ERROR " + err.Error()
-		}
-		return "OK"
-	case "MDEL":
-		keys := strings.Fields(line)[1:]
-		if len(keys) == 0 {
-			return "ERROR usage: MDEL <key> [<key> ...]"
-		}
-		n, err := s.store.MDel(keys)
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return fmt.Sprintf("DELETED %d", n)
-	case "COUNT":
-		n, err := s.store.Count()
-		if err != nil {
-			return "ERROR " + err.Error()
-		}
-		return fmt.Sprintf("COUNT %d", n)
-	case "STATS":
-		return s.statsSharded()
-	default:
-		return "ERROR unknown command"
-	}
-}
-
-// statsSharded renders the STATS line for a sharded store: the classic
-// aggregate fields summed across shards, the shard count, then per-shard
-// commit/fence/recovery dimensions (shard<k>_commits,
-// shard<k>_fences_per_commit, shard<k>_recovery_us).
-func (s *Server) statsSharded() string {
-	agg := s.store.Stats()
-	var b strings.Builder
-	b.WriteString("STATS")
-	add := func(k string, v uint64) { fmt.Fprintf(&b, " %s=%d", k, v) }
-	add("shards", uint64(s.store.NShards()))
-	add("commits", agg.Commits)
-	add("aborts", agg.Aborts)
-	add("stores", agg.Stores)
-	add("flushes", agg.Flushes)
-	add("fences", agg.Fences)
-	add("views", agg.Views)
-	fpc := 0.0
-	if agg.Commits > 0 {
-		fpc = float64(agg.Fences) / float64(agg.Commits)
-	}
-	fmt.Fprintf(&b, " fences_per_commit=%.2f", fpc)
-	rc, ra := s.store.RecoveredIntents()
-	add("recovered_xmset_commits", uint64(rc))
-	add("recovered_xmset_aborts", uint64(ra))
-	for k := 0; k < s.store.NShards(); k++ {
-		sh := s.store.Shard(k)
-		tm := sh.PM.TM().Snapshot()
-		dev := sh.PM.Device().Snapshot()
-		add(fmt.Sprintf("shard%d_commits", k), tm.Commits)
-		sfpc := 0.0
-		if tm.Commits > 0 {
-			sfpc = float64(dev.Fences) / float64(tm.Commits)
-		}
-		fmt.Fprintf(&b, " shard%d_fences_per_commit=%.2f", k, sfpc)
-		fmt.Fprintf(&b, " shard%d_recovery_us=%d", k, sh.RecoveryTime.Microseconds())
-	}
-	add("requests", telReqLat.Count())
-	fmt.Fprintf(&b, " req_p50_us=%.1f req_p99_us=%.1f",
-		telReqLat.Quantile(0.50)/1e3, telReqLat.Quantile(0.99)/1e3)
-	return b.String()
-}
-
-// stats renders one line of key=value pairs from the live stack: the
-// transaction system's commit/abort counts, the SCM device's primitive
-// counts, log-append totals from the telemetry registry, and the request
-// latency distribution served so far.
-func (s *Server) stats() string {
-	tm := s.pm.TM().Snapshot()
-	dev := s.pm.Device().Snapshot()
-	reg := telemetry.Default.Snapshot()
-	var b strings.Builder
-	b.WriteString("STATS")
-	add := func(k string, v uint64) { fmt.Fprintf(&b, " %s=%d", k, v) }
-	add("commits", tm.Commits)
-	add("aborts", tm.Aborts)
-	add("readonly", tm.ReadOnly)
-	add("stores", dev.Stores)
-	add("wtstores", dev.WTStores)
-	add("flushes", dev.Flushes)
-	add("fences", dev.Fences)
-	add("log_appends", uint64(reg["rawl_appends_total"]))
-	add("log_bytes", uint64(reg["rawl_append_payload_bytes_total"]))
-	add("gc_epochs", uint64(reg["mtm_group_commit_epochs_total"]))
-	add("gc_members", uint64(reg["mtm_group_commit_members_total"]))
-	add("views", tm.Views)
-	add("readtx_started", uint64(reg["mtm_readtx_started_total"]))
-	add("readtx_retries", uint64(reg["mtm_readtx_retries_total"]))
-	add("readtx_extends", uint64(reg["mtm_readtx_extends_total"]))
-	add("thread_leases", uint64(reg["mtm_thread_leases_total"]))
-	add("latency_sample_rate", uint64(s.pm.TM().LatencySampleRate()))
-	add("slow_captures", uint64(reg["telemetry_slow_captures_total"]))
-	fpc := 0.0
-	if tm.Commits > 0 {
-		fpc = float64(dev.Fences) / float64(tm.Commits)
-	}
-	fmt.Fprintf(&b, " fences_per_commit=%.2f", fpc)
-	add("requests", telReqLat.Count())
-	fmt.Fprintf(&b, " req_p50_us=%.1f req_p99_us=%.1f",
-		telReqLat.Quantile(0.50)/1e3, telReqLat.Quantile(0.99)/1e3)
-	return b.String()
 }

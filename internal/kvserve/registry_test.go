@@ -1,0 +1,182 @@
+package kvserve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRegistryArity pins every verb's arity contract: the registry is
+// what both transports trust before running a handler, so an entry that
+// drifts breaks usage errors on both wires at once.
+func TestRegistryArity(t *testing.T) {
+	cases := []struct {
+		verb string
+		argc int
+		ok   bool
+	}{
+		{"PING", 1, true}, {"PING", 2, true},
+		{"ECHO", 1, false}, {"ECHO", 2, true}, {"ECHO", 3, false},
+		{"QUIT", 1, true},
+		{"SET", 2, false}, {"SET", 3, true}, {"SET", 5, true},
+		{"GET", 1, false}, {"GET", 2, true}, {"GET", 3, false},
+		{"DEL", 1, false}, {"DEL", 2, true}, {"DEL", 4, true},
+		{"MGET", 1, false}, {"MGET", 2, true}, {"MGET", 9, true},
+		{"MSET", 2, false}, {"MSET", 3, true}, {"MSET", 5, true},
+		{"MDEL", 1, false}, {"MDEL", 2, true},
+		{"COUNT", 1, true}, {"COUNT", 2, false},
+		{"DBSIZE", 1, true},
+		{"STATS", 1, true}, {"STATS", 2, false},
+		{"HSET", 3, false}, {"HSET", 4, true}, {"HSET", 6, true},
+		{"HGET", 2, false}, {"HGET", 3, true}, {"HGET", 4, false},
+		{"HDEL", 2, false}, {"HDEL", 3, true}, {"HDEL", 5, true},
+		{"HLEN", 2, true}, {"HLEN", 3, false},
+		{"HGETALL", 2, true}, {"HGETALL", 3, false},
+		{"EXPIRE", 2, false}, {"EXPIRE", 3, true}, {"EXPIRE", 4, false},
+		{"PEXPIRE", 3, true},
+		{"TTL", 2, true}, {"TTL", 3, false},
+		{"PTTL", 2, true},
+		{"PERSIST", 2, true}, {"PERSIST", 1, false},
+	}
+	for _, c := range cases {
+		def := registry[c.verb]
+		if def == nil {
+			t.Fatalf("verb %s not registered", c.verb)
+		}
+		if got := def.arityOK(c.argc); got != c.ok {
+			t.Errorf("%s with %d args: arityOK = %v, want %v", c.verb, c.argc, got, c.ok)
+		}
+	}
+}
+
+// TestRegistryEntries checks structural invariants of the table itself:
+// names map to themselves, every entry has a handler, a usage string
+// that names the verb, and a per-verb telemetry counter.
+func TestRegistryEntries(t *testing.T) {
+	if len(registry) < 20 {
+		t.Fatalf("registry holds %d verbs, expected the full command set", len(registry))
+	}
+	for name, def := range registry {
+		if def.name != name {
+			t.Errorf("registry[%q].name = %q", name, def.name)
+		}
+		if name != strings.ToUpper(name) {
+			t.Errorf("verb %q not upper-cased", name)
+		}
+		if def.handler == nil {
+			t.Errorf("%s has no handler", name)
+		}
+		if def.usage == "" || !strings.HasPrefix(def.usage, name) {
+			t.Errorf("%s usage %q does not lead with the verb", name, def.usage)
+		}
+		if def.calls == nil {
+			t.Errorf("%s has no invocation counter", name)
+		}
+		if def.arity == 0 {
+			t.Errorf("%s has no arity contract", name)
+		}
+		if def.keyedMax > 0 && !def.keyed {
+			t.Errorf("%s sets keyedMax without keyed", name)
+		}
+		if def.lineSplit > 0 && def.lineSplit < 3 {
+			t.Errorf("%s lineSplit = %d, must keep verb and key intact", name, def.lineSplit)
+		}
+	}
+}
+
+// TestClassify pins the batch partitioner's read/write/barrier
+// classification — the property the pipeline scheduler builds on: keyed
+// single-key commands may run concurrently hashed by key, everything
+// else serializes.
+func TestClassify(t *testing.T) {
+	var s Server
+	cases := []struct {
+		line string
+		key  string
+		kind int
+	}{
+		{"GET k1", "k1", lineRead},
+		{"TTL k1", "k1", lineRead},
+		{"PTTL k1", "k1", lineRead},
+		{"HGET h f", "h", lineRead},
+		{"HLEN h", "h", lineRead},
+		{"HGETALL h", "h", lineRead},
+		{"SET k1 v", "k1", lineWrite},
+		{"SET k1 v with spaces", "k1", lineWrite},
+		{"DEL k1", "k1", lineWrite},
+		{"HSET h f v", "h", lineWrite},
+		{"HDEL h f", "h", lineWrite},
+		{"EXPIRE k1 5", "k1", lineWrite},
+		{"PEXPIRE k1 5000", "k1", lineWrite},
+		{"PERSIST k1", "k1", lineWrite},
+
+		// Multi-key, admin, and session commands are barriers.
+		{"DEL a b", "", lineBarrier}, // variadic DEL exceeds keyedMax
+		{"MGET a b", "", lineBarrier},
+		{"MSET a 1 b 2", "", lineBarrier},
+		{"MDEL a b", "", lineBarrier},
+		{"COUNT", "", lineBarrier},
+		{"STATS", "", lineBarrier},
+		{"PING", "", lineBarrier},
+		{"QUIT", "", lineBarrier},
+
+		// Malformed input never reaches a partition goroutine.
+		{"GET", "", lineBarrier},        // arity violation
+		{"GET a b", "", lineBarrier},    // arity violation
+		{"NONSENSE k", "", lineBarrier}, // unknown verb
+		{"", "", lineBarrier},           // empty line
+		{"EXPIRE k", "", lineBarrier},   // arity violation
+	}
+	for _, c := range cases {
+		key, kind := classify(s.parseLine(c.line))
+		if key != c.key || kind != c.kind {
+			t.Errorf("classify(%q) = (%q, %d), want (%q, %d)", c.line, key, kind, c.key, c.kind)
+		}
+	}
+}
+
+// TestLegacyRenderDefaults pins the default line-protocol rendering of
+// each reply shape (verbs without a legacy override rely on these).
+func TestLegacyRenderDefaults(t *testing.T) {
+	cases := []struct {
+		r    Reply
+		want string
+	}{
+		{simpleReply("OK"), "OK"},
+		{intReply(7), "7"},
+		{bulkString("payload"), "payload"},
+		{nilReply(), "MISSING"},
+		{byeReply(), "BYE"},
+		{arrayReply([]Reply{bulkString("a"), nilReply()}), "a\nMISSING"},
+	}
+	for _, c := range cases {
+		if got := legacyDefault(c.r); got != c.want {
+			t.Errorf("legacyDefault(%+v) = %q, want %q", c.r, got, c.want)
+		}
+	}
+	// Errors render with the ERROR prefix regardless of any override.
+	if got := renderLegacy(request{def: registry["GET"]}, errReply("boom")); got != "ERROR boom" {
+		t.Errorf("error render = %q", got)
+	}
+}
+
+// TestEchoByeKeepsSession guards the structural QUIT detection: session
+// teardown keys off the replyBye kind, so a bulk reply that happens to
+// spell "BYE" must not close the connection.
+func TestEchoByeKeepsSession(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Dir: t.TempDir(), DeviceSize: 64 << 20})
+	c := dial(t, addr)
+	if got := c.cmd(t, "ECHO BYE"); got != "BYE" {
+		t.Fatalf("ECHO BYE -> %q", got)
+	}
+	if got := c.cmd(t, "PING"); got != "PONG" {
+		t.Fatalf("session closed after ECHO BYE: PING -> %q", got)
+	}
+	if got := c.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}

@@ -1,0 +1,554 @@
+// Package resp implements the RESP2 wire protocol (the Redis
+// serialization protocol): commands arrive as arrays of bulk strings or
+// as whitespace-separated inline lines, replies leave as simple strings,
+// errors, integers, bulk strings, or arrays.
+//
+// The package is transport-only: it frames commands and replies over a
+// byte stream and knows nothing about what the commands mean. kvserve
+// mounts a Reader/Writer pair per connection on its RESP listener; the
+// same pair drives the in-repo client (cmd/respsmoke) and the mnbench
+// resp kernel, so CI needs no external redis-cli.
+//
+// Bulk strings carry arbitrary bytes — including spaces, newlines, and
+// NULs — which is what lifts the legacy line protocol's "values without
+// spaces" restriction end to end.
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol limits. A frame that declares more is a protocol error, not
+// an allocation: the reader validates declared sizes before making room
+// for them, so a hostile "$9999999999" costs nothing.
+const (
+	// MaxBulkLen bounds one bulk string (a key, a value, one argument).
+	// It leaves headroom over kvserve's 56 KiB value cap so an oversized
+	// value reaches the command layer and earns a clean command error
+	// rather than a connection-killing protocol error.
+	MaxBulkLen = 64 << 10
+	// MaxArrayLen bounds the elements of one command array (and of one
+	// reply array when parsing replies).
+	MaxArrayLen = 1 << 16
+	// MaxInlineLen bounds one inline command line.
+	MaxInlineLen = 64 << 10
+)
+
+// maxValueDepth bounds reply nesting when parsing replies client-side.
+const maxValueDepth = 32
+
+// ProtoError is a RESP framing violation: bad type byte, malformed
+// length, missing CRLF, or a declared size beyond the limits. After a
+// ProtoError the stream cannot be resynchronized; the server answers a
+// final error and closes the connection, like Redis does.
+type ProtoError struct{ msg string }
+
+func (e *ProtoError) Error() string { return "resp: " + e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtoError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsProtocol reports whether err is a framing violation (as opposed to
+// an I/O error such as a closed connection).
+func IsProtocol(err error) bool {
+	var pe *ProtoError
+	return errors.As(err, &pe)
+}
+
+// Reader decodes RESP frames from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r with a buffered RESP decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// ReadCommand reads one client command: either a RESP array of bulk
+// strings ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") or an inline command
+// ("GET k\r\n"). Empty inline lines and empty arrays are skipped, as in
+// Redis. The returned argument slices are freshly allocated and safe to
+// retain. I/O errors (including a torn frame at EOF) come back as-is;
+// framing violations come back as ProtoError.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b != '*' {
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			args, err := r.readInline()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue // empty line: skip, as Redis does
+			}
+			return args, nil
+		}
+		n, err := r.readIntLine()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			continue // *0 or *-1: no command here, read on
+		}
+		if n > MaxArrayLen {
+			return nil, protoErrf("multibulk length %d exceeds %d", n, MaxArrayLen)
+		}
+		// Cap the initial allocation: the declared count is attacker
+		// controlled, the actually-delivered elements are not.
+		args := make([][]byte, 0, min(int(n), 64))
+		for i := int64(0); i < n; i++ {
+			arg, err := r.readBulk()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+		}
+		return args, nil
+	}
+}
+
+// readBulk reads one "$<len>\r\n<bytes>\r\n" frame. Null bulks inside a
+// command are a protocol error (a command argument cannot be null).
+func (r *Reader) readBulk() ([]byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if b != '$' {
+		return nil, protoErrf("expected bulk string ('$'), got %q", b)
+	}
+	l, err := r.readIntLine()
+	if err != nil {
+		return nil, err
+	}
+	if l < 0 {
+		return nil, protoErrf("negative bulk length in command")
+	}
+	if l > MaxBulkLen {
+		return nil, protoErrf("bulk length %d exceeds %d", l, MaxBulkLen)
+	}
+	buf := make([]byte, l)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, err
+	}
+	if err := r.readCRLF(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readInline reads one inline command line and splits it on whitespace.
+func (r *Reader) readInline() ([][]byte, error) {
+	line, err := r.readLine(MaxInlineLen)
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	args := make([][]byte, len(fields))
+	for i, f := range fields {
+		// bytes.Fields returns views into line's backing array; copy so
+		// arguments stay valid independent of the reader.
+		args[i] = append([]byte(nil), f...)
+	}
+	return args, nil
+}
+
+// readLine reads up to '\n' (at most max bytes), trimming the trailing
+// CRLF or LF.
+func (r *Reader) readLine(max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == bufio.ErrBufferFull {
+			if len(line) > max {
+				return nil, protoErrf("line exceeds %d bytes", max)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	if len(line) > max+1 {
+		return nil, protoErrf("line exceeds %d bytes", max)
+	}
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	return bytes.TrimSuffix(line, []byte("\r")), nil
+}
+
+// readIntLine parses the "<int>\r\n" remainder of a length header.
+func (r *Reader) readIntLine() (int64, error) {
+	var (
+		n      int64
+		neg    bool
+		digits int
+		first  = true
+	)
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case b == '\r':
+			b2, err := r.br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			if b2 != '\n' {
+				return 0, protoErrf("length header not CRLF-terminated")
+			}
+			if digits == 0 {
+				return 0, protoErrf("empty length header")
+			}
+			if neg {
+				n = -n
+			}
+			return n, nil
+		case b == '-' && first:
+			neg = true
+		case b >= '0' && b <= '9':
+			digits++
+			if digits > 18 {
+				return 0, protoErrf("length header overflows")
+			}
+			n = n*10 + int64(b-'0')
+		default:
+			return 0, protoErrf("bad byte %q in length header", b)
+		}
+		first = false
+	}
+}
+
+// readCRLF consumes a frame-terminating CRLF.
+func (r *Reader) readCRLF() error {
+	b1, err := r.br.ReadByte()
+	if err != nil {
+		return err
+	}
+	b2, err := r.br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b1 != '\r' || b2 != '\n' {
+		return protoErrf("bulk string not CRLF-terminated")
+	}
+	return nil
+}
+
+// CommandAvailable reports whether at least one complete command is
+// already buffered, so ReadCommand cannot block. A malformed prefix
+// counts as available: reading it fails fast with a ProtoError instead
+// of blocking. This is how the server drains a pipelined burst — keep
+// reading while complete commands are provably present, then execute
+// the batch.
+func (r *Reader) CommandAvailable() bool {
+	n := r.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	b, err := r.br.Peek(n)
+	if err != nil {
+		return false
+	}
+	return commandScan(b) != 0
+}
+
+// commandScan scans one command at the start of b without consuming it:
+// >0 is the byte length of a complete leading command (or skippable
+// unit), 0 means incomplete, -1 means malformed (reading it will error
+// promptly, so it counts as available).
+func commandScan(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	if b[0] != '*' {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			if len(b) > MaxInlineLen {
+				return -1
+			}
+			return 0
+		}
+		return i + 1
+	}
+	n, pos := scanIntLine(b, 1)
+	if pos < 0 {
+		return -1
+	}
+	if pos == 0 {
+		return 0
+	}
+	if n <= 0 {
+		return pos // *0 / *-1: a complete skippable unit
+	}
+	if n > MaxArrayLen {
+		return -1
+	}
+	for e := int64(0); e < n; e++ {
+		if pos >= len(b) {
+			return 0
+		}
+		if b[pos] != '$' {
+			return -1
+		}
+		l, next := scanIntLine(b, pos+1)
+		if next < 0 || l < 0 || l > MaxBulkLen {
+			return -1
+		}
+		if next == 0 {
+			return 0
+		}
+		pos = next + int(l) + 2
+		if pos > len(b) {
+			return 0
+		}
+	}
+	return pos
+}
+
+// scanIntLine parses "<int>\r\n" at b[from:], returning the value and
+// the offset just past the terminator; next==0 means incomplete,
+// next==-1 means malformed.
+func scanIntLine(b []byte, from int) (v int64, next int) {
+	i := from
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	digits := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		digits++
+		if digits > 18 {
+			return 0, -1
+		}
+		v = v*10 + int64(b[i]-'0')
+		i++
+	}
+	if i >= len(b) {
+		return 0, 0
+	}
+	if digits == 0 || b[i] != '\r' {
+		return 0, -1
+	}
+	if i+1 >= len(b) {
+		return 0, 0
+	}
+	if b[i+1] != '\n' {
+		return 0, -1
+	}
+	if neg {
+		v = -v
+	}
+	return v, i + 2
+}
+
+// Value is one parsed RESP reply, for the client side of the protocol
+// (tests, cmd/respsmoke, the bench kernel).
+type Value struct {
+	Type  byte // '+', '-', ':', '$', '*'
+	Str   string
+	Int   int64
+	Bulk  []byte
+	Null  bool
+	Array []Value
+}
+
+// ReadValue parses one reply of any RESP2 type, recursively for arrays.
+func (r *Reader) ReadValue() (Value, error) {
+	return r.readValue(0)
+}
+
+func (r *Reader) readValue(depth int) (Value, error) {
+	if depth > maxValueDepth {
+		return Value{}, protoErrf("reply nesting exceeds %d", maxValueDepth)
+	}
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch t {
+	case '+', '-':
+		line, err := r.readLine(MaxInlineLen)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Type: t, Str: string(line)}, nil
+	case ':':
+		n, err := r.readIntLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Type: t, Int: n}, nil
+	case '$':
+		l, err := r.readIntLine()
+		if err != nil {
+			return Value{}, err
+		}
+		if l == -1 {
+			return Value{Type: t, Null: true}, nil
+		}
+		if l < 0 || l > MaxBulkLen {
+			return Value{}, protoErrf("bulk length %d out of range", l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return Value{}, err
+		}
+		if err := r.readCRLF(); err != nil {
+			return Value{}, err
+		}
+		return Value{Type: t, Bulk: buf}, nil
+	case '*':
+		n, err := r.readIntLine()
+		if err != nil {
+			return Value{}, err
+		}
+		if n == -1 {
+			return Value{Type: t, Null: true}, nil
+		}
+		if n < 0 || n > MaxArrayLen {
+			return Value{}, protoErrf("array length %d out of range", n)
+		}
+		elems := make([]Value, 0, min(int(n), 64))
+		for i := int64(0); i < n; i++ {
+			e, err := r.readValue(depth + 1)
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Value{Type: t, Array: elems}, nil
+	default:
+		return Value{}, protoErrf("bad reply type byte %q", t)
+	}
+}
+
+// Writer encodes RESP frames onto a stream. Nothing is sent until
+// Flush; the server flushes once per pipelined batch.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w with a buffered RESP encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// WriteSimple writes "+s\r\n". s must not contain CR or LF.
+func (w *Writer) WriteSimple(s string) error {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteError writes "-msg\r\n", sanitizing embedded line breaks.
+func (w *Writer) WriteError(msg string) error {
+	w.bw.WriteByte('-')
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		w.bw.WriteByte(c)
+	}
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteInt writes ":n\r\n".
+func (w *Writer) WriteInt(n int64) error {
+	w.bw.WriteByte(':')
+	w.bw.WriteString(strconv.FormatInt(n, 10))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulk writes "$len\r\nb\r\n". A nil slice is written as an empty
+// bulk, not a null — use WriteNull for null.
+func (w *Writer) WriteBulk(b []byte) error {
+	w.bw.WriteByte('$')
+	w.bw.WriteString(strconv.Itoa(len(b)))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulkString writes s as a bulk string.
+func (w *Writer) WriteBulkString(s string) error {
+	w.bw.WriteByte('$')
+	w.bw.WriteString(strconv.Itoa(len(s)))
+	w.bw.WriteString("\r\n")
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteNull writes the null bulk "$-1\r\n".
+func (w *Writer) WriteNull() error {
+	_, err := w.bw.WriteString("$-1\r\n")
+	return err
+}
+
+// WriteArrayHeader writes "*n\r\n"; the caller then writes n elements.
+func (w *Writer) WriteArrayHeader(n int) error {
+	w.bw.WriteByte('*')
+	w.bw.WriteString(strconv.Itoa(n))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteCommand writes one command as an array of bulk strings — the
+// client side of ReadCommand.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	if err := w.WriteArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommandStrings writes one command from string arguments.
+func (w *Writer) WriteCommandStrings(args ...string) error {
+	if err := w.WriteArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulkString(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush sends everything buffered.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

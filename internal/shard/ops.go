@@ -48,50 +48,49 @@ func HashKey(s string) uint64 {
 	return h
 }
 
-// EncodeKV builds a tree record: a two-byte key length, the key, then
-// the value.
+// EncodeKV builds a plain string record without expiry — the classic
+// SET record, kept as the string-typed convenience over EncodeRecord.
 func EncodeKV(key, value string) ([]byte, error) {
-	if len(key) > MaxKeyLen {
-		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(key), MaxKeyLen)
-	}
-	if len(value) > MaxValueLen {
-		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(value), MaxValueLen)
-	}
-	out := make([]byte, 2+len(key)+len(value))
-	out[0] = byte(len(key))
-	out[1] = byte(len(key) >> 8)
-	copy(out[2:], key)
-	copy(out[2+len(key):], value)
-	return out, nil
+	return EncodeRecord(Record{Key: key, Type: RecString, Value: []byte(value)})
 }
 
-// DecodeKV splits a tree record back into key and value.
+// DecodeKV splits a string record back into key and value. Typed
+// records that are not strings fail with ErrWrongType.
 func DecodeKV(b []byte) (key, value string, err error) {
-	if len(b) < 2 {
-		return "", "", errors.New("shard: short record")
+	rec, err := DecodeRecord(b)
+	if err != nil {
+		return "", "", err
 	}
-	n := int(b[0]) | int(b[1])<<8
-	if len(b) < 2+n {
-		return "", "", errors.New("shard: truncated record")
+	if rec.Type != RecString {
+		return "", "", ErrWrongType
 	}
-	return string(b[2 : 2+n]), string(b[2+n:]), nil
+	return rec.Key, string(rec.Value), nil
 }
 
 // lookup reads one key on its shard through any Reader, resolving hash
-// collisions against the stored full key.
+// collisions against the stored full key. Records past their expiry
+// deadline and records of non-string type answer ErrNotFound and
+// ErrWrongType respectively, so the string API never leaks a hash
+// payload or a logically-dead value.
 func (st *Store) lookup(sh *Shard, r mtm.Reader, key string) (string, error) {
 	raw, err := sh.Tree.Get(r, st.hash(key))
 	if err != nil {
 		return "", err
 	}
-	k, v, err := DecodeKV(raw)
+	rec, err := DecodeRecord(raw)
 	if err != nil {
 		return "", err
 	}
-	if k != key {
+	if rec.Key != key {
 		return "", ErrNotFound // hash collision with another key
 	}
-	return v, nil
+	if rec.Expired(st.now()) {
+		return "", ErrNotFound
+	}
+	if rec.Type != RecString {
+		return "", ErrWrongType
+	}
+	return string(rec.Value), nil
 }
 
 // checkCollision fails with ErrHashCollision when key's slot already
@@ -105,7 +104,7 @@ func (st *Store) checkCollision(sh *Shard, r mtm.Reader, key string) error {
 	if err != nil {
 		return err
 	}
-	k, _, derr := DecodeKV(raw)
+	k, derr := DecodeRecordKey(raw)
 	if derr != nil {
 		return derr
 	}
@@ -164,7 +163,7 @@ func (st *Store) Del(key string) error {
 		if err != nil {
 			return err
 		}
-		k, _, err := DecodeKV(raw)
+		k, err := DecodeRecordKey(raw)
 		if err != nil {
 			return err
 		}
@@ -218,9 +217,6 @@ func (st *Store) MSet(keys, values []string) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("shard: MSet with %d keys but %d values", len(keys), len(values))
 	}
-	if len(keys) == 0 {
-		return nil
-	}
 	recs := make([][]byte, len(keys))
 	for i := range keys {
 		rec, err := EncodeKV(keys[i], values[i])
@@ -228,6 +224,21 @@ func (st *Store) MSet(keys, values []string) error {
 			return err
 		}
 		recs[i] = rec
+	}
+	return st.MSetRecs(keys, recs)
+}
+
+// MSetRecs is MSet over pre-encoded records: keys[i] names the routing
+// key of recs[i], which must be an EncodeRecord encoding of that same
+// key (any type, any expiry). The RESP engine uses this to write typed
+// records — hashes, TTL-carrying strings — through the same cross-shard
+// atomicity protocol as plain MSET.
+func (st *Store) MSetRecs(keys []string, recs [][]byte) error {
+	if len(keys) != len(recs) {
+		return fmt.Errorf("shard: MSetRecs with %d keys but %d records", len(keys), len(recs))
+	}
+	if len(keys) == 0 {
+		return nil
 	}
 	parts := st.partition(keys)
 	var mask uint64
@@ -282,7 +293,7 @@ func (st *Store) MDel(keys []string) (int, error) {
 				if err != nil {
 					return err
 				}
-				sk, _, err := DecodeKV(raw)
+				sk, err := DecodeRecordKey(raw)
 				if err != nil {
 					return err
 				}

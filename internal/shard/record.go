@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tree records are typed since the RESP redesign: a record is no longer
+// bare key+value bytes but carries a one-byte flag field declaring its
+// value type (string or hash) and, optionally, an absolute expiry
+// deadline. Layout:
+//
+//	[2B key length][key][1B flags][8B expiry deadline?][payload]
+//
+// flags bits 0-1 hold the RecType, bit 2 marks an expiry field present.
+// The deadline is UNIX nanoseconds, little endian, and is the
+// authoritative expiry: the timer wheel (internal/kvserve) only holds
+// advisory reminders pointing back at records, so a stale or duplicated
+// wheel entry can never expire a record whose own deadline says
+// otherwise. String payloads are the raw value bytes; hash payloads are
+// the field codec below.
+
+// RecType is a record's value type.
+type RecType byte
+
+const (
+	// RecString is a plain byte-string value.
+	RecString RecType = 0
+	// RecHash is a field→value map (HSET/HGET), encoded with
+	// EncodeHashFields.
+	RecHash RecType = 1
+)
+
+const (
+	recTypeMask   = 0x03
+	recFlagExpire = 0x04
+	recFlagsKnown = recTypeMask | recFlagExpire
+)
+
+// Record is one decoded tree record.
+type Record struct {
+	Key    string
+	Type   RecType
+	Expire int64  // UNIX nanoseconds; 0 = no expiry
+	Value  []byte // string bytes, or EncodeHashFields payload
+}
+
+// Expired reports whether the record's deadline has passed at now.
+func (r *Record) Expired(now int64) bool {
+	return r.Expire != 0 && r.Expire <= now
+}
+
+// ErrWrongType reports an operation against a key holding the other
+// value type (a GET of a hash, an HGET of a string). Matchable with
+// errors.Is.
+var ErrWrongType = errors.New("WRONGTYPE operation against a key holding the wrong kind of value")
+
+// EncodeRecord builds a tree record, enforcing the key and payload size
+// caps (the payload cap applies to a hash's whole encoded field set).
+func EncodeRecord(r Record) ([]byte, error) {
+	if len(r.Key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(r.Key), MaxKeyLen)
+	}
+	if len(r.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(r.Value), MaxValueLen)
+	}
+	flags := byte(r.Type) & recTypeMask
+	n := 2 + len(r.Key) + 1
+	if r.Expire != 0 {
+		flags |= recFlagExpire
+		n += 8
+	}
+	out := make([]byte, n+len(r.Value))
+	out[0] = byte(len(r.Key))
+	out[1] = byte(len(r.Key) >> 8)
+	copy(out[2:], r.Key)
+	out[2+len(r.Key)] = flags
+	if r.Expire != 0 {
+		binary.LittleEndian.PutUint64(out[3+len(r.Key):], uint64(r.Expire))
+	}
+	copy(out[n:], r.Value)
+	return out, nil
+}
+
+// DecodeRecord splits a tree record back into its parts. The returned
+// Value aliases b.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) < 2 {
+		return Record{}, errors.New("shard: short record")
+	}
+	kl := int(b[0]) | int(b[1])<<8
+	if len(b) < 2+kl+1 {
+		return Record{}, errors.New("shard: truncated record")
+	}
+	r := Record{Key: string(b[2 : 2+kl])}
+	flags := b[2+kl]
+	if flags&^byte(recFlagsKnown) != 0 {
+		return Record{}, fmt.Errorf("shard: unknown record flags %#x", flags)
+	}
+	r.Type = RecType(flags & recTypeMask)
+	rest := b[2+kl+1:]
+	if flags&recFlagExpire != 0 {
+		if len(rest) < 8 {
+			return Record{}, errors.New("shard: truncated record expiry")
+		}
+		r.Expire = int64(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	}
+	r.Value = rest
+	return r, nil
+}
+
+// DecodeRecordKey extracts just the stored key — enough for collision
+// checks and intent-recovery routing, without touching the payload.
+func DecodeRecordKey(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", errors.New("shard: short record")
+	}
+	kl := int(b[0]) | int(b[1])<<8
+	if len(b) < 2+kl {
+		return "", errors.New("shard: truncated record")
+	}
+	return string(b[2 : 2+kl]), nil
+}
+
+// HashField is one field of a hash value.
+type HashField struct {
+	Name  []byte
+	Value []byte
+}
+
+// EncodeHashFields encodes a hash payload: a two-byte field count, then
+// per field a two-byte name length, the name, a four-byte value length,
+// and the value. Fields are sorted by name so equal hashes encode to
+// equal bytes regardless of update order.
+func EncodeHashFields(fields []HashField) []byte {
+	sort.Slice(fields, func(i, j int) bool {
+		return bytes.Compare(fields[i].Name, fields[j].Name) < 0
+	})
+	n := 2
+	for _, f := range fields {
+		n += 2 + len(f.Name) + 4 + len(f.Value)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(fields)))
+	for _, f := range fields {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(f.Name)))
+		out = append(out, f.Name...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Value)))
+		out = append(out, f.Value...)
+	}
+	return out
+}
+
+// DecodeHashFields decodes a hash payload. The returned slices alias p.
+func DecodeHashFields(p []byte) ([]HashField, error) {
+	if len(p) < 2 {
+		return nil, errors.New("shard: short hash payload")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	fields := make([]HashField, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 2 {
+			return nil, errors.New("shard: truncated hash field")
+		}
+		nl := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < nl+4 {
+			return nil, errors.New("shard: truncated hash field name")
+		}
+		name := p[:nl]
+		p = p[nl:]
+		vl := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if len(p) < vl {
+			return nil, errors.New("shard: truncated hash field value")
+		}
+		fields = append(fields, HashField{Name: name, Value: p[:vl]})
+		p = p[vl:]
+	}
+	if len(p) != 0 {
+		return nil, errors.New("shard: trailing bytes in hash payload")
+	}
+	return fields, nil
+}

@@ -120,6 +120,7 @@ type Store struct {
 	cfg    Config
 	shards []*Shard
 	hash   func(string) uint64
+	now    func() int64 // clock for expiry masking, fake-able in tests
 	xid    atomic.Uint64
 
 	// recoveredCommits/Aborts count cross-shard intents resolved at the
@@ -174,7 +175,12 @@ func Attach(devs []*scm.Device, cfg Config) (*Store, error) {
 	if len(devs) != cfg.Shards {
 		return nil, fmt.Errorf("shard: %d devices for %d shards", len(devs), cfg.Shards)
 	}
-	st := &Store{cfg: cfg, hash: HashKey, shards: make([]*Shard, cfg.Shards)}
+	st := &Store{
+		cfg:    cfg,
+		hash:   HashKey,
+		now:    func() int64 { return time.Now().UnixNano() },
+		shards: make([]*Shard, cfg.Shards),
+	}
 
 	attach := func(k int) error {
 		start := time.Now()

@@ -429,7 +429,7 @@ func (st *Store) resolveIntents() (commits, aborts int, err error) {
 						return serr
 					}
 					for _, rec := range it.recs {
-						key, _, derr := DecodeKV(rec)
+						key, derr := DecodeRecordKey(rec)
 						if derr != nil {
 							return derr
 						}
