@@ -316,3 +316,28 @@ func BenchmarkRESPServe(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkModCommit prices one committed mutation on the MOD
+// shadow-update map against the transactional hash table under redo,
+// both driven through the shared pds.Map interface. The
+// paper-comparable numbers are fences/op (MOD's contract: exactly 1)
+// and the shadow bytes each copy-on-write path costs.
+func BenchmarkModCommit(b *testing.B) {
+	for _, backend := range []string{"mod", "mtm-redo"} {
+		b.Run(backend, func(b *testing.B) {
+			var last bench.ModRow
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunModCell(bench.ModOpts{
+					Options: spinOpts(), Ops: 1000,
+				}, backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(last.OpsPerSec, "ops/s")
+			b.ReportMetric(last.FencesPerOp, "fences/op")
+			b.ReportMetric(last.ShadowBytesPerOp, "shadowB/op")
+		})
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Experiments: table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7
 // reincarnation ablation groupcommit readmostly sharded hybrid readcache
-// resp all
+// resp mod all
 //
 // By default delays are spin-realized with the paper's parameters (150 ns
 // extra write latency, 4 GB/s write bandwidth); -nospin disables delays
@@ -215,7 +215,7 @@ func run(exp string) error {
 			"table4-ldap", "table4-tc", "table5", "table6",
 			"fig4", "fig5", "fig6", "fig7", "reincarnation", "ablation",
 			"groupcommit", "readmostly", "sharded", "hybrid", "readcache",
-			"resp",
+			"resp", "mod",
 		} {
 			if err := run(e); err != nil {
 				return err
@@ -252,8 +252,10 @@ func run(exp string) error {
 		return readCache()
 	case "resp":
 		return respServe()
+	case "mod":
+		return modBackend()
 	default:
-		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded hybrid readcache resp all)")
+		return fmt.Errorf("unknown experiment (want table4-ldap table4-tc table5 table6 fig4 fig5 fig6 fig7 reincarnation ablation groupcommit readmostly sharded hybrid readcache resp mod all)")
 	}
 }
 
@@ -578,6 +580,25 @@ func respServe() error {
 			row.Clients, row.Window, row.OpsPerSec, row.FencesPerCommit)
 		csvOut("resp", "clients,window,ops_per_sec,fences_per_commit",
 			row.Clients, row.Window, row.OpsPerSec, row.FencesPerCommit)
+	}
+	return nil
+}
+
+func modBackend() error {
+	header("MOD shadow updates: single-fence structures vs the mtm hashtable (1 writer)")
+	fmt.Printf("%-10s %14s %14s %16s\n", "Backend", "Ops/s", "Fences/op", "Shadow B/op")
+	rows, err := bench.RunMod(bench.ModOpts{
+		Options: baseOptions(),
+		Ops:     scale(2000),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-10s %14.0f %14.3f %16.0f\n",
+			r.Backend, r.OpsPerSec, r.FencesPerOp, r.ShadowBytesPerOp)
+		csvOut("mod", "backend,ops_per_sec,fences_per_op,shadow_bytes_per_op",
+			r.Backend, r.OpsPerSec, r.FencesPerOp, r.ShadowBytesPerOp)
 	}
 	return nil
 }

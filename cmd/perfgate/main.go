@@ -5,7 +5,10 @@
 //   - any phase's p50 latency grows more than 20% over the baseline
 //     (with an absolute slack of 5µs, so nanosecond-scale phases don't
 //     gate on noise; phases under 100 observations in either run are
-//     skipped)
+//     skipped, as are blocking-dominated phases — p50 over -max-p50-ms,
+//     default 100ms, in either run — which measure backpressure waits
+//     like lease_wait whose duration is a host-scheduling lottery, not
+//     commit-path work)
 //   - fences per committed transaction (the sum of the commit path's
 //     per-phase fence counters over mtm_commits_total) grows more than
 //     20% plus an absolute slack of 0.05
@@ -17,6 +20,10 @@
 //     (the head-to-head the batched undo protocol exists to win)
 //   - the read-cache experiment's worst cache-on hit rate drops more than
 //     0.10 absolute (an invalidation or sizing regression)
+//   - the mod experiment's shadow-update cell must report exactly 1.00
+//     fences per mutation (within 0.01) — MOD's whole contract is the
+//     single-fence commit, so any drift is a protocol bug, not noise —
+//     and must stay strictly below the mtm-redo cell in the same document
 //   - any matched sharded recovery cell (same heap size, shard count and
 //     worker mode in both documents) slows more than -rec-pct (default
 //     50%) plus -rec-slack-ms (default 25ms) — recovery is wall-clock
@@ -24,8 +31,8 @@
 //
 // The sharded, hybrid and read-cache trajectory gates only engage when
 // BOTH documents carry the rows, so baselines generated before those
-// experiments existed still compare cleanly (the undo-vs-redo invariant
-// needs only the candidate).
+// experiments existed still compare cleanly (the undo-vs-redo and MOD
+// single-fence invariants need only the candidate).
 //
 // Usage:
 //
@@ -64,6 +71,7 @@ var (
 	minCount     = flag.Int("min-count", 100, "skip phases with fewer observations than this in either run")
 	recPct       = flag.Float64("rec-pct", 50, "relative regression threshold for sharded recovery cells, percent")
 	recSlackMs   = flag.Float64("rec-slack-ms", 25, "absolute sharded-recovery slack in milliseconds; growth below this never gates")
+	maxP50Ms     = flag.Float64("max-p50-ms", 100, "skip phases whose p50 exceeds this in either run — they measure blocking (backpressure waits), not commit-path work")
 )
 
 type phaseSummary struct {
@@ -166,6 +174,20 @@ func hybridModeFences(d *benchDoc, mode string) (float64, bool) {
 	return 0, false
 }
 
+// modFences extracts the mod experiment's fences-per-mutation for one
+// backend cell ("mod", "mtm-redo", "mtm-undo").
+func modFences(d *benchDoc, backend string) (float64, bool) {
+	for _, r := range d.rows("mod") {
+		if r["backend"] != backend {
+			continue
+		}
+		if f, ok := num(r, "fences_per_op"); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
 // readCacheHitRate returns the worst cache-on cell's hit rate — the
 // number an invalidation or sizing regression would sink.
 func readCacheHitRate(d *benchDoc) (float64, bool) {
@@ -233,6 +255,11 @@ func main() {
 		if b.P50Ns <= 0 {
 			continue
 		}
+		if b.P50Ns > *maxP50Ms*1e6 || c.P50Ns > *maxP50Ms*1e6 {
+			fmt.Printf("skip phase %-14s p50 %8.0fms -> %8.0fms (blocking-dominated; not gated)\n",
+				name, b.P50Ns/1e6, c.P50Ns/1e6)
+			continue
+		}
 		growth := (c.P50Ns - b.P50Ns) / b.P50Ns * 100
 		if growth > *pct && c.P50Ns-b.P50Ns > *slackNs {
 			fmt.Printf("FAIL phase %-14s p50 %8.0fns -> %8.0fns (%+.0f%%, limit %+.0f%%)\n",
@@ -289,6 +316,27 @@ func main() {
 				failed = true
 			} else {
 				fmt.Printf("ok   hybrid head-to-head: undo %.3f fences/commit below redo %.3f\n", cu, cr)
+			}
+		}
+	}
+
+	// Candidate-only invariants for the MOD backend: the shadow-update
+	// protocol's contract is exactly one fence per committed mutation —
+	// not a trajectory to track but an identity to hold — and it must
+	// beat the transactional redo path it exists to undercut.
+	if mf, ok := modFences(cur, "mod"); ok {
+		if mf < 0.99 || mf > 1.01 {
+			fmt.Printf("FAIL mod single-fence contract: %.3f fences/op (want 1.00 ± 0.01)\n", mf)
+			failed = true
+		} else {
+			fmt.Printf("ok   mod single-fence contract: %.3f fences/op\n", mf)
+		}
+		if rf, rok := modFences(cur, "mtm-redo"); rok {
+			if mf >= rf {
+				fmt.Printf("FAIL mod head-to-head: %.3f fences/op not below mtm-redo %.3f\n", mf, rf)
+				failed = true
+			} else {
+				fmt.Printf("ok   mod head-to-head: %.3f fences/op below mtm-redo %.3f\n", mf, rf)
 			}
 		}
 	}

@@ -1,0 +1,57 @@
+// Package blob centralizes the length-prefix discipline shared by the
+// variable-length payload codecs in this repo: pds value blocks
+// ([8B length][bytes]) and the shard record codec ([2B key length]...,
+// 4B field lengths). Both previously carried their own ad-hoc bound
+// checks (or none at all on the decode side); this package is the one
+// place that says what a sane length is.
+//
+// Two situations call for different error identities:
+//
+//   - Encode side: the caller handed us an oversized payload. That is a
+//     caller error (ErrTooLarge) and must be reported before any
+//     persistent allocation happens, so an oversized write can never
+//     half-commit.
+//   - Decode side: a length loaded back from persistent memory is
+//     negative or absurd. That is data corruption (ErrCorrupt) and must
+//     be caught before the length is used to size an allocation — a
+//     corrupt 2^60 "length" must fail cleanly, not take the process down
+//     in make().
+//
+// Zero-length payloads are valid on both sides: an empty value is a
+// value, and both checks accept n == 0 explicitly.
+package blob
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge reports an encode-side payload above the caller's cap.
+var ErrTooLarge = errors.New("blob: payload too large")
+
+// ErrCorrupt reports a decode-side length prefix that cannot be valid:
+// negative, or above the codec's cap.
+var ErrCorrupt = errors.New("blob: corrupt length prefix")
+
+// CheckWrite validates an encode-side payload length n against cap max.
+// n == 0 is valid; n > max is the caller's error.
+func CheckWrite(n, max int64) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative length %d", ErrTooLarge, n)
+	}
+	if n > max {
+		return fmt.Errorf("%w: %d bytes exceeds %d", ErrTooLarge, n, max)
+	}
+	return nil
+}
+
+// CheckRead validates a decode-side length prefix n (as loaded from
+// persistent memory or a wire payload) against cap max. Any value
+// outside [0, max] means the stored prefix is corrupt and must not be
+// used to size an allocation.
+func CheckRead(n, max int64) error {
+	if n < 0 || n > max {
+		return fmt.Errorf("%w: stored length %d outside [0, %d]", ErrCorrupt, n, max)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package blob
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckWrite(t *testing.T) {
+	if err := CheckWrite(0, 10); err != nil {
+		t.Fatalf("zero-length write rejected: %v", err)
+	}
+	if err := CheckWrite(10, 10); err != nil {
+		t.Fatalf("at-cap write rejected: %v", err)
+	}
+	if err := CheckWrite(11, 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized write: got %v, want ErrTooLarge", err)
+	}
+	if err := CheckWrite(-1, 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("negative write length: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCheckRead(t *testing.T) {
+	if err := CheckRead(0, 10); err != nil {
+		t.Fatalf("zero-length read rejected: %v", err)
+	}
+	if err := CheckRead(10, 10); err != nil {
+		t.Fatalf("at-cap read rejected: %v", err)
+	}
+	if err := CheckRead(11, 10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized read: got %v, want ErrCorrupt", err)
+	}
+	// A corrupt prefix loaded as uint64 becomes negative when reinterpreted
+	// as int64 — the classic make([]byte, huge) hazard.
+	if err := CheckRead(int64(^uint64(0)>>1)+(-1)-(1<<62), 10); err == nil {
+		t.Fatal("garbage length accepted")
+	}
+	if err := CheckRead(-1, 10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative read length: got %v, want ErrCorrupt", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/mtm"
@@ -130,6 +131,10 @@ type PM struct {
 	rt   *region.Runtime
 	heap *pheap.Heap
 	tm   *mtm.TM
+
+	// MOD shadow-update structures registered for ModSweep (see mod.go).
+	modMu sync.Mutex
+	mods  []ModStructure
 }
 
 // Open creates or reincarnates a persistent-memory instance: it boots the

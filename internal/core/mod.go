@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/pds/mod"
+	"repro/internal/pgc"
+	"repro/internal/pmem"
+)
+
+// MOD shadow-update structures (internal/pds/mod) allocate out of band:
+// a mutation clones its path into fresh heap blocks and commits by a
+// root-pointer swap, so the blocks of superseded paths become garbage
+// that no free list ever sees. ModSweep is the instance-wide deferred
+// reclamation pass: it syncs every registered structure (so the last
+// root swap is durable and the sweep cannot race a pending publication),
+// then runs the heap collector with all pinned snapshot roots kept live.
+
+// ModStructure is the surface a shadow-update structure exposes to the
+// sweep: force the last root swap durable, and report the roots of
+// snapshots still held by readers.
+type ModStructure interface {
+	Sync()
+	PinnedRoots() []pmem.Addr
+}
+
+// RegisterMod enrolls a MOD structure in this instance's ModSweep. The
+// constructors ModMap and ModQueue register automatically; structures
+// built directly against the runtime and heap (pds.NewOrderedMap with
+// pds.BackendMOD) are registered by their owner.
+func (pm *PM) RegisterMod(s ModStructure) {
+	pm.modMu.Lock()
+	pm.mods = append(pm.mods, s)
+	pm.modMu.Unlock()
+}
+
+// ModMap returns the shadow-update map rooted at the named static cell,
+// registered for ModSweep. Reopening the same name reattaches to the
+// surviving structure.
+func (pm *PM) ModMap(name string) (*mod.Map, error) {
+	root, _, err := pm.rt.Static(name, 8)
+	if err != nil {
+		return nil, err
+	}
+	m := mod.NewMap(pm.rt, pm.heap, root)
+	pm.RegisterMod(m)
+	return m, nil
+}
+
+// ModQueue returns the shadow-update queue rooted at the named static
+// cell, registered for ModSweep.
+func (pm *PM) ModQueue(name string) (*mod.Queue, error) {
+	root, _, err := pm.rt.Static(name, 8)
+	if err != nil {
+		return nil, err
+	}
+	q := mod.NewQueue(pm.rt, pm.heap, root)
+	pm.RegisterMod(q)
+	return q, nil
+}
+
+// ModSweep reclaims heap blocks superseded by MOD shadow updates: every
+// registered structure is synced, every root still pinned by a live
+// snapshot is kept (with everything it reaches), and unreachable blocks
+// return to the heap. Like PM.Collect (it is one), the sweep must run
+// quiesced: no concurrent transactions, mutations, or new snapshots —
+// snapshots pinned before the call survive it and stay readable.
+func (pm *PM) ModSweep() (pgc.Report, error) {
+	pm.modMu.Lock()
+	mods := append([]ModStructure(nil), pm.mods...)
+	pm.modMu.Unlock()
+	var pins []pmem.Addr
+	for _, s := range mods {
+		s.Sync()
+		pins = append(pins, s.PinnedRoots()...)
+	}
+	rep, err := pm.Collect(pins...)
+	if err == nil && rep.Freed > 0 {
+		mod.CountReclaimed(rep.Freed)
+	}
+	return rep, err
+}

@@ -221,6 +221,9 @@ func cmdSet(c *call) Reply {
 		if len(c.args) != 5 {
 			return errReply("usage: " + registry["SET"].usage)
 		}
+		if !c.s.store.SupportsTTL() {
+			return errReply(errNoTTL)
+		}
 		d, err := parseExpiry(c.s.now(), c.str(3), c.args[4])
 		if err != nil {
 			return errfReply(err)

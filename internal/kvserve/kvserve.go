@@ -60,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mtm"
 	"repro/internal/pds"
+	"repro/internal/pds/mod"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -74,9 +75,10 @@ var (
 // protocol via Serve, RESP2 via ServeRESP).
 type Server struct {
 	pm   *core.PM            // unsharded PM; nil when sharded
-	tree *pds.BPTree         // unsharded tree (crash harnesses reach in); nil when sharded
+	tree *pds.BPTree         // unsharded MTM tree (crash harnesses reach in); nil when sharded or MOD
+	mod  *mod.Map            // unsharded MOD map; nil on the mtm backend
 	hash func(string) uint64 // hashKey, overridable by collision tests
-	pool *core.ThreadPool    // unsharded thread pool; nil when sharded
+	pool *core.ThreadPool    // unsharded thread pool; nil when sharded or MOD
 
 	// store is the engine's storage backend: one node unsharded, N nodes
 	// over independent PM instances sharded. Handlers never fork on the
@@ -107,8 +109,29 @@ type Server struct {
 
 // New builds a server over an open persistent-memory instance; state
 // lives under the "kvserve.root" static (and TTL deadlines under
-// "kvserve.ttl"), so a restarted server finds its data again.
+// "kvserve.ttl"), so a restarted server finds its data again. The store
+// runs on the transactional mtm backend; NewBackend selects others.
 func New(pm *core.PM) (*Server, error) {
+	return NewBackend(pm, pds.BackendMTM)
+}
+
+// NewBackend builds an unsharded server over pm with the chosen pds
+// backend.
+//
+// BackendMTM is the classic store: B+ tree updates inside durable mtm
+// transactions, every acknowledged write durable before its reply.
+//
+// BackendMOD serves the same commands from a shadow-update map
+// (internal/pds/mod): every mutation copies its path, flushes the copy,
+// and commits with a single fence and a root-pointer swap — no log
+// record, no transaction slot, no thread lease. Durability is buffered:
+// the root swap an acknowledgment rides on becomes durable at the NEXT
+// mutation's fence (or Close's sync), so a crash can lose at most the
+// single most recent acknowledged write, never tear anything. TTL
+// commands are refused — the timer wheel needs the record and the
+// deadline in one transaction, which the self-committing backend cannot
+// express.
+func NewBackend(pm *core.PM, backend pds.Backend) (*Server, error) {
 	root, _, err := pm.Static("kvserve.root", 8)
 	if err != nil {
 		return nil, err
@@ -116,21 +139,46 @@ func New(pm *core.PM) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		pm:     pm,
-		tree:   pds.NewBPTree(root),
 		hash:   hashKey,
-		pool:   pm.ThreadPool(),
 		now:    func() int64 { return time.Now().UnixNano() },
 		reapCh: make(chan reapItem, 1024),
 		ctx:    ctx,
 		cancel: cancel,
 		conns:  make(map[net.Conn]bool),
 	}
-	ls := &localStore{srv: s, n: node{pm: pm, tree: s.tree}}
-	if err := initTTLNode(&ls.n); err != nil {
+	switch backend {
+	case pds.BackendMTM:
+		tree, err := pds.NewOrderedMap(pds.BackendMTM, pds.Env{TM: pm.TM()}, root)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.tree = pds.NewBPTree(root)
+		s.pool = pm.ThreadPool()
+		ls := &localStore{srv: s, n: node{pm: pm, tree: tree}}
+		if err := initTTLNode(&ls.n); err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = ls
+	case pds.BackendMOD:
+		tree, err := pds.NewOrderedMap(pds.BackendMOD,
+			pds.Env{RT: pm.Runtime(), Heap: pm.Heap()}, root)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.mod = tree.(interface{ Mod() *mod.Map }).Mod()
+		pm.RegisterMod(s.mod)
+		// No initTTLNode: ttlRoot stays Nil and ttlLive false, so the
+		// sweeper never walks a wheel this backend cannot maintain (an
+		// mtm-era wheel in the image is simply dormant until the store is
+		// reopened on the mtm backend).
+		s.store = &modStore{srv: s, n: node{pm: pm, tree: tree}}
+	default:
 		cancel()
-		return nil, err
+		return nil, fmt.Errorf("kvserve: unknown backend %v", backend)
 	}
-	s.store = ls
 	return s, nil
 }
 
@@ -153,7 +201,17 @@ func NewSharded(st *shard.Store) (*Server, error) {
 	ss := &shardStore{srv: s, st: st, nodes: make([]node, st.NShards())}
 	for k := 0; k < st.NShards(); k++ {
 		sh := st.Shard(k)
-		ss.nodes[k] = node{pm: sh.PM, tree: sh.Tree}
+		root, _, err := sh.PM.Static("kvserve.root", 8)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		tree, err := pds.NewOrderedMap(pds.BackendMTM, pds.Env{TM: sh.PM.TM()}, root)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		ss.nodes[k] = node{pm: sh.PM, tree: tree}
 		if err := initTTLNode(&ss.nodes[k]); err != nil {
 			cancel()
 			return nil, err
@@ -269,6 +327,11 @@ func (s *Server) Close() error {
 		}
 	}
 	s.wg.Wait()
+	// MOD durability is buffered behind the next fence; a clean shutdown
+	// makes the last acknowledged root swap durable before returning.
+	if s.mod != nil {
+		s.mod.Sync()
+	}
 	return err
 }
 

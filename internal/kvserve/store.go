@@ -14,11 +14,13 @@ import (
 )
 
 // node is one keyspace shard's persistent handles: the PM instance it
-// lives in, its B+ tree, and the root cell of its TTL timer wheel. An
-// unsharded server is a store of exactly one node.
+// lives in, its key-value map behind the backend-agnostic pds interface
+// (a transactional B+ tree, or a MOD shadow-update treap), and the root
+// cell of its TTL timer wheel. An unsharded server is a store of exactly
+// one node.
 type node struct {
 	pm      *core.PM
-	tree    *pds.BPTree
+	tree    pds.OrderedMap
 	ttlRoot pmem.Addr   // 8-byte static cell -> timer wheel block (0 until first TTL)
 	ttlLive atomic.Bool // volatile: the wheel exists, sweeping may find work
 }
@@ -36,8 +38,14 @@ type store interface {
 	Node(k int) *node
 	// NeedsThread reports whether Update requires a caller-supplied
 	// transaction thread. The unsharded store runs on the session's leased
-	// thread; the sharded store leases inside each destination shard.
+	// thread; the sharded store leases inside each destination shard; the
+	// MOD store's mutations self-commit and never touch a thread.
 	NeedsThread() bool
+	// SupportsTTL reports whether the backend can register expiry
+	// deadlines: the timer wheel commits in the same mtm transaction as
+	// the record, which the self-committing MOD backend has none of, so
+	// TTL-carrying commands are refused there.
+	SupportsTTL() bool
 	// Update runs fn as one durable transaction on shard k, attributed
 	// under the parent span when the backend supports attribution.
 	Update(th *mtm.Thread, parent uint64, k int, fn func(n *node, tx *mtm.Tx) error) error
@@ -62,6 +70,7 @@ func (ls *localStore) NShards() int       { return 1 }
 func (ls *localStore) ShardOf(string) int { return 0 }
 func (ls *localStore) Node(int) *node     { return &ls.n }
 func (ls *localStore) NeedsThread() bool  { return true }
+func (ls *localStore) SupportsTTL() bool  { return true }
 
 func (ls *localStore) Update(th *mtm.Thread, parent uint64, _ int, fn func(n *node, tx *mtm.Tx) error) error {
 	return atomicSpanned(th, parent, func(tx *mtm.Tx) error { return fn(&ls.n, tx) })
@@ -137,6 +146,7 @@ func (ss *shardStore) NShards() int           { return ss.st.NShards() }
 func (ss *shardStore) ShardOf(key string) int { return ss.st.ShardOf(key) }
 func (ss *shardStore) Node(k int) *node       { return &ss.nodes[k] }
 func (ss *shardStore) NeedsThread() bool      { return false }
+func (ss *shardStore) SupportsTTL() bool      { return true }
 
 func (ss *shardStore) Update(_ *mtm.Thread, _ uint64, k int, fn func(n *node, tx *mtm.Tx) error) error {
 	n := &ss.nodes[k]

@@ -15,6 +15,11 @@ import (
 var telExpired = telemetry.NewCounter("kvserve_expired_total",
 	"Records physically reclaimed after their TTL deadline (sweeps and lazy reaps).")
 
+// errNoTTL answers expiry-carrying commands on a backend without a timer
+// wheel (the MOD shadow-update store): the deadline and the record must
+// commit in one transaction, which a self-committing backend cannot do.
+const errNoTTL = "expiry not supported on the mod backend (no transactional timer wheel); use the mtm backend for TTLs"
+
 // Persistent timer wheel. Each node owns one wheel, allocated lazily in
 // the first expiry-carrying transaction and rooted at the "kvserve.ttl"
 // static, so deadlines survive crashes and recovery resumes sweeping.
@@ -312,6 +317,9 @@ func parseTTLArg(a []byte) (int64, error) {
 // semantics). Answers 1 when a deadline was set (or the key deleted),
 // 0 when the key does not exist.
 func cmdExpire(c *call) Reply {
+	if !c.s.store.SupportsTTL() {
+		return errReply(errNoTTL)
+	}
 	key := c.str(1)
 	d, err := parseTTLArg(c.args[2])
 	if err != nil {

@@ -3,6 +3,7 @@ package pds
 import (
 	"bytes"
 	"errors"
+	"fmt"
 
 	"repro/internal/mtm"
 	"repro/internal/pmem"
@@ -32,6 +33,10 @@ const (
 
 // NewAVL wraps the AVL tree rooted at the persistent pointer rootPtr
 // (pmem.Nil there means an empty tree).
+//
+// Deprecated: new code should construct structures through the Backend
+// selector (OrderedAVL or NewOrderedMap); this wrapper remains for the
+// structure-specific method set.
 func NewAVL(rootPtr pmem.Addr) *AVL { return &AVL{rootPtr: rootPtr} }
 
 func avlKey(tx mtm.Reader, node pmem.Addr) []byte {
@@ -183,7 +188,7 @@ func (t *AVL) Get(tx mtm.Reader, key []byte) ([]byte, error) {
 	for node != pmem.Nil {
 		switch cmp := bytes.Compare(key, avlKey(tx, node)); {
 		case cmp == 0:
-			return readValue(tx, pmem.Addr(tx.LoadU64(node.Add(avlVblkOff)))), nil
+			return readValue(tx, pmem.Addr(tx.LoadU64(node.Add(avlVblkOff))))
 		case cmp < 0:
 			node = pmem.Addr(tx.LoadU64(node.Add(avlLeftOff)))
 		default:
@@ -191,6 +196,34 @@ func (t *AVL) Get(tx mtm.Reader, key []byte) ([]byte, error) {
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// Scan visits keys >= from in ascending byte order until fn returns
+// false.
+func (t *AVL) Scan(tx mtm.Reader, from []byte, fn func(key, val []byte) bool) {
+	avlScan(tx, pmem.Addr(tx.LoadU64(t.rootPtr)), from, fn)
+}
+
+func avlScan(tx mtm.Reader, node pmem.Addr, from []byte, fn func(key, val []byte) bool) bool {
+	if node == pmem.Nil {
+		return true
+	}
+	k := avlKey(tx, node)
+	if bytes.Compare(k, from) >= 0 {
+		if !avlScan(tx, pmem.Addr(tx.LoadU64(node.Add(avlLeftOff))), from, fn) {
+			return false
+		}
+		val, err := readValue(tx, pmem.Addr(tx.LoadU64(node.Add(avlVblkOff))))
+		if err != nil {
+			// A scan has no error channel; a corrupt length prefix here
+			// is structural damage, same class as a torn node.
+			panic(fmt.Sprintf("pds: avl scan at key %q: %v", k, err))
+		}
+		if !fn(k, val) {
+			return false
+		}
+	}
+	return avlScan(tx, pmem.Addr(tx.LoadU64(node.Add(avlRightOff))), from, fn)
 }
 
 // Delete removes key and frees its node and value block.

@@ -42,6 +42,10 @@ const (
 
 // NewBPTree wraps the B+ tree rooted at the persistent pointer rootPtr
 // (pmem.Nil there means an empty tree).
+//
+// Deprecated: new code should construct structures through the Backend
+// selector (NewOrderedMap with BackendMTM); this wrapper remains for
+// the structure-specific method set (CheckInvariants and friends).
 func NewBPTree(rootPtr pmem.Addr) *BPTree { return &BPTree{rootPtr: rootPtr} }
 
 func bpMeta(tx mtm.Reader, n pmem.Addr) (nkeys int, leaf bool) {
@@ -240,7 +244,7 @@ func (t *BPTree) Get(tx mtm.Reader, key uint64) ([]byte, error) {
 		i := bpSearch(tx, n, nkeys, key)
 		if leaf {
 			if i < nkeys && bpKey(tx, n, i) == key {
-				return readValue(tx, bpPtr(tx, n, i)), nil
+				return readValue(tx, bpPtr(tx, n, i))
 			}
 			return nil, ErrNotFound
 		}
@@ -460,7 +464,13 @@ func (t *BPTree) Scan(tx mtm.Reader, from uint64, fn func(key uint64, val []byte
 	for n != pmem.Nil {
 		nkeys, _ := bpMeta(tx, n)
 		for i := bpSearch(tx, n, nkeys, from); i < nkeys; i++ {
-			if !fn(bpKey(tx, n, i), readValue(tx, bpPtr(tx, n, i))) {
+			val, err := readValue(tx, bpPtr(tx, n, i))
+			if err != nil {
+				// A scan has no error channel; a corrupt length prefix here
+				// is structural damage, same class as a torn node.
+				panic(fmt.Sprintf("pds: bptree scan at key %#x: %v", bpKey(tx, n, i), err))
+			}
+			if !fn(bpKey(tx, n, i), val) {
 				return
 			}
 		}

@@ -1,0 +1,245 @@
+package mod
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/pgc"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+// modOp is one step of the deterministic MOD crash workload.
+type modOp struct {
+	Del bool
+	Key uint64
+	Len int // value length (Put only)
+}
+
+var modOps = []modOp{
+	{Key: 1, Len: 10},
+	{Key: 2, Len: 100},
+	{Key: 3, Len: 5000}, // indirect value: two segments
+	{Key: 1, Len: 40},   // replace
+	{Del: true, Key: 2},
+	{Key: 4, Len: 1},
+	{Key: 5, Len: 0}, // empty value
+	{Del: true, Key: 3},
+	{Key: 6, Len: 200},
+}
+
+// modValue derives a deterministic value for (key, len, op index).
+func modValue(key uint64, n, i int) []byte {
+	out := make([]byte, n)
+	for j := range out {
+		out[j] = byte(uint64(j)*2654435761 + key*31 + uint64(i))
+	}
+	return out
+}
+
+// modModel returns the expected map contents after the first m ops.
+func modModel(m int) map[uint64][]byte {
+	state := make(map[uint64][]byte)
+	for i := 0; i < m; i++ {
+		op := modOps[i]
+		if op.Del {
+			delete(state, op.Key)
+		} else {
+			state[op.Key] = modValue(op.Key, op.Len, i)
+		}
+	}
+	return state
+}
+
+const modCrashHeapSize = 256 << 10
+
+// modCrashWorkload drives the op sequence through a MOD map on a fresh
+// heap. The oracle checks the paper's shadow-update contract: the
+// recovered root is the state after exactly j acked ops for some
+// plausible j (the final root swap's durability is buffered, so j may
+// trail the ack count by one), the structure is never torn, and a
+// reclamation sweep both frees every block the crash leaked and reaches
+// a fixpoint.
+func modCrashWorkload(t *testing.T) crashpoint.Workload {
+	return func() (*crashpoint.Run, error) {
+		dev, err := scm.Open(scm.Config{Size: 2 << 20, Mode: scm.DelayOff})
+		if err != nil {
+			return nil, err
+		}
+		dir := t.TempDir()
+		done := 0
+
+		openRegion := func() (*region.Runtime, pmem.Addr, pmem.Addr, error) {
+			rt, err := region.Open(dev, region.Config{Dir: dir, StaticSize: 64 << 10})
+			if err != nil {
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			heapPtr, _, err := rt.Static("mod.crash.heap", 8)
+			if err != nil {
+				rt.Close()
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			root, _, err := rt.Static("mod.crash.map", 8)
+			if err != nil {
+				rt.Close()
+				return nil, pmem.Nil, pmem.Nil, err
+			}
+			return rt, heapPtr, root, nil
+		}
+
+		return &crashpoint.Run{
+			Dev: dev,
+			Body: func() error {
+				rt, heapPtr, root, err := openRegion()
+				if err != nil {
+					return err
+				}
+				base, err := rt.PMapAt(heapPtr, modCrashHeapSize, 0)
+				if err != nil {
+					return err
+				}
+				h, err := pheap.Format(rt, base, modCrashHeapSize, pheap.Config{Lanes: 2})
+				if err != nil {
+					return err
+				}
+				m := NewMap(rt, h, root)
+				for i, op := range modOps {
+					if op.Del {
+						err = m.Delete(op.Key)
+					} else {
+						err = m.Put(op.Key, modValue(op.Key, op.Len, i))
+					}
+					if err != nil {
+						return err
+					}
+					done = i + 1
+				}
+				return nil
+			},
+			Check: func() error {
+				rt, heapPtr, root, err := openRegion()
+				if err != nil {
+					return fmt.Errorf("region tables not remappable: %w", err)
+				}
+				defer rt.Close()
+				mem := rt.NewMemory()
+				base := pmem.Addr(mem.LoadU64(heapPtr))
+				if base == pmem.Nil {
+					if done > 0 {
+						return fmt.Errorf("heap region lost after %d acked ops", done)
+					}
+					return nil
+				}
+				h, err := pheap.Open(rt, base)
+				if err != nil {
+					if done > 0 {
+						return fmt.Errorf("heap unopenable after %d acked ops: %w", done, err)
+					}
+					return nil
+				}
+				if err := h.Check(); err != nil {
+					return err
+				}
+				m := NewMap(rt, h, root)
+
+				// The root must never be torn.
+				if err := m.CheckInvariants(); err != nil {
+					return fmt.Errorf("torn structure after %d acked ops: %v", done, err)
+				}
+
+				// Contents must equal the model after exactly j ops. An
+				// acked op's root swap is only durable once a later fence
+				// drains it, so j is done-1 or done; a crash inside op
+				// done+1 cannot publish it (the swap follows the fence).
+				read := make(map[uint64][]byte)
+				m.Scan(0, func(k uint64, v []byte) bool {
+					read[k] = v
+					return true
+				})
+				matched := -1
+				for _, j := range []int{done - 1, done} {
+					if j < 0 || j > len(modOps) {
+						continue
+					}
+					if modelEqual(read, modModel(j)) {
+						matched = j
+						break
+					}
+				}
+				if matched < 0 {
+					return fmt.Errorf("recovered state (%d keys) matches neither %d nor %d applied ops", len(read), done-1, done)
+				}
+
+				// Reclamation: a sweep with no pinned snapshots must free
+				// every block the crash stranded (shadow blocks whose root
+				// swap never landed, nodes superseded by later commits)
+				// and leave exactly the reachable structure. A second
+				// sweep freeing nothing proves the first was complete.
+				gc, err := pgc.New(rt, h)
+				if err != nil {
+					return err
+				}
+				if _, err := gc.Collect(); err != nil {
+					return err
+				}
+				if err := m.CheckInvariants(); err != nil {
+					return fmt.Errorf("sweep damaged live structure: %v", err)
+				}
+				after := make(map[uint64][]byte)
+				m.Scan(0, func(k uint64, v []byte) bool {
+					after[k] = v
+					return true
+				})
+				if !modelEqual(after, modModel(matched)) {
+					return fmt.Errorf("sweep changed observable contents")
+				}
+				rep2, err := gc.Collect()
+				if err != nil {
+					return err
+				}
+				if rep2.Freed != 0 {
+					return fmt.Errorf("second sweep freed %d blocks; first was incomplete", rep2.Freed)
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+func modelEqual(a, b map[uint64][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !bytes.Equal(v, b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashPointsMOD explores the crash points of the MOD map workload:
+// at every persistence event the recovered structure must be the state
+// after a whole number of operations — old root or new root, never torn
+// — and the deferred-reclamation sweep must reclaim all leaked shadow
+// blocks. Nightly CI sets CRASHPOINT_EXHAUSTIVE=1 for the full sweep.
+func TestCrashPointsMOD(t *testing.T) {
+	rep, err := crashpoint.Explore(modCrashWorkload(t), crashpoint.Options{
+		Schedule: crashpoint.TestSchedule(testing.Short(), 48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("MOD recovery oracle failed at %d of %d crash points (%s)",
+			len(rep.Failures), rep.Points, rep)
+	}
+	t.Logf("mod: %s", rep)
+}

@@ -1,0 +1,427 @@
+package mod
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+)
+
+// Map is a shadow-updated persistent map keyed by uint64: a
+// copy-on-write treap whose node priority is hash64(key). The priority
+// hash is a bijection, so distinct keys never tie and a given key set
+// always settles into one canonical shape regardless of insertion order
+// — handy for differential testing against the mtm structures.
+//
+// Every mutation path-copies from the root: O(log n) fresh nodes plus
+// one value block, one flush batch, one fence, one root swap. Readers
+// either call the Map's own read methods (which briefly take the writer
+// lock) or pin a Snapshot and read lock-free.
+//
+// Persistent layout (all blocks from the shadow allocator):
+//
+//	root block (16B): [0]=count [8]=top node addr
+//	node (32B):       [0]=key [8]=value block [16]=left [24]=right
+//	value block:      see value.go
+//
+// The root pointer cell itself lives outside the heap (a static or a
+// caller-provided word); it holds the root block's address and is the
+// single word the commit protocol swaps.
+type Map struct {
+	base
+}
+
+// ErrNotFound reports a lookup or delete of an absent key.
+var ErrNotFound = errors.New("mod: key not found")
+
+const (
+	mrCountOff = 0
+	mrTopOff   = 8
+	mrSize     = 16
+
+	nKeyOff   = 0
+	nValOff   = 8
+	nLeftOff  = 16
+	nRightOff = 24
+	nSize     = 32
+)
+
+// NewMap wraps the map rooted at the word rootPtr. A zero word is an
+// empty map — there is no separate create step, so recovery is just
+// NewMap over the same cell.
+func NewMap(rt *region.Runtime, heap *pheap.Heap, rootPtr pmem.Addr) *Map {
+	return &Map{base: newBase(rt, heap, rootPtr)}
+}
+
+// Snapshot pins the current state for lock-free reading.
+func (m *Map) Snapshot() *Snap { return m.snapshot() }
+
+func (m *Map) newNode(key uint64, vblk, left, right pmem.Addr) (pmem.Addr, error) {
+	n, err := m.alloc(nSize)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	m.mem.StoreU64(n.Add(nKeyOff), key)
+	m.mem.StoreU64(n.Add(nValOff), uint64(vblk))
+	m.mem.StoreU64(n.Add(nLeftOff), uint64(left))
+	m.mem.StoreU64(n.Add(nRightOff), uint64(right))
+	m.batch.Add(n, nSize)
+	return n, nil
+}
+
+func (m *Map) key(n pmem.Addr) uint64 { return m.mem.LoadU64(n.Add(nKeyOff)) }
+func (m *Map) vblk(n pmem.Addr) pmem.Addr {
+	return pmem.Addr(m.mem.LoadU64(n.Add(nValOff)))
+}
+func (m *Map) left(n pmem.Addr) pmem.Addr {
+	return pmem.Addr(m.mem.LoadU64(n.Add(nLeftOff)))
+}
+func (m *Map) right(n pmem.Addr) pmem.Addr {
+	return pmem.Addr(m.mem.LoadU64(n.Add(nRightOff)))
+}
+
+// setLeft / setRight mutate a node. Legal only on nodes allocated in the
+// current (uncommitted) mutation — published nodes are immutable.
+func (m *Map) setLeft(n, c pmem.Addr)  { m.mem.StoreU64(n.Add(nLeftOff), uint64(c)) }
+func (m *Map) setRight(n, c pmem.Addr) { m.mem.StoreU64(n.Add(nRightOff), uint64(c)) }
+
+// loadRoot returns the current root block's count and top node.
+func (m *Map) loadRoot() (count uint64, top pmem.Addr) {
+	rb := pmem.Addr(m.mem.LoadU64(m.rootPtr))
+	if rb == pmem.Nil {
+		return 0, pmem.Nil
+	}
+	return m.mem.LoadU64(rb.Add(mrCountOff)), pmem.Addr(m.mem.LoadU64(rb.Add(mrTopOff)))
+}
+
+// Put inserts or replaces key. One commit: one fence, one root swap.
+func (m *Map) Put(key uint64, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batch.Reset()
+	vblk, err := m.writeValue(val)
+	if err != nil {
+		return err
+	}
+	count, top := m.loadRoot()
+	newTop, added, err := m.put(top, key, vblk)
+	if err != nil {
+		return err
+	}
+	if added {
+		count++
+	}
+	rb, err := m.newRootBlock(count, newTop)
+	if err != nil {
+		return err
+	}
+	m.commit(rb)
+	return nil
+}
+
+func (m *Map) newRootBlock(count uint64, top pmem.Addr) (pmem.Addr, error) {
+	rb, err := m.alloc(mrSize)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	m.mem.StoreU64(rb.Add(mrCountOff), count)
+	m.mem.StoreU64(rb.Add(mrTopOff), uint64(top))
+	m.batch.Add(rb, mrSize)
+	return rb, nil
+}
+
+// put returns the fresh root of the subtree with key→vblk applied. The
+// returned node is always freshly allocated this mutation, so rotations
+// below may mutate it in place before commit.
+func (m *Map) put(n pmem.Addr, key uint64, vblk pmem.Addr) (pmem.Addr, bool, error) {
+	if n == pmem.Nil {
+		nn, err := m.newNode(key, vblk, pmem.Nil, pmem.Nil)
+		return nn, true, err
+	}
+	nk := m.key(n)
+	switch {
+	case key == nk:
+		nn, err := m.newNode(key, vblk, m.left(n), m.right(n))
+		return nn, false, err
+	case key < nk:
+		l, added, err := m.put(m.left(n), key, vblk)
+		if err != nil {
+			return pmem.Nil, false, err
+		}
+		c, err := m.newNode(nk, m.vblk(n), l, m.right(n))
+		if err != nil {
+			return pmem.Nil, false, err
+		}
+		// Restore the heap order: if the new left child outranks this
+		// node, rotate right. Both nodes are fresh, so in-place edits
+		// are safe — nothing published can see them yet.
+		if hash64(m.key(l)) > hash64(nk) {
+			m.setLeft(c, m.right(l))
+			m.setRight(l, c)
+			return l, added, nil
+		}
+		return c, added, nil
+	default:
+		r, added, err := m.put(m.right(n), key, vblk)
+		if err != nil {
+			return pmem.Nil, false, err
+		}
+		c, err := m.newNode(nk, m.vblk(n), m.left(n), r)
+		if err != nil {
+			return pmem.Nil, false, err
+		}
+		if hash64(m.key(r)) > hash64(nk) {
+			m.setRight(c, m.left(r))
+			m.setLeft(r, c)
+			return r, added, nil
+		}
+		return c, added, nil
+	}
+}
+
+// Delete removes key, or returns ErrNotFound (no commit, no fence).
+func (m *Map) Delete(key uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batch.Reset()
+	count, top := m.loadRoot()
+	newTop, found, err := m.del(top, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	rb, err := m.newRootBlock(count-1, newTop)
+	if err != nil {
+		return err
+	}
+	m.commit(rb)
+	return nil
+}
+
+// del clones the path to key and splices it out. Unlike put, the
+// returned subtree root may be an old shared node (a merge side that
+// needed no change) — del never mutates it.
+func (m *Map) del(n pmem.Addr, key uint64) (pmem.Addr, bool, error) {
+	if n == pmem.Nil {
+		return pmem.Nil, false, nil
+	}
+	nk := m.key(n)
+	switch {
+	case key == nk:
+		merged, err := m.merge(m.left(n), m.right(n))
+		return merged, true, err
+	case key < nk:
+		l, found, err := m.del(m.left(n), key)
+		if err != nil || !found {
+			return pmem.Nil, false, err
+		}
+		c, err := m.newNode(nk, m.vblk(n), l, m.right(n))
+		return c, true, err
+	default:
+		r, found, err := m.del(m.right(n), key)
+		if err != nil || !found {
+			return pmem.Nil, false, err
+		}
+		c, err := m.newNode(nk, m.vblk(n), m.left(n), r)
+		return c, true, err
+	}
+}
+
+// merge joins two treaps where every key in a precedes every key in b,
+// cloning the spine it descends.
+func (m *Map) merge(a, b pmem.Addr) (pmem.Addr, error) {
+	if a == pmem.Nil {
+		return b, nil
+	}
+	if b == pmem.Nil {
+		return a, nil
+	}
+	if hash64(m.key(a)) > hash64(m.key(b)) {
+		r, err := m.merge(m.right(a), b)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		return m.newNode(m.key(a), m.vblk(a), m.left(a), r)
+	}
+	l, err := m.merge(a, m.left(b))
+	if err != nil {
+		return pmem.Nil, err
+	}
+	return m.newNode(m.key(b), m.vblk(b), l, m.right(b))
+}
+
+// reader is the load-side slice of pmem.Memory shared by the writer
+// context and snapshots.
+type reader interface {
+	LoadU64(pmem.Addr) uint64
+	Load([]byte, pmem.Addr)
+}
+
+// topOf reads the top node under an arbitrary reader, given the root
+// block address.
+func topOf(r reader, rb pmem.Addr) pmem.Addr {
+	if rb == pmem.Nil {
+		return pmem.Nil
+	}
+	return pmem.Addr(r.LoadU64(rb.Add(mrTopOff)))
+}
+
+func findNode(r reader, n pmem.Addr, key uint64) pmem.Addr {
+	for n != pmem.Nil {
+		nk := r.LoadU64(n.Add(nKeyOff))
+		switch {
+		case key == nk:
+			return n
+		case key < nk:
+			n = pmem.Addr(r.LoadU64(n.Add(nLeftOff)))
+		default:
+			n = pmem.Addr(r.LoadU64(n.Add(nRightOff)))
+		}
+	}
+	return pmem.Nil
+}
+
+func getValue(r reader, n pmem.Addr, key uint64) ([]byte, error) {
+	hit := findNode(r, n, key)
+	if hit == pmem.Nil {
+		return nil, ErrNotFound
+	}
+	return readValue(r, pmem.Addr(r.LoadU64(hit.Add(nValOff))))
+}
+
+// scanFrom walks keys ≥ from in order. Returns false when fn stopped the
+// walk.
+func scanFrom(r reader, n pmem.Addr, from uint64, fn func(key uint64, val []byte) bool) bool {
+	if n == pmem.Nil {
+		return true
+	}
+	nk := r.LoadU64(n.Add(nKeyOff))
+	if nk >= from {
+		if !scanFrom(r, pmem.Addr(r.LoadU64(n.Add(nLeftOff))), from, fn) {
+			return false
+		}
+		val, err := readValue(r, pmem.Addr(r.LoadU64(n.Add(nValOff))))
+		if err != nil {
+			// Scans have no error channel; a corrupt value block under
+			// an immutable node is structural damage.
+			panic(fmt.Sprintf("mod: scan at key %#x: %v", nk, err))
+		}
+		if !fn(nk, val) {
+			return false
+		}
+	}
+	return scanFrom(r, pmem.Addr(r.LoadU64(n.Add(nRightOff))), from, fn)
+}
+
+// Get returns the value for key, briefly taking the writer lock. For
+// lock-free reads, use a Snapshot.
+func (m *Map) Get(key uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, top := m.loadRoot()
+	return getValue(m.mem, top, key)
+}
+
+// Contains reports whether key is present.
+func (m *Map) Contains(key uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, top := m.loadRoot()
+	return findNode(m.mem, top, key) != pmem.Nil
+}
+
+// Len returns the number of keys.
+func (m *Map) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count, _ := m.loadRoot()
+	return int(count)
+}
+
+// Scan visits keys ≥ from in ascending order until fn returns false.
+func (m *Map) Scan(from uint64, fn func(key uint64, val []byte) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, top := m.loadRoot()
+	scanFrom(m.mem, top, from, fn)
+}
+
+// Get reads from the snapshot.
+func (s *Snap) Get(key uint64) ([]byte, error) {
+	return getValue(s.mem, topOf(s.mem, s.root), key)
+}
+
+// Contains reads from the snapshot.
+func (s *Snap) Contains(key uint64) bool {
+	return findNode(s.mem, topOf(s.mem, s.root), key) != pmem.Nil
+}
+
+// Len reads from the snapshot.
+func (s *Snap) Len() int {
+	if s.root == pmem.Nil {
+		return 0
+	}
+	return int(s.mem.LoadU64(s.root.Add(mrCountOff)))
+}
+
+// Scan reads from the snapshot.
+func (s *Snap) Scan(from uint64, fn func(key uint64, val []byte) bool) {
+	scanFrom(s.mem, topOf(s.mem, s.root), from, fn)
+}
+
+// CheckInvariants verifies the committed treap: BST order on keys, heap
+// order on hashed priorities, readable values, and a count that matches
+// the root block. Used by the crash oracle and the differential tests.
+func (m *Map) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count, top := m.loadRoot()
+	n, err := m.checkNode(top, 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if uint64(n) != count {
+		return fmt.Errorf("mod: root count %d but %d nodes", count, n)
+	}
+	return nil
+}
+
+func (m *Map) checkNode(n pmem.Addr, lo, hi uint64) (int, error) {
+	if n == pmem.Nil {
+		return 0, nil
+	}
+	k := m.key(n)
+	if k < lo || k > hi {
+		return 0, fmt.Errorf("mod: key %#x outside [%#x, %#x]", k, lo, hi)
+	}
+	if l := m.left(n); l != pmem.Nil && hash64(m.key(l)) > hash64(k) {
+		return 0, fmt.Errorf("mod: heap violation at key %#x (left)", k)
+	}
+	if r := m.right(n); r != pmem.Nil && hash64(m.key(r)) > hash64(k) {
+		return 0, fmt.Errorf("mod: heap violation at key %#x (right)", k)
+	}
+	if _, err := readValue(m.mem, m.vblk(n)); err != nil {
+		return 0, err
+	}
+	var nl, nr int
+	var err error
+	if k > 0 {
+		if nl, err = m.checkNode(m.left(n), lo, k-1); err != nil {
+			return 0, err
+		}
+	} else if m.left(n) != pmem.Nil {
+		return 0, fmt.Errorf("mod: left child under key 0")
+	}
+	if k < ^uint64(0) {
+		if nr, err = m.checkNode(m.right(n), k+1, hi); err != nil {
+			return 0, err
+		}
+	} else if m.right(n) != pmem.Nil {
+		return 0, fmt.Errorf("mod: right child under key max")
+	}
+	return nl + nr + 1, nil
+}

@@ -1,0 +1,299 @@
+package mod
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+	"repro/internal/scm"
+)
+
+type env struct {
+	dev  *scm.Device
+	rt   *region.Runtime
+	heap *pheap.Heap
+	root pmem.Addr // root cell for a map
+	qr   pmem.Addr // root cell for a queue
+}
+
+const testHeapSize = 1 << 20
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	dev, err := scm.Open(scm.Config{Size: testHeapSize + 4<<20, Mode: scm.DelayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := region.Open(dev, region.Config{Dir: t.TempDir(), StaticSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := rt.PMap(testHeapSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pheap.Format(rt, base, testHeapSize, pheap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := rt.Static("mod.test.map", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, _, err := rt.Static("mod.test.queue", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{dev: dev, rt: rt, heap: h, root: root, qr: qr}
+}
+
+func val(i uint64) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestMapBasic(t *testing.T) {
+	e := newEnv(t)
+	m := NewMap(e.rt, e.heap, e.root)
+
+	if _, err := m.Get(1); err != ErrNotFound {
+		t.Fatalf("empty map Get: %v", err)
+	}
+	if err := m.Delete(1); err != ErrNotFound {
+		t.Fatalf("empty map Delete: %v", err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := m.Put(i*7, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", m.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		got, err := m.Get(i * 7)
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i*7, got, err)
+		}
+	}
+	// Replace does not change the count.
+	if err := m.Put(7, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len after replace = %d", m.Len())
+	}
+	if got, _ := m.Get(7); string(got) != "replaced" {
+		t.Fatalf("Get(7) = %q", got)
+	}
+	// Delete half.
+	for i := uint64(0); i < 100; i += 2 {
+		if err := m.Delete(i * 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len after deletes = %d", m.Len())
+	}
+	if m.Contains(0) || !m.Contains(7) {
+		t.Fatal("Contains wrong after deletes")
+	}
+	// Scan sees the odd keys in order.
+	var keys []uint64
+	m.Scan(0, func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 50 {
+		t.Fatalf("scan saw %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("scan out of order: %v", keys[:i+1])
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapLargeValues(t *testing.T) {
+	e := newEnv(t)
+	m := NewMap(e.rt, e.heap, e.root)
+	big := make([]byte, 3*4096+17) // indirect: four segments
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := m.Put(42, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get(42)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large value roundtrip failed: %v (len %d)", err, len(got))
+	}
+	if err := m.Put(43, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.Get(43); err != nil || len(got) != 0 {
+		t.Fatalf("empty value roundtrip: %q, %v", got, err)
+	}
+	if err := m.Put(44, make([]byte, MaxValue+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapSingleFencePerOp is the headline property: every mutation costs
+// exactly one device fence.
+func TestMapSingleFencePerOp(t *testing.T) {
+	e := newEnv(t)
+	m := NewMap(e.rt, e.heap, e.root)
+	// Warm up so superblock adoption noise is out of the way.
+	for i := uint64(0); i < 16; i++ {
+		if err := m.Put(i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.dev.Snapshot().Fences
+	const ops = 200
+	for i := uint64(0); i < ops; i++ {
+		if err := m.Put(1000+i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.dev.Snapshot().Fences - before
+	if got != ops {
+		t.Fatalf("%d fences for %d mutations, want exactly %d", got, ops, ops)
+	}
+}
+
+func TestSnapshotIsolationAndReclamation(t *testing.T) {
+	e := newEnv(t)
+	m := NewMap(e.rt, e.heap, e.root)
+	for i := uint64(0); i < 20; i++ {
+		if err := m.Put(i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	// Mutate past the snapshot.
+	for i := uint64(0); i < 20; i++ {
+		if err := m.Put(i, []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot still sees the old world.
+	if snap.Len() != 20 {
+		t.Fatalf("snap.Len = %d", snap.Len())
+	}
+	for i := uint64(0); i < 20; i++ {
+		got, err := snap.Get(i)
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("snap.Get(%d) = %q, %v", i, got, err)
+		}
+	}
+	if len(m.PinnedRoots()) != 1 {
+		t.Fatalf("pinned roots: %v", m.PinnedRoots())
+	}
+	snap.Release()
+	if len(m.PinnedRoots()) != 0 {
+		t.Fatal("pin survived release")
+	}
+}
+
+func TestQueueBasic(t *testing.T) {
+	e := newEnv(t)
+	q := NewQueue(e.rt, e.heap, e.qr)
+	if _, err := q.Dequeue(); err != ErrQueueEmpty {
+		t.Fatalf("empty Dequeue: %v", err)
+	}
+	if _, err := q.Peek(); err != ErrQueueEmpty {
+		t.Fatalf("empty Peek: %v", err)
+	}
+	// Interleave enqueues and dequeues so the back-list reversal runs.
+	next, want := uint64(0), uint64(0)
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := q.Enqueue(val(next)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			if p, err := q.Peek(); err != nil || !bytes.Equal(p, val(want)) {
+				t.Fatalf("Peek = %q, %v, want %q", p, err, val(want))
+			}
+			got, err := q.Dequeue()
+			if err != nil || !bytes.Equal(got, val(want)) {
+				t.Fatalf("Dequeue = %q, %v, want %q", got, err, val(want))
+			}
+			want++
+		}
+	}
+	push(5)
+	pop(2)
+	push(7)
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	pop(10)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if _, err := q.Dequeue(); err != ErrQueueEmpty {
+		t.Fatalf("drained Dequeue: %v", err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapCanonicalShape: the treap's shape depends only on the key set,
+// so two maps built in different insertion orders expose identical
+// persistent layouts per node count — verified here just through equal
+// iteration and invariants, which is what the differential tests rely on.
+func TestMapCanonicalShape(t *testing.T) {
+	e := newEnv(t)
+	a := NewMap(e.rt, e.heap, e.root)
+	b := NewMap(e.rt, e.heap, e.qr)
+	for i := uint64(0); i < 64; i++ {
+		if err := a.Put(i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(63); i >= 0; i-- {
+		if err := b.Put(uint64(i), val(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sa, sb []string
+	a.Scan(0, func(k uint64, v []byte) bool {
+		sa = append(sa, fmt.Sprintf("%d=%s", k, v))
+		return true
+	})
+	b.Scan(0, func(k uint64, v []byte) bool {
+		sb = append(sb, fmt.Sprintf("%d=%s", k, v))
+		return true
+	})
+	if len(sa) != len(sb) {
+		t.Fatalf("lens %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("diverged at %d: %s vs %s", i, sa[i], sb[i])
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

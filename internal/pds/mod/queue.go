@@ -1,0 +1,191 @@
+package mod
+
+import (
+	"errors"
+
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+	"repro/internal/region"
+)
+
+// Queue is a shadow-updated persistent FIFO queue: the classic
+// two-list (front/back) functional queue, committed with the same
+// single-fence root swap as the Map. Enqueue conses onto the back list;
+// dequeue pops the front list, reversing the back list into a fresh
+// front — still one commit — when the front runs dry.
+//
+// Persistent layout:
+//
+//	root block (24B): [0]=length [8]=front list [16]=back list
+//	cell (16B):       [0]=value block [8]=next cell
+//
+// Cells and root blocks are immutable once published; a dequeue's
+// reversal clones cells but shares the (immutable) value blocks.
+type Queue struct {
+	base
+}
+
+// ErrQueueEmpty reports a Dequeue or Peek of an empty queue.
+var ErrQueueEmpty = errors.New("mod: queue is empty")
+
+const (
+	qrLenOff   = 0
+	qrFrontOff = 8
+	qrBackOff  = 16
+	qrSize     = 24
+
+	cValOff  = 0
+	cNextOff = 8
+	cSize    = 16
+)
+
+// NewQueue wraps the queue rooted at the word rootPtr; a zero word is an
+// empty queue.
+func NewQueue(rt *region.Runtime, heap *pheap.Heap, rootPtr pmem.Addr) *Queue {
+	return &Queue{base: newBase(rt, heap, rootPtr)}
+}
+
+func (q *Queue) loadRoot() (length uint64, front, back pmem.Addr) {
+	rb := pmem.Addr(q.mem.LoadU64(q.rootPtr))
+	if rb == pmem.Nil {
+		return 0, pmem.Nil, pmem.Nil
+	}
+	return q.mem.LoadU64(rb.Add(qrLenOff)),
+		pmem.Addr(q.mem.LoadU64(rb.Add(qrFrontOff))),
+		pmem.Addr(q.mem.LoadU64(rb.Add(qrBackOff)))
+}
+
+func (q *Queue) newCell(vblk, next pmem.Addr) (pmem.Addr, error) {
+	c, err := q.alloc(cSize)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	q.mem.StoreU64(c.Add(cValOff), uint64(vblk))
+	q.mem.StoreU64(c.Add(cNextOff), uint64(next))
+	q.batch.Add(c, cSize)
+	return c, nil
+}
+
+func (q *Queue) newRootBlock(length uint64, front, back pmem.Addr) (pmem.Addr, error) {
+	rb, err := q.alloc(qrSize)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	q.mem.StoreU64(rb.Add(qrLenOff), length)
+	q.mem.StoreU64(rb.Add(qrFrontOff), uint64(front))
+	q.mem.StoreU64(rb.Add(qrBackOff), uint64(back))
+	q.batch.Add(rb, qrSize)
+	return rb, nil
+}
+
+func (q *Queue) cellVal(c pmem.Addr) pmem.Addr {
+	return pmem.Addr(q.mem.LoadU64(c.Add(cValOff)))
+}
+func (q *Queue) cellNext(c pmem.Addr) pmem.Addr {
+	return pmem.Addr(q.mem.LoadU64(c.Add(cNextOff)))
+}
+
+// Enqueue appends val. One fence, one root swap.
+func (q *Queue) Enqueue(val []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.batch.Reset()
+	vblk, err := q.writeValue(val)
+	if err != nil {
+		return err
+	}
+	length, front, back := q.loadRoot()
+	cell, err := q.newCell(vblk, back)
+	if err != nil {
+		return err
+	}
+	rb, err := q.newRootBlock(length+1, front, cell)
+	if err != nil {
+		return err
+	}
+	q.commit(rb)
+	return nil
+}
+
+// Dequeue removes and returns the oldest value. When the front list is
+// empty, the back list is reversed into a fresh front inside the same
+// single commit.
+func (q *Queue) Dequeue() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.batch.Reset()
+	length, front, back := q.loadRoot()
+	if length == 0 {
+		return nil, ErrQueueEmpty
+	}
+	if front == pmem.Nil {
+		// Reverse the back list (newest-first) into a new front
+		// (oldest-first). Cells are cloned; value blocks are shared.
+		for c := back; c != pmem.Nil; c = q.cellNext(c) {
+			nc, err := q.newCell(q.cellVal(c), front)
+			if err != nil {
+				return nil, err
+			}
+			front = nc
+		}
+		back = pmem.Nil
+	}
+	val, err := readValue(q.mem, q.cellVal(front))
+	if err != nil {
+		return nil, err
+	}
+	rb, err := q.newRootBlock(length-1, q.cellNext(front), back)
+	if err != nil {
+		return nil, err
+	}
+	q.commit(rb)
+	return val, nil
+}
+
+// Peek returns the oldest value without removing it. No commit.
+func (q *Queue) Peek() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	length, front, back := q.loadRoot()
+	if length == 0 {
+		return nil, ErrQueueEmpty
+	}
+	if front != pmem.Nil {
+		return readValue(q.mem, q.cellVal(front))
+	}
+	// Oldest element is the tail of the back list.
+	last := back
+	for n := q.cellNext(last); n != pmem.Nil; n = q.cellNext(last) {
+		last = n
+	}
+	return readValue(q.mem, q.cellVal(last))
+}
+
+// Len returns the queue length.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	length, _, _ := q.loadRoot()
+	return int(length)
+}
+
+// CheckInvariants verifies the committed queue: list lengths sum to the
+// root count and every value block decodes.
+func (q *Queue) CheckInvariants() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	length, front, back := q.loadRoot()
+	n := 0
+	for _, head := range []pmem.Addr{front, back} {
+		for c := head; c != pmem.Nil; c = q.cellNext(c) {
+			if _, err := readValue(q.mem, q.cellVal(c)); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	if uint64(n) != length {
+		return errors.New("mod: queue length does not match cell count")
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package mod
+
+import (
+	"fmt"
+
+	"repro/internal/blob"
+	"repro/internal/pheap"
+	"repro/internal/pmem"
+)
+
+// Value blocks. Small values are one shadow block, [8B length][bytes].
+// The shadow allocator tops out at pheap.MaxSmall, so larger values use
+// an indirect block — [8B length][8B segment addr]... — whose segments
+// are full small-class blocks. Value blocks are immutable once published
+// (an update writes a new one), which is what lets snapshots share them.
+
+const (
+	valueHdr  = 8
+	maxInline = pheap.MaxSmall - valueHdr
+	segSize   = pheap.MaxSmall
+	maxSegs   = (pheap.MaxSmall - valueHdr) / 8
+
+	// MaxValue is the largest storable value (~2 MB): one indirect block
+	// full of segment pointers.
+	MaxValue = maxSegs * segSize
+)
+
+// writeValue allocates and fills shadow block(s) for val, returning the
+// value block's address. Cacheable stores only; durability rides the
+// commit fence via b.batch.
+func (b *base) writeValue(val []byte) (pmem.Addr, error) {
+	n := int64(len(val))
+	if err := blob.CheckWrite(n, MaxValue); err != nil {
+		return pmem.Nil, err
+	}
+	if n <= maxInline {
+		blk, err := b.alloc(valueHdr + n)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		b.mem.StoreU64(blk, uint64(n))
+		b.mem.Store(blk.Add(valueHdr), val)
+		b.batch.Add(blk, valueHdr+n)
+		return blk, nil
+	}
+	nseg := (n + segSize - 1) / segSize
+	idx, err := b.alloc(valueHdr + nseg*8)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	b.mem.StoreU64(idx, uint64(n))
+	for i := int64(0); i < nseg; i++ {
+		chunk := val[i*segSize : min64(n, (i+1)*segSize)]
+		seg, err := b.alloc(int64(len(chunk)))
+		if err != nil {
+			return pmem.Nil, err
+		}
+		b.mem.Store(seg, chunk)
+		b.batch.Add(seg, int64(len(chunk)))
+		b.mem.StoreU64(idx.Add(valueHdr+i*8), uint64(seg))
+	}
+	b.batch.Add(idx, valueHdr+nseg*8)
+	return idx, nil
+}
+
+// readValue decodes a value block through mem (the writer's context or a
+// snapshot's).
+func readValue(mem interface {
+	LoadU64(pmem.Addr) uint64
+	Load([]byte, pmem.Addr)
+}, blk pmem.Addr) ([]byte, error) {
+	n := int64(mem.LoadU64(blk))
+	if err := blob.CheckRead(n, MaxValue); err != nil {
+		return nil, fmt.Errorf("mod: value at %v: %w", blk, err)
+	}
+	out := make([]byte, n)
+	if n <= maxInline {
+		mem.Load(out, blk.Add(valueHdr))
+		return out, nil
+	}
+	for i := int64(0); i*segSize < n; i++ {
+		seg := pmem.Addr(mem.LoadU64(blk.Add(valueHdr + i*8)))
+		mem.Load(out[i*segSize:min64(n, (i+1)*segSize)], seg)
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

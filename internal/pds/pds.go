@@ -13,6 +13,7 @@
 package pds
 
 import (
+	"repro/internal/blob"
 	"repro/internal/mtm"
 	"repro/internal/pmem"
 )
@@ -21,8 +22,17 @@ import (
 // [0] length, [8...] bytes.
 const valueHdr = 8
 
+// MaxValue caps a single stored value. The servers enforce tighter
+// protocol-level caps (shard.MaxValueLen); this one exists so the decode
+// path can tell a plausible length from a corrupt one.
+const MaxValue = 1 << 24
+
 // writeValue allocates a value block and fills it transactionally.
+// Zero-length values are valid and allocate a bare header.
 func writeValue(tx *mtm.Tx, val []byte) (pmem.Addr, error) {
+	if err := blob.CheckWrite(int64(len(val)), MaxValue); err != nil {
+		return pmem.Nil, err
+	}
 	blk, err := tx.Alloc(valueHdr + int64(len(val)))
 	if err != nil {
 		return pmem.Nil, err
@@ -35,14 +45,19 @@ func writeValue(tx *mtm.Tx, val []byte) (pmem.Addr, error) {
 }
 
 // readValue copies a value block's contents. It needs only Reader, so it
-// runs inside both writing transactions and snapshot Views.
-func readValue(tx mtm.Reader, blk pmem.Addr) []byte {
+// runs inside both writing transactions and snapshot Views. The stored
+// length is validated before it sizes an allocation: a corrupt prefix
+// fails with blob.ErrCorrupt instead of attempting a wild make().
+func readValue(tx mtm.Reader, blk pmem.Addr) ([]byte, error) {
 	n := int64(tx.LoadU64(blk))
+	if err := blob.CheckRead(n, MaxValue); err != nil {
+		return nil, err
+	}
 	out := make([]byte, n)
 	if n > 0 {
 		tx.Load(out, blk.Add(valueHdr))
 	}
-	return out
+	return out, nil
 }
 
 // hash64 is the 64-bit finalizer of SplitMix64, used to spread integer

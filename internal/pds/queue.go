@@ -23,7 +23,7 @@ import (
 // before bumping redelivers the element (at-least-once consumption).
 //
 // Layout: magic(8) capacity(8) cellSize(8) head(8) tail(8) pad(24) cells.
-type Queue struct {
+type RingQueue struct {
 	base     pmem.Addr
 	capacity uint64
 	cellSize int64
@@ -54,11 +54,14 @@ func QueueSize(capacity int, cellSize int64) int64 {
 
 // CreateQueue formats a queue at base. cellSize includes an 8-byte length
 // header, so payloads up to cellSize-8 bytes fit.
-func CreateQueue(mem pmem.Memory, base pmem.Addr, capacity int, cellSize int64) (*Queue, error) {
+//
+// Deprecated: new code should construct queues through the Backend
+// selector (NewQueue), which formats or reopens as needed.
+func CreateQueue(mem pmem.Memory, base pmem.Addr, capacity int, cellSize int64) (*RingQueue, error) {
 	if capacity < 2 || cellSize < 16 || cellSize%8 != 0 {
 		return nil, fmt.Errorf("pds: bad queue geometry %d x %d", capacity, cellSize)
 	}
-	q := &Queue{base: base, capacity: uint64(capacity), cellSize: cellSize}
+	q := &RingQueue{base: base, capacity: uint64(capacity), cellSize: cellSize}
 	mem.WTStoreU64(base.Add(pqCapOff), uint64(capacity))
 	mem.WTStoreU64(base.Add(pqCellOff), uint64(cellSize))
 	mem.WTStoreU64(base.Add(pqHeadOff), 0)
@@ -72,29 +75,32 @@ func CreateQueue(mem pmem.Memory, base pmem.Addr, capacity int, cellSize int64) 
 // OpenQueue attaches to an existing queue. Published elements are exactly
 // those between head and tail; an interrupted enqueue is invisible by
 // construction.
-func OpenQueue(mem pmem.Memory, base pmem.Addr) (*Queue, error) {
+//
+// Deprecated: new code should construct queues through the Backend
+// selector (NewQueue), which formats or reopens as needed.
+func OpenQueue(mem pmem.Memory, base pmem.Addr) (*RingQueue, error) {
 	if mem.LoadU64(base) != pqMagicV {
 		return nil, fmt.Errorf("pds: no queue at %v", base)
 	}
-	return &Queue{
+	return &RingQueue{
 		base:     base,
 		capacity: mem.LoadU64(base.Add(pqCapOff)),
 		cellSize: int64(mem.LoadU64(base.Add(pqCellOff))),
 	}, nil
 }
 
-func (q *Queue) cell(i uint64) pmem.Addr {
+func (q *RingQueue) cell(i uint64) pmem.Addr {
 	return q.base.Add(pqCellsOff + int64(i%q.capacity)*q.cellSize)
 }
 
 // Len reports the number of published, unconsumed elements.
-func (q *Queue) Len(mem pmem.Memory) int {
+func (q *RingQueue) Len(mem pmem.Memory) int {
 	return int(mem.LoadU64(q.base.Add(pqTailOff)) - mem.LoadU64(q.base.Add(pqHeadOff)))
 }
 
 // Enqueue appends data (at most cellSize-8 bytes) durably. When Enqueue
 // returns, the element survives any crash.
-func (q *Queue) Enqueue(mem pmem.Memory, data []byte) error {
+func (q *RingQueue) Enqueue(mem pmem.Memory, data []byte) error {
 	if int64(len(data)) > q.cellSize-8 {
 		return fmt.Errorf("pds: element of %d bytes exceeds cell payload %d", len(data), q.cellSize-8)
 	}
@@ -117,7 +123,7 @@ func (q *Queue) Enqueue(mem pmem.Memory, data []byte) error {
 // Dequeue removes and returns the oldest element. Consumption is
 // at-least-once: a crash after the caller observes the data but before
 // Dequeue's head bump redelivers it on recovery.
-func (q *Queue) Dequeue(mem pmem.Memory) ([]byte, error) {
+func (q *RingQueue) Dequeue(mem pmem.Memory) ([]byte, error) {
 	head := mem.LoadU64(q.base.Add(pqHeadOff))
 	tail := mem.LoadU64(q.base.Add(pqTailOff))
 	if head == tail {
@@ -137,7 +143,7 @@ func (q *Queue) Dequeue(mem pmem.Memory) ([]byte, error) {
 }
 
 // Peek returns the oldest element without consuming it.
-func (q *Queue) Peek(mem pmem.Memory) ([]byte, error) {
+func (q *RingQueue) Peek(mem pmem.Memory) ([]byte, error) {
 	head := mem.LoadU64(q.base.Add(pqHeadOff))
 	if head == mem.LoadU64(q.base.Add(pqTailOff)) {
 		return nil, ErrQueueEmpty

@@ -9,7 +9,7 @@ import (
 	"repro/internal/scm"
 )
 
-func queueEnv(t *testing.T, capacity int, cellSize int64) (*scm.Device, *region.Mem, *Queue) {
+func queueEnv(t *testing.T, capacity int, cellSize int64) (*scm.Device, *region.Mem, *RingQueue) {
 	t.Helper()
 	dev, err := scm.Open(scm.Config{Size: 16 << 20, Mode: scm.DelayOff})
 	if err != nil {

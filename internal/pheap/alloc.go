@@ -301,9 +301,15 @@ func (h *Heap) adoptSB(c int, laneIdx int8) (int32, bool) {
 		empty := st.class < 0 || int64(st.free) == SuperblockSize/classSize(int(st.class))
 		if st.owner == -1 && empty {
 			bs := classSize(c)
-			// Durably assign the class. The bitmap is already
-			// all-zero (the superblock is empty).
-			h.mem.WTStoreU64(h.sbMetaAddr(sb), uint64(bs))
+			// Durably assign the class. The persistent bitmap is zeroed
+			// first: a torn shadow adoption (shadow.go) can leave stray
+			// bits in a superblock whose class word never became durable,
+			// and those bits must not survive into the new class.
+			meta := h.sbMetaAddr(sb)
+			for w := 0; w < bitmapWords; w++ {
+				h.mem.WTStoreU64(meta.Add(16+int64(w)*8), 0)
+			}
+			h.mem.WTStoreU64(meta, uint64(bs))
 			h.mem.Fence()
 			st.class = int8(c)
 			st.free = int32(SuperblockSize / bs)

@@ -154,6 +154,10 @@ type Heap struct {
 	partial [numClasses][]int32 // superblocks with free blocks, by class
 	freeSBs []int32             // fully free, unassigned superblocks
 
+	// Out-of-band shadow allocator (shadow.go): active superblocks for
+	// the single-fence MOD allocation path, disjoint from every lane's.
+	shadow shadowState
+
 	// Volatile large-object free index.
 	largeMu   sync.Mutex
 	largeMem  pmem.Memory
@@ -347,6 +351,10 @@ func (h *Heap) initVolatile() {
 		for c := range h.lanes[i].active {
 			h.lanes[i].active[c] = -1
 		}
+	}
+	h.shadow.mem = h.rt.NewMemory()
+	for c := range h.shadow.active {
+		h.shadow.active[c] = -1
 	}
 }
 

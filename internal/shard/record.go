@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/blob"
 )
 
 // Tree records are typed since the RESP redesign: a record is no longer
@@ -61,10 +63,10 @@ var ErrWrongType = errors.New("WRONGTYPE operation against a key holding the wro
 // EncodeRecord builds a tree record, enforcing the key and payload size
 // caps (the payload cap applies to a hash's whole encoded field set).
 func EncodeRecord(r Record) ([]byte, error) {
-	if len(r.Key) > MaxKeyLen {
+	if err := blob.CheckWrite(int64(len(r.Key)), MaxKeyLen); err != nil {
 		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrKeyTooLong, len(r.Key), MaxKeyLen)
 	}
-	if len(r.Value) > MaxValueLen {
+	if err := blob.CheckWrite(int64(len(r.Value)), MaxValueLen); err != nil {
 		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrValueTooLong, len(r.Value), MaxValueLen)
 	}
 	flags := byte(r.Type) & recTypeMask
@@ -92,6 +94,9 @@ func DecodeRecord(b []byte) (Record, error) {
 		return Record{}, errors.New("shard: short record")
 	}
 	kl := int(b[0]) | int(b[1])<<8
+	if err := blob.CheckRead(int64(kl), MaxKeyLen); err != nil {
+		return Record{}, fmt.Errorf("shard: record key length: %w", err)
+	}
 	if len(b) < 2+kl+1 {
 		return Record{}, errors.New("shard: truncated record")
 	}
@@ -120,6 +125,9 @@ func DecodeRecordKey(b []byte) (string, error) {
 		return "", errors.New("shard: short record")
 	}
 	kl := int(b[0]) | int(b[1])<<8
+	if err := blob.CheckRead(int64(kl), MaxKeyLen); err != nil {
+		return "", fmt.Errorf("shard: record key length: %w", err)
+	}
 	if len(b) < 2+kl {
 		return "", errors.New("shard: truncated record")
 	}
@@ -176,6 +184,9 @@ func DecodeHashFields(p []byte) ([]HashField, error) {
 		p = p[nl:]
 		vl := int(binary.LittleEndian.Uint32(p))
 		p = p[4:]
+		if err := blob.CheckRead(int64(vl), MaxValueLen); err != nil {
+			return nil, fmt.Errorf("shard: hash field value length: %w", err)
+		}
 		if len(p) < vl {
 			return nil, errors.New("shard: truncated hash field value")
 		}
